@@ -1,0 +1,336 @@
+package ramsis
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (each regenerates the corresponding rows/series at the quick
+// grid — run cmd/experiments for the default or --full paper-scale grids),
+// plus micro-benchmarks of the core machinery and ablation benches for the
+// design choices DESIGN.md calls out.
+
+import (
+	"io"
+	"testing"
+
+	"ramsis/internal/core"
+	"ramsis/internal/dist"
+	"ramsis/internal/experiments"
+	"ramsis/internal/mdp"
+	"ramsis/internal/monitor"
+	"ramsis/internal/profile"
+	"ramsis/internal/sim"
+	"ramsis/internal/trace"
+)
+
+func benchHarness() *experiments.Harness {
+	return experiments.New(experiments.Options{Quick: true, Out: io.Discard, Seed: 1})
+}
+
+// --- Per-table / per-figure benches ---
+
+func BenchmarkTable2PolicyGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchHarness().Table2()
+	}
+}
+
+func BenchmarkFig5ProductionTrace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchHarness().Fig5() // also regenerates Table 3
+	}
+}
+
+func BenchmarkFig6ConstantLoad(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchHarness().Fig6() // also regenerates Table 4
+	}
+}
+
+func BenchmarkFig7Fidelity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchHarness().Fig7()
+	}
+}
+
+func BenchmarkFig8ModelCount(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchHarness().Fig8()
+	}
+}
+
+func BenchmarkFig10Discretization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchHarness().Fig10()
+	}
+}
+
+func BenchmarkFig11Batching(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchHarness().Fig11()
+	}
+}
+
+func BenchmarkFig12ModelAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchHarness().Fig12()
+	}
+}
+
+func BenchmarkAppendixHINFaaS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchHarness().INFaaS()
+	}
+}
+
+func BenchmarkAppendixISQF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchHarness().SQF()
+	}
+}
+
+// --- Core machinery micro-benches ---
+
+func genCfg() core.Config {
+	return core.Config{
+		Models:  profile.ImageSet(),
+		SLO:     0.150,
+		Workers: 60,
+		Arrival: dist.NewPoisson(2400),
+		D:       50,
+	}
+}
+
+// BenchmarkPolicyGeneration measures one full offline policy generation
+// (transition build + value iteration + expectations).
+func BenchmarkPolicyGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Generate(genCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPolicySelect measures the online per-decision lookup.
+func BenchmarkPolicySelect(b *testing.B) {
+	pol, err := core.Generate(genCfg())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pol.Select(1+i%32, float64(i%150)/1000)
+	}
+}
+
+// BenchmarkValueIteration measures the exact MDP solve in isolation on a
+// random dense MDP comparable to a worker MDP's size.
+func BenchmarkValueIteration(b *testing.B) {
+	m := &mdp.MDP{Actions: make([][]mdp.Action, 1500)}
+	for s := range m.Actions {
+		for a := 0; a < 9; a++ {
+			act := mdp.Action{Label: a, Reward: float64(a)}
+			for t := 0; t < 20; t++ {
+				next := (s*31 + t*17 + a) % 1500
+				act.Transitions = append(act.Transitions, mdp.Transition{Next: int32(next), P: 0.05})
+			}
+			m.Actions[s] = append(m.Actions[s], act)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mdp.ValueIteration(m, mdp.SolveOptions{Gamma: 0.95, Tol: 1e-7}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw discrete-event simulation speed
+// (queries per second of simulated serving, fixed-model scheduler).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	models := profile.ImageSet()
+	arr := trace.PoissonArrivals(trace.Constant(2000, 10), 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := sim.NewEngine(models, 0.150, 60, sim.Deterministic{}, &sim.FixedModel{Model: 0, MaxBatch: 8}, 1)
+		m := e.Run(arr)
+		if m.Served != len(arr) {
+			b.Fatal("dropped queries")
+		}
+	}
+	b.ReportMetric(float64(len(arr)), "queries/op")
+}
+
+// BenchmarkRAMSISScheduler measures end-to-end simulated serving with the
+// RAMSIS scheduler (policy lookup per decision included).
+func BenchmarkRAMSISScheduler(b *testing.B) {
+	set := core.NewPolicySet(genCfg(), nil)
+	if err := set.GenerateLoads([]float64{2400}); err != nil {
+		b.Fatal(err)
+	}
+	models := profile.ImageSet()
+	tr := trace.Constant(2400, 10)
+	arr := trace.PoissonArrivals(tr, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := sim.NewEngine(models, 0.150, 60, sim.Deterministic{}, sim.NewRAMSIS(set, monitor.Oracle{Trace: tr}), 1)
+		e.Run(arr)
+	}
+	b.ReportMetric(float64(len(arr)), "queries/op")
+}
+
+// --- Ablation benches (design choices from DESIGN.md) ---
+
+// BenchmarkAblationParetoPruning compares policy generation with and
+// without the §4.3.3 action-space pruning.
+func BenchmarkAblationParetoPruning(b *testing.B) {
+	for _, pruned := range []bool{true, false} {
+		name := "pruned"
+		if !pruned {
+			name = "full26"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := genCfg()
+			cfg.NoParetoPruning = !pruned
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Generate(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDiscount sweeps the value-iteration discount factor,
+// which the paper leaves implicit.
+func BenchmarkAblationDiscount(b *testing.B) {
+	for _, gamma := range []float64{0.90, 0.99, 0.999} {
+		b.Run(gammaName(gamma), func(b *testing.B) {
+			cfg := genCfg()
+			cfg.Gamma = gamma
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				pol, err := core.Generate(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				acc = pol.ExpectedAccuracy
+			}
+			b.ReportMetric(acc, "expAccuracy")
+		})
+	}
+}
+
+func gammaName(g float64) string {
+	switch g {
+	case 0.90:
+		return "gamma0.90"
+	case 0.99:
+		return "gamma0.99"
+	}
+	return "gamma0.999"
+}
+
+// BenchmarkAblationReward compares the paper's per-decision reward against
+// the batch-weighted variant.
+func BenchmarkAblationReward(b *testing.B) {
+	for _, weighted := range []bool{false, true} {
+		name := "paper"
+		if weighted {
+			name = "batchWeighted"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := genCfg()
+			cfg.BatchWeightedReward = weighted
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				pol, err := core.Generate(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				acc = pol.ExpectedAccuracy
+			}
+			b.ReportMetric(acc, "expAccuracy")
+		})
+	}
+}
+
+// BenchmarkAblationProbFloor sweeps the sparse transition pruning threshold
+// (probability mass below it folds into the overflow state).
+func BenchmarkAblationProbFloor(b *testing.B) {
+	for _, floor := range []float64{1e-6, 1e-10, 1e-14} {
+		b.Run(floorName(floor), func(b *testing.B) {
+			cfg := genCfg()
+			cfg.ProbFloor = floor
+			var transitions int
+			for i := 0; i < b.N; i++ {
+				pol, err := core.Generate(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				transitions = pol.Transitions
+			}
+			b.ReportMetric(float64(transitions), "transitions")
+		})
+	}
+}
+
+func floorName(f float64) string {
+	switch f {
+	case 1e-6:
+		return "floor1e-6"
+	case 1e-10:
+		return "floor1e-10"
+	}
+	return "floor1e-14"
+}
+
+// BenchmarkAblationQuadrature sweeps the transition-integral resolution.
+func BenchmarkAblationQuadrature(b *testing.B) {
+	for _, cells := range []int{128, 512, 2048} {
+		b.Run(cellsName(cells), func(b *testing.B) {
+			cfg := genCfg()
+			cfg.FineCells = cells
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				pol, err := core.Generate(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				acc = pol.ExpectedAccuracy
+			}
+			b.ReportMetric(acc, "expAccuracy")
+		})
+	}
+}
+
+func cellsName(c int) string {
+	switch c {
+	case 128:
+		return "cells128"
+	case 512:
+		return "cells512"
+	}
+	return "cells2048"
+}
+
+func BenchmarkFig2LullExploitation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchHarness().Fig2()
+	}
+}
+
+func BenchmarkMisspecArrivalSensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchHarness().Misspec()
+	}
+}
+
+func BenchmarkGreedyStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchHarness().Greedy()
+	}
+}
+
+func BenchmarkScalingStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchHarness().Scaling()
+	}
+}

@@ -1,0 +1,72 @@
+// Command experiments regenerates the paper's tables and figures:
+//
+//	experiments --exp all            # every experiment, scaled default
+//	experiments --exp fig5 --full    # one experiment at paper scale
+//
+// Experiments: fig3 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 table2
+// infaas sqf all. (Table 1 is qualitative — see README; Tables 3 and 4 are
+// printed together with Figs. 5 and 6.)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+)
+
+import "ramsis/internal/experiments"
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		exp        = flag.String("exp", "all", "experiment id (fig3, fig5, ..., table2, infaas, sqf, all)")
+		full       = flag.Bool("full", false, "paper-scale grid (slow)")
+		quick      = flag.Bool("quick", false, "minimal grid for smoke runs")
+		seed       = flag.Int64("seed", 1, "workload seed")
+		policyDir  = flag.String("policy-dir", "", "cache generated policies under this directory")
+		resultsDir = flag.String("results-dir", "", "write structured JSON results under this directory")
+		plotFlag   = flag.Bool("plot", false, "render ASCII charts alongside the numeric rows")
+	)
+	flag.Parse()
+
+	h := experiments.New(experiments.Options{
+		Full: *full, Quick: *quick, Seed: *seed,
+		PolicyDir: *policyDir, ResultsDir: *resultsDir, Plot: *plotFlag,
+	})
+	runners := map[string]func(){
+		"fig2":    func() { h.Fig2() },
+		"fig3":    func() { h.Fig3() },
+		"fig9":    func() { h.Fig9() },
+		"table2":  func() { h.Table2() },
+		"fig5":    func() { h.Fig5() },
+		"fig6":    func() { h.Fig6() },
+		"fig7":    func() { h.Fig7() },
+		"fig8":    func() { h.Fig8() },
+		"fig10":   func() { h.Fig10() },
+		"fig11":   func() { h.Fig11() },
+		"fig12":   func() { h.Fig12() },
+		"infaas":  func() { h.INFaaS() },
+		"sqf":     func() { h.SQF() },
+		"misspec": func() { h.Misspec() },
+		"scaling": func() { h.Scaling() },
+		"greedy":  func() { h.Greedy() },
+	}
+	order := []string{"fig2", "fig3", "fig9", "table2", "fig5", "fig6", "fig7", "fig8", "fig10", "fig11", "fig12", "infaas", "sqf", "misspec", "scaling", "greedy"}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = order
+	}
+	for _, id := range ids {
+		run, ok := runners[strings.ToLower(id)]
+		if !ok {
+			log.Fatalf("unknown experiment %q (want one of %v)", id, order)
+		}
+		start := time.Now()
+		run()
+		fmt.Printf("[%s done in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,58 @@
+// Command msgen runs ModelSwitching's offline profiling step, mirroring the
+// artifact's MS_gen.py: it measures each model's p99 response latency under
+// a range of anticipated loads on the given resource configuration and
+// writes the resulting table as JSON.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"ramsis/internal/baselines"
+	"ramsis/internal/profile"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("msgen: ")
+	var (
+		task    = flag.String("task", "image", "inference task: image or text")
+		sloMS   = flag.Float64("slo", 150, "latency SLO in milliseconds")
+		workers = flag.Int("workers", 60, "number of workers")
+		loLoad  = flag.Float64("lo", 400, "lowest profiled load (QPS)")
+		hiLoad  = flag.Float64("hi", 4000, "highest profiled load (QPS)")
+		step    = flag.Float64("step", 100, "load step (QPS); the paper uses 100")
+		dur     = flag.Float64("dur", 10, "profiling run length per (model, load), seconds")
+		out     = flag.String("out", "policy_gen", "output directory")
+		seed    = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	models, err := profile.SetForTask(*task)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var loads []float64
+	for l := *loLoad; l <= *hiLoad; l += *step {
+		loads = append(loads, l)
+	}
+	table := baselines.ProfileModelSwitching(models, *sloMS/1000, *workers, loads, *dur, *seed)
+
+	path := filepath.Join(*out, fmt.Sprintf("MS_%s_%dw_%.0fms.json", *task, *workers, *sloMS))
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		log.Fatal(err)
+	}
+	data, err := json.MarshalIndent(table, "", " ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("profiled %d models x %d loads -> %s\n", models.Len(), len(loads), path)
+	fmt.Println("script complete!")
+}

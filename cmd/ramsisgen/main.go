@@ -1,0 +1,103 @@
+// Command ramsisgen runs RAMSIS's offline phase for one configuration and
+// writes the generated model-selection policy as JSON, mirroring the
+// artifact's RAMSIS_gen.py:
+//
+//	ramsisgen --task image --slo 150 --workers 60 --load 2000 --out gen/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"ramsis/internal/core"
+	"ramsis/internal/dist"
+	"ramsis/internal/profile"
+	"ramsis/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ramsisgen: ")
+	var (
+		task      = flag.String("task", "image", "inference task: image or text")
+		sloMS     = flag.Float64("slo", 150, "latency SLO in milliseconds")
+		workers   = flag.Int("workers", 1, "number of workers K")
+		load      = flag.Float64("load", 1, "query load in QPS")
+		out       = flag.String("out", "policy_gen", "output directory")
+		d         = flag.Int("d", 100, "FLD resolution D")
+		disc      = flag.String("disc", "FLD", "time discretization: FLD or MD")
+		batching  = flag.String("batching", "max", "batching strategy: max or variable")
+		balancing = flag.String("balancing", "rr", "load balancing: rr or sqf")
+		gamma     = flag.Float64("gamma", 0.99, "value-iteration discount factor")
+		describe  = flag.Bool("describe", false, "print the policy decision table")
+		verify    = flag.Bool("verify", false, "simulate 30s at the design load and check the guarantees")
+	)
+	flag.Parse()
+
+	models, err := profile.SetForTask(*task)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := core.Config{
+		Models:  models,
+		SLO:     *sloMS / 1000,
+		Workers: *workers,
+		Arrival: dist.NewPoisson(*load),
+		D:       *d,
+		Gamma:   *gamma,
+	}
+	switch *disc {
+	case "FLD":
+		cfg.Disc = core.FixedLength
+	case "MD":
+		cfg.Disc = core.ModelBased
+	default:
+		log.Fatalf("unknown discretization %q", *disc)
+	}
+	switch *batching {
+	case "max":
+		cfg.Batching = core.MaximalBatching
+	case "variable":
+		cfg.Batching = core.VariableBatching
+	default:
+		log.Fatalf("unknown batching %q", *batching)
+	}
+	switch *balancing {
+	case "rr":
+		cfg.Balancing = core.RoundRobin
+	case "sqf":
+		cfg.Balancing = core.ShortestQueueFirst
+	default:
+		log.Fatalf("unknown balancing %q", *balancing)
+	}
+
+	pol, err := core.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	path := filepath.Join(*out,
+		fmt.Sprintf("RAMSIS_%s_%dw_%.0fms", *task, *workers, *sloMS),
+		fmt.Sprintf("%.0f.json", *load))
+	if err := pol.Save(path); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("policy: %s\n", path)
+	fmt.Printf("states=%d transitions=%d iterations=%d build=%v solve=%v\n",
+		pol.States, pol.Transitions, pol.Iterations, pol.BuildTime.Round(1e6), pol.SolveTime.Round(1e6))
+	fmt.Printf("expected accuracy=%.4f expected violation rate=%.6f\n",
+		pol.ExpectedAccuracy, pol.ExpectedViolation)
+	if *describe {
+		pol.Describe(os.Stdout)
+	}
+	if *verify {
+		m := sim.VerifyPolicy(pol, models, 30, 1)
+		fmt.Printf("verified over %d queries: accuracy %.4f (bound >= %.4f), violations %.4f%% (bound <= %.4f%%)\n",
+			m.Served, m.AccuracyPerSatisfiedQuery(), pol.ExpectedAccuracy,
+			m.ViolationRate()*100, pol.ExpectedViolation*100)
+	}
+	fmt.Println("script complete!")
+	os.Exit(0)
+}

@@ -1,0 +1,115 @@
+// Command serve runs the client-server prototype end to end on localhost:
+// it starts worker HTTP servers, generates a RAMSIS policy, replays a
+// Poisson workload through the central controller, and reports the achieved
+// accuracy and violation rate.
+//
+//	serve --task image --slo 150 --workers 4 --load 120 --dur 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"ramsis/internal/core"
+	"ramsis/internal/dist"
+	"ramsis/internal/monitor"
+	"ramsis/internal/profile"
+	"ramsis/internal/serve"
+	"ramsis/internal/sim"
+	"ramsis/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("serve: ")
+	var (
+		task      = flag.String("task", "image", "inference task: image or text")
+		sloMS     = flag.Float64("slo", 150, "latency SLO in milliseconds")
+		workers   = flag.Int("workers", 4, "number of worker servers")
+		load      = flag.Float64("load", 120, "query load in QPS")
+		dur       = flag.Float64("dur", 10, "trace duration in modeled seconds")
+		timeScale = flag.Float64("timescale", 1, "modeled-to-wall time compression factor")
+		noiseMS   = flag.Float64("noise", 10, "inference latency stddev in ms")
+		d         = flag.Int("d", 100, "FLD resolution")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		frontend  = flag.Bool("frontend", false, "serve a live POST /query API instead of replaying a trace (Ctrl-C to stop)")
+	)
+	flag.Parse()
+
+	models, err := profile.SetForTask(*task)
+	if err != nil {
+		log.Fatal(err)
+	}
+	slo := *sloMS / 1000
+
+	fmt.Printf("generating RAMSIS policy (%s, SLO %.0f ms, %d workers, %.0f QPS)...\n",
+		*task, *sloMS, *workers, *load)
+	set := core.NewPolicySet(core.Config{
+		Models: models, SLO: slo, Workers: *workers, Arrival: dist.NewPoisson(1), D: *d,
+	}, nil)
+	if err := set.GenerateLoads([]float64{*load}); err != nil {
+		log.Fatal(err)
+	}
+
+	if *frontend {
+		cluster, err := serve.StartCluster(serve.ClusterConfig{
+			Models:        models,
+			Workers:       *workers,
+			SLO:           slo,
+			TimeScale:     *timeScale,
+			LatencyStdDev: *noiseMS / 1000,
+			Select:        serve.RAMSISSelector(set),
+			Monitor:       monitor.NewMovingAverage(0.5),
+			Seed:          *seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer cluster.Stop()
+		fmt.Printf("live inference service at %s\n", cluster.URL())
+		fmt.Printf("try: curl -X POST %s/query -d '{}'\n", cluster.URL())
+		fmt.Printf("     curl %s/stats\n", cluster.URL())
+		select {} // serve until interrupted
+	}
+
+	var lat sim.LatencyModel = sim.Deterministic{}
+	if *noiseMS > 0 {
+		lat = sim.Stochastic{StdDev: *noiseMS / 1000}
+	}
+	urls := make([]string, *workers)
+	ws := make([]*serve.Worker, *workers)
+	for i := range urls {
+		ws[i] = serve.NewWorker(models, lat, *timeScale, *seed+int64(i))
+		if err := ws[i].Start(); err != nil {
+			log.Fatal(err)
+		}
+		defer ws[i].Stop()
+		urls[i] = ws[i].URL()
+		fmt.Printf("worker %d listening at %s\n", i, urls[i])
+	}
+
+	tr := trace.Constant(*load, *dur)
+	ctl := &serve.Controller{
+		Profiles:  models,
+		SLO:       slo,
+		TimeScale: *timeScale,
+		Workers:   urls,
+		Select:    serve.RAMSISSelector(set),
+		Monitor:   monitor.NewMovingAverage(0.5),
+	}
+	arrivals := trace.PoissonArrivals(tr, *seed)
+	fmt.Printf("replaying %d queries over %.0fs (wall %.0fs)...\n",
+		len(arrivals), *dur, *dur / *timeScale)
+	m, err := ctl.Run(arrivals)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("served:                      %d\n", m.Served)
+	fmt.Printf("accuracy/satisfied query:    %.4f\n", m.AccuracyPerSatisfiedQuery())
+	fmt.Printf("latency SLO violation rate:  %.4f%%\n", m.ViolationRate()*100)
+	pol := set.Policies()[0]
+	fmt.Printf("policy expectation:          accuracy %.4f, violation %.4f%%\n",
+		pol.ExpectedAccuracy, pol.ExpectedViolation*100)
+	fmt.Println("script complete!")
+}

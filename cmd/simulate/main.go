@@ -1,0 +1,145 @@
+// Command simulate runs one MS&S method through the discrete-event
+// simulator, mirroring the artifact's run_sim.py:
+//
+//	simulate --m RAMSIS --trace real --task image --slo 150 --workers 60
+//	simulate --m JF --trace constant --load 2000 --task image --slo 150 --workers 60
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"ramsis/internal/baselines"
+	"ramsis/internal/core"
+	"ramsis/internal/dist"
+	"ramsis/internal/monitor"
+	"ramsis/internal/profile"
+	"ramsis/internal/sim"
+	"ramsis/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("simulate: ")
+	var (
+		method   = flag.String("m", "RAMSIS", "MS&S method: RAMSIS, JF, MS, Greedy")
+		traceArg = flag.String("trace", "constant", "query trace: real (Twitter) or constant")
+		task     = flag.String("task", "image", "inference task: image or text")
+		sloMS    = flag.Float64("slo", 150, "latency SLO in milliseconds")
+		workers  = flag.Int("workers", 60, "number of workers")
+		load     = flag.Float64("load", 2000, "query load in QPS (constant trace)")
+		dur      = flag.Float64("dur", 30, "constant-trace duration in seconds")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		d        = flag.Int("d", 100, "FLD resolution for RAMSIS policies")
+		noise    = flag.Float64("noise", 0, "inference latency stddev in ms (0 = deterministic p95)")
+		polPath  = flag.String("policy", "", "load a saved RAMSIS policy JSON (from ramsisgen) instead of generating")
+		msTable  = flag.String("ms-table", "", "load a ModelSwitching profile JSON (from msgen) instead of profiling")
+	)
+	flag.Parse()
+
+	models, err := profile.SetForTask(*task)
+	if err != nil {
+		log.Fatal(err)
+	}
+	slo := *sloMS / 1000
+
+	var tr trace.Trace
+	var mon monitor.Monitor
+	switch *traceArg {
+	case "real":
+		tr = trace.Twitter()
+		mon = monitor.NewMovingAverage(0.5)
+	case "constant":
+		tr = trace.Constant(*load, *dur)
+		mon = monitor.Oracle{Trace: tr}
+	default:
+		log.Fatalf("unknown trace %q", *traceArg)
+	}
+
+	var sched sim.Scheduler
+	switch *method {
+	case "RAMSIS":
+		base := core.Config{Models: models, SLO: slo, Workers: *workers, Arrival: dist.NewPoisson(1), D: *d}
+		set := core.NewPolicySet(base, nil)
+		if *polPath != "" {
+			pol, err := core.LoadPolicy(*polPath, models)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if pol.SLO != slo || pol.Workers != *workers {
+				log.Fatalf("policy %s was generated for SLO %.0fms / %d workers, not %.0fms / %d",
+					*polPath, pol.SLO*1000, pol.Workers, *sloMS, *workers)
+			}
+			set.Insert(pol)
+			fmt.Printf("loaded policy %s (load %.0f QPS)\n", *polPath, pol.Load)
+		} else {
+			var loads []float64
+			if *traceArg == "constant" {
+				loads = []float64{*load}
+			} else {
+				for l := 400.0; l <= tr.MaxQPS()*1.2+400; l += 400 {
+					loads = append(loads, l)
+				}
+			}
+			fmt.Printf("generating %d RAMSIS policies...\n", len(loads))
+			if err := set.GenerateLoads(loads); err != nil {
+				log.Fatal(err)
+			}
+		}
+		sched = sim.NewRAMSIS(set, mon)
+	case "JF":
+		sched = &baselines.JellyfishPlus{Profiles: models, SLO: slo, Workers: *workers, Monitor: mon}
+	case "MS":
+		var table *baselines.MSTable
+		if *msTable != "" {
+			data, err := os.ReadFile(*msTable)
+			if err != nil {
+				log.Fatal(err)
+			}
+			table = &baselines.MSTable{}
+			if err := json.Unmarshal(data, table); err != nil {
+				log.Fatalf("decode %s: %v", *msTable, err)
+			}
+			if len(table.P99) != models.Len() {
+				log.Fatalf("table %s profiles %d models, task has %d", *msTable, len(table.P99), models.Len())
+			}
+			fmt.Printf("loaded ModelSwitching profile %s (%d load rungs)\n", *msTable, len(table.Loads))
+		} else {
+			var loads []float64
+			for l := 400.0; l <= 4400; l += 400 {
+				loads = append(loads, l)
+			}
+			fmt.Println("profiling ModelSwitching response latencies...")
+			table = baselines.ProfileModelSwitching(models, slo, *workers, loads, 5, *seed)
+		}
+		sched = &baselines.ModelSwitching{Profiles: models, SLO: slo, Monitor: mon, Table: table}
+	case "Greedy":
+		sched = &baselines.Greedy{Profiles: models, SLO: slo}
+	default:
+		log.Fatalf("unknown method %q", *method)
+	}
+
+	var lat sim.LatencyModel = sim.Deterministic{}
+	if *noise > 0 {
+		lat = sim.Stochastic{StdDev: *noise / 1000}
+	}
+	e := sim.NewEngine(models, slo, *workers, lat, sched, *seed)
+	arrivals := trace.PoissonArrivals(tr, *seed)
+	fmt.Printf("simulating %d queries (%s trace, %s, SLO %.0f ms, %d workers)...\n",
+		len(arrivals), tr.Name, *task, *sloMS, *workers)
+	m := e.Run(arrivals)
+
+	fmt.Printf("method:                      %s\n", *method)
+	fmt.Printf("served:                      %d\n", m.Served)
+	fmt.Printf("decisions:                   %d\n", m.Decisions)
+	fmt.Printf("accuracy/satisfied query:    %.4f\n", m.AccuracyPerSatisfiedQuery())
+	fmt.Printf("latency SLO violation rate:  %.4f%%\n", m.ViolationRate()*100)
+	fmt.Println("model usage (queries):")
+	for name, c := range m.ModelCounts {
+		fmt.Printf("  %-22s %d\n", name, c)
+	}
+	fmt.Println("script complete!")
+}

@@ -1,0 +1,86 @@
+// Command trace inspects, generates, and converts query-load traces in the
+// artifact's one-QPS-per-line format:
+//
+//	trace --stats                      # stats of the built-in Twitter trace
+//	trace --export twitter.txt        # write it in the artifact format
+//	trace --stats --in mytrace.txt    # stats of an external trace
+//	trace --arrivals out.txt --seed 3 # sample Poisson arrival times
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"ramsis/internal/stats"
+	"ramsis/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("trace: ")
+	var (
+		in       = flag.String("in", "", "input trace file (default: built-in Twitter trace)")
+		interval = flag.Float64("interval", 10, "seconds per trace line")
+		export   = flag.String("export", "", "write the trace in artifact format to this path")
+		arrivals = flag.String("arrivals", "", "sample Poisson arrival times to this path")
+		scale    = flag.Float64("scale", 1, "multiply every interval load")
+		truncate = flag.Float64("truncate", 0, "keep only the first N seconds (0 = all)")
+		seed     = flag.Int64("seed", 1, "arrival sampling seed")
+		gamma    = flag.Int("gamma", 0, "sample Erlang-<shape> arrivals instead of Poisson (0 = Poisson)")
+	)
+	flag.Parse()
+
+	tr := trace.Twitter()
+	if *in != "" {
+		var err error
+		tr, err = trace.LoadQPSFile(*in, *interval)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *scale != 1 {
+		tr = tr.Scale(*scale)
+	}
+	if *truncate > 0 {
+		tr = tr.Truncate(*truncate)
+	}
+
+	fmt.Printf("trace:    %s\n", tr.Name)
+	fmt.Printf("duration: %.0f s (%d intervals of %.0f s)\n", tr.Duration(), len(tr.QPS), tr.IntervalSec)
+	fmt.Printf("load:     min %.0f / mean %.1f / max %.0f QPS\n", tr.MinQPS(), tr.MeanQPS(), tr.MaxQPS())
+	fmt.Printf("p50/p95:  %.0f / %.0f QPS\n", stats.Percentile(tr.QPS, 50), stats.Percentile(tr.QPS, 95))
+	fmt.Printf("queries:  ~%.0f expected\n", tr.MeanQPS()*tr.Duration())
+
+	if *export != "" {
+		if err := tr.SaveQPSFile(*export); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("exported to %s\n", *export)
+	}
+	if *arrivals != "" {
+		var arr []float64
+		if *gamma > 1 {
+			arr = trace.GammaArrivals(tr, *seed, *gamma)
+		} else {
+			arr = trace.PoissonArrivals(tr, *seed)
+		}
+		f, err := os.Create(*arrivals)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w := bufio.NewWriter(f)
+		for _, a := range arr {
+			fmt.Fprintf(w, "%.6f\n", a)
+		}
+		if err := w.Flush(); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("sampled %d arrival times to %s\n", len(arr), *arrivals)
+	}
+}

@@ -1,0 +1,77 @@
+// Prototype: the full client-server serving stack of §6 on localhost —
+// worker HTTP servers that hold requests for the profiled inference
+// latency (with the ~10 ms jitter the paper measures), a central controller
+// with a round-robin balancer and per-worker model selectors, and a
+// workload generator replaying Poisson arrivals in real time.
+//
+//	go run ./examples/prototype
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ramsis"
+	"ramsis/internal/monitor"
+	"ramsis/internal/serve"
+	"ramsis/internal/sim"
+	"ramsis/internal/trace"
+)
+
+func main() {
+	const (
+		workers   = 4
+		sloMS     = 150.0
+		load      = 100.0
+		duration  = 8.0
+		timeScale = 2.0 // run modeled time 2x faster than wall time
+	)
+	models := ramsis.ImageModels()
+
+	fmt.Println("offline phase: generating the RAMSIS policy ladder...")
+	system, err := ramsis.New(ramsis.Options{Models: models, SLOMillis: sloMS, Workers: workers})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Cover the moving-average monitor's fluctuation range so serving never
+	// waits on (or competes with) on-demand policy generation.
+	if err := system.PrecomputePolicies(load, load*1.5, load*2); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("starting worker HTTP servers...")
+	urls := make([]string, workers)
+	for i := 0; i < workers; i++ {
+		w := serve.NewWorker(models, sim.Stochastic{StdDev: 0.010}, timeScale, int64(i+1))
+		if err := w.Start(); err != nil {
+			log.Fatal(err)
+		}
+		defer w.Stop()
+		urls[i] = w.URL()
+		fmt.Printf("  worker %d at %s\n", i, urls[i])
+	}
+
+	ctl := &serve.Controller{
+		Profiles:  models,
+		SLO:       sloMS / 1000,
+		TimeScale: timeScale,
+		Workers:   urls,
+		Select:    serve.RAMSISSelector(system.PolicySet()),
+		Monitor:   monitor.NewMovingAverage(0.5),
+	}
+	tr := ramsis.ConstantTrace(load, duration)
+	arrivals := trace.PoissonArrivals(tr, 11)
+	fmt.Printf("replaying %d queries over %.0f modeled seconds (%.0fs wall)...\n",
+		len(arrivals), duration, duration/timeScale)
+	m, err := ctl.Run(arrivals)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pol, _ := system.Policy(load)
+	fmt.Printf("\nserved %d queries in %d HTTP batches\n", m.Served, m.Decisions)
+	fmt.Printf("accuracy per satisfied query: %.4f  (offline bound %.4f)\n",
+		m.AccuracyPerSatisfiedQuery(), pol.ExpectedAccuracy)
+	fmt.Printf("latency SLO violation rate:   %.4f%% (offline bound %.4f%%)\n",
+		m.ViolationRate()*100, pol.ExpectedViolation*100)
+}

@@ -1,0 +1,63 @@
+// Quickstart: generate a RAMSIS policy for a small deployment and serve a
+// constant Poisson workload through the simulator.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ramsis"
+)
+
+func main() {
+	// A deployment: 8 workers, every built-in ImageNet model pre-loaded,
+	// 150 ms latency SLO.
+	system, err := ramsis.New(ramsis.Options{
+		Models:    ramsis.ImageModels(),
+		SLOMillis: 150,
+		Workers:   8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Offline phase: generate the model-selection policy for the expected
+	// query load (300 QPS).
+	fmt.Println("generating policy (offline phase)...")
+	if err := system.PrecomputePolicies(300); err != nil {
+		log.Fatal(err)
+	}
+	pol, err := system.Policy(300)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("policy: %d states, %d transitions, solved in %v\n",
+		pol.States, pol.Transitions, pol.SolveTime.Round(1e6))
+	fmt.Printf("guarantees: expected accuracy >= %.4f, violation rate <= %.4f%%\n",
+		pol.ExpectedAccuracy, pol.ExpectedViolation*100)
+
+	// Peek at a few decisions: the policy exploits arrival lulls by picking
+	// slower, more accurate models when the queue is short and slack high.
+	fmt.Println("\nsample decisions (queue length, slack -> model):")
+	for _, c := range []struct {
+		n     int
+		slack float64
+	}{{1, 0.150}, {2, 0.100}, {8, 0.150}, {16, 0.060}} {
+		choice := pol.Select(c.n, c.slack)
+		fmt.Printf("  n=%2d slack=%3.0fms -> %-20s batch=%d\n",
+			c.n, c.slack*1000, choice.Model, choice.Batch)
+	}
+
+	// Online phase: serve 30 seconds of Poisson arrivals at 300 QPS.
+	fmt.Println("\nserving 30s of Poisson arrivals at 300 QPS (online phase)...")
+	m := system.SimulateConstant(300, 30, 1)
+	fmt.Printf("served %d queries in %d batches\n", m.Served, m.Decisions)
+	fmt.Printf("accuracy per satisfied query: %.4f\n", m.AccuracyPerSatisfiedQuery())
+	fmt.Printf("latency SLO violation rate:   %.4f%%\n", m.ViolationRate()*100)
+	fmt.Println("\nmodel usage:")
+	for name, count := range m.ModelCounts {
+		fmt.Printf("  %-22s %6d queries\n", name, count)
+	}
+}

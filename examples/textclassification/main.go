@@ -1,0 +1,48 @@
+// Text classification SLO study: how the achievable accuracy of a fixed
+// BERT deployment changes with the latency SLO, using RAMSIS's probabilistic
+// guarantees (§5.1) to pick operating points without running a workload.
+//
+//	go run ./examples/textclassification
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ramsis"
+)
+
+func main() {
+	const workers = 6
+	models := ramsis.TextModels()
+
+	fmt.Printf("BERT corpus on %d workers:\n", workers)
+	for _, p := range models.Profiles {
+		fmt.Printf("  %-12s accuracy %.1f%%  latency %4.0f ms  peak throughput %5.1f QPS/worker\n",
+			p.Name, p.Accuracy*100, p.BatchLatency(1)*1000, p.Throughput())
+	}
+
+	// The paper's three text SLOs (§7).
+	for _, sloMS := range []float64{100, 200, 300} {
+		system, err := ramsis.New(ramsis.Options{Models: models, SLOMillis: sloMS, Workers: workers})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The §6 load-adaptation rule: refine the ladder until adjacent
+		// policies differ by under 1% expected accuracy.
+		if err := system.PrecomputePolicyLadder(100, 700); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nSLO %.0f ms — policy ladder (load -> guaranteed accuracy, violation bound):\n", sloMS)
+		for _, pol := range system.Policies() {
+			fmt.Printf("  %5.0f QPS -> accuracy >= %.4f, violations <= %.4f%%\n",
+				pol.Load, pol.ExpectedAccuracy, pol.ExpectedViolation*100)
+		}
+		// Validate one mid-ladder point online.
+		m := system.SimulateConstant(400, 20, 3)
+		pol, _ := system.Policy(400)
+		fmt.Printf("  measured at 400 QPS: accuracy %.4f (bound %.4f), violations %.4f%% (bound %.4f%%)\n",
+			m.AccuracyPerSatisfiedQuery(), pol.ExpectedAccuracy,
+			m.ViolationRate()*100, pol.ExpectedViolation*100)
+	}
+}

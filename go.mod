@@ -1,0 +1,3 @@
+module ramsis
+
+go 1.22

@@ -1,0 +1,285 @@
+// Package baselines implements the state-of-the-art load-granular MS&S
+// schemes RAMSIS is evaluated against (§7 "Baseline MS&S Policies"):
+// Jellyfish+ [32], ModelSwitching [57] (including its offline
+// response-latency profiling), the INFaaS adaptation of Appendix H, and the
+// greedy deadline-aware selector of §8 (MDInference/ALERT-style). All share
+// the central-queue, eager-worker, adaptive-batching execution model the
+// paper describes.
+package baselines
+
+import (
+	"math"
+
+	"ramsis/internal/monitor"
+	"ramsis/internal/profile"
+	"ramsis/internal/sim"
+	"ramsis/internal/stats"
+	"ramsis/internal/trace"
+)
+
+// adaptiveMaxBatch returns the adaptive-batching cap [7] used by both
+// baselines: the largest batch whose inference latency stays within half the
+// SLO, anticipating worst-case central-queue wait (§7, Jellyfish+).
+func adaptiveMaxBatch(p profile.Profile, slo float64) int {
+	if b := p.MaxBatchWithin(slo / 2); b > 0 {
+		return b
+	}
+	return 1
+}
+
+// centralPick implements the shared eager central-queue dispatch.
+func centralPick(e *sim.Engine, model int, slo float64) (sim.Decision, bool) {
+	n := e.CentralLen()
+	if n == 0 {
+		return sim.Decision{}, false
+	}
+	b := adaptiveMaxBatch(e.Profiles.Profiles[model], slo)
+	if b > n {
+		b = n
+	}
+	return sim.Decision{Model: model, Queries: e.PopCentral(b)}, true
+}
+
+// JellyfishPlus extends Jellyfish [32] with multi-worker load balancing:
+// given an anticipated load it selects the most accurate model whose
+// aggregate average throughput exceeds the load and whose inference latency
+// stays below half the latency SLO.
+type JellyfishPlus struct {
+	Profiles profile.Set
+	SLO      float64
+	Workers  int
+	Monitor  monitor.Monitor
+
+	lastLoad float64
+	lastPick int
+	havePick bool
+}
+
+// Route enqueues centrally and feeds the load monitor.
+func (j *JellyfishPlus) Route(e *sim.Engine, now float64, q sim.Query) {
+	j.Monitor.Observe(now)
+	e.EnqueueCentral(q)
+}
+
+// ModelFor returns the Jellyfish+ selection for a load.
+func (j *JellyfishPlus) ModelFor(load float64) int {
+	best, bestAcc := -1, math.Inf(-1)
+	for i, p := range j.Profiles.Profiles {
+		if p.BatchLatency(1) > j.SLO/2 {
+			continue
+		}
+		tput := float64(j.Workers) * p.ThroughputWithin(j.SLO/2)
+		if tput < load {
+			continue
+		}
+		if p.Accuracy > bestAcc {
+			best, bestAcc = i, p.Accuracy
+		}
+	}
+	if best < 0 {
+		best = fastestIndex(j.Profiles)
+	}
+	return best
+}
+
+// Pick serves a batch with the load-selected model.
+func (j *JellyfishPlus) Pick(e *sim.Engine, now float64, _ int) (sim.Decision, bool) {
+	load := j.Monitor.Load(now)
+	if !j.havePick || load != j.lastLoad {
+		j.lastPick = j.ModelFor(load)
+		j.lastLoad, j.havePick = load, true
+	}
+	return centralPick(e, j.lastPick, j.SLO)
+}
+
+// MSTable is ModelSwitching's offline profile: the p99 response latency of
+// every model under every anticipated load on the evaluated resource
+// configuration (§7: 400-4000 QPS on 20-100 workers).
+type MSTable struct {
+	Loads []float64   // ascending load rungs (QPS)
+	P99   [][]float64 // [model][rung] p99 response latency (seconds)
+}
+
+// ProfileModelSwitching measures each model's response latency under each
+// load rung by running the fixed-model scheduler for dur seconds, exactly
+// the offline step §7 describes.
+func ProfileModelSwitching(profiles profile.Set, slo float64, workers int, loads []float64, dur float64, seed int64) *MSTable {
+	t := &MSTable{Loads: append([]float64(nil), loads...)}
+	t.P99 = make([][]float64, profiles.Len())
+	for mi := range profiles.Profiles {
+		t.P99[mi] = make([]float64, len(loads))
+		for li, load := range loads {
+			p := profiles.Profiles[mi]
+			// Loads beyond the model's aggregate throughput diverge; record
+			// +Inf without simulating the pile-up.
+			if float64(workers)*p.Throughput() < load {
+				t.P99[mi][li] = math.Inf(1)
+				continue
+			}
+			sched := &sim.FixedModel{Model: mi, MaxBatch: adaptiveMaxBatch(p, slo)}
+			e := sim.NewEngine(profiles, slo, workers, sim.Deterministic{}, sched, seed+int64(mi*1000+li))
+			e.CollectLatencies = true
+			arr := trace.PoissonArrivals(trace.Constant(load, dur), seed+int64(li))
+			m := e.Run(arr)
+			t.P99[mi][li] = stats.Percentile(m.Latencies, 99)
+		}
+	}
+	return t
+}
+
+// P99For returns the profiled p99 at the smallest rung covering the load
+// (conservative), or +Inf when the load exceeds the profiled range.
+func (t *MSTable) P99For(model int, load float64) float64 {
+	for li, l := range t.Loads {
+		if l >= load {
+			return t.P99[model][li]
+		}
+	}
+	return math.Inf(1)
+}
+
+// ModelSwitching [57] selects the most accurate model whose profiled p99
+// response latency under the anticipated load is below the latency SLO.
+type ModelSwitching struct {
+	Profiles profile.Set
+	SLO      float64
+	Monitor  monitor.Monitor
+	Table    *MSTable
+
+	lastLoad float64
+	lastPick int
+	havePick bool
+}
+
+// Route enqueues centrally and feeds the load monitor.
+func (m *ModelSwitching) Route(e *sim.Engine, now float64, q sim.Query) {
+	m.Monitor.Observe(now)
+	e.EnqueueCentral(q)
+}
+
+// ModelFor returns the ModelSwitching selection for a load.
+func (m *ModelSwitching) ModelFor(load float64) int {
+	best, bestAcc := -1, math.Inf(-1)
+	for i, p := range m.Profiles.Profiles {
+		if m.Table.P99For(i, load) > m.SLO {
+			continue
+		}
+		if p.Accuracy > bestAcc {
+			best, bestAcc = i, p.Accuracy
+		}
+	}
+	if best < 0 {
+		best = fastestIndex(m.Profiles)
+	}
+	return best
+}
+
+// Pick serves a batch with the load-selected model.
+func (m *ModelSwitching) Pick(e *sim.Engine, now float64, _ int) (sim.Decision, bool) {
+	load := m.Monitor.Load(now)
+	if !m.havePick || load != m.lastLoad {
+		m.lastPick = m.ModelFor(load)
+		m.lastLoad, m.havePick = load, true
+	}
+	return centralPick(e, m.lastPick, m.SLO)
+}
+
+// Greedy is the deadline-greedy selector of §8 (MDInference [33] /
+// ALERT [48] style): it picks the most accurate model that can serve the
+// currently queued queries before the earliest deadline, ignoring future
+// arrivals — which §8 argues is insufficient under stochastic inter-arrival
+// patterns.
+type Greedy struct {
+	Profiles profile.Set
+	SLO      float64
+}
+
+// Route enqueues centrally.
+func (g *Greedy) Route(e *sim.Engine, _ float64, q sim.Query) { e.EnqueueCentral(q) }
+
+// Pick chooses the most accurate model meeting the earliest deadline for
+// the whole queue (falling back to the fastest model when none can).
+func (g *Greedy) Pick(e *sim.Engine, now float64, _ int) (sim.Decision, bool) {
+	n := e.CentralLen()
+	if n == 0 {
+		return sim.Decision{}, false
+	}
+	head, _ := e.EarliestCentral()
+	slack := head.Deadline(e.SLO) - now
+	best, bestAcc := -1, math.Inf(-1)
+	for i, p := range g.Profiles.Profiles {
+		b := n
+		if mb := p.MaxBatch(); b > mb {
+			b = mb
+		}
+		if p.BatchLatency(b) <= slack && p.Accuracy > bestAcc {
+			best, bestAcc = i, p.Accuracy
+		}
+	}
+	if best < 0 {
+		best = fastestIndex(g.Profiles)
+	}
+	b := n
+	if mb := g.Profiles.Profiles[best].MaxBatch(); b > mb {
+		b = mb
+	}
+	return sim.Decision{Model: best, Queries: e.PopCentral(b)}, true
+}
+
+// INFaaSAdapted is the Appendix H adaptation of INFaaS [38]: given an
+// accuracy SLO it selects the lowest-latency (lowest-cost) model meeting
+// the accuracy target that can sustain the anticipated load within the
+// latency SLO — the objective inversion that makes INFaaS minimize rather
+// than maximize accuracy.
+type INFaaSAdapted struct {
+	Profiles  profile.Set
+	SLO       float64
+	Workers   int
+	Monitor   monitor.Monitor
+	AccTarget float64
+}
+
+// Route enqueues centrally and feeds the load monitor.
+func (f *INFaaSAdapted) Route(e *sim.Engine, now float64, q sim.Query) {
+	f.Monitor.Observe(now)
+	e.EnqueueCentral(q)
+}
+
+// ModelFor returns the INFaaS-style selection for a load.
+func (f *INFaaSAdapted) ModelFor(load float64) int {
+	best := -1
+	bestLat := math.Inf(1)
+	for i, p := range f.Profiles.Profiles {
+		if p.Accuracy < f.AccTarget {
+			continue
+		}
+		if p.BatchLatency(1) > f.SLO/2 {
+			continue
+		}
+		if float64(f.Workers)*p.ThroughputWithin(f.SLO/2) < load {
+			continue
+		}
+		if l := p.BatchLatency(1); l < bestLat {
+			best, bestLat = i, l
+		}
+	}
+	if best < 0 {
+		best = fastestIndex(f.Profiles)
+	}
+	return best
+}
+
+// Pick serves a batch with the selected model.
+func (f *INFaaSAdapted) Pick(e *sim.Engine, now float64, _ int) (sim.Decision, bool) {
+	return centralPick(e, f.ModelFor(f.Monitor.Load(now)), f.SLO)
+}
+
+func fastestIndex(s profile.Set) int {
+	best, bestLat := 0, math.Inf(1)
+	for i, p := range s.Profiles {
+		if l := p.BatchLatency(1); l < bestLat {
+			best, bestLat = i, l
+		}
+	}
+	return best
+}

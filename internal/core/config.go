@@ -1,0 +1,198 @@
+// Package core implements RAMSIS, the paper's contribution: offline
+// generation of per-worker model-selection policies from a Markov Decision
+// Process whose transition probabilities are derived from the query arrival
+// distribution and the load-balancing strategy (§3-§5), plus the online
+// policy objects (state lookup, load-adaptive policy sets) the serving layer
+// consumes.
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"ramsis/internal/dist"
+	"ramsis/internal/profile"
+)
+
+// Batching selects the action-space batching strategy (§4.3.2).
+type Batching int
+
+const (
+	// MaximalBatching always serves all queued queries in one batch
+	// (b = n), the paper's default.
+	MaximalBatching Batching = iota
+	// VariableBatching allows any batch size 1 <= b <= n.
+	VariableBatching
+)
+
+func (b Batching) String() string {
+	switch b {
+	case MaximalBatching:
+		return "max"
+	case VariableBatching:
+		return "variable"
+	}
+	return fmt.Sprintf("Batching(%d)", int(b))
+}
+
+// Discretization selects the slack-time discretization (§4.2).
+type Discretization int
+
+const (
+	// FixedLength (FLD) uses the uniform grid {0, SLO/D, ..., SLO}.
+	FixedLength Discretization = iota
+	// ModelBased (MD) uses the unique inference latencies l_w(m,b) that
+	// meet the SLO, with a zero floor bucket prepended for slacks below
+	// the smallest latency.
+	ModelBased
+)
+
+func (d Discretization) String() string {
+	switch d {
+	case FixedLength:
+		return "FLD"
+	case ModelBased:
+		return "MD"
+	}
+	return fmt.Sprintf("Discretization(%d)", int(d))
+}
+
+// Balancing selects the load-balancing strategy the per-worker MDP accounts
+// for in its transition probabilities (§3.2.1, Appendix I).
+type Balancing int
+
+const (
+	// RoundRobin sends every K-th central-queue arrival to the worker.
+	RoundRobin Balancing = iota
+	// ShortestQueueFirst models join-the-shortest-queue via the Appendix I
+	// conditional Poisson approximation.
+	ShortestQueueFirst
+)
+
+func (b Balancing) String() string {
+	switch b {
+	case RoundRobin:
+		return "round-robin"
+	case ShortestQueueFirst:
+		return "shortest-queue-first"
+	}
+	return fmt.Sprintf("Balancing(%d)", int(b))
+}
+
+// Solver selects the exact MDP solution method (§4.1).
+type Solver int
+
+const (
+	// SolveValueIteration is the paper's default method.
+	SolveValueIteration Solver = iota
+	// SolvePolicyIteration is the alternative exact method §4.1 notes.
+	SolvePolicyIteration
+)
+
+func (s Solver) String() string {
+	switch s {
+	case SolveValueIteration:
+		return "value-iteration"
+	case SolvePolicyIteration:
+		return "policy-iteration"
+	}
+	return fmt.Sprintf("Solver(%d)", int(s))
+}
+
+// Config describes one worker-level policy-generation problem: the offline
+// inputs of §3.1.1 plus the simplification knobs of §4.
+type Config struct {
+	// Models are the profiles pre-loaded on the worker.
+	Models profile.Set
+	// SLO is the response latency SLO in seconds.
+	SLO float64
+	// Workers is K, the number of workers the load balancer spreads the
+	// central queue across.
+	Workers int
+	// Arrival is the query arrival distribution at the central queue.
+	Arrival dist.Process
+
+	// Batching strategy; default MaximalBatching.
+	Batching Batching
+	// Disc is the slack discretization; default FixedLength.
+	Disc Discretization
+	// D is the FLD resolution (grid {0, SLO/D, ..., SLO}); default 100.
+	D int
+	// MaxQueue is N_w, the worker queue bound; default 32. It must not
+	// exceed the profiled batch range.
+	MaxQueue int
+	// NoParetoPruning disables the §4.3.3 action-space pruning.
+	NoParetoPruning bool
+
+	// Gamma is the value-iteration discount factor; default 0.99.
+	Gamma float64
+	// Solver selects the exact solution method (§4.1: value iteration by
+	// default; policy iteration as the noted alternative).
+	Solver Solver
+	// ProbFloor prunes transition entries below it (their mass folds into
+	// the overflow complement, which is conservative); default 1e-10.
+	ProbFloor float64
+	// FineCells is the quadrature resolution for transition integrals;
+	// default 512.
+	FineCells int
+	// Balancing strategy; default RoundRobin.
+	Balancing Balancing
+	// BatchWeightedReward multiplies the §4.1 reward by the batch size, an
+	// ablation of the paper's per-decision reward.
+	BatchWeightedReward bool
+	// Timeout aborts policy generation with ErrTimeout when exceeded
+	// (0 means no limit). Used by the Table 2 runtime study.
+	Timeout time.Duration
+}
+
+// withDefaults returns a copy with zero fields replaced by defaults.
+func (c Config) withDefaults() Config {
+	if c.D == 0 {
+		c.D = 100
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 32
+	}
+	if c.Gamma == 0 {
+		c.Gamma = 0.99
+	}
+	if c.ProbFloor == 0 {
+		c.ProbFloor = 1e-10
+	}
+	if c.FineCells == 0 {
+		c.FineCells = 512
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Models.Len() == 0 {
+		return fmt.Errorf("core: no models configured")
+	}
+	if !(c.SLO > 0) || math.IsInf(c.SLO, 0) {
+		return fmt.Errorf("core: invalid SLO %v", c.SLO)
+	}
+	if c.Workers < 1 {
+		return fmt.Errorf("core: invalid worker count %d", c.Workers)
+	}
+	if c.Arrival == nil {
+		return fmt.Errorf("core: nil arrival distribution")
+	}
+	if c.D < 1 {
+		return fmt.Errorf("core: invalid FLD resolution D=%d", c.D)
+	}
+	if c.MaxQueue < 1 {
+		return fmt.Errorf("core: invalid max queue %d", c.MaxQueue)
+	}
+	for _, p := range c.Models.Profiles {
+		if p.MaxBatch() < c.MaxQueue {
+			return fmt.Errorf("core: model %s profiled to batch %d < MaxQueue %d", p.Name, p.MaxBatch(), c.MaxQueue)
+		}
+	}
+	if c.Gamma < 0 || c.Gamma >= 1 {
+		return fmt.Errorf("core: discount %v outside [0,1)", c.Gamma)
+	}
+	return nil
+}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"fmt"
+	"io"
+)
+
+// Describe writes a human-readable rendering of the policy: for each queue
+// length, the slack ranges and the decision taken in them (runs of adjacent
+// slack buckets with identical decisions are merged). It is the inspection
+// view cmd/ramsisgen exposes with --describe.
+func (p *Policy) Describe(w io.Writer) {
+	fmt.Fprintf(w, "RAMSIS policy: task=%s load=%.0fQPS workers=%d SLO=%.0fms %s/%s\n",
+		p.Task, p.Load, p.Workers, p.SLO*1000, p.Disc, p.Batching)
+	fmt.Fprintf(w, "expected accuracy >= %.4f, violation rate <= %.4f%%\n",
+		p.ExpectedAccuracy, p.ExpectedViolation*100)
+	fmt.Fprintf(w, "grid: %d slack buckets over [0, %.0fms]\n", len(p.Grid), p.Grid[len(p.Grid)-1]*1000)
+
+	for n := 1; n <= p.MaxQueue; n++ {
+		fmt.Fprintf(w, "n=%-3d", n)
+		start := 0
+		prev := p.Choices[p.space.index(n, 0)]
+		emit := func(from, to int) {
+			lo := p.Grid[from] * 1000
+			var hiStr string
+			if to+1 < len(p.Grid) {
+				hiStr = fmt.Sprintf("%.0f", p.Grid[to+1]*1000)
+			} else {
+				hiStr = "inf"
+			}
+			mark := ""
+			if !prev.Satisfies {
+				mark = "!"
+			}
+			fmt.Fprintf(w, " [%.0f-%sms: %s b=%d%s]", lo, hiStr, prev.Model, prev.Batch, mark)
+		}
+		for j := 1; j < len(p.Grid); j++ {
+			c := p.Choices[p.space.index(n, j)]
+			if c.Model == prev.Model && c.Batch == prev.Batch && c.Satisfies == prev.Satisfies {
+				continue
+			}
+			emit(start, j-1)
+			start, prev = j, c
+		}
+		emit(start, len(p.Grid)-1)
+		fmt.Fprintln(w)
+	}
+	over := p.Choices[p.space.overflowState()]
+	fmt.Fprintf(w, "overflow (n>%d): %s b=%d\n", p.MaxQueue, over.Model, over.Batch)
+	fmt.Fprintln(w, "(! marks forced decisions that cannot meet the earliest deadline)")
+}

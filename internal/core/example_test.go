@@ -1,0 +1,31 @@
+package core_test
+
+import (
+	"fmt"
+
+	"ramsis/internal/core"
+	"ramsis/internal/dist"
+	"ramsis/internal/profile"
+)
+
+// Generate runs RAMSIS's offline phase: formulate the worker MDP for the
+// configured SLO, worker count, and arrival distribution, solve it with
+// value iteration, and obtain a policy with §5.1 guarantees. (Not executed
+// as a doctest — generation takes a second or two.)
+func ExampleGenerate() {
+	pol, err := core.Generate(core.Config{
+		Models:  profile.ImageSet(),
+		SLO:     0.150,                // 150 ms latency SLO
+		Workers: 8,                    // round-robin over 8 workers
+		Arrival: dist.NewPoisson(300), // 300 QPS Poisson arrivals
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("expected accuracy >= %.4f\n", pol.ExpectedAccuracy)
+	fmt.Printf("violation rate   <= %.4f\n", pol.ExpectedViolation)
+
+	// Online, each decision maps the worker-queue state to a model:
+	choice := pol.Select(3 /* queued */, 0.120 /* earliest slack, s */)
+	fmt.Println(choice.Model, choice.Batch)
+}

@@ -1,0 +1,474 @@
+package core
+
+import (
+	"math"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ramsis/internal/dist"
+	"ramsis/internal/profile"
+)
+
+// genConfig is a moderately sized generation problem used across tests.
+func genConfig(load float64) Config {
+	return Config{
+		Models:  profile.ImageSet(),
+		SLO:     0.150,
+		Workers: 8,
+		Arrival: dist.NewPoisson(load),
+		D:       50, // keep unit tests quick
+	}
+}
+
+func TestGeneratePolicyIsValid(t *testing.T) {
+	pol, err := Generate(genConfig(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.States != 2+32*51 {
+		t.Errorf("states = %d, want %d", pol.States, 2+32*51)
+	}
+	// Every chosen action must satisfy its state's slack or be the forced
+	// fastest-model action.
+	fast := pol.space.fastestModel()
+	for s, c := range pol.Choices {
+		if c.Arrival {
+			if s != pol.space.emptyState() {
+				t.Fatalf("arrival action chosen in non-empty state %d", s)
+			}
+			continue
+		}
+		n, j := pol.space.decompose(s)
+		if s == pol.space.overflowState() {
+			n = pol.MaxQueue
+			j = 0
+		}
+		if c.Batch != n {
+			t.Fatalf("state %d: maximal batching chose batch %d != n %d", s, c.Batch, n)
+		}
+		slack := pol.Grid[j]
+		if s == pol.space.overflowState() {
+			slack = 0
+		}
+		if c.Satisfies && c.Latency > slack+1e-12 {
+			t.Fatalf("state %d: satisfying action with latency %v > slack %v", s, c.Latency, slack)
+		}
+		if !c.Satisfies && c.ModelIdx != fast {
+			t.Fatalf("state %d: forced action uses %s, want fastest", s, c.Model)
+		}
+	}
+	if pol.ExpectedAccuracy <= 0 || pol.ExpectedAccuracy > 1 {
+		t.Errorf("expected accuracy %v outside (0,1]", pol.ExpectedAccuracy)
+	}
+	if pol.ExpectedViolation < 0 || pol.ExpectedViolation > 1 {
+		t.Errorf("expected violation %v outside [0,1]", pol.ExpectedViolation)
+	}
+}
+
+func TestGenerateRejectsInvalidConfig(t *testing.T) {
+	cfg := genConfig(300)
+	cfg.SLO = -1
+	if _, err := Generate(cfg); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestLowerLoadGivesHigherAccuracy(t *testing.T) {
+	// The central claim mechanism: with more slack between arrivals, the
+	// policy can pick slower, more accurate models.
+	low, err := Generate(genConfig(80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := Generate(genConfig(420))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low.ExpectedAccuracy <= high.ExpectedAccuracy {
+		t.Errorf("expected accuracy at 80 QPS (%v) not above 420 QPS (%v)",
+			low.ExpectedAccuracy, high.ExpectedAccuracy)
+	}
+	// At very low load the single-query decision should pick a model more
+	// accurate than the load-granular choice at high load.
+	cl := low.Select(1, 0.15)
+	ch := high.Select(1, 0.15)
+	al, _ := profile.ImageSet().ByName(cl.Model)
+	ah, _ := profile.ImageSet().ByName(ch.Model)
+	if al.Accuracy < ah.Accuracy {
+		t.Errorf("low-load single-query model %s less accurate than high-load %s", cl.Model, ch.Model)
+	}
+}
+
+func TestPolicyInterArrivalAwareness(t *testing.T) {
+	// RAMSIS's key behaviour (Fig. 2): at the same load, the policy picks
+	// higher-accuracy models when slack is high (a lull) than the
+	// throughput-sustaining model selected under pressure.
+	pol, err := Generate(genConfig(350))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lull := pol.Select(1, 0.15)
+	pressed := pol.Select(16, 0.15)
+	a1, _ := profile.ImageSet().ByName(lull.Model)
+	a2, _ := profile.ImageSet().ByName(pressed.Model)
+	if a1.Accuracy <= a2.Accuracy {
+		t.Errorf("lull decision %s (acc %.3f) not more accurate than pressured %s (acc %.3f)",
+			lull.Model, a1.Accuracy, pressed.Model, a2.Accuracy)
+	}
+}
+
+func TestSelectClampsOverlongQueues(t *testing.T) {
+	pol, err := Generate(genConfig(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := pol.Select(100, 0.01)
+	if c.Arrival {
+		t.Fatal("overflow lookup returned arrival action")
+	}
+	if c.Batch != pol.MaxQueue {
+		t.Errorf("overflow decision batch = %d, want N_w = %d", c.Batch, pol.MaxQueue)
+	}
+}
+
+func TestMDPolicyAtLeastAsAccurateAsCoarseFLD(t *testing.T) {
+	// §C: MD represents every relevant slack exactly, so a very coarse FLD
+	// policy should not beat it.
+	cfgMD := genConfig(300)
+	cfgMD.Disc = ModelBased
+	md, err := Generate(cfgMD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgF := genConfig(300)
+	cfgF.Disc = FixedLength
+	cfgF.D = 2
+	coarse, err := Generate(cfgF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if md.ExpectedAccuracy+1e-9 < coarse.ExpectedAccuracy-0.02 {
+		t.Errorf("MD accuracy %v well below FLD D=2 accuracy %v", md.ExpectedAccuracy, coarse.ExpectedAccuracy)
+	}
+	if len(md.Grid) == len(coarse.Grid) {
+		t.Error("MD and FLD grids unexpectedly identical")
+	}
+}
+
+func TestPolicySaveLoadRoundTrip(t *testing.T) {
+	pol, err := Generate(genConfig(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "gen", "p.json")
+	if err := pol.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadPolicy(path, profile.ImageSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Load != pol.Load || got.SLO != pol.SLO || got.Workers != pol.Workers {
+		t.Errorf("metadata mismatch: %+v", got)
+	}
+	if math.Abs(got.ExpectedAccuracy-pol.ExpectedAccuracy) > 1e-12 {
+		t.Errorf("expected accuracy mismatch")
+	}
+	for _, n := range []int{0, 1, 5, 17, 32, 80} {
+		for _, sl := range []float64{0, 0.04, 0.11, 0.15} {
+			a, b := pol.Select(n, sl), got.Select(n, sl)
+			if a.Model != b.Model || a.Batch != b.Batch || a.Satisfies != b.Satisfies {
+				t.Fatalf("Select(%d, %v) differs after reload: %+v vs %+v", n, sl, a, b)
+			}
+		}
+	}
+}
+
+func TestLoadPolicyMissingModel(t *testing.T) {
+	pol, err := Generate(genConfig(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "p.json")
+	if err := pol.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadPolicy(path, profile.TextSet()); err == nil {
+		t.Error("loading against the wrong model set should fail")
+	}
+}
+
+func TestPolicySetSelection(t *testing.T) {
+	base := genConfig(1) // arrival replaced per-load by the set
+	ps := NewPolicySet(base, nil)
+	if _, err := ps.PolicyFor(100); err == nil {
+		t.Error("empty set lookup should fail")
+	}
+	if err := ps.GenerateLoads([]float64{100, 200, 400}); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		load float64
+		want float64
+	}{{50, 100}, {100, 100}, {150, 200}, {399, 400}, {400, 400}}
+	for _, c := range cases {
+		p, err := ps.PolicyFor(c.load)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Load != c.want {
+			t.Errorf("PolicyFor(%v).Load = %v, want %v (lowest load meeting demand)", c.load, p.Load, c.want)
+		}
+	}
+	// Beyond the ladder: a new policy is generated on demand (§3.2.2).
+	p, err := ps.PolicyFor(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Load != 500 {
+		t.Errorf("on-demand policy load = %v, want 500", p.Load)
+	}
+	if got := len(ps.Loads()); got != 4 {
+		t.Errorf("ladder size = %d, want 4 after on-demand insert", got)
+	}
+}
+
+func TestPolicySetRefine(t *testing.T) {
+	base := genConfig(1)
+	base.D = 25
+	ps := NewPolicySet(base, nil)
+	if err := ps.Refine(50, 450, 0.05, 12); err != nil {
+		t.Fatal(err)
+	}
+	pols := ps.Policies()
+	if len(pols) < 3 {
+		t.Fatalf("refine produced only %d policies", len(pols))
+	}
+	for i := 1; i < len(pols); i++ {
+		if pols[i].Load <= pols[i-1].Load {
+			t.Fatal("policies not sorted by load")
+		}
+		gap := math.Abs(pols[i].ExpectedAccuracy - pols[i-1].ExpectedAccuracy)
+		if gap >= 0.05 && pols[i].Load-pols[i-1].Load > 1 && len(pols) < 12 {
+			t.Errorf("adjacent accuracy gap %.4f >= threshold between loads %v and %v",
+				gap, pols[i-1].Load, pols[i].Load)
+		}
+	}
+}
+
+func TestGammaArrivalPolicyGenerates(t *testing.T) {
+	// §3.1.1: RAMSIS is parameterized by the arrival distribution.
+	cfg := genConfig(300)
+	cfg.Arrival = dist.NewGamma(300, 4)
+	pol, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.ExpectedAccuracy <= 0 {
+		t.Error("gamma-arrival policy has no accuracy expectation")
+	}
+	// A more regular arrival process (Erlang-4) leaves less burst risk, so
+	// the policy should do at least as well as under Poisson.
+	pois, err := Generate(genConfig(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.ExpectedAccuracy < pois.ExpectedAccuracy-0.02 {
+		t.Errorf("Erlang-4 accuracy %v unexpectedly below Poisson %v",
+			pol.ExpectedAccuracy, pois.ExpectedAccuracy)
+	}
+}
+
+func TestSQFPolicyGenerates(t *testing.T) {
+	cfg := genConfig(300)
+	cfg.Balancing = ShortestQueueFirst
+	pol, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.Balancing != ShortestQueueFirst {
+		t.Error("balancing not recorded")
+	}
+	if pol.ExpectedAccuracy <= 0 || pol.ExpectedViolation < 0 {
+		t.Error("SQF expectations out of range")
+	}
+}
+
+func TestVariableBatchingPolicyGenerates(t *testing.T) {
+	cfg := genConfig(300)
+	cfg.D = 25
+	cfg.Batching = VariableBatching
+	pol, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §4.3.2: variable batching mostly picks the maximal batch; ensure the
+	// policy is at least well-formed and batches never exceed n.
+	for s, c := range pol.Choices {
+		if c.Arrival {
+			continue
+		}
+		n, _ := pol.space.decompose(s)
+		if s == pol.space.overflowState() {
+			n = pol.MaxQueue
+		}
+		if c.Batch < 1 || c.Batch > n {
+			t.Fatalf("state %d: batch %d outside [1, %d]", s, c.Batch, n)
+		}
+	}
+}
+
+func TestModelsAccessor(t *testing.T) {
+	pol, err := Generate(genConfig(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(pol.Models()); got != 9 {
+		t.Errorf("policy models = %d, want the 9 Pareto-front models", got)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	pol, err := Generate(genConfig(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	pol.Describe(&buf)
+	out := buf.String()
+	for _, want := range []string{"expected accuracy", "n=1", "n=32", "overflow", "shufflenet_v2_x0_5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Describe output missing %q", want)
+		}
+	}
+	// Every queue length row present exactly once.
+	if c := strings.Count(out, "n=32 "); c != 1 {
+		t.Errorf("n=32 row appears %d times", c)
+	}
+}
+
+func TestAccuracyQuantiles(t *testing.T) {
+	pol, err := Generate(genConfig(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pol.AccuracyDist) == 0 {
+		t.Fatal("no accuracy distribution computed")
+	}
+	mass := 0.0
+	for _, w := range pol.AccuracyDist {
+		mass += w
+	}
+	if math.Abs(mass-1) > 1e-9 {
+		t.Fatalf("accuracy distribution mass %v", mass)
+	}
+	med := pol.AccuracyQuantile(0.5)
+	lo := pol.AccuracyQuantile(0.01)
+	hi := pol.AccuracyQuantile(0.999)
+	if !(lo <= med && med <= hi) {
+		t.Errorf("quantiles not ordered: p1=%v p50=%v p99.9=%v", lo, med, hi)
+	}
+	// The mean must lie within the distribution's support.
+	if pol.ExpectedAccuracy < lo-1e-9 || pol.ExpectedAccuracy > hi+1e-9 {
+		t.Errorf("mean %v outside [%v, %v]", pol.ExpectedAccuracy, lo, hi)
+	}
+	if got := pol.AccuracyQuantile(0); got != 0 {
+		t.Errorf("invalid quantile should return 0, got %v", got)
+	}
+}
+
+func TestPolicyIterationMatchesValueIterationPolicies(t *testing.T) {
+	// §4.1: both exact methods must produce equally good policies.
+	cfgVI := genConfig(250)
+	cfgVI.D = 25
+	vi, err := Generate(cfgVI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPI := genConfig(250)
+	cfgPI.D = 25
+	cfgPI.Solver = SolvePolicyIteration
+	pi, err := Generate(cfgPI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vi.ExpectedAccuracy-pi.ExpectedAccuracy) > 1e-6 {
+		t.Errorf("VI accuracy %v != PI accuracy %v", vi.ExpectedAccuracy, pi.ExpectedAccuracy)
+	}
+	if math.Abs(vi.ExpectedViolation-pi.ExpectedViolation) > 1e-6 {
+		t.Errorf("VI violation %v != PI violation %v", vi.ExpectedViolation, pi.ExpectedViolation)
+	}
+}
+
+func TestPolicyForNowNonBlocking(t *testing.T) {
+	base := genConfig(1)
+	base.D = 25
+	ps := NewPolicySet(base, nil)
+	if _, err := ps.PolicyForNow(100); err == nil {
+		t.Error("empty set should error")
+	}
+	if err := ps.GenerateLoads([]float64{100}); err != nil {
+		t.Fatal(err)
+	}
+	// Within the ladder: normal lookup.
+	p, err := ps.PolicyForNow(80)
+	if err != nil || p.Load != 100 {
+		t.Fatalf("PolicyForNow(80) = %v, %v", p, err)
+	}
+	// Beyond the ladder: returns the highest policy immediately and
+	// generates the missing rung in the background.
+	start := time.Now()
+	p, err = ps.PolicyForNow(180)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 100*time.Millisecond {
+		t.Errorf("PolicyForNow blocked for %v", time.Since(start))
+	}
+	if p.Load != 100 {
+		t.Errorf("interim policy load %v, want the current maximum 100", p.Load)
+	}
+	// The background generation eventually lands on the 200-QPS rung.
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		if p, err := ps.PolicyFor(180); err == nil && p.Load == 200 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background policy generation never completed")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func TestPolicySetConcurrentAccess(t *testing.T) {
+	base := genConfig(1)
+	base.D = 20
+	ps := NewPolicySet(base, nil)
+	if err := ps.GenerateLoads([]float64{100, 200}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				load := float64(50 + (g*37+i*13)%150)
+				if _, err := ps.PolicyFor(load); err != nil {
+					t.Errorf("PolicyFor(%v): %v", load, err)
+					return
+				}
+				if _, err := ps.PolicyForNow(load); err != nil {
+					t.Errorf("PolicyForNow(%v): %v", load, err)
+					return
+				}
+				_ = ps.Loads()
+			}
+		}(g)
+	}
+	wg.Wait()
+}

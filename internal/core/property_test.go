@@ -1,0 +1,103 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ramsis/internal/dist"
+	"ramsis/internal/profile"
+)
+
+// TestRandomConfigsBuildValidMDPs is a property test over random small
+// problems: whatever the model subset, SLO, worker count, load,
+// discretization, and batching, the built MDP must validate (rows are
+// probability distributions) and the generated policy must be well-formed.
+func TestRandomConfigsBuildValidMDPs(t *testing.T) {
+	all := profile.ImageSet()
+	names := make([]string, all.Len())
+	for i, p := range all.Profiles {
+		names[i] = p.Name
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Random 1-3 model subset (always include the fastest so every
+		// state has a serviceable action).
+		subset := []string{"shufflenet_v2_x0_5"}
+		for len(subset) < 1+rng.Intn(3) {
+			n := names[rng.Intn(len(names))]
+			dup := false
+			for _, s := range subset {
+				dup = dup || s == n
+			}
+			if !dup {
+				subset = append(subset, n)
+			}
+		}
+		cfg := Config{
+			Models:    all.Subset(subset...),
+			SLO:       0.080 + rng.Float64()*0.4,
+			Workers:   1 + rng.Intn(5),
+			Arrival:   dist.NewPoisson(20 + rng.Float64()*300),
+			D:         2 + rng.Intn(10),
+			MaxQueue:  2 + rng.Intn(6),
+			FineCells: 128,
+		}
+		if rng.Intn(2) == 0 {
+			cfg.Disc = ModelBased
+		}
+		if rng.Intn(3) == 0 {
+			cfg.Batching = VariableBatching
+		}
+		pol, err := Generate(cfg)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		// Well-formed policy: guarantees in range, a decision per state.
+		if pol.ExpectedAccuracy < 0 || pol.ExpectedAccuracy > 1 ||
+			pol.ExpectedViolation < 0 || pol.ExpectedViolation > 1 {
+			return false
+		}
+		if len(pol.Choices) != pol.States {
+			return false
+		}
+		// Every online lookup resolves without panicking.
+		for n := 0; n <= cfg.MaxQueue+2; n++ {
+			c := pol.Select(n, rng.Float64()*cfg.SLO)
+			if n > 0 && (c.Arrival || c.Batch < 1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestExpectedAccuracyMonotoneInLoad samples load pairs and checks the core
+// economic property: more load never buys more expected accuracy.
+func TestExpectedAccuracyMonotoneInLoad(t *testing.T) {
+	cfg := func(load float64) Config {
+		return Config{
+			Models:  profile.ImageSet(),
+			SLO:     0.150,
+			Workers: 4,
+			Arrival: dist.NewPoisson(load),
+			D:       20,
+		}
+	}
+	prev := 2.0
+	for _, load := range []float64{40, 80, 120, 160, 200, 240} {
+		pol, err := Generate(cfg(load))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pol.ExpectedAccuracy > prev+0.005 {
+			t.Errorf("expected accuracy increased with load at %v QPS: %v -> %v",
+				load, prev, pol.ExpectedAccuracy)
+		}
+		prev = pol.ExpectedAccuracy
+	}
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"ramsis/internal/dist"
+	"ramsis/internal/profile"
+)
+
+func TestGenerateTimeout(t *testing.T) {
+	cfg := Config{
+		Models:  profile.InterpolatedSet(profile.ImageSet(), 60),
+		SLO:     0.500,
+		Workers: 60,
+		Arrival: dist.NewPoisson(2000),
+		Timeout: time.Millisecond, // far below any feasible build time
+	}
+	_, err := Generate(cfg)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("Generate with 1ms budget returned %v, want ErrTimeout", err)
+	}
+}
+
+func TestGenerateWithGenerousTimeoutSucceeds(t *testing.T) {
+	cfg := genConfig(200)
+	cfg.Timeout = 10 * time.Minute
+	if _, err := Generate(cfg); err != nil {
+		t.Fatalf("generous timeout failed: %v", err)
+	}
+}
+
+func TestPhasePosteriorProperties(t *testing.T) {
+	proc := dist.NewPoisson(900)
+	for _, c := range []struct {
+		k, n int
+		ta   float64
+	}{{1, 1, 0}, {4, 1, 0}, {4, 3, 0.08}, {60, 5, 0.1}, {60, 32, 0.5}} {
+		pr := phasePosterior(proc, c.k, c.n, c.ta)
+		if len(pr) != c.k {
+			t.Fatalf("posterior length %d, want %d", len(pr), c.k)
+		}
+		sum := 0.0
+		for _, p := range pr {
+			if p < 0 {
+				t.Fatalf("negative phase probability %v", p)
+			}
+			sum += p
+		}
+		if sum < 1-1e-9 || sum > 1+1e-9 {
+			t.Fatalf("posterior sums to %v", sum)
+		}
+		if c.ta == 0 && pr[0] != 1 {
+			t.Fatalf("zero-window posterior not a point mass at phase 0: %v", pr[:min(4, len(pr))])
+		}
+	}
+}
+
+func TestPhasePosteriorMatchesPaperDenominatorRatios(t *testing.T) {
+	// P(r)/P(r') must equal PF((n-1)K+r, TA) / PF((n-1)K+r', TA).
+	proc := dist.NewPoisson(500)
+	const k, n = 6, 4
+	const ta = 0.05
+	pr := phasePosterior(proc, k, n, ta)
+	for r := 1; r < k; r++ {
+		want := proc.PF((n-1)*k+r, ta) / proc.PF((n-1)*k, ta)
+		got := pr[r] / pr[0]
+		if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("phase ratio r=%d: %v, want %v", r, got, want)
+		}
+	}
+}
+
+func TestPhasePosteriorPoissonExtremeMeanStaysNormalized(t *testing.T) {
+	// The Poisson path works in log space, so even astronomically unlikely
+	// windows keep a proper (concentrated) posterior rather than
+	// underflowing.
+	proc := dist.NewPoisson(1e7)
+	pr := phasePosterior(proc, 4, 1, 10)
+	sum := 0.0
+	for _, p := range pr {
+		sum += p
+	}
+	if sum < 1-1e-9 || sum > 1+1e-9 {
+		t.Fatalf("posterior sums to %v: %v", sum, pr)
+	}
+	// The pmf increases toward the (huge) mean, so the top phase dominates.
+	if pr[3] < 0.99 {
+		t.Errorf("expected concentration at the top phase, got %v", pr)
+	}
+}
+
+func TestPhasePosteriorGenericUnderflowFallsBackUniform(t *testing.T) {
+	// The generic (non-Poisson) path computes linear PF values; when every
+	// one underflows to zero the posterior falls back to uniform.
+	proc := dist.NewGamma(1e7, 2)
+	pr := phasePosterior(proc, 4, 1, 10)
+	for _, p := range pr {
+		if p < 0.24 || p > 0.26 {
+			t.Fatalf("underflow fallback not uniform: %v", pr)
+		}
+	}
+}
+
+func TestQuadratureResolutionInsensitive(t *testing.T) {
+	// Expected accuracy should be stable across quadrature resolutions.
+	coarse := genConfig(300)
+	coarse.FineCells = 128
+	pc, err := Generate(coarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine := genConfig(300)
+	fine.FineCells = 2048
+	pf, err := Generate(fine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := pc.ExpectedAccuracy - pf.ExpectedAccuracy; d > 0.01 || d < -0.01 {
+		t.Errorf("quadrature sensitivity: 128 cells %.4f vs 2048 cells %.4f",
+			pc.ExpectedAccuracy, pf.ExpectedAccuracy)
+	}
+}

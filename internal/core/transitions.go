@@ -1,0 +1,688 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ramsis/internal/dist"
+	"ramsis/internal/mdp"
+	"ramsis/internal/profile"
+)
+
+// This file derives the worker-MDP transition probabilities of §4.4.
+//
+// The paper expresses P_a(s, s') as a quadruple sum of PF terms over four
+// non-overlapping intervals (A: queue build-up before the decision; B/C/D:
+// partitioning the service time around the first worker arrival). Computed
+// literally that sum is O(n'·K³) per matrix entry. We compute the same
+// distribution through an equivalent renewal-process formulation:
+//
+//  1. Interval A (the denominator of Eq. 2) is exactly a posterior over the
+//     round-robin *phase* r = k_A mod K: given state (n, T_j), the central
+//     queue saw k_A ∈ [(n-1)K, nK-1] arrivals during T_A = SLO − T_j, and
+//     each residue r appears exactly once, so P(r) ∝ PF((n-1)K + r, T_A).
+//  2. Given phase r, the worker's next query arrives after K − r more
+//     central arrivals; the density of that epoch is the central process's
+//     (K−r)-th arrival density (Erlang(K−r, λ) for Poisson arrivals).
+//     Mixing over the phase posterior yields a first-arrival density f̃(t).
+//  3. Intervals B, C, D (the numerator of Eq. 2) collapse to the statement:
+//     the first worker arrival lands at t in slack bucket
+//     T_{j'} = SLO − (l − t), and the remaining service window (t, l]
+//     contributes n' − 1 further worker arrivals, i.e. its central-arrival
+//     count lies in [(n'−1)K, n'K − 1]. By independent increments these
+//     factor, so
+//
+//     P(n', T_{j'}) = ∫_bucket f̃(t) · P[N(l−t) ∈ [(n'−1)K, n'K−1]] dt,
+//
+//     evaluated by midpoint quadrature on a fine fixed grid.
+//
+// Case 1 (empty queue, Eq. 1) and case 3 (overflow complement, Eq. 3) are
+// implemented exactly as written. Appendix I (shortest-queue-first) reuses
+// the same machinery with a per-state conditional Poisson process and an
+// effective K of 1.
+
+// builder precomputes the shared probability tables and assembles the
+// sparse MDP in parallel across states.
+type builder struct {
+	sp       *space
+	cells    int
+	delta    float64
+	tmax     float64
+	deadline time.Time
+	aborted  atomic.Bool
+
+	// Read-only after prepare(): probability tables keyed by process rate
+	// (round-robin uses one process; shortest-queue-first uses one per
+	// queue-length regime) and action latency.
+	fk  map[float64][][]float64  // rate -> [cell][k-1] k-th-arrival pdf
+	h   map[tableKey][]float64   // (rate, latency) -> [cell*N_w + j-1]
+	cdf map[tableKey][]float64   // (rate, latency) -> CDF table over counts
+	sqf map[float64]dist.Process // SQF rate -> process
+}
+
+type tableKey struct {
+	rate float64
+	lat  float64
+}
+
+func newBuilder(sp *space) *builder {
+	cfg := sp.cfg
+	b := &builder{
+		sp:    sp,
+		cells: cfg.FineCells,
+		fk:    make(map[float64][][]float64),
+		h:     make(map[tableKey][]float64),
+		cdf:   make(map[tableKey][]float64),
+		sqf:   make(map[float64]dist.Process),
+	}
+	// The longest action latency bounds the quadrature horizon: valid
+	// actions are within the SLO, and the forced action runs the fastest
+	// model at up to N_w queries.
+	b.tmax = cfg.SLO
+	fast := sp.models.Profiles[sp.fastestModel()]
+	if l := fast.BatchLatency(min(cfg.MaxQueue, fast.MaxBatch())); l > b.tmax {
+		b.tmax = l
+	}
+	b.delta = b.tmax / float64(b.cells)
+	if cfg.Timeout > 0 {
+		b.deadline = time.Now().Add(cfg.Timeout)
+	}
+	return b
+}
+
+// expired reports (and latches) deadline expiry.
+func (b *builder) expired() bool {
+	if b.aborted.Load() {
+		return true
+	}
+	if !b.deadline.IsZero() && time.Now().After(b.deadline) {
+		b.aborted.Store(true)
+		return true
+	}
+	return false
+}
+
+// procFor returns the worker-level arrival process and effective fan-out K
+// for transitions leaving queue length n. Round-robin sees the central
+// process thinned by K; shortest-queue-first sees a conditional Poisson
+// process with the Appendix I rate and no further thinning.
+func (b *builder) procFor(n int) (dist.Process, int) {
+	cfg := b.sp.cfg
+	if cfg.Balancing == RoundRobin {
+		return cfg.Arrival, cfg.Workers
+	}
+	rate := sqfRate(cfg, b.sp.models, n)
+	p, ok := b.sqf[rate]
+	if !ok {
+		p = dist.NewPoisson(rate)
+		b.sqf[rate] = p
+	}
+	return p, 1
+}
+
+// actionLatencies enumerates every distinct action latency (valid and
+// forced) the MDP can take.
+func (b *builder) actionLatencies() []float64 {
+	seen := map[float64]bool{}
+	for _, p := range b.sp.models.Profiles {
+		maxB := min(b.sp.cfg.MaxQueue, p.MaxBatch())
+		for bs := 1; bs <= maxB; bs++ {
+			seen[p.BatchLatency(bs)] = true
+		}
+	}
+	lats := make([]float64, 0, len(seen))
+	for l := range seen {
+		lats = append(lats, l)
+	}
+	sort.Float64s(lats)
+	return lats
+}
+
+// prepare fills the fk, h, and cdf tables, parallelized across latencies.
+func (b *builder) prepare() {
+	cfg := b.sp.cfg
+	type procK struct {
+		proc dist.Process
+		k    int
+	}
+	procs := map[float64]procK{}
+	if cfg.Balancing == RoundRobin {
+		procs[cfg.Arrival.Rate()] = procK{cfg.Arrival, cfg.Workers}
+	} else {
+		for n := 0; n <= cfg.MaxQueue; n++ {
+			p, k := b.procFor(n)
+			procs[p.Rate()] = procK{p, k}
+		}
+	}
+	lats := b.actionLatencies()
+	type job struct {
+		rate float64
+		pk   procK
+		lat  float64
+	}
+	var jobs []job
+	for rate, pk := range procs {
+		b.fk[rate] = dist.KthArrivalTable(pk.proc, pk.k, b.cells, b.delta)
+		for _, l := range lats {
+			jobs = append(jobs, job{rate, pk, l})
+		}
+	}
+	var mu sync.Mutex
+	parallelFor(len(jobs), func(i int) {
+		if b.expired() {
+			return
+		}
+		j := jobs[i]
+		h := b.buildHTable(j.pk.proc, j.pk.k, j.lat)
+		c := b.buildCDFTable(j.pk.proc, j.lat)
+		mu.Lock()
+		b.h[tableKey{j.rate, j.lat}] = h
+		b.cdf[tableKey{j.rate, j.lat}] = c
+		mu.Unlock()
+	})
+}
+
+// buildHTable tabulates, for each fine cell g with midpoint t_g < l, the
+// probability that the remaining window (t_g, l] sees j−1 further worker
+// arrivals: P[N(l − t_g) ∈ [(j−1)K, jK−1]] for j = 1..N_w, flattened as
+// [g·N_w + (j−1)].
+func (b *builder) buildHTable(proc dist.Process, k int, l float64) []float64 {
+	nw := b.sp.cfg.MaxQueue
+	gmax := b.cellsFor(l)
+	out := make([]float64, gmax*nw)
+	for g := 0; g < gmax; g++ {
+		x := l - (float64(g)+0.5)*b.delta
+		if x < 0 {
+			x = 0
+		}
+		prev := 0.0 // CDF((j-1)K - 1, x), starting at CDF(-1) = 0
+		for j := 1; j <= nw; j++ {
+			cur := proc.CDF(j*k-1, x)
+			out[g*nw+j-1] = cur - prev
+			prev = cur
+		}
+	}
+	return out
+}
+
+// buildCDFTable tabulates proc.CDF(k, l) for counts k = 0..(N_w+2)·K−1,
+// shared by the no-arrival case and variable-batching count sums.
+func (b *builder) buildCDFTable(proc dist.Process, l float64) []float64 {
+	_, k := b.procForRate(proc)
+	kmax := (b.sp.cfg.MaxQueue + 2) * k
+	out := make([]float64, kmax)
+	for i := 0; i < kmax; i++ {
+		out[i] = proc.CDF(i, l)
+	}
+	return out
+}
+
+// procForRate recovers the effective K for a process (round-robin: the
+// configured worker count; SQF processes: 1).
+func (b *builder) procForRate(proc dist.Process) (dist.Process, int) {
+	if b.sp.cfg.Balancing == RoundRobin {
+		return proc, b.sp.cfg.Workers
+	}
+	return proc, 1
+}
+
+// cellsFor returns the number of fine cells whose start lies before l.
+func (b *builder) cellsFor(l float64) int {
+	g := int(math.Ceil(l / b.delta))
+	if g > b.cells {
+		g = b.cells
+	}
+	return g
+}
+
+// phasePosterior computes P(r) ∝ PF((n−1)K + r, T_A) for r = 0..K−1 — the
+// interval-A term of Eq. 2. For Poisson arrivals it works in log space to
+// survive large means; on total underflow (an effectively unreachable
+// state) it falls back to a uniform phase.
+func phasePosterior(proc dist.Process, k, n int, ta float64) []float64 {
+	pr := make([]float64, k)
+	if ta <= 0 {
+		pr[0] = 1
+		return pr
+	}
+	base := (n - 1) * k
+	if p, ok := proc.(dist.Poisson); ok {
+		mu := p.Lambda * ta
+		logs := make([]float64, k)
+		maxLog := math.Inf(-1)
+		for r := 0; r < k; r++ {
+			kk := float64(base + r)
+			lg, _ := math.Lgamma(kk + 1)
+			logs[r] = kk*math.Log(mu) - mu - lg
+			if logs[r] > maxLog {
+				maxLog = logs[r]
+			}
+		}
+		if math.IsInf(maxLog, -1) || math.IsNaN(maxLog) {
+			for r := range pr {
+				pr[r] = 1 / float64(k)
+			}
+			return pr
+		}
+		sum := 0.0
+		for r := 0; r < k; r++ {
+			pr[r] = math.Exp(logs[r] - maxLog)
+			sum += pr[r]
+		}
+		for r := range pr {
+			pr[r] /= sum
+		}
+		return pr
+	}
+	sum := 0.0
+	for r := 0; r < k; r++ {
+		pr[r] = proc.PF(base+r, ta)
+		sum += pr[r]
+	}
+	if sum <= 0 {
+		for r := range pr {
+			pr[r] = 1 / float64(k)
+		}
+		return pr
+	}
+	for r := range pr {
+		pr[r] /= sum
+	}
+	return pr
+}
+
+// firstArrivalDensity mixes the k-th-arrival densities over the phase
+// posterior: f̃(t_g) = Σ_r P(r)·f_{K−r}(t_g).
+func (b *builder) firstArrivalDensity(rate float64, k int, pr []float64) []float64 {
+	fk := b.fk[rate]
+	out := make([]float64, b.cells)
+	for g := 0; g < b.cells; g++ {
+		row := fk[g]
+		s := 0.0
+		for r := 0; r < k; r++ {
+			if pr[r] == 0 {
+				continue
+			}
+			s += pr[r] * row[k-r-1]
+		}
+		out[g] = s
+	}
+	return out
+}
+
+// stateScratch is per-goroutine reusable accumulation space.
+type stateScratch struct {
+	probs []float64
+	dirty []int32
+}
+
+func newScratch(n int) *stateScratch {
+	return &stateScratch{probs: make([]float64, n)}
+}
+
+func (sc *stateScratch) add(s int32, p float64) {
+	if sc.probs[s] == 0 && p != 0 {
+		sc.dirty = append(sc.dirty, s)
+	}
+	sc.probs[s] += p
+}
+
+// emit converts accumulated probabilities into sorted sparse transitions,
+// folding entries below the floor (and any residual mass) into the overflow
+// state per Eq. 3, then normalizing.
+func (sc *stateScratch) emit(overflow int32, floor float64) []mdp.Transition {
+	total := 0.0
+	for _, s := range sc.dirty {
+		total += sc.probs[s]
+	}
+	if total > 1 {
+		inv := 1 / total
+		for _, s := range sc.dirty {
+			sc.probs[s] *= inv
+		}
+		total = 1
+	}
+	if rem := 1 - total; rem > 0 {
+		sc.add(overflow, rem)
+	}
+	kept := 0.0
+	out := make([]mdp.Transition, 0, len(sc.dirty))
+	for _, s := range sc.dirty {
+		p := sc.probs[s]
+		if p >= floor || s == overflow {
+			out = append(out, mdp.Transition{Next: s, P: p})
+			kept += p
+		}
+	}
+	// Fold pruned mass into overflow (conservative) and renormalize.
+	if kept < 1 {
+		for i := range out {
+			if out[i].Next == overflow {
+				out[i].P += 1 - kept
+				kept = 1
+				break
+			}
+		}
+		if kept < 1 {
+			out = append(out, mdp.Transition{Next: overflow, P: 1 - kept})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Next < out[j].Next })
+	// Reset scratch.
+	for _, s := range sc.dirty {
+		sc.probs[s] = 0
+	}
+	sc.dirty = sc.dirty[:0]
+	return out
+}
+
+// buildMDP assembles the full sparse MDP.
+func (b *builder) buildMDP() *mdp.MDP {
+	b.prepare()
+	sp := b.sp
+	m := &mdp.MDP{Actions: make([][]mdp.Action, sp.numStates())}
+	parallelForScratch(sp.numStates(), func() *stateScratch { return newScratch(sp.numStates()) },
+		func(s int, sc *stateScratch) {
+			if b.expired() {
+				return
+			}
+			acts := sp.actionsForState(s)
+			out := make([]mdp.Action, len(acts))
+			var (
+				pr []float64
+				ft []float64
+			)
+			for ai, a := range acts {
+				out[ai] = mdp.Action{
+					Label:  ai,
+					Reward: sp.reward(a),
+				}
+				if a.Model == arrivalAction {
+					// Case 1 (Eq. 1): â moves (0, ·) to (1, SLO) surely.
+					top := sp.bucketOf(sp.cfg.SLO)
+					out[ai].Transitions = []mdp.Transition{{Next: int32(sp.index(1, top)), P: 1}}
+					continue
+				}
+				if pr == nil {
+					// Phase posterior and first-arrival density depend on
+					// the state only; share them across its actions.
+					n, tj := b.stateParams(s)
+					proc, k := b.procFor(n)
+					pr = phasePosterior(proc, k, n, sp.cfg.SLO-tj)
+					ft = b.firstArrivalDensity(proc.Rate(), k, pr)
+				}
+				out[ai].Transitions = b.actionTransitions(s, a, sc, pr, ft)
+			}
+			m.Actions[s] = out
+		})
+	return m
+}
+
+// stateParams returns (n, T_j) for a non-empty state, with the overflow
+// state behaving as (N_w, 0) per §4.2.3.
+func (b *builder) stateParams(s int) (int, float64) {
+	if s == b.sp.overflowState() {
+		return b.sp.cfg.MaxQueue, 0
+	}
+	n, j := b.sp.decompose(s)
+	return n, b.sp.grid[j]
+}
+
+// actionTransitions computes the successor distribution of taking action a
+// in state s (case 2 of §4.4, plus the overflow complement of case 3).
+func (b *builder) actionTransitions(s int, a actionSpec, sc *stateScratch, pr, ft []float64) []mdp.Transition {
+	sp := b.sp
+	n, tj := b.stateParams(s)
+	proc, k := b.procFor(n)
+	l := a.Latency
+	key := tableKey{proc.Rate(), l}
+	cdfT := b.cdf[key]
+
+	if a.Batch < n {
+		b.variableTransitions(sc, n, tj, a, pr, cdfT, k)
+	} else {
+		b.fullDrainTransitions(sc, a, pr, ft, cdfT, b.h[key], k)
+	}
+	return sc.emit(int32(sp.overflowState()), sp.cfg.ProbFloor)
+}
+
+// fullDrainTransitions handles b == n (maximal batching, and the b = n case
+// of variable batching): the queue empties at the decision, so the next
+// state is determined entirely by arrivals during the service time l.
+func (b *builder) fullDrainTransitions(sc *stateScratch, a actionSpec, pr, ft []float64, cdfT, hT []float64, k int) {
+	sp := b.sp
+	nw := sp.cfg.MaxQueue
+	l := a.Latency
+
+	// No worker arrival during service: next state is the empty queue.
+	p0 := 0.0
+	for r := 0; r < k; r++ {
+		if pr[r] == 0 {
+			continue
+		}
+		p0 += pr[r] * cdfT[k-r-1]
+	}
+	sc.add(int32(sp.emptyState()), p0)
+
+	gmax := b.cellsFor(l)
+	for g := 0; g < gmax; g++ {
+		f := ft[g]
+		if f < 1e-300 {
+			continue
+		}
+		start := float64(g) * b.delta
+		width := b.delta
+		if start+width > l {
+			width = l - start
+		}
+		tg := (float64(g) + 0.5) * b.delta
+		slack := sp.cfg.SLO - l + tg
+		c := sp.bucketOf(slack)
+		mass := f * width
+		base := g * nw
+		for j := 1; j <= nw; j++ {
+			p := mass * hT[base+j-1]
+			if p > 0 {
+				sc.add(int32(sp.index(j, c)), p)
+			}
+		}
+		// j > N_w falls to the overflow complement in emit().
+	}
+}
+
+// variableTransitions handles b < n under variable batching: n−b queries
+// remain, whose earliest is worker arrival #b within interval A (central
+// arrival #bK). Its position given k_A total interval-A arrivals is a
+// uniform order statistic (a Beta law evaluated via the regularized
+// incomplete beta); arrivals during service stack behind it without moving
+// the earliest deadline. The phase-mixture over k_A is collapsed to its
+// posterior mean, which is exact for K = 1 and accurate to O(1/n) otherwise
+// (the paper leaves this derivation as "similar reasoning", §4.4).
+func (b *builder) variableTransitions(sc *stateScratch, n int, tj float64, a actionSpec, pr []float64, cdfT []float64, k int) {
+	sp := b.sp
+	nw := sp.cfg.MaxQueue
+	l := a.Latency
+	rem := n - a.Batch
+	ta := sp.cfg.SLO - tj
+
+	// Posterior-mean total interval-A central arrivals.
+	kaBar := 0.0
+	for r, p := range pr {
+		kaBar += p * float64((n-1)*k+r)
+	}
+	target := float64(a.Batch * k) // central arrival index of remaining-earliest query
+
+	// Slack bucket distribution of the remaining-earliest query:
+	// slack' = x + T_j − l for x its interval-A position.
+	grid := sp.grid
+	bucketP := make([]float64, len(grid))
+	if ta <= 0 || kaBar < target {
+		// Degenerate window: the query sits at the window start.
+		bucketP[sp.bucketOf(tj-l)] = 1
+	} else {
+		cdfAt := func(x float64) float64 {
+			if x <= 0 {
+				return 0
+			}
+			if x >= ta {
+				return 1
+			}
+			// P[arrival #target <= x] = P[Bin(kaBar, x/ta) >= target].
+			return dist.RegIncBeta(target, kaBar-target+1, x/ta)
+		}
+		prev := 0.0
+		for c := 0; c < len(grid); c++ {
+			var hi float64
+			if c == len(grid)-1 {
+				hi = 1
+			} else {
+				// slack' < grid[c+1]  ⇔  x < grid[c+1] − T_j + l.
+				hi = cdfAt(grid[c+1] - tj + l)
+			}
+			bucketP[c] = hi - prev
+			prev = hi
+		}
+	}
+
+	// Count distribution of worker arrivals during service, mixed over the
+	// phase: C(i) = Σ_r P(r)·P[N(l) ∈ [iK−r, (i+1)K−1−r]].
+	imax := nw - rem
+	for i := 0; i <= imax; i++ {
+		ci := 0.0
+		for r, p := range pr {
+			if p == 0 {
+				continue
+			}
+			hiIdx := (i+1)*k - 1 - r
+			loIdx := i*k - r - 1
+			var hi, lo float64
+			if hiIdx >= 0 {
+				hi = cdfT[hiIdx]
+			}
+			if loIdx >= 0 {
+				lo = cdfT[loIdx]
+			}
+			ci += p * (hi - lo)
+		}
+		if ci <= 0 {
+			continue
+		}
+		np := rem + i
+		for c, bp := range bucketP {
+			if p := ci * bp; p > 0 {
+				sc.add(int32(sp.index(np, c)), p)
+			}
+		}
+	}
+	// i > imax overflows; handled by the complement in emit().
+}
+
+// sqfRate implements the Appendix I conditional arrival rate λ_w(n) for
+// shortest-queue-first balancing: λ/K for n ≤ 2 and ρ^K·μ for n ≥ 3, where
+// ρ = λ/(K·μ) is the per-worker utilization. The appendix defines μ through
+// the largest l_w(m, 1) among Pareto-front models m that can meet the
+// per-worker load within SLO/2; since the formula needs a service *rate*,
+// we take μ = 1/l_w(m, 1), the standard reading of [18].
+func sqfRate(cfg Config, models profile.Set, n int) float64 {
+	lambda := cfg.Arrival.Rate()
+	perWorker := lambda / float64(cfg.Workers)
+	if n <= 2 {
+		return perWorker
+	}
+	// The appendix picks the slowest (batch-1 latency) Pareto-front model
+	// that can meet the per-worker load within SLO/2; μ is its effective
+	// per-query service rate, so ρ = (λ/K)/μ <= 1 by construction.
+	var chosen *profile.Profile
+	for i := range models.Profiles {
+		p := &models.Profiles[i]
+		if p.ThroughputWithin(cfg.SLO/2) >= perWorker {
+			if chosen == nil || p.BatchLatency(1) > chosen.BatchLatency(1) {
+				chosen = p
+			}
+		}
+	}
+	if chosen == nil {
+		// No model meets the load: conservatively use the fastest model.
+		f := models.Fastest()
+		chosen = &f
+	}
+	mu := chosen.ThroughputWithin(cfg.SLO / 2)
+	if mu <= 0 {
+		mu = chosen.Throughput()
+	}
+	rho := perWorker / mu
+	rate := math.Pow(rho, float64(cfg.Workers)) * mu
+	if rate > perWorker {
+		rate = perWorker
+	}
+	if !(rate > 0) || math.IsNaN(rate) {
+		rate = perWorker * 1e-9
+	}
+	return rate
+}
+
+// parallelFor runs fn(i) for i in [0, n) across GOMAXPROCS workers.
+func parallelFor(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// parallelForScratch is parallelFor with one scratch value per worker.
+func parallelForScratch(n int, mk func() *stateScratch, fn func(i int, sc *stateScratch)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		sc := mk()
+		for i := 0; i < n; i++ {
+			fn(i, sc)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := mk()
+			for i := range next {
+				fn(i, sc)
+			}
+		}()
+	}
+	wg.Wait()
+}

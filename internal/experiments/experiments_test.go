@@ -1,0 +1,427 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ramsis/internal/profile"
+)
+
+// quickHarness runs the minimal grid; these tests assert the paper's
+// structural claims, not absolute numbers.
+func quickHarness() *Harness {
+	return New(Options{Quick: true, Out: io.Discard, Seed: 1})
+}
+
+func TestFig3Fig9Profiles(t *testing.T) {
+	h := quickHarness()
+	img := h.Fig3()
+	if len(img) != 26 {
+		t.Fatalf("Fig3 rows = %d, want 26", len(img))
+	}
+	pareto := 0
+	for _, r := range img {
+		if r.Pareto {
+			pareto++
+		}
+	}
+	if pareto != 9 {
+		t.Errorf("Fig3 Pareto models = %d, want 9", pareto)
+	}
+	txt := h.Fig9()
+	if len(txt) != 5 {
+		t.Fatalf("Fig9 rows = %d, want 5", len(txt))
+	}
+}
+
+func TestFig5ProductionTraceClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy experiment; skipped with -short")
+	}
+	h := quickHarness()
+	res := h.Fig5()
+	for task, bySLO := range res.Accuracy {
+		for slo, series := range bySLO {
+			checkRAMSISWins(t, series, task, slo)
+		}
+	}
+}
+
+func TestFig6ConstantLoadClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy experiment; skipped with -short")
+	}
+	h := quickHarness()
+	res := h.Fig6()
+	for task, bySLO := range res.Accuracy {
+		for slo, series := range bySLO {
+			checkRAMSISWins(t, series, task, slo)
+		}
+	}
+}
+
+// checkRAMSISWins asserts the headline claim on a series: at every point
+// where both RAMSIS and a baseline report (<5% violations), RAMSIS's
+// accuracy is at least the baseline's (allowing sampling noise).
+func checkRAMSISWins(t *testing.T, series Series, task string, slo float64) {
+	t.Helper()
+	ram := map[float64]Point{}
+	for _, p := range series[MethodRAMSIS] {
+		ram[p.X] = p
+	}
+	for _, base := range []string{MethodMS, MethodJF} {
+		for _, b := range series[base] {
+			r, ok := ram[b.X]
+			if !ok || !r.Reported || !b.Reported {
+				continue
+			}
+			if r.Accuracy < b.Accuracy-0.005 {
+				t.Errorf("%s SLO %.0fms x=%v: RAMSIS %.4f below %s %.4f",
+					task, slo*1000, b.X, r.Accuracy, base, b.Accuracy)
+			}
+		}
+	}
+}
+
+func TestFig7FidelityBounds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy experiment; skipped with -short")
+	}
+	h := quickHarness()
+	pts := h.Fig7()
+	if len(pts) == 0 {
+		t.Fatal("no fidelity points")
+	}
+	for _, p := range pts {
+		// Below peak capacity the expectation is a lower bound on accuracy
+		// and an upper bound on violations (§5.1, §7.3.1). Beyond capacity
+		// the expectation overestimates violations by design.
+		if p.SimViolation < 0.05 {
+			if p.SimAccuracy < p.ExpAccuracy-0.02 {
+				t.Errorf("w=%d load=%v: sim accuracy %.4f below expectation %.4f",
+					p.Workers, p.Load, p.SimAccuracy, p.ExpAccuracy)
+			}
+			if p.SimViolation > p.ExpViolation+0.02 {
+				t.Errorf("w=%d load=%v: sim violations %.5f above expectation %.5f",
+					p.Workers, p.Load, p.SimViolation, p.ExpViolation)
+			}
+		}
+		// Latency variance only helps (§7.3.1).
+		if p.ImplAccuracy < p.SimAccuracy-0.02 {
+			t.Errorf("w=%d load=%v: implementation accuracy %.4f below simulation %.4f",
+				p.Workers, p.Load, p.ImplAccuracy, p.SimAccuracy)
+		}
+	}
+}
+
+func TestFig8ModelCountClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy experiment; skipped with -short")
+	}
+	h := quickHarness()
+	series := h.Fig8()
+	r9 := map[float64]Point{}
+	for _, p := range series["RAMSIS M=9"] {
+		r9[p.X] = p
+	}
+	m9 := map[float64]Point{}
+	for _, p := range series["MS M=9"] {
+		m9[p.X] = p
+	}
+	for _, p := range series["RAMSIS M=60"] {
+		base, ok := r9[p.X]
+		if !ok || !p.Reported || !base.Reported {
+			continue
+		}
+		// §7.3.2: negligible RAMSIS improvement from 60 models.
+		if gain := p.Accuracy - base.Accuracy; gain > 0.01 {
+			t.Errorf("x=%v: RAMSIS gains %.4f from 60 models; want negligible", p.X, gain)
+		}
+		// RAMSIS (either size) stays above ModelSwitching M=60 at the same x.
+		for _, ms60 := range series["MS M=60"] {
+			if ms60.X == p.X && ms60.Reported && p.Accuracy < ms60.Accuracy-0.005 {
+				t.Errorf("x=%v: RAMSIS M=60 %.4f below MS M=60 %.4f", p.X, p.Accuracy, ms60.Accuracy)
+			}
+		}
+	}
+	for _, p := range series["MS M=60"] {
+		base, ok := m9[p.X]
+		if !ok || !p.Reported || !base.Reported {
+			continue
+		}
+		if p.Accuracy < base.Accuracy-0.005 {
+			t.Errorf("x=%v: MS loses accuracy with more models", p.X)
+		}
+	}
+}
+
+func TestFig10DiscretizationOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy experiment; skipped with -short")
+	}
+	h := quickHarness()
+	series := h.Fig10()
+	at := func(label string, x float64) float64 {
+		for _, p := range series[label] {
+			if p.X == x {
+				return p.Accuracy
+			}
+		}
+		t.Fatalf("missing %s at %v", label, x)
+		return 0
+	}
+	for _, p := range series["MD"] {
+		x := p.X
+		// §C: D=100 matches MD; smaller D is conservative.
+		if at("FLD D=100", x) < at("FLD D=2", x)-0.005 {
+			t.Errorf("x=%v: D=100 below D=2", x)
+		}
+		if d100, md := at("FLD D=100", x), p.Accuracy; d100 < md-0.01 || d100 > md+0.01 {
+			t.Errorf("x=%v: FLD D=100 (%.4f) does not match MD (%.4f)", x, d100, md)
+		}
+	}
+}
+
+func TestFig11BatchingEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy experiment; skipped with -short")
+	}
+	h := quickHarness()
+	series := h.Fig11()
+	maxPts := map[float64]Point{}
+	for _, p := range series["max"] {
+		maxPts[p.X] = p
+	}
+	for _, p := range series["variable"] {
+		base, ok := maxPts[p.X]
+		if !ok {
+			continue
+		}
+		if d := p.Accuracy - base.Accuracy; d < -0.01 || d > 0.02 {
+			t.Errorf("x=%v: variable batching accuracy %.4f not ~= maximal %.4f", p.X, p.Accuracy, base.Accuracy)
+		}
+	}
+}
+
+func TestFig12AblationClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy experiment; skipped with -short")
+	}
+	h := quickHarness()
+	series := h.Fig12()
+	jf3 := map[float64]Point{}
+	for _, p := range series["JF+-3m"] {
+		jf3[p.X] = p
+	}
+	for _, p := range series["RAMSIS-3m"] {
+		b, ok := jf3[p.X]
+		if !ok || !p.Reported || !b.Reported {
+			continue
+		}
+		// §E: RAMSIS always stays above Jellyfish+ at equal model sets.
+		if p.Accuracy < b.Accuracy-0.005 {
+			t.Errorf("x=%v: RAMSIS-3m %.4f below JF+-3m %.4f", p.X, p.Accuracy, b.Accuracy)
+		}
+	}
+}
+
+func TestINFaaSNeverBeatsRAMSIS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy experiment; skipped with -short")
+	}
+	h := quickHarness()
+	series := h.INFaaS()
+	ram := map[float64]Point{}
+	for _, p := range series[MethodRAMSIS] {
+		ram[p.X] = p
+	}
+	for _, p := range series["INFaaS(best)"] {
+		r, ok := ram[p.X]
+		if !ok || !r.Reported {
+			continue
+		}
+		if p.Accuracy > r.Accuracy+0.005 {
+			t.Errorf("x=%v: INFaaS best %.4f above RAMSIS %.4f (§H says it cannot)", p.X, p.Accuracy, r.Accuracy)
+		}
+	}
+}
+
+func TestSQFRunsCleanly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy experiment; skipped with -short")
+	}
+	h := quickHarness()
+	series := h.SQF()
+	for _, label := range []string{"RR", "SQF"} {
+		if len(series[label]) == 0 {
+			t.Fatalf("missing %s series", label)
+		}
+		for _, p := range series[label] {
+			if !p.Reported {
+				t.Errorf("%s at x=%v has %.4f violations (sub-critical loads should report)", label, p.X, p.Violation)
+			}
+		}
+	}
+}
+
+func TestLoadRange(t *testing.T) {
+	got := loadRange(400, 1200, 400)
+	want := []float64{400, 800, 1200}
+	if len(got) != len(want) {
+		t.Fatalf("loadRange = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("loadRange = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHarnessScaleSelection(t *testing.T) {
+	if New(Options{Out: io.Discard}).scale() != scaleDefault {
+		t.Error("default scale wrong")
+	}
+	if New(Options{Quick: true, Out: io.Discard}).scale() != scaleQuick {
+		t.Error("quick scale wrong")
+	}
+	if New(Options{Full: true, Quick: true, Out: io.Discard}).scale() != scaleFull {
+		t.Error("full should win over quick")
+	}
+}
+
+func TestPolicyDirCaching(t *testing.T) {
+	dir := t.TempDir()
+	h := New(Options{Quick: true, Out: io.Discard, PolicyDir: dir, D: 25})
+	s1 := h.policySet(profile.ImageSet(), 0.150, 4, []float64{100}, "", nil)
+	if len(s1.Loads()) != 1 {
+		t.Fatal("policy not generated")
+	}
+	// A fresh harness must load from disk (same result, no panic).
+	h2 := New(Options{Quick: true, Out: io.Discard, PolicyDir: dir, D: 25})
+	s2 := h2.policySet(profile.ImageSet(), 0.150, 4, []float64{100}, "", nil)
+	p1, _ := s1.PolicyFor(100)
+	p2, _ := s2.PolicyFor(100)
+	if p1.ExpectedAccuracy != p2.ExpectedAccuracy {
+		t.Errorf("cached policy differs: %v vs %v", p1.ExpectedAccuracy, p2.ExpectedAccuracy)
+	}
+}
+
+func TestResultsDirExport(t *testing.T) {
+	dir := t.TempDir()
+	h := New(Options{Quick: true, Out: io.Discard, ResultsDir: dir})
+	h.Fig3()
+	h.saveResult("probe", map[string]int{"a": 1})
+	data, err := os.ReadFile(filepath.Join(dir, "probe.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]int
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got["a"] != 1 {
+		t.Errorf("round trip lost data: %v", got)
+	}
+	// No directory configured: silently skipped.
+	h2 := New(Options{Quick: true, Out: io.Discard})
+	h2.saveResult("probe", 1)
+}
+
+func TestFig2LullExploitation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy experiment; skipped with -short")
+	}
+	h := quickHarness()
+	res := h.Fig2()
+	// The load-granular baseline is pinned to one model...
+	if len(res.ModelShare[MethodJF]) != 1 {
+		t.Errorf("Jellyfish+ used %d models at constant load, want 1", len(res.ModelShare[MethodJF]))
+	}
+	// ...while RAMSIS mixes models, upgrading during lulls.
+	if len(res.ModelShare[MethodRAMSIS]) < 2 {
+		t.Errorf("RAMSIS used %d models, want several", len(res.ModelShare[MethodRAMSIS]))
+	}
+	if res.UpgradeFraction <= 0 {
+		t.Error("RAMSIS never upgraded beyond the load-granular model")
+	}
+	if len(res.Timeline) == 0 {
+		t.Error("no decision timeline recorded")
+	}
+}
+
+func TestMisspecArrivalSensitivity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy experiment; skipped with -short")
+	}
+	h := quickHarness()
+	pts := h.Misspec()
+	byName := map[string]MisspecPoint{}
+	for _, p := range pts {
+		byName[p.Arrivals] = p
+	}
+	calm := byName["Erlang-4 (calmer)"]
+	assumed := byName["Poisson (assumed)"]
+	bursty := byName["OnOff x2 (burstier)"]
+	// Calmer-than-assumed traffic must not violate more than assumed.
+	if calm.Violation > assumed.Violation+0.005 {
+		t.Errorf("calmer arrivals violate more (%v) than assumed (%v)", calm.Violation, assumed.Violation)
+	}
+	// Burstier-than-assumed traffic erodes the guarantee.
+	if bursty.Violation <= assumed.Violation+0.005 {
+		t.Errorf("burstier arrivals did not erode the guarantee: %v vs %v", bursty.Violation, assumed.Violation)
+	}
+}
+
+func TestGreedyPaysInViolations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy experiment; skipped with -short")
+	}
+	h := quickHarness()
+	series := h.Greedy()
+	ram := map[float64]Point{}
+	for _, p := range series[MethodRAMSIS] {
+		ram[p.X] = p
+	}
+	for _, g := range series[MethodGreedy] {
+		r, ok := ram[g.X]
+		if !ok {
+			continue
+		}
+		// §8: greedy's optimism costs violations RAMSIS avoids.
+		if g.Violation <= r.Violation+0.01 {
+			t.Errorf("x=%v: greedy violations %.4f not above RAMSIS %.4f", g.X, g.Violation, r.Violation)
+		}
+		if !r.Reported {
+			t.Errorf("x=%v: RAMSIS itself failed to report (%v violations)", g.X, r.Violation)
+		}
+	}
+}
+
+func TestScalingStaysPolynomial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy experiment; skipped with -short")
+	}
+	h := quickHarness()
+	pts := h.Scaling()
+	if len(pts) < 4 {
+		t.Fatalf("scaling produced %d points", len(pts))
+	}
+	for _, p := range pts {
+		if p.States <= 0 || p.Transitions <= 0 {
+			t.Errorf("degenerate point %+v", p)
+		}
+		// §5.2: far from the exponential naive formulation — the paper's
+		// naive MDP at these sizes would not finish in 24 h; ours must stay
+		// within seconds per policy even in the largest cell.
+		if p.Runtime.Seconds() > 30 {
+			t.Errorf("cell |M|=%d N_w=%d took %v; polynomial claim in doubt", p.Models, p.MaxQueue, p.Runtime)
+		}
+	}
+	// More queue capacity means more states.
+	if !(pts[len(pts)-1].States > pts[len(pts)-2].States) {
+		t.Errorf("states not increasing in N_w: %+v", pts[len(pts)-2:])
+	}
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"ramsis/internal/dist"
+	"ramsis/internal/monitor"
+	"ramsis/internal/profile"
+	"ramsis/internal/sim"
+	"ramsis/internal/trace"
+)
+
+// MisspecPoint is one (assumed policy, true arrivals) cell.
+type MisspecPoint struct {
+	Arrivals  string
+	Accuracy  float64
+	Violation float64
+}
+
+// Misspec is an extension study the paper motivates (§3.1.1: RAMSIS is
+// parameterized by the arrival distribution; unexpected patterns trigger
+// regeneration): serve the *same mean load* under three inter-arrival
+// patterns — calmer than assumed (Erlang-4), exactly as assumed (Poisson),
+// and burstier than assumed (an on-off MMPP) — through a policy generated
+// for Poisson arrivals. Calmer traffic only helps; burstier traffic erodes
+// the SLO guarantee, quantifying why the arrival distribution is a policy
+// input rather than a constant.
+func (h *Harness) Misspec() []MisspecPoint {
+	const workers, slo, load = 12, 0.150, 400.0
+	models := profile.ImageSet()
+	dur := 30.0
+	if h.scale() == scaleQuick {
+		dur = 10
+	}
+	set := h.policySet(models, slo, workers, []float64{load}, "", nil)
+	tr := trace.Constant(load, dur)
+
+	samplers := []struct {
+		name string
+		mk   func(rate float64) dist.Sampler
+	}{
+		{"Erlang-4 (calmer)", func(r float64) dist.Sampler { return dist.NewGamma(r, 4) }},
+		{"Poisson (assumed)", func(r float64) dist.Sampler { return dist.NewPoisson(r) }},
+		{"OnOff x2 (burstier)", func(r float64) dist.Sampler { return dist.NewOnOff(r, 2, 0.05, 0.2) }},
+	}
+	var out []MisspecPoint
+	h.printf("Arrival misspecification: Poisson-assumed policy under other inter-arrival patterns\n")
+	h.printf("(image, SLO %.0f ms, %d workers, mean load %.0f QPS)\n", slo*1000, workers, load)
+	h.printf("%-22s %10s %12s\n", "true arrivals", "accuracy", "violations")
+	for _, s := range samplers {
+		sched := sim.NewRAMSIS(set, monitor.Oracle{Trace: tr})
+		e := sim.NewEngine(models, slo, workers, sim.Deterministic{}, sched, h.opts.Seed)
+		arr := trace.Arrivals(tr, h.opts.Seed, s.mk)
+		m := e.Run(arr)
+		p := MisspecPoint{Arrivals: s.name, Accuracy: m.AccuracyPerSatisfiedQuery(), Violation: m.ViolationRate()}
+		out = append(out, p)
+		h.printf("%-22s %10.4f %12.5f\n", p.Arrivals, p.Accuracy, p.Violation)
+	}
+	h.printf("\n")
+	h.saveResult("misspec", out)
+	return out
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"time"
+
+	"ramsis/internal/core"
+	"ramsis/internal/dist"
+	"ramsis/internal/profile"
+)
+
+// ScalingPoint is one policy-generation cost measurement.
+type ScalingPoint struct {
+	Models      int
+	MaxQueue    int
+	States      int
+	Transitions int
+	Runtime     time.Duration
+}
+
+// Scaling verifies §5.2 empirically: policy-generation cost grows
+// polynomially in the model count |M_w| and the queue bound N_w (the paper
+// derives O(|M|³·B⁴) with value iteration over |S| = O(|M|·B²) states).
+// Two sweeps are reported: model count at fixed N_w, and N_w at fixed
+// model count.
+func (h *Harness) Scaling() []ScalingPoint {
+	modelCounts := []int{3, 6, 9, 15}
+	queues := []int{8, 16, 24, 32}
+	if h.scale() == scaleQuick {
+		modelCounts = []int{3, 9}
+		queues = []int{8, 24}
+	}
+	var out []ScalingPoint
+	run := func(mCount, nw int) ScalingPoint {
+		models := profile.InterpolatedSet(profile.ImageSet(), mCount)
+		if mCount <= 9 {
+			models = profile.Set{Task: "image",
+				Profiles: profile.ImageSet().ParetoFront().Profiles[:mCount]}
+		}
+		cfg := core.Config{
+			Models:          models,
+			SLO:             0.150,
+			Workers:         8,
+			Arrival:         dist.NewPoisson(250),
+			D:               50,
+			MaxQueue:        nw,
+			NoParetoPruning: true, // |M| is the variable under study
+		}
+		start := time.Now()
+		pol, err := core.Generate(cfg)
+		if err != nil {
+			panic(err)
+		}
+		return ScalingPoint{
+			Models: mCount, MaxQueue: nw,
+			States: pol.States, Transitions: pol.Transitions,
+			Runtime: time.Since(start),
+		}
+	}
+	h.printf("§5.2 scaling: policy-generation cost vs |M_w| (N_w = 16)\n")
+	h.printf("%6s %6s %8s %12s %12s\n", "|M|", "N_w", "states", "transitions", "runtime")
+	for _, m := range modelCounts {
+		p := run(m, 16)
+		out = append(out, p)
+		h.printf("%6d %6d %8d %12d %12v\n", p.Models, p.MaxQueue, p.States, p.Transitions, p.Runtime.Round(time.Millisecond))
+	}
+	h.printf("§5.2 scaling: policy-generation cost vs N_w (|M| = 9)\n")
+	for _, nw := range queues {
+		p := run(9, nw)
+		out = append(out, p)
+		h.printf("%6d %6d %8d %12d %12v\n", p.Models, p.MaxQueue, p.States, p.Transitions, p.Runtime.Round(time.Millisecond))
+	}
+	h.printf("\n")
+	h.saveResult("scaling", out)
+	return out
+}

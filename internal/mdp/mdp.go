@@ -1,0 +1,289 @@
+// Package mdp implements finite Markov Decision Processes and the exact
+// solution methods RAMSIS uses for policy generation (§4.1): value
+// iteration (the default), policy iteration (noted as an alternative), and
+// power iteration over the induced Markov chain for the stationary state
+// distribution underlying the §5.1 accuracy/violation expectations.
+//
+// The representation is deliberately sparse: worker MDPs concentrate
+// transition mass on a small neighborhood of queue states, so each action
+// stores only its non-negligible successor probabilities.
+package mdp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Transition is one sparse entry of P_a(s, ·).
+type Transition struct {
+	Next int32   // successor state index
+	P    float64 // transition probability
+}
+
+// Action is one action available in a state: an expected immediate reward
+// and a sparse successor distribution. Label is an opaque caller tag (RAMSIS
+// stores the (model, batch) action index there).
+type Action struct {
+	Label       int
+	Reward      float64
+	Transitions []Transition
+}
+
+// MDP is a finite MDP in sparse form: Actions[s] lists the valid actions in
+// state s. Every state must have at least one action and every action's
+// transition probabilities must sum to 1.
+type MDP struct {
+	Actions [][]Action
+}
+
+// NumStates returns |S|.
+func (m *MDP) NumStates() int { return len(m.Actions) }
+
+// NumTransitions returns the total sparse transition count, a measure of
+// solve cost per sweep.
+func (m *MDP) NumTransitions() int {
+	n := 0
+	for _, acts := range m.Actions {
+		for _, a := range acts {
+			n += len(a.Transitions)
+		}
+	}
+	return n
+}
+
+// Validate checks structural soundness: non-empty action sets, successor
+// indices in range, probabilities in [0,1] summing to 1 within tol.
+func (m *MDP) Validate(tol float64) error {
+	n := len(m.Actions)
+	if n == 0 {
+		return errors.New("mdp: no states")
+	}
+	for s, acts := range m.Actions {
+		if len(acts) == 0 {
+			return fmt.Errorf("mdp: state %d has no actions", s)
+		}
+		for ai, a := range acts {
+			sum := 0.0
+			for _, tr := range a.Transitions {
+				if tr.Next < 0 || int(tr.Next) >= n {
+					return fmt.Errorf("mdp: state %d action %d: successor %d out of range", s, ai, tr.Next)
+				}
+				if tr.P < -tol || tr.P > 1+tol || math.IsNaN(tr.P) {
+					return fmt.Errorf("mdp: state %d action %d: probability %v invalid", s, ai, tr.P)
+				}
+				sum += tr.P
+			}
+			if math.Abs(sum-1) > tol {
+				return fmt.Errorf("mdp: state %d action %d: probabilities sum to %v", s, ai, sum)
+			}
+		}
+	}
+	return nil
+}
+
+// Policy maps each state to the index (into MDP.Actions[s]) of its chosen
+// action.
+type Policy []int
+
+// ErrDeadline reports that a solver hit its wall-clock deadline.
+var ErrDeadline = errors.New("mdp: solve deadline exceeded")
+
+// SolveOptions configure the iterative solvers. Zero values select the
+// defaults noted per field.
+type SolveOptions struct {
+	// Gamma is the discount factor in (0, 1). Default 0.99.
+	Gamma float64
+	// Tol is the Bellman-residual stopping tolerance. Default 1e-9.
+	Tol float64
+	// MaxIter bounds iterations. Default 100000.
+	MaxIter int
+	// Deadline, when non-zero, aborts the solve with ErrDeadline once the
+	// wall clock passes it (checked once per sweep).
+	Deadline time.Time
+}
+
+func (o SolveOptions) withDefaults() SolveOptions {
+	if o.Gamma == 0 {
+		o.Gamma = 0.99
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-9
+	}
+	if o.MaxIter == 0 {
+		o.MaxIter = 100000
+	}
+	return o
+}
+
+// Result reports a solve: optimal (or evaluated) state values, the policy,
+// and the iteration count used.
+type Result struct {
+	Values     []float64
+	Policy     Policy
+	Iterations int
+}
+
+// ValueIteration solves the MDP by repeated Bellman optimality backups
+// (Gauss-Seidel, in-place) until the residual drops below Tol, returning an
+// optimal policy. This is the paper's solution method (§4.1).
+func ValueIteration(m *MDP, opts SolveOptions) (Result, error) {
+	opts = opts.withDefaults()
+	if opts.Gamma <= 0 || opts.Gamma >= 1 {
+		return Result{}, fmt.Errorf("mdp: gamma %v outside (0,1)", opts.Gamma)
+	}
+	n := m.NumStates()
+	v := make([]float64, n)
+	pol := make(Policy, n)
+	it := 0
+	for ; it < opts.MaxIter; it++ {
+		if !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
+			return Result{Values: v, Policy: pol, Iterations: it}, ErrDeadline
+		}
+		residual := 0.0
+		for s := 0; s < n; s++ {
+			best := math.Inf(-1)
+			bestA := 0
+			for ai := range m.Actions[s] {
+				a := &m.Actions[s][ai]
+				q := a.Reward
+				for _, tr := range a.Transitions {
+					q += opts.Gamma * tr.P * v[tr.Next]
+				}
+				if q > best {
+					best = q
+					bestA = ai
+				}
+			}
+			if d := math.Abs(best - v[s]); d > residual {
+				residual = d
+			}
+			v[s] = best
+			pol[s] = bestA
+		}
+		if residual < opts.Tol {
+			it++
+			break
+		}
+	}
+	return Result{Values: v, Policy: pol, Iterations: it}, nil
+}
+
+// PolicyEvaluation computes the discounted value of a fixed policy by
+// iterative backups.
+func PolicyEvaluation(m *MDP, pol Policy, opts SolveOptions) ([]float64, error) {
+	opts = opts.withDefaults()
+	n := m.NumStates()
+	if len(pol) != n {
+		return nil, fmt.Errorf("mdp: policy length %d != states %d", len(pol), n)
+	}
+	v := make([]float64, n)
+	for it := 0; it < opts.MaxIter; it++ {
+		residual := 0.0
+		for s := 0; s < n; s++ {
+			a := &m.Actions[s][pol[s]]
+			q := a.Reward
+			for _, tr := range a.Transitions {
+				q += opts.Gamma * tr.P * v[tr.Next]
+			}
+			if d := math.Abs(q - v[s]); d > residual {
+				residual = d
+			}
+			v[s] = q
+		}
+		if residual < opts.Tol {
+			break
+		}
+	}
+	return v, nil
+}
+
+// PolicyIteration solves the MDP by alternating evaluation and greedy
+// improvement, the alternative exact method §4.1 mentions.
+func PolicyIteration(m *MDP, opts SolveOptions) (Result, error) {
+	opts = opts.withDefaults()
+	n := m.NumStates()
+	pol := make(Policy, n)
+	var v []float64
+	for it := 1; it <= opts.MaxIter; it++ {
+		var err error
+		v, err = PolicyEvaluation(m, pol, opts)
+		if err != nil {
+			return Result{}, err
+		}
+		changed := false
+		for s := 0; s < n; s++ {
+			best := math.Inf(-1)
+			bestA := pol[s]
+			for ai := range m.Actions[s] {
+				a := &m.Actions[s][ai]
+				q := a.Reward
+				for _, tr := range a.Transitions {
+					q += opts.Gamma * tr.P * v[tr.Next]
+				}
+				if q > best+1e-12 {
+					best = q
+					bestA = ai
+				}
+			}
+			if bestA != pol[s] {
+				pol[s] = bestA
+				changed = true
+			}
+		}
+		if !changed {
+			return Result{Values: v, Policy: pol, Iterations: it}, nil
+		}
+	}
+	return Result{Values: v, Policy: pol, Iterations: opts.MaxIter}, nil
+}
+
+// StationaryDistribution computes the stationary distribution of the Markov
+// chain induced by the policy via power iteration [40] on the lazy chain
+// (I+P)/2, which converges for unichain MDPs regardless of periodicity.
+// RAMSIS uses it to compute the §5.1 expectations.
+func StationaryDistribution(m *MDP, pol Policy, tol float64, maxIter int) ([]float64, error) {
+	n := m.NumStates()
+	if len(pol) != n {
+		return nil, fmt.Errorf("mdp: policy length %d != states %d", len(pol), n)
+	}
+	if tol == 0 {
+		tol = 1e-12
+	}
+	if maxIter == 0 {
+		maxIter = 200000
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1 / float64(n)
+	}
+	next := make([]float64, n)
+	for it := 0; it < maxIter; it++ {
+		for i := range next {
+			next[i] = 0.5 * x[i] // lazy self-loop half
+		}
+		for s := 0; s < n; s++ {
+			a := &m.Actions[s][pol[s]]
+			w := 0.5 * x[s]
+			for _, tr := range a.Transitions {
+				next[tr.Next] += w * tr.P
+			}
+		}
+		// Renormalize to absorb pruned probability mass drift.
+		sum := 0.0
+		for _, p := range next {
+			sum += p
+		}
+		diff := 0.0
+		for i := range next {
+			next[i] /= sum
+			diff += math.Abs(next[i] - x[i])
+		}
+		x, next = next, x
+		if diff < tol {
+			break
+		}
+	}
+	return x, nil
+}

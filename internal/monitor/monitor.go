@@ -1,0 +1,69 @@
+// Package monitor implements query-load monitors (§3 "load monitor"): RAMSIS
+// and the baselines both anticipate query load from the same monitor. The
+// paper's implementation tracks load as a moving average over a 500 ms
+// window [38, 57]; constant-load experiments (§7.2) assume a perfect
+// predictor, modeled here as an oracle.
+package monitor
+
+import "ramsis/internal/trace"
+
+// Monitor estimates the current query load (QPS) at the central queue.
+type Monitor interface {
+	// Observe records a query arrival at time t (seconds). Arrival times
+	// must be non-decreasing.
+	Observe(t float64)
+	// Load returns the anticipated query load in QPS at time t.
+	Load(t float64) float64
+}
+
+// MovingAverage tracks load as arrivals over a trailing window.
+type MovingAverage struct {
+	window   float64
+	arrivals []float64
+	head     int
+}
+
+// NewMovingAverage returns a monitor with the given window in seconds.
+// The paper uses 0.5 s.
+func NewMovingAverage(window float64) *MovingAverage {
+	if window <= 0 {
+		window = 0.5
+	}
+	return &MovingAverage{window: window}
+}
+
+// Observe records an arrival.
+func (m *MovingAverage) Observe(t float64) {
+	m.arrivals = append(m.arrivals, t)
+	m.evict(t)
+}
+
+// Load returns the windowed arrival rate at time t.
+func (m *MovingAverage) Load(t float64) float64 {
+	m.evict(t)
+	return float64(len(m.arrivals)-m.head) / m.window
+}
+
+// evict drops arrivals older than the window, compacting occasionally so the
+// slice does not grow without bound.
+func (m *MovingAverage) evict(t float64) {
+	lo := t - m.window
+	for m.head < len(m.arrivals) && m.arrivals[m.head] < lo {
+		m.head++
+	}
+	if m.head > 4096 && m.head*2 > len(m.arrivals) {
+		m.arrivals = append(m.arrivals[:0], m.arrivals[m.head:]...)
+		m.head = 0
+	}
+}
+
+// Oracle returns the true trace load, the perfect predictor of §7.2.
+type Oracle struct {
+	Trace trace.Trace
+}
+
+// Observe is a no-op: the oracle already knows the trace.
+func (Oracle) Observe(float64) {}
+
+// Load returns the trace load at time t.
+func (o Oracle) Load(t float64) float64 { return o.Trace.QPSAt(t) }

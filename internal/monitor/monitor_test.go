@@ -1,0 +1,83 @@
+package monitor
+
+import (
+	"math"
+	"testing"
+
+	"ramsis/internal/trace"
+)
+
+func TestMovingAverageSteadyLoad(t *testing.T) {
+	m := NewMovingAverage(0.5)
+	// 100 QPS: one arrival every 10 ms.
+	for i := 0; i < 500; i++ {
+		m.Observe(float64(i) * 0.01)
+	}
+	got := m.Load(5.0)
+	if math.Abs(got-100) > 4 {
+		t.Errorf("Load = %v, want ~100", got)
+	}
+}
+
+func TestMovingAverageWindowEviction(t *testing.T) {
+	m := NewMovingAverage(0.5)
+	for i := 0; i < 100; i++ {
+		m.Observe(float64(i) * 0.001) // burst in first 100 ms
+	}
+	if got := m.Load(0.1); got != 200 {
+		t.Errorf("Load right after burst = %v, want 200", got)
+	}
+	if got := m.Load(10); got != 0 {
+		t.Errorf("Load long after burst = %v, want 0", got)
+	}
+}
+
+func TestMovingAverageTracksLoadChange(t *testing.T) {
+	m := NewMovingAverage(0.5)
+	tm := 0.0
+	for i := 0; i < 100; i++ { // 100 QPS phase
+		m.Observe(tm)
+		tm += 0.01
+	}
+	for i := 0; i < 1000; i++ { // 1000 QPS phase
+		m.Observe(tm)
+		tm += 0.001
+	}
+	got := m.Load(tm)
+	if math.Abs(got-1000) > 30 {
+		t.Errorf("Load after ramp = %v, want ~1000", got)
+	}
+}
+
+func TestMovingAverageCompaction(t *testing.T) {
+	m := NewMovingAverage(0.5)
+	// Force many evictions to exercise compaction.
+	for i := 0; i < 200000; i++ {
+		m.Observe(float64(i) * 0.001)
+	}
+	if got := m.Load(200.0); math.Abs(got-1000) > 20 {
+		t.Errorf("Load after long run = %v, want ~1000", got)
+	}
+	if len(m.arrivals) > 10000 {
+		t.Errorf("arrival buffer grew to %d entries; compaction failed", len(m.arrivals))
+	}
+}
+
+func TestMovingAverageDefaultWindow(t *testing.T) {
+	m := NewMovingAverage(0)
+	if m.window != 0.5 {
+		t.Errorf("default window = %v, want 0.5 (the paper's 500 ms)", m.window)
+	}
+}
+
+func TestOracle(t *testing.T) {
+	o := Oracle{Trace: trace.Constant(1234, 30)}
+	o.Observe(5) // no-op
+	if got := o.Load(15); got != 1234 {
+		t.Errorf("oracle load = %v, want 1234", got)
+	}
+	tw := Oracle{Trace: trace.Twitter()}
+	if got := tw.Load(0); got != trace.Twitter().QPS[0] {
+		t.Errorf("oracle twitter load = %v", got)
+	}
+}

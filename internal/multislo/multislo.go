@@ -1,0 +1,114 @@
+// Package multislo implements §G: supporting multiple latency SLOs the way
+// the paper (and Jellyfish [32]) describes — each worker is assigned a
+// latency SLO, a central queue is instantiated per SLO, and workers attach
+// to the queue whose SLO matches. Each SLO class therefore runs an
+// independent RAMSIS stack (its own policy set sized to its worker share),
+// and a class router splits the application mix across the queues.
+package multislo
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ramsis/internal/core"
+	"ramsis/internal/dist"
+	"ramsis/internal/monitor"
+	"ramsis/internal/profile"
+	"ramsis/internal/sim"
+	"ramsis/internal/trace"
+)
+
+// Class is one latency-SLO application class.
+type Class struct {
+	// Name labels the class in results.
+	Name string
+	// SLO is the class's response latency SLO in seconds.
+	SLO float64
+	// Workers is the number of workers assigned to this class.
+	Workers int
+	// Share is the fraction of total query traffic belonging to this
+	// class; shares must sum to 1.
+	Share float64
+}
+
+// System is a multi-SLO deployment: independent per-class RAMSIS stacks.
+type System struct {
+	Models  profile.Set
+	Classes []Class
+	sets    []*core.PolicySet
+}
+
+// New validates the classes and builds the per-class policy sets.
+func New(models profile.Set, classes []Class, d int) (*System, error) {
+	if len(classes) == 0 {
+		return nil, fmt.Errorf("multislo: no classes")
+	}
+	total := 0.0
+	for _, c := range classes {
+		if c.SLO <= 0 || c.Workers < 1 || c.Share <= 0 {
+			return nil, fmt.Errorf("multislo: invalid class %+v", c)
+		}
+		total += c.Share
+	}
+	if total < 0.999 || total > 1.001 {
+		return nil, fmt.Errorf("multislo: shares sum to %v, want 1", total)
+	}
+	s := &System{Models: models, Classes: classes}
+	for _, c := range classes {
+		s.sets = append(s.sets, core.NewPolicySet(core.Config{
+			Models:  models,
+			SLO:     c.SLO,
+			Workers: c.Workers,
+			Arrival: dist.NewPoisson(1),
+			D:       d,
+		}, nil))
+	}
+	return s, nil
+}
+
+// Precompute generates each class's policy at its share of the total load.
+func (s *System) Precompute(totalLoad float64) error {
+	for i, c := range s.Classes {
+		if err := s.sets[i].GenerateLoads([]float64{c.Share * totalLoad}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ClassPolicy returns class i's policy for its share of the total load.
+func (s *System) ClassPolicy(i int, totalLoad float64) (*core.Policy, error) {
+	return s.sets[i].PolicyFor(s.Classes[i].Share * totalLoad)
+}
+
+// Run serves a constant total load for dur seconds: arrivals are sampled
+// once, split across the per-SLO central queues by class share (random
+// assignment, as application mix arrival order is exchangeable), and each
+// class's queue is drained by its own workers under its own RAMSIS policy.
+func (s *System) Run(totalLoad, dur float64, seed int64) (map[string]sim.Metrics, error) {
+	if err := s.Precompute(totalLoad); err != nil {
+		return nil, err
+	}
+	all := trace.PoissonArrivals(trace.Constant(totalLoad, dur), seed)
+	rng := rand.New(rand.NewSource(seed + 1))
+	perClass := make([][]float64, len(s.Classes))
+	for _, a := range all {
+		u := rng.Float64()
+		acc := 0.0
+		for i, c := range s.Classes {
+			acc += c.Share
+			if u <= acc || i == len(s.Classes)-1 {
+				perClass[i] = append(perClass[i], a)
+				break
+			}
+		}
+	}
+	out := make(map[string]sim.Metrics, len(s.Classes))
+	for i, c := range s.Classes {
+		classTrace := trace.Constant(c.Share*totalLoad, dur)
+		sched := sim.NewRAMSIS(s.sets[i], monitor.Oracle{Trace: classTrace})
+		e := sim.NewEngine(s.Models, c.SLO, c.Workers, sim.Deterministic{}, sched, seed+int64(i))
+		out[c.Name] = e.Run(perClass[i])
+	}
+	return out, nil
+}

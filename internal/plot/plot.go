@@ -1,0 +1,110 @@
+// Package plot renders small ASCII charts for the experiment harness, so
+// cmd/experiments can show each figure's series directly in the terminal
+// alongside the numeric rows.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Point is one (x, y) sample.
+type Point struct {
+	X, Y float64
+}
+
+// Series is one labeled line in a chart.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// markers assigns one glyph per series, in order.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Render draws the series as an ASCII scatter chart of the given plot-area
+// size (sensible minimums are enforced), with y-axis ticks, an x-axis
+// range line, and a legend.
+func Render(w io.Writer, title string, width, height int, series []Series) {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	var xs, ys []float64
+	for _, s := range series {
+		for _, p := range s.Points {
+			if math.IsNaN(p.X) || math.IsNaN(p.Y) || math.IsInf(p.X, 0) || math.IsInf(p.Y, 0) {
+				continue
+			}
+			xs = append(xs, p.X)
+			ys = append(ys, p.Y)
+		}
+	}
+	if len(xs) == 0 {
+		fmt.Fprintf(w, "%s\n(no data)\n", title)
+		return
+	}
+	xmin, xmax := minMax(xs)
+	ymin, ymax := minMax(ys)
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// Pad the y range slightly so extremes do not sit on the border.
+	pad := (ymax - ymin) * 0.05
+	ymin -= pad
+	ymax += pad
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for _, p := range s.Points {
+			if math.IsNaN(p.Y) || math.IsInf(p.Y, 0) {
+				continue
+			}
+			c := int(math.Round((p.X - xmin) / (xmax - xmin) * float64(width-1)))
+			r := int(math.Round((ymax - p.Y) / (ymax - ymin) * float64(height-1)))
+			if c < 0 || c >= width || r < 0 || r >= height {
+				continue
+			}
+			if grid[r][c] != ' ' && grid[r][c] != m {
+				grid[r][c] = '?' // overlapping series
+			} else {
+				grid[r][c] = m
+			}
+		}
+	}
+
+	fmt.Fprintf(w, "%s\n", title)
+	for r := 0; r < height; r++ {
+		yv := ymax - (ymax-ymin)*float64(r)/float64(height-1)
+		fmt.Fprintf(w, "%10.4f |%s\n", yv, string(grid[r]))
+	}
+	fmt.Fprintf(w, "%10s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(w, "%10s  %-*g%*g\n", "", width/2, xmin, width-width/2, xmax)
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Label))
+	}
+	sort.Strings(legend)
+	fmt.Fprintf(w, "%10s  %s\n\n", "", strings.Join(legend, "   "))
+}
+
+func minMax(xs []float64) (float64, float64) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	return lo, hi
+}

@@ -1,0 +1,80 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func twoSeries() []Series {
+	return []Series{
+		{Label: "RAMSIS", Points: []Point{{400, 0.83}, {1200, 0.77}, {2000, 0.70}}},
+		{Label: "JF", Points: []Point{{400, 0.78}, {1200, 0.76}, {2000, 0.69}}},
+	}
+}
+
+func TestRenderBasics(t *testing.T) {
+	var b strings.Builder
+	Render(&b, "Fig. 6 (image, 150ms)", 40, 10, twoSeries())
+	out := b.String()
+	for _, want := range []string{"Fig. 6", "* RAMSIS", "o JF", "400", "2000", "+--"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// Both markers appear in the plot area.
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("markers missing from plot area")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + height rows + axis + xrange + legend.
+	if len(lines) != 1+10+3 {
+		t.Errorf("chart has %d lines, want %d:\n%s", len(lines), 14, out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	var b strings.Builder
+	Render(&b, "empty", 40, 10, nil)
+	if !strings.Contains(b.String(), "(no data)") {
+		t.Error("empty chart not flagged")
+	}
+}
+
+func TestRenderSkipsNonFinite(t *testing.T) {
+	var b strings.Builder
+	Render(&b, "t", 30, 6, []Series{{Label: "a", Points: []Point{
+		{1, 2}, {math.NaN(), 3}, {4, math.Inf(1)}, {5, 6},
+	}}})
+	if !strings.Contains(b.String(), "*") {
+		t.Error("finite points not plotted")
+	}
+}
+
+func TestRenderDegenerateRanges(t *testing.T) {
+	var b strings.Builder
+	// Single point: both ranges degenerate; must not panic or divide by 0.
+	Render(&b, "point", 25, 6, []Series{{Label: "p", Points: []Point{{1, 1}}}})
+	if !strings.Contains(b.String(), "*") {
+		t.Error("single point not plotted")
+	}
+}
+
+func TestRenderMinimumSize(t *testing.T) {
+	var b strings.Builder
+	Render(&b, "tiny", 1, 1, twoSeries())
+	if len(b.String()) == 0 {
+		t.Error("no output at clamped size")
+	}
+}
+
+func TestOverlapMarker(t *testing.T) {
+	var b strings.Builder
+	Render(&b, "overlap", 20, 5, []Series{
+		{Label: "a", Points: []Point{{1, 1}, {2, 2}}},
+		{Label: "b", Points: []Point{{1, 1}, {2, 1}}},
+	})
+	if !strings.Contains(b.String(), "?") {
+		t.Error("overlapping points not marked")
+	}
+}

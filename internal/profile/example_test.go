@@ -1,0 +1,28 @@
+package profile_test
+
+import (
+	"fmt"
+
+	"ramsis/internal/profile"
+)
+
+// The action space RAMSIS considers is the accuracy/latency Pareto front of
+// the loaded models (§4.3.3).
+func ExampleSet_ParetoFront() {
+	models := profile.ImageSet()
+	front := models.ParetoFront()
+	fmt.Printf("%d of %d models on the front\n", front.Len(), models.Len())
+	fmt.Printf("fastest: %s, most accurate: %s\n",
+		front.Fastest().Name, front.MostAccurate().Name)
+	// Output:
+	// 9 of 26 models on the front
+	// fastest: shufflenet_v2_x0_5, most accurate: efficientnet_v2_s
+}
+
+// B_w, the largest batch size meeting the SLO (§4.2.1), quantizes the
+// relevant slack times.
+func ExampleSet_MaxBatchWithin() {
+	fmt.Println(profile.ImageSet().MaxBatchWithin(0.5))
+	// Output:
+	// 29
+}

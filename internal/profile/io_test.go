@@ -1,0 +1,96 @@
+package profile
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestArtifactRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	src := TextSet()
+	if err := src.ExportArtifact(dir, 200, 0.005, 1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ImportArtifact(dir, "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != src.Len() {
+		t.Fatalf("imported %d models, want %d", got.Len(), src.Len())
+	}
+	for _, want := range src.Profiles {
+		p, ok := got.ByName(want.Name)
+		if !ok {
+			t.Fatalf("model %s missing after round trip", want.Name)
+		}
+		if p.Accuracy != want.Accuracy {
+			t.Errorf("%s accuracy %v != %v", want.Name, p.Accuracy, want.Accuracy)
+		}
+		if p.MaxBatch() != want.MaxBatch() {
+			t.Fatalf("%s batch range %d != %d", want.Name, p.MaxBatch(), want.MaxBatch())
+		}
+		// p95 of the jittered samples should recover the tabulated p95
+		// within sampling noise.
+		for _, b := range []int{1, 8, 32} {
+			rel := math.Abs(p.BatchLatency(b)-want.BatchLatency(b)) / want.BatchLatency(b)
+			if rel > 0.10 {
+				t.Errorf("%s batch %d: recovered p95 %v vs original %v", want.Name, b, p.BatchLatency(b), want.BatchLatency(b))
+			}
+		}
+	}
+}
+
+func TestImportArtifactErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := ImportArtifact(dir, "x"); err == nil {
+		t.Error("missing accuracy map accepted")
+	}
+	// Accuracy map but a model without latencies -> that model simply is
+	// not imported; a model directory without accuracy must fail.
+	os.WriteFile(filepath.Join(dir, "accuracy.json"), []byte(`{"known":0.8}`), 0o644)
+	os.MkdirAll(filepath.Join(dir, "mystery"), 0o755)
+	os.WriteFile(filepath.Join(dir, "mystery", "1.json"), []byte(`[0.01]`), 0o644)
+	if _, err := ImportArtifact(dir, "x"); err == nil {
+		t.Error("model without accuracy accepted")
+	}
+
+	// Missing intermediate batch must fail loudly.
+	dir2 := t.TempDir()
+	os.WriteFile(filepath.Join(dir2, "accuracy.json"), []byte(`{"m":0.8}`), 0o644)
+	os.MkdirAll(filepath.Join(dir2, "m"), 0o755)
+	os.WriteFile(filepath.Join(dir2, "m", "1.json"), []byte(`[0.01,0.011]`), 0o644)
+	os.WriteFile(filepath.Join(dir2, "m", "3.json"), []byte(`[0.03]`), 0o644)
+	if _, err := ImportArtifact(dir2, "x"); err == nil {
+		t.Error("gap in batch profiles accepted")
+	}
+
+	// Corrupt latency list.
+	dir3 := t.TempDir()
+	os.WriteFile(filepath.Join(dir3, "accuracy.json"), []byte(`{"m":0.8}`), 0o644)
+	os.MkdirAll(filepath.Join(dir3, "m"), 0o755)
+	os.WriteFile(filepath.Join(dir3, "m", "1.json"), []byte(`nope`), 0o644)
+	if _, err := ImportArtifact(dir3, "x"); err == nil {
+		t.Error("corrupt latency list accepted")
+	}
+}
+
+func TestExportArtifactAccuracyFile(t *testing.T) {
+	dir := t.TempDir()
+	if err := AblationImageSet().ExportArtifact(dir, 50, 0.01, 2); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "accuracy.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acc map[string]float64
+	if err := json.Unmarshal(data, &acc); err != nil {
+		t.Fatal(err)
+	}
+	if len(acc) != 3 {
+		t.Errorf("accuracy map has %d entries, want 3", len(acc))
+	}
+}

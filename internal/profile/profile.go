@@ -1,0 +1,355 @@
+// Package profile holds the offline inputs RAMSIS and the baselines consume:
+// per-model inference accuracy profiles and per-(model, batch size) latency
+// profiles (§3.1.1). The paper profiles 26 TorchVision ImageNet models and 5
+// HuggingFace BERT models on GCP n1 workers; this repository substitutes
+// built-in tables calibrated so the published structural facts hold:
+//
+//   - exactly 9 of the 26 image models lie on the accuracy/latency Pareto
+//     front (Fig. 3);
+//   - the highest-latency image model's batch-1 p95 latency rounds up to
+//     300 ms and 1.5× it rounds up to 500 ms, fixing the paper's image SLOs
+//     {150, 300, 500} ms (§7); text analogously fixes {100, 200, 300} ms;
+//   - the largest batch size meeting the largest image SLO is B_w = 29
+//     (§4.2.3).
+//
+// Latencies are p95 values in seconds, generated from an affine batch model
+// l(b) = overhead + perItem·b and materialized as explicit tables so that all
+// downstream code consumes profile data, exactly as the paper's systems do.
+package profile
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// MaxSupportedBatch is the largest batch size profiled for any model,
+// matching the paper's worker queue bound N_w = 32 (§4.2.3).
+const MaxSupportedBatch = 32
+
+// Model identifies a trained ML model and its profiled accuracy on the
+// application-provided test set (ImageNet top-1 or GLUE-MNLI), as a fraction
+// in [0, 1].
+type Model struct {
+	Name     string
+	Accuracy float64
+}
+
+// Profile is a model plus its latency profile: Latency[b-1] is the p95
+// inference latency in seconds of serving a batch of b queries, including
+// input transfer and pre-processing time, for b in [1, MaxBatch].
+type Profile struct {
+	Model
+	Latency []float64
+}
+
+// MaxBatch returns the largest profiled batch size.
+func (p Profile) MaxBatch() int { return len(p.Latency) }
+
+// BatchLatency returns the p95 latency in seconds for a batch of size b.
+// It panics if b is outside [1, MaxBatch]: callers must clamp to the
+// profiled range, mirroring the paper's requirement that only profiled
+// (model, batch) pairs are schedulable.
+func (p Profile) BatchLatency(b int) float64 {
+	if b < 1 || b > len(p.Latency) {
+		panic(fmt.Sprintf("profile: batch size %d outside profiled range [1,%d] for %s", b, len(p.Latency), p.Name))
+	}
+	return p.Latency[b-1]
+}
+
+// Throughput returns the best profiled steady-state throughput (queries per
+// second) of the model on one worker: max over b of b / l(b).
+func (p Profile) Throughput() float64 {
+	best := 0.0
+	for b := 1; b <= p.MaxBatch(); b++ {
+		if tp := float64(b) / p.BatchLatency(b); tp > best {
+			best = tp
+		}
+	}
+	return best
+}
+
+// ThroughputWithin returns the best throughput achievable while keeping the
+// batch latency at or below maxLatency seconds; 0 if no batch qualifies.
+func (p Profile) ThroughputWithin(maxLatency float64) float64 {
+	best := 0.0
+	for b := 1; b <= p.MaxBatch(); b++ {
+		l := p.BatchLatency(b)
+		if l <= maxLatency {
+			if tp := float64(b) / l; tp > best {
+				best = tp
+			}
+		}
+	}
+	return best
+}
+
+// MaxBatchWithin returns the largest batch size whose latency is at or below
+// maxLatency seconds, or 0 if even batch 1 exceeds it.
+func (p Profile) MaxBatchWithin(maxLatency float64) int {
+	best := 0
+	for b := 1; b <= p.MaxBatch(); b++ {
+		if p.BatchLatency(b) <= maxLatency {
+			best = b
+		}
+	}
+	return best
+}
+
+// Set is a corpus of model profiles available on a worker for one task.
+type Set struct {
+	Task     string
+	Profiles []Profile
+}
+
+// Len returns the number of models in the set.
+func (s Set) Len() int { return len(s.Profiles) }
+
+// ByName returns the profile with the given model name.
+func (s Set) ByName(name string) (Profile, bool) {
+	for _, p := range s.Profiles {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// Subset returns the profiles whose names are listed, in listed order.
+// It panics on an unknown name so experiment configurations fail loudly.
+func (s Set) Subset(names ...string) Set {
+	out := Set{Task: s.Task}
+	for _, n := range names {
+		p, ok := s.ByName(n)
+		if !ok {
+			panic(fmt.Sprintf("profile: model %q not in set %q", n, s.Task))
+		}
+		out.Profiles = append(out.Profiles, p)
+	}
+	return out
+}
+
+// ScaleLatency returns a copy with every latency multiplied by f, modeling
+// a different worker hardware type (§7 notes worker homogeneity is not
+// fundamental: RAMSIS generates policies per worker).
+func (s Set) ScaleLatency(f float64) Set {
+	if !(f > 0) {
+		panic(fmt.Sprintf("profile: invalid latency scale %v", f))
+	}
+	out := Set{Task: s.Task, Profiles: make([]Profile, len(s.Profiles))}
+	for i, p := range s.Profiles {
+		lat := make([]float64, len(p.Latency))
+		for b, l := range p.Latency {
+			lat[b] = l * f
+		}
+		out.Profiles[i] = Profile{Model: p.Model, Latency: lat}
+	}
+	return out
+}
+
+// SortedByLatency returns a copy sorted by ascending batch-1 latency,
+// breaking ties by descending accuracy.
+func (s Set) SortedByLatency() Set {
+	out := Set{Task: s.Task, Profiles: append([]Profile(nil), s.Profiles...)}
+	sort.SliceStable(out.Profiles, func(i, j int) bool {
+		li, lj := out.Profiles[i].BatchLatency(1), out.Profiles[j].BatchLatency(1)
+		if li != lj {
+			return li < lj
+		}
+		return out.Profiles[i].Accuracy > out.Profiles[j].Accuracy
+	})
+	return out
+}
+
+// ParetoFront returns the models on the Pareto front of accuracy and batch-1
+// latency: every model for which no other model has both lower-or-equal
+// latency and strictly higher accuracy (nor equal accuracy at strictly lower
+// latency). RAMSIS prunes actions to this front (§4.3.3).
+func (s Set) ParetoFront() Set {
+	sorted := s.SortedByLatency()
+	out := Set{Task: s.Task}
+	bestAcc := math.Inf(-1)
+	for _, p := range sorted.Profiles {
+		if p.Accuracy > bestAcc {
+			out.Profiles = append(out.Profiles, p)
+			bestAcc = p.Accuracy
+		}
+	}
+	return out
+}
+
+// Fastest returns the lowest-latency model in the set, the forced choice
+// when no action can satisfy a state's slack (§4.3.1).
+func (s Set) Fastest() Profile {
+	if len(s.Profiles) == 0 {
+		panic("profile: Fastest on empty set")
+	}
+	best := s.Profiles[0]
+	for _, p := range s.Profiles[1:] {
+		if p.BatchLatency(1) < best.BatchLatency(1) {
+			best = p
+		}
+	}
+	return best
+}
+
+// MostAccurate returns the highest-accuracy model in the set.
+func (s Set) MostAccurate() Profile {
+	if len(s.Profiles) == 0 {
+		panic("profile: MostAccurate on empty set")
+	}
+	best := s.Profiles[0]
+	for _, p := range s.Profiles[1:] {
+		if p.Accuracy > best.Accuracy {
+			best = p
+		}
+	}
+	return best
+}
+
+// MaxBatchWithin returns B_w: the largest batch size across all models whose
+// latency meets the SLO (§4.2.1), or 0 if none does.
+func (s Set) MaxBatchWithin(slo float64) int {
+	best := 0
+	for _, p := range s.Profiles {
+		if b := p.MaxBatchWithin(slo); b > best {
+			best = b
+		}
+	}
+	return best
+}
+
+// affineProfile materializes l(b) = overhead + perItem·b (milliseconds in,
+// seconds out) for batches 1..MaxSupportedBatch.
+func affineProfile(name string, accuracyPct, overheadMS, perItemMS float64) Profile {
+	lat := make([]float64, MaxSupportedBatch)
+	for b := 1; b <= MaxSupportedBatch; b++ {
+		lat[b-1] = (overheadMS + perItemMS*float64(b)) / 1000
+	}
+	return Profile{Model: Model{Name: name, Accuracy: accuracyPct / 100}, Latency: lat}
+}
+
+// ImageSet returns the 26-model image classification corpus (Fig. 3): 11
+// EfficientNets, 5 ResNets, 2 ResNeXts, GoogLeNet, 2 MobileNets, Inception,
+// and 4 ShuffleNets. Accuracies are profiled ImageNet top-1 values; the
+// batch-latency parameters are calibrated so that exactly 9 models lie on
+// the Pareto front and B_w = 29 at the 500 ms SLO (see package comment).
+func ImageSet() Set {
+	const oh = 6.0 // dispatch + transfer overhead, ms
+	mk := func(name string, acc, perItem float64) Profile {
+		return affineProfile(name, acc, oh, perItem)
+	}
+	return Set{Task: "image", Profiles: []Profile{
+		// Pareto front, fastest to slowest.
+		mk("shufflenet_v2_x0_5", 60.55, 16.9),
+		mk("mobilenet_v3_small", 67.67, 19.0),
+		// 23.3 rather than a round 23.0: at 23.0 the model's best
+		// within-SLO/2 throughput on 60 workers lands exactly on a sweep
+		// load rung (2,400 QPS), letting load-granular baselines admit it
+		// at utilization exactly 1 — a degenerate boundary real profiled
+		// numbers never hit.
+		mk("shufflenet_v2_x1_0", 69.36, 23.3),
+		mk("mobilenet_v2", 71.88, 31.0),
+		mk("shufflenet_v2_x2_0", 76.23, 40.0),
+		mk("efficientnet_b0", 77.69, 52.0),
+		mk("efficientnet_b2", 80.61, 77.0),
+		mk("efficientnet_b4", 83.38, 130.0),
+		mk("efficientnet_v2_s", 84.23, 278.0),
+		// Dominated models.
+		mk("shufflenet_v2_x1_5", 72.996, 41.0),
+		mk("googlenet", 69.78, 58.0),
+		mk("resnet18", 69.76, 45.0),
+		mk("resnet34", 73.31, 68.0),
+		mk("resnet50", 76.13, 88.0),
+		mk("resnet101", 77.37, 140.0),
+		mk("resnet152", 78.31, 190.0),
+		mk("resnext50_32x4d", 77.61, 110.0),
+		mk("resnext101_32x8d", 79.31, 230.0),
+		mk("inception_v3", 77.29, 95.0),
+		mk("efficientnet_b1", 78.64, 80.0),
+		mk("efficientnet_b3", 82.01, 135.0),
+		mk("efficientnet_b5", 83.44, 280.0),
+		mk("efficientnet_b6", 84.00, 283.0),
+		mk("efficientnet_b7", 84.12, 285.0),
+		mk("efficientnet_v2_m", 84.05, 284.0),
+		mk("efficientnet_v2_l", 84.15, 287.0),
+	}}
+}
+
+// TextSet returns the 5-model BERT text classification corpus (Fig. 9):
+// tiny, mini, small, medium, base, with profiled GLUE-MNLI accuracies.
+// All five are on the Pareto front; the highest-latency model's batch-1
+// latency rounds up to 200 ms, fixing the text SLOs {100, 200, 300} ms.
+func TextSet() Set {
+	const oh = 4.0
+	mk := func(name string, acc, perItem float64) Profile {
+		return affineProfile(name, acc, oh, perItem)
+	}
+	return Set{Task: "text", Profiles: []Profile{
+		mk("bert-tiny", 68.5, 4.0),
+		mk("bert-mini", 74.8, 13.0),
+		mk("bert-small", 77.6, 31.0),
+		mk("bert-medium", 80.4, 65.0),
+		mk("bert-base", 84.0, 140.0),
+	}}
+}
+
+// SetForTask returns the built-in corpus for "image" or "text".
+func SetForTask(task string) (Set, error) {
+	switch task {
+	case "image":
+		return ImageSet(), nil
+	case "text":
+		return TextSet(), nil
+	}
+	return Set{}, fmt.Errorf("profile: unknown task %q (want image or text)", task)
+}
+
+// InterpolatedSet builds the Fig. 8 high-model-count scenario: a strict
+// superset of the base set's Pareto front, adding synthetic models whose
+// accuracies are evenly spaced between the front's endpoints and whose
+// latencies are piecewise-linear interpolations of the front, until the set
+// holds total models. The paper uses total = 60 in 0.5 % accuracy steps.
+func InterpolatedSet(base Set, total int) Set {
+	front := base.ParetoFront()
+	if total <= front.Len() {
+		return front
+	}
+	fp := front.SortedByLatency().Profiles
+	lo, hi := fp[0].Accuracy, fp[len(fp)-1].Accuracy
+	n := total - len(fp)
+	out := Set{Task: base.Task, Profiles: append([]Profile(nil), fp...)}
+	maxBatch := fp[0].MaxBatch()
+	for i := 1; i <= n; i++ {
+		acc := lo + (hi-lo)*float64(i)/float64(n+1)
+		lat := make([]float64, maxBatch)
+		for b := 1; b <= maxBatch; b++ {
+			lat[b-1] = interpLatency(fp, acc, b)
+		}
+		out.Profiles = append(out.Profiles, Profile{
+			Model:   Model{Name: fmt.Sprintf("synthetic_%05.2f", acc*100), Accuracy: acc},
+			Latency: lat,
+		})
+	}
+	return out
+}
+
+// interpLatency linearly interpolates the latency at batch b for the given
+// accuracy along the front (which is sorted by ascending latency/accuracy).
+func interpLatency(front []Profile, acc float64, b int) float64 {
+	for i := 1; i < len(front); i++ {
+		a0, a1 := front[i-1].Accuracy, front[i].Accuracy
+		if acc <= a1 || i == len(front)-1 {
+			frac := (acc - a0) / (a1 - a0)
+			l0, l1 := front[i-1].BatchLatency(b), front[i].BatchLatency(b)
+			return l0 + frac*(l1-l0)
+		}
+	}
+	return front[len(front)-1].BatchLatency(b)
+}
+
+// AblationImageSet returns the Fig. 12 three-model set: the minimum-latency
+// model, a medium-latency model, and a long-latency model from Fig. 3.
+func AblationImageSet() Set {
+	return ImageSet().Subset("shufflenet_v2_x0_5", "efficientnet_b2", "efficientnet_v2_s")
+}

@@ -1,0 +1,320 @@
+package profile
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestImageSetHasTwentySixModels(t *testing.T) {
+	s := ImageSet()
+	if s.Len() != 26 {
+		t.Fatalf("ImageSet has %d models, want 26", s.Len())
+	}
+	counts := map[string]int{}
+	for _, p := range s.Profiles {
+		switch {
+		case strings.HasPrefix(p.Name, "efficientnet"):
+			counts["efficientnet"]++
+		case strings.HasPrefix(p.Name, "resnext"):
+			counts["resnext"]++
+		case strings.HasPrefix(p.Name, "resnet"):
+			counts["resnet"]++
+		case strings.HasPrefix(p.Name, "shufflenet"):
+			counts["shufflenet"]++
+		case strings.HasPrefix(p.Name, "mobilenet"):
+			counts["mobilenet"]++
+		case p.Name == "googlenet" || p.Name == "inception_v3":
+			counts[p.Name]++
+		default:
+			t.Errorf("unexpected model %q", p.Name)
+		}
+	}
+	// §7: 11 EfficientNets, 5 ResNets, 2 ResNeXts, GoogLeNet, 2 MobileNets,
+	// Inception, 4 ShuffleNets.
+	want := map[string]int{
+		"efficientnet": 11, "resnet": 5, "resnext": 2, "googlenet": 1,
+		"mobilenet": 2, "inception_v3": 1, "shufflenet": 4,
+	}
+	for k, v := range want {
+		if counts[k] != v {
+			t.Errorf("family %s: got %d, want %d", k, counts[k], v)
+		}
+	}
+}
+
+func TestImageParetoFrontHasNineModels(t *testing.T) {
+	front := ImageSet().ParetoFront()
+	if front.Len() != 9 {
+		names := make([]string, 0, front.Len())
+		for _, p := range front.Profiles {
+			names = append(names, p.Name)
+		}
+		t.Fatalf("image Pareto front has %d models (%v), want 9 (Fig. 3)", front.Len(), names)
+	}
+}
+
+func TestParetoFrontIsMonotone(t *testing.T) {
+	for _, s := range []Set{ImageSet(), TextSet()} {
+		front := s.ParetoFront().SortedByLatency()
+		for i := 1; i < front.Len(); i++ {
+			prev, cur := front.Profiles[i-1], front.Profiles[i]
+			if cur.Accuracy <= prev.Accuracy {
+				t.Errorf("%s front not strictly increasing in accuracy: %s(%.4f) -> %s(%.4f)",
+					s.Task, prev.Name, prev.Accuracy, cur.Name, cur.Accuracy)
+			}
+			if cur.BatchLatency(1) <= prev.BatchLatency(1) {
+				t.Errorf("%s front not strictly increasing in latency: %s -> %s", s.Task, prev.Name, cur.Name)
+			}
+		}
+	}
+}
+
+func TestParetoFrontDominance(t *testing.T) {
+	// Every model not on the front must be dominated by some front model.
+	for _, s := range []Set{ImageSet(), TextSet()} {
+		front := s.ParetoFront()
+		onFront := map[string]bool{}
+		for _, p := range front.Profiles {
+			onFront[p.Name] = true
+		}
+		for _, p := range s.Profiles {
+			if onFront[p.Name] {
+				continue
+			}
+			dominated := false
+			for _, f := range front.Profiles {
+				if f.BatchLatency(1) <= p.BatchLatency(1) && f.Accuracy > p.Accuracy {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				t.Errorf("%s: %s is off the front but not dominated", s.Task, p.Name)
+			}
+		}
+	}
+}
+
+func TestSLOAnchors(t *testing.T) {
+	// §7: middle SLO = batch-1 latency of the highest-latency model rounded
+	// up to the nearest 100 ms; highest SLO = 1.5x that latency rounded up.
+	roundUp100 := func(ms float64) float64 { return math.Ceil(ms/100) * 100 }
+	img := ImageSet()
+	maxLat := 0.0
+	for _, p := range img.Profiles {
+		maxLat = math.Max(maxLat, p.BatchLatency(1))
+	}
+	if got := roundUp100(maxLat * 1000); got != 300 {
+		t.Errorf("image middle SLO anchor = %v ms, want 300 (max latency %.1f ms)", got, maxLat*1000)
+	}
+	if got := roundUp100(1.5 * maxLat * 1000); got != 500 {
+		t.Errorf("image high SLO anchor = %v ms, want 500", got)
+	}
+	txt := TextSet()
+	maxLat = 0
+	for _, p := range txt.Profiles {
+		maxLat = math.Max(maxLat, p.BatchLatency(1))
+	}
+	if got := roundUp100(maxLat * 1000); got != 200 {
+		t.Errorf("text middle SLO anchor = %v ms, want 200", got)
+	}
+	if got := roundUp100(1.5 * maxLat * 1000); got != 300 {
+		t.Errorf("text high SLO anchor = %v ms, want 300", got)
+	}
+}
+
+func TestMaxBatchWithinIs29AtLargestImageSLO(t *testing.T) {
+	// §4.2.3 / §6: B_w = 29 observed for the largest evaluated image SLO.
+	if got := ImageSet().MaxBatchWithin(0.5); got != 29 {
+		t.Errorf("B_w at 500 ms = %d, want 29", got)
+	}
+}
+
+func TestLatencyMonotoneInBatch(t *testing.T) {
+	for _, s := range []Set{ImageSet(), TextSet()} {
+		for _, p := range s.Profiles {
+			for b := 2; b <= p.MaxBatch(); b++ {
+				if p.BatchLatency(b) <= p.BatchLatency(b-1) {
+					t.Fatalf("%s/%s: latency not increasing at batch %d", s.Task, p.Name, b)
+				}
+			}
+		}
+	}
+}
+
+func TestBatchLatencyPanicsOutOfRange(t *testing.T) {
+	p := ImageSet().Profiles[0]
+	for _, b := range []int{0, -1, MaxSupportedBatch + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("BatchLatency(%d) did not panic", b)
+				}
+			}()
+			p.BatchLatency(b)
+		}()
+	}
+}
+
+func TestThroughputImprovesWithBatching(t *testing.T) {
+	for _, p := range ImageSet().Profiles {
+		if p.Throughput() <= 1/p.BatchLatency(1) {
+			t.Errorf("%s: batching does not improve throughput", p.Name)
+		}
+	}
+}
+
+func TestThroughputWithin(t *testing.T) {
+	p, _ := ImageSet().ByName("shufflenet_v2_x0_5")
+	if got := p.ThroughputWithin(0.001); got != 0 {
+		t.Errorf("ThroughputWithin(1ms) = %v, want 0", got)
+	}
+	if p.ThroughputWithin(0.15) >= p.ThroughputWithin(0.5) {
+		t.Errorf("tighter latency bound should not allow higher throughput")
+	}
+}
+
+func TestFastestAndMostAccurate(t *testing.T) {
+	img := ImageSet()
+	if got := img.Fastest().Name; got != "shufflenet_v2_x0_5" {
+		t.Errorf("Fastest = %s, want shufflenet_v2_x0_5", got)
+	}
+	if got := img.MostAccurate().Name; got != "efficientnet_v2_s" {
+		t.Errorf("MostAccurate = %s, want efficientnet_v2_s", got)
+	}
+	txt := TextSet()
+	if got := txt.Fastest().Name; got != "bert-tiny" {
+		t.Errorf("text Fastest = %s, want bert-tiny", got)
+	}
+	if got := txt.MostAccurate().Name; got != "bert-base" {
+		t.Errorf("text MostAccurate = %s, want bert-base", got)
+	}
+}
+
+func TestTextSetAllOnParetoFront(t *testing.T) {
+	s := TextSet()
+	if got := s.ParetoFront().Len(); got != s.Len() {
+		t.Errorf("text Pareto front has %d of %d models, want all (Fig. 9)", got, s.Len())
+	}
+}
+
+func TestSetForTask(t *testing.T) {
+	for _, task := range []string{"image", "text"} {
+		s, err := SetForTask(task)
+		if err != nil || s.Task != task {
+			t.Errorf("SetForTask(%q) = %v, %v", task, s.Task, err)
+		}
+	}
+	if _, err := SetForTask("audio"); err == nil {
+		t.Error("SetForTask(audio) should fail")
+	}
+}
+
+func TestSubset(t *testing.T) {
+	s := ImageSet().Subset("resnet50", "googlenet")
+	if s.Len() != 2 || s.Profiles[0].Name != "resnet50" || s.Profiles[1].Name != "googlenet" {
+		t.Errorf("Subset wrong: %+v", s.Profiles)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Subset with unknown name did not panic")
+			}
+		}()
+		ImageSet().Subset("nonexistent")
+	}()
+}
+
+func TestInterpolatedSetSixtyModels(t *testing.T) {
+	s := InterpolatedSet(ImageSet(), 60)
+	if s.Len() != 60 {
+		t.Fatalf("InterpolatedSet has %d models, want 60", s.Len())
+	}
+	// Strict superset of the front (Fig. 8).
+	for _, f := range ImageSet().ParetoFront().Profiles {
+		if _, ok := s.ByName(f.Name); !ok {
+			t.Errorf("front model %s missing from interpolated set", f.Name)
+		}
+	}
+	// All 60 must themselves be Pareto-optimal (interpolation of a front).
+	if got := s.ParetoFront().Len(); got != 60 {
+		t.Errorf("interpolated set front has %d models, want 60", got)
+	}
+	// Synthetic accuracies stay within the front's range.
+	front := ImageSet().ParetoFront().SortedByLatency()
+	lo := front.Profiles[0].Accuracy
+	hi := front.Profiles[front.Len()-1].Accuracy
+	for _, p := range s.Profiles {
+		if p.Accuracy < lo-1e-9 || p.Accuracy > hi+1e-9 {
+			t.Errorf("%s accuracy %.4f outside [%v,%v]", p.Name, p.Accuracy, lo, hi)
+		}
+	}
+}
+
+func TestInterpolatedSetSmallTotalReturnsFront(t *testing.T) {
+	s := InterpolatedSet(ImageSet(), 5)
+	if s.Len() != 9 {
+		t.Errorf("InterpolatedSet(5) = %d models, want the 9-model front", s.Len())
+	}
+}
+
+func TestAblationImageSet(t *testing.T) {
+	s := AblationImageSet()
+	if s.Len() != 3 {
+		t.Fatalf("ablation set has %d models, want 3", s.Len())
+	}
+	want := []string{"shufflenet_v2_x0_5", "efficientnet_b2", "efficientnet_v2_s"}
+	for i, n := range want {
+		if s.Profiles[i].Name != n {
+			t.Errorf("ablation[%d] = %s, want %s", i, s.Profiles[i].Name, n)
+		}
+	}
+}
+
+func TestParetoFrontPropertyRandomSets(t *testing.T) {
+	// Property: for random profile sets, every front member is undominated
+	// and every non-member is dominated.
+	f := func(accs, lats []uint16) bool {
+		n := len(accs)
+		if len(lats) < n {
+			n = len(lats)
+		}
+		if n == 0 {
+			return true
+		}
+		s := Set{Task: "rand"}
+		for i := 0; i < n; i++ {
+			lat := 0.001 + float64(lats[i]%1000)/1000
+			s.Profiles = append(s.Profiles, Profile{
+				Model:   Model{Name: string(rune('a' + i%26)), Accuracy: float64(accs[i]%1000) / 1000},
+				Latency: []float64{lat},
+			})
+		}
+		front := s.ParetoFront()
+		for _, p := range front.Profiles {
+			for _, q := range s.Profiles {
+				if q.BatchLatency(1) < p.BatchLatency(1) && q.Accuracy >= p.Accuracy {
+					return false
+				}
+				if q.BatchLatency(1) <= p.BatchLatency(1) && q.Accuracy > p.Accuracy {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTextCapacitySupportsPaperLoads(t *testing.T) {
+	// Table 4 (text): 20 workers stay under 1% violations through 4000 QPS,
+	// so the fastest text model's per-worker throughput must exceed 200 QPS.
+	p := TextSet().Fastest()
+	if tp := p.ThroughputWithin(0.1); tp <= 200 {
+		t.Errorf("bert-tiny throughput within 100ms = %.1f QPS, want > 200", tp)
+	}
+}

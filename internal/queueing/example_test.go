@@ -1,0 +1,23 @@
+package queueing_test
+
+import (
+	"fmt"
+
+	"ramsis/internal/queueing"
+)
+
+// The textbook Erlang-C value: two servers at offered load 1 make an
+// arriving query wait one third of the time.
+func ExampleErlangC() {
+	fmt.Printf("%.4f\n", queueing.ErlangC(2, 1))
+	// Output:
+	// 0.3333
+}
+
+// Pollaczek-Khinchine for M/D/1: mean wait = rho*d / (2(1-rho)).
+func ExampleMDcWaitMean() {
+	const lambda, d = 30.0, 0.02 // 60% utilization, 20 ms service
+	fmt.Printf("%.1f ms\n", queueing.MDcWaitMean(1, lambda, d)*1000)
+	// Output:
+	// 15.0 ms
+}

@@ -1,0 +1,118 @@
+// Package queueing provides the classical queueing-theory estimates the
+// inference-serving literature leans on ([3], [18], §8): Erlang-C waiting
+// probabilities, M/M/c and M/D/c waiting times, response-latency tails, and
+// fluid capacity bounds. The ModelSwitching baseline profiles response
+// latencies empirically (as the paper does); this package supplies the
+// analytic counterpart, and its agreement with the discrete-event simulator
+// is itself a correctness cross-check of the simulator (inference service
+// times are deterministic, so a batch-1 fixed-model run is exactly M/D/c).
+package queueing
+
+import (
+	"fmt"
+	"math"
+
+	"ramsis/internal/profile"
+)
+
+// ErlangC returns the probability that an arriving query must wait in an
+// M/M/c system with offered load a = λ/μ (Erlang's C formula). It returns 1
+// when the system is unstable (a >= c).
+func ErlangC(c int, a float64) float64 {
+	if c < 1 || a < 0 {
+		panic(fmt.Sprintf("queueing: invalid ErlangC(%d, %v)", c, a))
+	}
+	if a == 0 {
+		return 0
+	}
+	if a >= float64(c) {
+		return 1
+	}
+	// Iterative Erlang-B, then convert to C.
+	b := 1.0
+	for k := 1; k <= c; k++ {
+		b = a * b / (float64(k) + a*b)
+	}
+	rho := a / float64(c)
+	return b / (1 - rho*(1-b))
+}
+
+// MMcWaitMean returns the mean queueing delay of M/M/c with arrival rate
+// lambda and per-server service rate mu. +Inf when unstable.
+func MMcWaitMean(c int, lambda, mu float64) float64 {
+	a := lambda / mu
+	if a >= float64(c) {
+		return math.Inf(1)
+	}
+	return ErlangC(c, a) / (float64(c)*mu - lambda)
+}
+
+// MDcWaitMean returns the mean queueing delay of M/D/c (deterministic
+// service time d) via the standard half-of-M/M/c heavy-traffic
+// approximation, exact for c = 1 (Pollaczek–Khinchine).
+func MDcWaitMean(c int, lambda, d float64) float64 {
+	return MMcWaitMean(c, lambda, 1/d) / 2
+}
+
+// WaitTail returns P[queueing delay > t] for M/M/c under the exponential
+// tail P(W > t) = C(c, a)·e^{-(cμ−λ)t}; for deterministic service the same
+// decay rate applies asymptotically with the M/D/c mean correction folded
+// into the prefactor.
+func WaitTail(c int, lambda, mu, t float64) float64 {
+	a := lambda / mu
+	if a >= float64(c) {
+		return 1
+	}
+	return ErlangC(c, a) * math.Exp(-(float64(c)*mu-lambda)*t)
+}
+
+// ResponseQuantile returns an estimate of the q-th quantile (0 < q < 1) of
+// the response latency (wait + deterministic service d) in M/D/c, inverting
+// the exponential waiting tail with the M/D/c halving.
+func ResponseQuantile(c int, lambda, d, q float64) float64 {
+	if q <= 0 || q >= 1 {
+		panic(fmt.Sprintf("queueing: invalid quantile %v", q))
+	}
+	mu := 1 / d
+	a := lambda / mu
+	if a >= float64(c) {
+		return math.Inf(1)
+	}
+	pWait := ErlangC(c, a) / 2 // M/D/c halving applied to the mass that waits
+	if pWait <= 1-q {
+		return d // the quantile lands in the no-wait mass
+	}
+	decay := (float64(c)*mu - lambda) * 2 // halved mean => doubled decay
+	return d + math.Log(pWait/(1-q))/decay
+}
+
+// FluidCapacity is the throughput upper bound of a worker pool running one
+// model with adaptive batching capped at latency maxLat: workers times the
+// model's best within-maxLat throughput.
+func FluidCapacity(p profile.Profile, workers int, maxLat float64) float64 {
+	return float64(workers) * p.ThroughputWithin(maxLat)
+}
+
+// StableLoad returns the largest arrival rate (QPS) at which the estimated
+// q-th response-latency quantile of batch-1 M/D/c service stays within slo,
+// found by bisection. It is the analytic sibling of the ModelSwitching
+// offline profiler for batch size 1.
+func StableLoad(p profile.Profile, workers int, slo, q float64) float64 {
+	d := p.BatchLatency(1)
+	if d > slo {
+		return 0
+	}
+	lo, hi := 0.0, float64(workers)/d
+	for i := 0; i < 100; i++ {
+		mid := (lo + hi) / 2
+		if mid == 0 {
+			break
+		}
+		if ResponseQuantile(workers, mid, d, q) <= slo {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

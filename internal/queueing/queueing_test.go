@@ -1,0 +1,183 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+
+	"ramsis/internal/profile"
+	"ramsis/internal/sim"
+	"ramsis/internal/stats"
+	"ramsis/internal/trace"
+)
+
+func TestErlangCKnownValues(t *testing.T) {
+	// c=1: C = rho (waiting probability of M/M/1).
+	for _, rho := range []float64{0.1, 0.5, 0.9} {
+		if got := ErlangC(1, rho); math.Abs(got-rho) > 1e-12 {
+			t.Errorf("ErlangC(1, %v) = %v, want %v", rho, got, rho)
+		}
+	}
+	// Textbook value: c=2, a=1 -> C = 1/3.
+	if got := ErlangC(2, 1); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("ErlangC(2,1) = %v, want 1/3", got)
+	}
+	// Unstable and empty edges.
+	if got := ErlangC(4, 5); got != 1 {
+		t.Errorf("unstable ErlangC = %v, want 1", got)
+	}
+	if got := ErlangC(4, 0); got != 0 {
+		t.Errorf("idle ErlangC = %v, want 0", got)
+	}
+}
+
+func TestErlangCMonotoneInLoad(t *testing.T) {
+	prev := 0.0
+	for a := 0.5; a < 8; a += 0.5 {
+		cur := ErlangC(8, a)
+		if cur < prev-1e-12 {
+			t.Fatalf("ErlangC not monotone at a=%v", a)
+		}
+		prev = cur
+	}
+}
+
+func TestMMcWaitMeanMM1(t *testing.T) {
+	// M/M/1: Wq = rho / (mu - lambda).
+	lambda, mu := 8.0, 10.0
+	want := (lambda / mu) / (mu - lambda)
+	if got := MMcWaitMean(1, lambda, mu); math.Abs(got-want) > 1e-12 {
+		t.Errorf("MM1 wait = %v, want %v", got, want)
+	}
+	if !math.IsInf(MMcWaitMean(1, 11, 10), 1) {
+		t.Error("unstable MM1 wait should be +Inf")
+	}
+}
+
+func TestMD1WaitMeanPollaczekKhinchine(t *testing.T) {
+	// M/D/1 exact: Wq = rho·d / (2(1-rho)).
+	lambda, d := 30.0, 0.02
+	rho := lambda * d
+	want := rho * d / (2 * (1 - rho))
+	if got := MDcWaitMean(1, lambda, d); math.Abs(got-want) > 1e-12 {
+		t.Errorf("MD1 wait = %v, want %v", got, want)
+	}
+}
+
+// TestMD1AgainstSimulator cross-validates the simulator: a single worker
+// running one model at batch cap 1 under Poisson arrivals IS an M/D/1
+// queue, so the simulated mean wait must match Pollaczek–Khinchine.
+func TestMD1AgainstSimulator(t *testing.T) {
+	ps := profile.ImageSet()
+	d := ps.Profiles[0].BatchLatency(1) // 22.9 ms deterministic service
+	for _, rho := range []float64{0.4, 0.7} {
+		lambda := rho / d
+		e := sim.NewEngine(ps, 10 /* huge SLO: no violations */, 1, sim.Deterministic{}, &sim.FixedModel{Model: 0, MaxBatch: 1}, 1)
+		e.CollectLatencies = true
+		arr := trace.PoissonArrivals(trace.Constant(lambda, 600), 7)
+		m := e.Run(arr)
+		meanResp := stats.Mean(m.Latencies)
+		want := MDcWaitMean(1, lambda, d) + d
+		if math.Abs(meanResp-want)/want > 0.06 {
+			t.Errorf("rho=%v: simulated mean response %v, M/D/1 predicts %v", rho, meanResp, want)
+		}
+	}
+}
+
+// TestMDcAgainstSimulator does the same for c=4 workers, where the halved
+// Erlang-C approximation should land within ~10%.
+func TestMDcAgainstSimulator(t *testing.T) {
+	ps := profile.ImageSet()
+	d := ps.Profiles[0].BatchLatency(1)
+	const c = 4
+	rho := 0.8
+	lambda := rho * float64(c) / d
+	e := sim.NewEngine(ps, 10, c, sim.Deterministic{}, &sim.FixedModel{Model: 0, MaxBatch: 1}, 1)
+	e.CollectLatencies = true
+	arr := trace.PoissonArrivals(trace.Constant(lambda, 600), 9)
+	m := e.Run(arr)
+	gotWait := stats.Mean(m.Latencies) - d
+	want := MDcWaitMean(c, lambda, d)
+	if math.Abs(gotWait-want)/want > 0.12 {
+		t.Errorf("simulated mean wait %v, M/D/c approximation %v", gotWait, want)
+	}
+}
+
+func TestResponseQuantile(t *testing.T) {
+	d := 0.02
+	// Light load: p50 should be just the service time.
+	if got := ResponseQuantile(4, 1, d, 0.5); got != d {
+		t.Errorf("light-load median = %v, want %v", got, d)
+	}
+	// Quantiles increase with q and with load.
+	q90 := ResponseQuantile(4, 150, d, 0.90)
+	q99 := ResponseQuantile(4, 150, d, 0.99)
+	if q99 <= q90 {
+		t.Errorf("q99 %v <= q90 %v", q99, q90)
+	}
+	if hi := ResponseQuantile(4, 190, d, 0.99); hi <= q99 {
+		t.Errorf("quantile not increasing in load: %v <= %v", hi, q99)
+	}
+	if !math.IsInf(ResponseQuantile(1, 100, d, 0.99), 1) {
+		t.Error("unstable quantile should be +Inf")
+	}
+}
+
+func TestResponseQuantileAgainstSimulator(t *testing.T) {
+	ps := profile.ImageSet()
+	d := ps.Profiles[0].BatchLatency(1)
+	const c = 4
+	lambda := 0.75 * float64(c) / d
+	e := sim.NewEngine(ps, 10, c, sim.Deterministic{}, &sim.FixedModel{Model: 0, MaxBatch: 1}, 1)
+	e.CollectLatencies = true
+	m := e.Run(trace.PoissonArrivals(trace.Constant(lambda, 600), 11))
+	simP99 := stats.Percentile(m.Latencies, 99)
+	anaP99 := ResponseQuantile(c, lambda, d, 0.99)
+	if math.Abs(simP99-anaP99)/simP99 > 0.15 {
+		t.Errorf("p99: simulated %v vs analytic %v", simP99, anaP99)
+	}
+}
+
+func TestFluidCapacity(t *testing.T) {
+	p, _ := profile.ImageSet().ByName("shufflenet_v2_x0_5")
+	got := FluidCapacity(p, 60, 0.075)
+	want := 60 * p.ThroughputWithin(0.075)
+	if got != want {
+		t.Errorf("FluidCapacity = %v, want %v", got, want)
+	}
+}
+
+func TestStableLoad(t *testing.T) {
+	p, _ := profile.ImageSet().ByName("shufflenet_v2_x0_5")
+	got := StableLoad(p, 4, 0.150, 0.99)
+	// Must be positive, below the batch-1 saturation bound c/d, and the
+	// quantile constraint must hold at the returned load.
+	max := 4 / p.BatchLatency(1)
+	if got <= 0 || got >= max {
+		t.Fatalf("StableLoad = %v outside (0, %v)", got, max)
+	}
+	if q := ResponseQuantile(4, got, p.BatchLatency(1), 0.99); q > 0.150+1e-9 {
+		t.Errorf("quantile at stable load = %v > SLO", q)
+	}
+	// A model slower than the SLO has zero stable load.
+	slow, _ := profile.ImageSet().ByName("efficientnet_v2_s")
+	if got := StableLoad(slow, 4, 0.150, 0.99); got != 0 {
+		t.Errorf("infeasible model stable load = %v, want 0", got)
+	}
+}
+
+func TestErlangCPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { ErlangC(0, 1) },
+		func() { ErlangC(2, -1) },
+		func() { ResponseQuantile(2, 1, 0.01, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

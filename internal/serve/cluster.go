@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"fmt"
+
+	"ramsis/internal/monitor"
+	"ramsis/internal/profile"
+	"ramsis/internal/sim"
+)
+
+// ClusterConfig configures a self-contained localhost deployment: N worker
+// servers plus the live frontend.
+type ClusterConfig struct {
+	Models    profile.Set
+	Workers   int
+	SLO       float64
+	TimeScale float64
+	// LatencyStdDev adds the §7.3.1 inference jitter in seconds (0 =
+	// deterministic p95 latencies).
+	LatencyStdDev float64
+	Select        SelectFunc
+	Monitor       monitor.Monitor
+	Seed          int64
+}
+
+// Cluster is a running localhost deployment.
+type Cluster struct {
+	Frontend *Frontend
+	workers  []*Worker
+}
+
+// StartCluster boots the workers and the frontend. Stop releases
+// everything.
+func StartCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("serve: cluster needs at least one worker")
+	}
+	if cfg.Select == nil {
+		return nil, fmt.Errorf("serve: cluster needs a selector")
+	}
+	var lat sim.LatencyModel = sim.Deterministic{}
+	if cfg.LatencyStdDev > 0 {
+		lat = sim.Stochastic{StdDev: cfg.LatencyStdDev}
+	}
+	c := &Cluster{}
+	urls := make([]string, cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		w := NewWorker(cfg.Models, lat, cfg.TimeScale, cfg.Seed+int64(i))
+		if err := w.Start(); err != nil {
+			c.Stop()
+			return nil, err
+		}
+		c.workers = append(c.workers, w)
+		urls[i] = w.URL()
+	}
+	c.Frontend = &Frontend{
+		Profiles:  cfg.Models,
+		SLO:       cfg.SLO,
+		TimeScale: cfg.TimeScale,
+		Workers:   urls,
+		Select:    cfg.Select,
+		Monitor:   cfg.Monitor,
+	}
+	if err := c.Frontend.Start(); err != nil {
+		c.Stop()
+		return nil, err
+	}
+	return c, nil
+}
+
+// URL returns the frontend's base URL.
+func (c *Cluster) URL() string { return c.Frontend.URL() }
+
+// Stop shuts down the frontend and every worker.
+func (c *Cluster) Stop() {
+	if c.Frontend != nil {
+		_ = c.Frontend.Stop()
+	}
+	for _, w := range c.workers {
+		_ = w.Stop()
+	}
+}

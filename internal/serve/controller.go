@@ -1,0 +1,278 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"ramsis/internal/core"
+	"ramsis/internal/monitor"
+	"ramsis/internal/profile"
+	"ramsis/internal/sim"
+)
+
+// SelectFunc is an online model-selection decision for one worker queue:
+// given the modeled time, anticipated load, queue length, and the earliest
+// queued query's slack, it returns the model name and batch size to run.
+type SelectFunc func(now, load float64, queueLen int, slack float64) (model string, batch int)
+
+// RAMSISSelector adapts an offline-generated policy set to the online
+// selector interface (§3.2.2). It uses the non-blocking lookup: when the
+// anticipated load exceeds the pre-computed ladder, serving continues with
+// the highest-load policy while the missing one generates in the
+// background — real-time serving must not stall behind policy generation.
+func RAMSISSelector(set *core.PolicySet) SelectFunc {
+	return func(now, load float64, n int, slack float64) (string, int) {
+		pol, err := set.PolicyForNow(load)
+		if err != nil {
+			panic(fmt.Sprintf("serve: no policy: %v", err))
+		}
+		c := pol.Select(n, slack)
+		b := c.Batch
+		if b > n {
+			b = n
+		}
+		return c.Model, b
+	}
+}
+
+// LoadGranularSelector adapts a load-granular model choice (Jellyfish+,
+// ModelSwitching, INFaaS) with adaptive batching capped at half the SLO.
+func LoadGranularSelector(profiles profile.Set, slo float64, modelFor func(load float64) int) SelectFunc {
+	return func(_, load float64, n int, _ float64) (string, int) {
+		p := profiles.Profiles[modelFor(load)]
+		b := p.MaxBatchWithin(slo / 2)
+		if b < 1 {
+			b = 1
+		}
+		if b > n {
+			b = n
+		}
+		return p.Name, b
+	}
+}
+
+// Controller is the central controller VM of §6: it runs the workload
+// generator, the central queue, the load balancer, and one model-selector
+// loop per worker, dispatching batches to worker servers over HTTP.
+type Controller struct {
+	Profiles  profile.Set
+	SLO       float64
+	TimeScale float64
+	Workers   []string // worker base URLs
+	Select    SelectFunc
+	Monitor   monitor.Monitor
+	// Central routes all queries through the central queue with eager
+	// workers (the baselines' implicit balancing); otherwise queries are
+	// distributed round-robin to per-worker queues (RAMSIS, §3.2.1).
+	Central bool
+	// CollectLatencies records every response latency in the metrics.
+	CollectLatencies bool
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	central []sim.Query
+	wq      [][]sim.Query
+	genDone bool
+	metrics sim.Metrics
+	start   time.Time
+	client  *http.Client
+}
+
+// now returns modeled seconds since Run started.
+func (c *Controller) now() float64 {
+	return time.Since(c.start).Seconds() * c.TimeScale
+}
+
+// Run replays the arrival times (modeled seconds) through the full HTTP
+// stack and returns metrics in modeled time. It blocks until every query is
+// served.
+func (c *Controller) Run(arrivals []float64) (sim.Metrics, error) {
+	if len(c.Workers) == 0 {
+		return sim.Metrics{}, fmt.Errorf("serve: no workers")
+	}
+	if c.TimeScale <= 0 {
+		c.TimeScale = 1
+	}
+	c.cond = sync.NewCond(&c.mu)
+	c.wq = make([][]sim.Query, len(c.Workers))
+	c.central = nil
+	c.genDone = false
+	c.metrics = sim.Metrics{ModelCounts: map[string]int{}}
+	c.client = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: len(c.Workers) + 4}}
+	c.start = time.Now()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(c.Workers))
+	for w := range c.Workers {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if err := c.workerLoop(w); err != nil {
+				errs <- err
+				// Wake everyone so the run can unwind.
+				c.mu.Lock()
+				c.genDone = true
+				c.cond.Broadcast()
+				c.mu.Unlock()
+			}
+		}(w)
+	}
+
+	// Workload generator: replay arrivals in (scaled) real time.
+	for i, a := range arrivals {
+		wall := c.start.Add(time.Duration(a / c.TimeScale * float64(time.Second)))
+		if d := time.Until(wall); d > 0 {
+			time.Sleep(d)
+		}
+		q := sim.Query{ID: i, Arrival: a}
+		c.mu.Lock()
+		if c.Monitor != nil {
+			c.Monitor.Observe(c.now())
+		}
+		if c.Central {
+			c.central = append(c.central, q)
+		} else {
+			c.wq[i%len(c.Workers)] = append(c.wq[i%len(c.Workers)], q)
+		}
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	}
+	c.mu.Lock()
+	c.genDone = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return c.metrics, err
+	default:
+	}
+	return c.metrics, nil
+}
+
+// workerLoop is one per-worker model selector: it waits for queued queries,
+// applies the selector, and dispatches the batch to its worker over HTTP.
+func (c *Controller) workerLoop(w int) error {
+	for {
+		c.mu.Lock()
+		for c.queueLen(w) == 0 && !c.genDone {
+			c.cond.Wait()
+		}
+		n := c.queueLen(w)
+		if n == 0 && c.genDone {
+			c.mu.Unlock()
+			return nil
+		}
+		now := c.now()
+		load := 0.0
+		if c.Monitor != nil {
+			load = c.Monitor.Load(now)
+		}
+		head := c.peek(w)
+		slack := head.Arrival + c.SLO - now
+		model, batch := c.Select(now, load, n, slack)
+		p, ok := c.Profiles.ByName(model)
+		if !ok {
+			c.mu.Unlock()
+			return fmt.Errorf("serve: selector chose unknown model %q", model)
+		}
+		if batch > p.MaxBatch() {
+			batch = p.MaxBatch()
+		}
+		if batch < 1 {
+			batch = 1
+		}
+		queries := c.pop(w, batch)
+		c.mu.Unlock()
+
+		if err := c.dispatch(w, model, queries); err != nil {
+			return err
+		}
+	}
+}
+
+func (c *Controller) queueLen(w int) int {
+	if c.Central {
+		return len(c.central)
+	}
+	return len(c.wq[w])
+}
+
+func (c *Controller) peek(w int) sim.Query {
+	if c.Central {
+		return c.central[0]
+	}
+	return c.wq[w][0]
+}
+
+func (c *Controller) pop(w, k int) []sim.Query {
+	if c.Central {
+		if k > len(c.central) {
+			k = len(c.central)
+		}
+		out := append([]sim.Query(nil), c.central[:k]...)
+		c.central = c.central[k:]
+		return out
+	}
+	if k > len(c.wq[w]) {
+		k = len(c.wq[w])
+	}
+	out := append([]sim.Query(nil), c.wq[w][:k]...)
+	c.wq[w] = c.wq[w][k:]
+	return out
+}
+
+// dispatch POSTs the batch to the worker and records per-query outcomes at
+// the modeled completion time.
+func (c *Controller) dispatch(w int, model string, queries []sim.Query) error {
+	body, err := json.Marshal(InferRequest{Model: model, Batch: len(queries)})
+	if err != nil {
+		return err
+	}
+	var resp *http.Response
+	for attempt := 0; ; attempt++ {
+		resp, err = c.client.Post(c.Workers[w]+"/infer", "application/json", bytes.NewReader(body))
+		if err == nil {
+			break
+		}
+		if attempt >= 2 {
+			return fmt.Errorf("serve: worker %d unreachable: %w", w, err)
+		}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("serve: worker %d returned %s", w, resp.Status)
+	}
+	var ir InferResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+		return err
+	}
+	done := c.now()
+	p, _ := c.Profiles.ByName(model)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.metrics.Decisions++
+	c.metrics.ModelCounts[model] += len(queries)
+	for _, q := range queries {
+		c.metrics.Served++
+		lat := done - q.Arrival
+		if c.CollectLatencies {
+			c.metrics.Latencies = append(c.metrics.Latencies, lat)
+		}
+		if lat > c.SLO {
+			c.metrics.Violations++
+		} else {
+			c.metrics.SatAccSum += p.Accuracy
+		}
+	}
+	return nil
+}
+
+// newReader wraps a byte slice for repeated HTTP posts.
+func newReader(b []byte) *bytes.Reader { return bytes.NewReader(b) }

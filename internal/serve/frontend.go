@@ -1,0 +1,239 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"ramsis/internal/monitor"
+	"ramsis/internal/profile"
+	"ramsis/internal/sim"
+)
+
+// QueryResponse is the client-facing result of one inference query.
+type QueryResponse struct {
+	ID          int     `json:"id"`
+	Model       string  `json:"model"`
+	Batch       int     `json:"batch"`
+	LatencyMS   float64 `json:"latencyMs"` // modeled response latency
+	DeadlineMet bool    `json:"deadlineMet"`
+}
+
+// StatsResponse is the /stats snapshot.
+type StatsResponse struct {
+	Served        int     `json:"served"`
+	Violations    int     `json:"violations"`
+	Accuracy      float64 `json:"accuracyPerSatisfiedQuery"`
+	ViolationRate float64 `json:"violationRate"`
+	QueueLengths  []int   `json:"queueLengths"`
+}
+
+// Frontend is the client-facing half of the prototype: applications POST
+// /query and block until their prediction returns, exactly the Fig. 1 flow
+// (central queue -> load balancer -> worker queue -> model selector ->
+// worker). It shares the worker HTTP API with Controller but serves live
+// traffic instead of replaying a trace.
+type Frontend struct {
+	Profiles  profile.Set
+	SLO       float64
+	TimeScale float64
+	Workers   []string
+	Select    SelectFunc
+	Monitor   monitor.Monitor
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	wq      [][]pendingQuery
+	nextID  int
+	rr      int
+	start   time.Time
+	closed  bool
+	metrics sim.Metrics
+	srv     *http.Server
+	addr    string
+	client  *http.Client
+	loops   sync.WaitGroup
+}
+
+type pendingQuery struct {
+	q    sim.Query
+	done chan QueryResponse
+}
+
+// Start begins serving on a random localhost port.
+func (f *Frontend) Start() error {
+	if len(f.Workers) == 0 {
+		return fmt.Errorf("serve: frontend needs workers")
+	}
+	if f.TimeScale <= 0 {
+		f.TimeScale = 1
+	}
+	f.cond = sync.NewCond(&f.mu)
+	f.wq = make([][]pendingQuery, len(f.Workers))
+	f.start = time.Now()
+	f.metrics = sim.Metrics{ModelCounts: map[string]int{}}
+	f.client = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: len(f.Workers) + 4}}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	f.addr = ln.Addr().String()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", f.handleQuery)
+	mux.HandleFunc("/stats", f.handleStats)
+	f.srv = &http.Server{Handler: mux}
+	go func() { _ = f.srv.Serve(ln) }()
+
+	for w := range f.Workers {
+		f.loops.Add(1)
+		go f.workerLoop(w)
+	}
+	return nil
+}
+
+// URL returns the frontend's base URL.
+func (f *Frontend) URL() string { return "http://" + f.addr }
+
+// Stop shuts down the HTTP server and the selector loops.
+func (f *Frontend) Stop() error {
+	err := f.srv.Close()
+	f.mu.Lock()
+	f.closed = true
+	f.cond.Broadcast()
+	f.mu.Unlock()
+	f.loops.Wait()
+	return err
+}
+
+// Stats returns a metrics snapshot.
+func (f *Frontend) Stats() StatsResponse {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	qs := make([]int, len(f.wq))
+	for i := range f.wq {
+		qs[i] = len(f.wq[i])
+	}
+	return StatsResponse{
+		Served:        f.metrics.Served,
+		Violations:    f.metrics.Violations,
+		Accuracy:      f.metrics.AccuracyPerSatisfiedQuery(),
+		ViolationRate: f.metrics.ViolationRate(),
+		QueueLengths:  qs,
+	}
+}
+
+func (f *Frontend) now() float64 {
+	return time.Since(f.start).Seconds() * f.TimeScale
+}
+
+// handleQuery enqueues the query round-robin and blocks until it is served.
+func (f *Frontend) handleQuery(rw http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		http.Error(rw, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	done := make(chan QueryResponse, 1)
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		http.Error(rw, "shutting down", http.StatusServiceUnavailable)
+		return
+	}
+	id := f.nextID
+	f.nextID++
+	now := f.now()
+	if f.Monitor != nil {
+		f.Monitor.Observe(now)
+	}
+	w := f.rr % len(f.Workers)
+	f.rr++
+	f.wq[w] = append(f.wq[w], pendingQuery{q: sim.Query{ID: id, Arrival: now}, done: done})
+	f.cond.Broadcast()
+	f.mu.Unlock()
+
+	select {
+	case resp := <-done:
+		rw.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(rw).Encode(resp)
+	case <-req.Context().Done():
+		// Client went away; the batch still completes and records metrics.
+	}
+}
+
+func (f *Frontend) handleStats(rw http.ResponseWriter, _ *http.Request) {
+	rw.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(rw).Encode(f.Stats())
+}
+
+// workerLoop mirrors Controller.workerLoop for live queries.
+func (f *Frontend) workerLoop(w int) {
+	defer f.loops.Done()
+	for {
+		f.mu.Lock()
+		for len(f.wq[w]) == 0 && !f.closed {
+			f.cond.Wait()
+		}
+		if f.closed && len(f.wq[w]) == 0 {
+			f.mu.Unlock()
+			return
+		}
+		n := len(f.wq[w])
+		now := f.now()
+		load := 0.0
+		if f.Monitor != nil {
+			load = f.Monitor.Load(now)
+		}
+		slack := f.wq[w][0].q.Arrival + f.SLO - now
+		model, batch := f.Select(now, load, n, slack)
+		p, ok := f.Profiles.ByName(model)
+		if !ok || batch < 1 {
+			// Defensive: never drop live queries on selector misbehavior.
+			p = f.Profiles.Profiles[0]
+			batch = 1
+		}
+		if batch > p.MaxBatch() {
+			batch = p.MaxBatch()
+		}
+		if batch > n {
+			batch = n
+		}
+		queries := f.wq[w][:batch]
+		f.wq[w] = append([]pendingQuery(nil), f.wq[w][batch:]...)
+		f.mu.Unlock()
+
+		f.dispatch(w, p.Name, queries)
+	}
+}
+
+func (f *Frontend) dispatch(w int, model string, queries []pendingQuery) {
+	body, _ := json.Marshal(InferRequest{Model: model, Batch: len(queries)})
+	resp, err := f.client.Post(f.Workers[w]+"/infer", "application/json", newReader(body))
+	if err == nil {
+		resp.Body.Close()
+	}
+	done := f.now()
+	p, _ := f.Profiles.ByName(model)
+
+	f.mu.Lock()
+	f.metrics.Decisions++
+	f.metrics.ModelCounts[model] += len(queries)
+	for _, pq := range queries {
+		f.metrics.Served++
+		lat := done - pq.q.Arrival
+		met := lat <= f.SLO
+		if met {
+			f.metrics.SatAccSum += p.Accuracy
+		} else {
+			f.metrics.Violations++
+		}
+		pq.done <- QueryResponse{
+			ID: pq.q.ID, Model: model, Batch: len(queries),
+			LatencyMS: lat * 1000, DeadlineMet: met,
+		}
+	}
+	f.mu.Unlock()
+}

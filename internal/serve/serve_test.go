@@ -1,0 +1,336 @@
+package serve
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ramsis/internal/core"
+	"ramsis/internal/dist"
+	"ramsis/internal/monitor"
+	"ramsis/internal/profile"
+	"ramsis/internal/sim"
+	"ramsis/internal/trace"
+)
+
+func startWorkers(t *testing.T, n int, lat sim.LatencyModel, timeScale float64) []string {
+	t.Helper()
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		w := NewWorker(profile.ImageSet(), lat, timeScale, int64(i+1))
+		if err := w.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = w.Stop() })
+		urls[i] = w.URL()
+	}
+	return urls
+}
+
+func TestWorkerInferAPI(t *testing.T) {
+	urls := startWorkers(t, 1, sim.Deterministic{}, 50)
+	resp, err := http.Post(urls[0]+"/infer", "application/json",
+		strings.NewReader(`{"model":"shufflenet_v2_x0_5","batch":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %s", resp.Status)
+	}
+	var ir InferResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := profile.ImageSet().ByName("shufflenet_v2_x0_5")
+	if math.Abs(ir.Latency-p.BatchLatency(2)) > 1e-9 {
+		t.Errorf("reported latency %v, want profile %v", ir.Latency, p.BatchLatency(2))
+	}
+}
+
+func TestWorkerRejectsBadRequests(t *testing.T) {
+	urls := startWorkers(t, 1, sim.Deterministic{}, 50)
+	cases := []struct {
+		body string
+		want int
+	}{
+		{`{"model":"nope","batch":1}`, http.StatusNotFound},
+		{`{"model":"resnet50","batch":0}`, http.StatusBadRequest},
+		{`{"model":"resnet50","batch":999}`, http.StatusBadRequest},
+		{`not json`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, err := http.Post(urls[0]+"/infer", "application/json", strings.NewReader(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Errorf("body %q: status %d, want %d", c.body, resp.StatusCode, c.want)
+		}
+	}
+	resp, err := http.Get(urls[0] + "/infer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /infer = %d, want 405", resp.StatusCode)
+	}
+	if resp, err = http.Get(urls[0] + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz failed: %v %v", err, resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestPrototypeEndToEndRAMSIS(t *testing.T) {
+	const workers, slo, load, timeScale = 4, 0.150, 120.0, 5.0
+	set := core.NewPolicySet(core.Config{
+		Models: profile.ImageSet(), SLO: slo, Workers: workers,
+		Arrival: dist.NewPoisson(1), D: 50,
+	}, nil)
+	if err := set.GenerateLoads([]float64{load}); err != nil {
+		t.Fatal(err)
+	}
+	urls := startWorkers(t, workers, sim.Deterministic{}, timeScale)
+	tr := trace.Constant(load, 10)
+	ctl := &Controller{
+		Profiles:  profile.ImageSet(),
+		SLO:       slo,
+		TimeScale: timeScale,
+		Workers:   urls,
+		Select:    RAMSISSelector(set),
+		Monitor:   monitor.Oracle{Trace: tr},
+	}
+	arr := trace.PoissonArrivals(tr, 5)
+	m, err := ctl.Run(arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Served != len(arr) {
+		t.Fatalf("served %d of %d", m.Served, len(arr))
+	}
+	// At this time scale the HTTP round trip inflates modeled latencies by
+	// ~5x its wall cost, so allow a generous violation budget; accuracy
+	// should still be in the policy's neighborhood.
+	pol := set.Policies()[0]
+	if acc := m.AccuracyPerSatisfiedQuery(); math.Abs(acc-pol.ExpectedAccuracy) > 0.08 {
+		t.Errorf("prototype accuracy %.4f far from expectation %.4f", acc, pol.ExpectedAccuracy)
+	}
+	if vr := m.ViolationRate(); vr > 0.20 {
+		t.Errorf("prototype violation rate %.4f implausibly high", vr)
+	}
+}
+
+func TestPrototypeCentralModeBaseline(t *testing.T) {
+	const workers, slo, load, timeScale = 4, 0.150, 100.0, 5.0
+	ps := profile.ImageSet()
+	urls := startWorkers(t, workers, sim.Deterministic{}, timeScale)
+	tr := trace.Constant(load, 8)
+	// A Jellyfish+-style fixed selection at this load.
+	modelFor := func(load float64) int {
+		for i, p := range ps.Profiles {
+			if p.Name == "efficientnet_b0" {
+				_ = p
+				return i
+			}
+		}
+		return 0
+	}
+	ctl := &Controller{
+		Profiles:  ps,
+		SLO:       slo,
+		TimeScale: timeScale,
+		Workers:   urls,
+		Select:    LoadGranularSelector(ps, slo, modelFor),
+		Monitor:   monitor.Oracle{Trace: tr},
+		Central:   true,
+	}
+	m, err := ctl.Run(trace.PoissonArrivals(tr, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Served == 0 || m.Unserved != 0 {
+		t.Fatalf("metrics %+v", m)
+	}
+	b0, _ := ps.ByName("efficientnet_b0")
+	if got := m.ModelCounts["efficientnet_b0"]; got != m.Served {
+		t.Errorf("served %d on b0 of %d", got, m.Served)
+	}
+	if acc := m.AccuracyPerSatisfiedQuery(); m.Violations == 0 && math.Abs(acc-b0.Accuracy) > 1e-9 {
+		t.Errorf("accuracy %v, want %v", acc, b0.Accuracy)
+	}
+}
+
+func TestControllerErrorsOnNoWorkers(t *testing.T) {
+	ctl := &Controller{Profiles: profile.ImageSet(), SLO: 0.1, Select: func(_, _ float64, n int, _ float64) (string, int) { return "resnet50", n }}
+	if _, err := ctl.Run([]float64{0}); err == nil {
+		t.Error("no-worker run should fail")
+	}
+}
+
+func TestControllerSurfacesUnknownModel(t *testing.T) {
+	urls := startWorkers(t, 1, sim.Deterministic{}, 50)
+	ctl := &Controller{
+		Profiles:  profile.ImageSet(),
+		SLO:       0.1,
+		TimeScale: 50,
+		Workers:   urls,
+		Select:    func(_, _ float64, n int, _ float64) (string, int) { return "not_a_model", n },
+	}
+	if _, err := ctl.Run([]float64{0}); err == nil {
+		t.Error("unknown model should surface as an error")
+	}
+}
+
+func TestFrontendLiveQueries(t *testing.T) {
+	const workers, slo, load, timeScale = 2, 0.150, 60.0, 2.0
+	set := core.NewPolicySet(core.Config{
+		Models: profile.ImageSet(), SLO: slo, Workers: workers,
+		Arrival: dist.NewPoisson(1), D: 50,
+	}, nil)
+	if err := set.GenerateLoads([]float64{load, 2 * load}); err != nil {
+		t.Fatal(err)
+	}
+	urls := startWorkers(t, workers, sim.Deterministic{}, timeScale)
+	f := &Frontend{
+		Profiles:  profile.ImageSet(),
+		SLO:       slo,
+		TimeScale: timeScale,
+		Workers:   urls,
+		Select:    RAMSISSelector(set),
+		Monitor:   monitor.NewMovingAverage(0.5),
+	}
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer f.Stop()
+
+	// Fire 60 concurrent live queries over ~1s wall.
+	const n = 60
+	var wg sync.WaitGroup
+	responses := make([]QueryResponse, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			time.Sleep(time.Duration(i) * 15 * time.Millisecond)
+			resp, err := http.Post(f.URL()+"/query", "application/json", strings.NewReader(`{}`))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			errs[i] = json.NewDecoder(resp.Body).Decode(&responses[i])
+		}(i)
+	}
+	wg.Wait()
+	met := 0
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("query %d: %v", i, errs[i])
+		}
+		if responses[i].Model == "" || responses[i].Batch < 1 {
+			t.Fatalf("query %d: malformed response %+v", i, responses[i])
+		}
+		if responses[i].DeadlineMet {
+			met++
+		}
+	}
+	if met < n*8/10 {
+		t.Errorf("only %d/%d live queries met the deadline", met, n)
+	}
+
+	// Stats endpoint reflects the served queries.
+	resp, err := http.Get(f.URL() + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Served != n {
+		t.Errorf("stats served = %d, want %d", stats.Served, n)
+	}
+	if stats.Accuracy <= 0.6 {
+		t.Errorf("stats accuracy %v implausible", stats.Accuracy)
+	}
+}
+
+func TestFrontendRejectsGet(t *testing.T) {
+	urls := startWorkers(t, 1, sim.Deterministic{}, 10)
+	f := &Frontend{
+		Profiles: profile.ImageSet(), SLO: 0.150, TimeScale: 10, Workers: urls,
+		Select: func(_, _ float64, n int, _ float64) (string, int) { return "shufflenet_v2_x0_5", n },
+	}
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer f.Stop()
+	resp, err := http.Get(f.URL() + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /query = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestFrontendRequiresWorkers(t *testing.T) {
+	f := &Frontend{Profiles: profile.ImageSet(), SLO: 0.1}
+	if err := f.Start(); err == nil {
+		t.Error("frontend with no workers started")
+	}
+}
+
+func TestClusterLifecycle(t *testing.T) {
+	set := core.NewPolicySet(core.Config{
+		Models: profile.ImageSet(), SLO: 0.150, Workers: 2,
+		Arrival: dist.NewPoisson(1), D: 25,
+	}, nil)
+	if err := set.GenerateLoads([]float64{50, 100}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := StartCluster(ClusterConfig{
+		Models:    profile.ImageSet(),
+		Workers:   2,
+		SLO:       0.150,
+		TimeScale: 5,
+		Select:    RAMSISSelector(set),
+		Monitor:   monitor.NewMovingAverage(0.5),
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	resp, err := http.Post(c.URL()+"/query", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var qr QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Model == "" || !qr.DeadlineMet {
+		t.Errorf("cluster query response %+v", qr)
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := StartCluster(ClusterConfig{Workers: 0}); err == nil {
+		t.Error("zero-worker cluster started")
+	}
+	if _, err := StartCluster(ClusterConfig{Workers: 1}); err == nil {
+		t.Error("selector-less cluster started")
+	}
+}

@@ -1,0 +1,120 @@
+// Package serve is the client-server prototype of §6: a central controller
+// process holding the central queue, a load balancer, and per-worker model
+// selectors, plus worker servers that expose an HTTP inference API. The
+// paper's workers run TorchServe; here a worker "executes inference" by
+// holding the request for the profiled latency (plus optional jitter),
+// which preserves every scheduling-relevant behaviour (§7.3.1 notes the
+// simulator and implementation share the scheduling code and differ only in
+// latency variance).
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"ramsis/internal/profile"
+	"ramsis/internal/sim"
+)
+
+// InferRequest is the worker HTTP API request: run a batch on a model.
+type InferRequest struct {
+	Model string `json:"model"`
+	Batch int    `json:"batch"`
+}
+
+// InferResponse reports the realized inference latency in seconds
+// (unscaled, i.e. in modeled time).
+type InferResponse struct {
+	Model   string  `json:"model"`
+	Batch   int     `json:"batch"`
+	Latency float64 `json:"latency"`
+}
+
+// Worker is an HTTP inference worker: POST /infer holds the connection for
+// the model's profiled batch latency. TimeScale > 1 compresses modeled time
+// by that factor (a 300 ms inference sleeps 30 ms at TimeScale 10), letting
+// tests exercise the full stack quickly; metrics are reported in modeled
+// time either way.
+type Worker struct {
+	Profiles  profile.Set
+	Latency   sim.LatencyModel
+	TimeScale float64
+
+	mu   sync.Mutex
+	rng  *rand.Rand
+	srv  *http.Server
+	addr string
+}
+
+// NewWorker builds a worker server (not yet started).
+func NewWorker(profiles profile.Set, lat sim.LatencyModel, timeScale float64, seed int64) *Worker {
+	if timeScale <= 0 {
+		timeScale = 1
+	}
+	return &Worker{
+		Profiles:  profiles,
+		Latency:   lat,
+		TimeScale: timeScale,
+		rng:       rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Start listens on a random localhost port and serves until Stop.
+func (w *Worker) Start() error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	w.addr = ln.Addr().String()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/infer", w.handleInfer)
+	mux.HandleFunc("/healthz", func(rw http.ResponseWriter, _ *http.Request) {
+		rw.WriteHeader(http.StatusOK)
+	})
+	w.srv = &http.Server{Handler: mux}
+	go func() { _ = w.srv.Serve(ln) }()
+	return nil
+}
+
+// URL returns the worker's base URL.
+func (w *Worker) URL() string { return "http://" + w.addr }
+
+// Stop shuts the server down.
+func (w *Worker) Stop() error {
+	if w.srv == nil {
+		return nil
+	}
+	return w.srv.Close()
+}
+
+func (w *Worker) handleInfer(rw http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		http.Error(rw, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var ir InferRequest
+	if err := json.NewDecoder(req.Body).Decode(&ir); err != nil {
+		http.Error(rw, err.Error(), http.StatusBadRequest)
+		return
+	}
+	p, ok := w.Profiles.ByName(ir.Model)
+	if !ok {
+		http.Error(rw, fmt.Sprintf("model %q not loaded", ir.Model), http.StatusNotFound)
+		return
+	}
+	if ir.Batch < 1 || ir.Batch > p.MaxBatch() {
+		http.Error(rw, fmt.Sprintf("batch %d outside [1,%d]", ir.Batch, p.MaxBatch()), http.StatusBadRequest)
+		return
+	}
+	w.mu.Lock()
+	lat := w.Latency.Latency(p, ir.Batch, w.rng)
+	w.mu.Unlock()
+	time.Sleep(time.Duration(lat / w.TimeScale * float64(time.Second)))
+	rw.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(rw).Encode(InferResponse{Model: ir.Model, Batch: ir.Batch, Latency: lat})
+}

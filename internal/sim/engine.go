@@ -1,0 +1,370 @@
+// Package sim is the discrete-event inference-serving simulator (§6
+// "Simulation Framework"): given a trace of arrival times it records MS&S
+// decisions and tracks the central queue, per-worker queues, and worker
+// busy/available status, using profiled model latencies to determine how
+// long a worker stays busy. The same scheduling code drives the HTTP
+// prototype in internal/serve, mirroring the paper's shared implementation.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"ramsis/internal/profile"
+)
+
+// Query is one inference request.
+type Query struct {
+	ID      int
+	Arrival float64 // seconds from trace start
+}
+
+// Deadline returns the query's latency deadline given the SLO.
+func (q Query) Deadline(slo float64) float64 { return q.Arrival + slo }
+
+// Decision is one MS&S decision: run the batch on the model (an index into
+// the engine's profile set).
+type Decision struct {
+	Model   int
+	Queries []Query
+}
+
+// Scheduler implements an MS&S scheme. Route must enqueue the query (to a
+// worker queue or the central queue); Pick is called whenever worker w is
+// idle and may pop queries to serve. Returning ok == false leaves the worker
+// idle until the next event.
+type Scheduler interface {
+	Route(e *Engine, now float64, q Query)
+	Pick(e *Engine, now float64, w int) (Decision, bool)
+}
+
+// LatencyModel yields the realized inference latency for a decision.
+// Deterministic models return the p95 profile (the paper's simulator);
+// stochastic models add the latency variance the prototype observes.
+type LatencyModel interface {
+	Latency(p profile.Profile, batch int, rng *rand.Rand) float64
+}
+
+// Deterministic replays the profiled p95 latency exactly.
+type Deterministic struct{}
+
+// Latency returns the profiled batch latency.
+func (Deterministic) Latency(p profile.Profile, batch int, _ *rand.Rand) float64 {
+	return p.BatchLatency(batch)
+}
+
+// Stochastic samples latency as Normal(p95 − 1.645σ, σ) truncated below,
+// modeling the ~10 ms standard deviation the paper measures during
+// profiling (§7.3.1): the tabulated profile is the 95th percentile, so the
+// sampled mean sits 1.645σ below it. For very fast operations the effective
+// σ is capped at 15% of the profile so the mean stays physical.
+type Stochastic struct {
+	StdDev float64 // seconds; the paper observes ~0.010
+}
+
+// EffectiveStdDev returns the σ actually applied for a given p95 latency.
+func (s Stochastic) EffectiveStdDev(p95 float64) float64 {
+	if cap := 0.15 * p95; s.StdDev > cap {
+		return cap
+	}
+	return s.StdDev
+}
+
+// Latency samples a realized latency.
+func (s Stochastic) Latency(p profile.Profile, batch int, rng *rand.Rand) float64 {
+	p95 := p.BatchLatency(batch)
+	sd := s.EffectiveStdDev(p95)
+	mean := p95 - 1.645*sd
+	floor := p95 * 0.25
+	v := mean + sd*rng.NormFloat64()
+	if v < floor {
+		v = floor
+	}
+	return v
+}
+
+// Metrics aggregates a run per the paper's performance metrics (§7):
+// latency SLO violation rate over all serviced queries and accuracy per
+// satisfied query.
+type Metrics struct {
+	Served      int
+	Violations  int
+	SatAccSum   float64
+	Decisions   int
+	Unserved    int
+	Dropped     int
+	Latencies   []float64 // response latencies, if collection was enabled
+	ModelCounts map[string]int
+	DecisionLog []DecisionRecord
+}
+
+// DecisionRecord is one logged MS&S decision.
+type DecisionRecord struct {
+	Time   float64
+	Worker int
+	Model  string
+	Batch  int
+	// QueueLen is the number of queries visible to the scheduler when the
+	// decision was made (Batch == QueueLen marks a maximal-batch decision).
+	QueueLen int
+	// Slack is the earliest served query's remaining deadline headroom at
+	// decision time.
+	Slack float64
+}
+
+// ViolationRate is the fraction of serviced queries that missed their
+// deadline; dropped queries and unserved leftovers count as violations.
+func (m Metrics) ViolationRate() float64 {
+	total := m.Served + m.Unserved + m.Dropped
+	if total == 0 {
+		return 0
+	}
+	return float64(m.Violations+m.Unserved+m.Dropped) / float64(total)
+}
+
+// AccuracyPerSatisfiedQuery is the mean profiled accuracy over queries that
+// met their deadline.
+func (m Metrics) AccuracyPerSatisfiedQuery() float64 {
+	sat := m.Served - m.Violations
+	if sat <= 0 {
+		return 0
+	}
+	return m.SatAccSum / float64(sat)
+}
+
+// Engine is the discrete-event simulator core.
+type Engine struct {
+	Profiles profile.Set
+	SLO      float64
+	Workers  int
+	Latency  LatencyModel
+	Sched    Scheduler
+	// CollectLatencies records every response latency (needed by the
+	// ModelSwitching offline profiler).
+	CollectLatencies bool
+	// DropExpired discards queries whose deadline has already passed
+	// instead of serving them late — the Clockwork/Nexus behaviour §4.3.1
+	// notes RAMSIS composes with. The paper's evaluation keeps it off
+	// ("better served late than never"); dropped queries count as
+	// violations in the metrics.
+	DropExpired bool
+	// RecordDecisions appends every MS&S decision to Metrics.DecisionLog
+	// (used by the Fig. 2 timeline reproduction).
+	RecordDecisions bool
+	// WorkerProfiles optionally overrides Profiles per worker for
+	// heterogeneous deployments (§7: worker homogeneity is not fundamental
+	// — RAMSIS derives policies per worker). When set it must have one
+	// entry per worker, each with the same model names as Profiles.
+	WorkerProfiles []profile.Set
+
+	rng     *rand.Rand
+	central []Query
+	wq      [][]Query
+	busy    []bool
+	events  eventHeap
+	metrics Metrics
+}
+
+// NewEngine builds a simulator. Seed fixes the latency-noise stream.
+func NewEngine(profiles profile.Set, slo float64, workers int, lat LatencyModel, sched Scheduler, seed int64) *Engine {
+	if workers < 1 {
+		panic(fmt.Sprintf("sim: invalid worker count %d", workers))
+	}
+	return &Engine{
+		Profiles: profiles,
+		SLO:      slo,
+		Workers:  workers,
+		Latency:  lat,
+		Sched:    sched,
+		rng:      rand.New(rand.NewSource(seed)),
+		wq:       make([][]Query, workers),
+		busy:     make([]bool, workers),
+	}
+}
+
+// ProfilesFor returns the model set loaded on worker w.
+func (e *Engine) ProfilesFor(w int) profile.Set {
+	if e.WorkerProfiles != nil {
+		return e.WorkerProfiles[w]
+	}
+	return e.Profiles
+}
+
+// CentralLen returns the central queue length.
+func (e *Engine) CentralLen() int { return len(e.central) }
+
+// WorkerLen returns worker w's queue length.
+func (e *Engine) WorkerLen(w int) int { return len(e.wq[w]) }
+
+// EnqueueCentral appends to the central queue.
+func (e *Engine) EnqueueCentral(q Query) { e.central = append(e.central, q) }
+
+// EnqueueWorker appends to worker w's queue.
+func (e *Engine) EnqueueWorker(w int, q Query) { e.wq[w] = append(e.wq[w], q) }
+
+// EarliestCentral returns the head-of-line query without popping.
+func (e *Engine) EarliestCentral() (Query, bool) {
+	if len(e.central) == 0 {
+		return Query{}, false
+	}
+	return e.central[0], true
+}
+
+// EarliestWorker returns worker w's head-of-line query without popping.
+func (e *Engine) EarliestWorker(w int) (Query, bool) {
+	if len(e.wq[w]) == 0 {
+		return Query{}, false
+	}
+	return e.wq[w][0], true
+}
+
+// PopCentral removes and returns up to k queries from the central queue in
+// deadline (FIFO) order.
+func (e *Engine) PopCentral(k int) []Query {
+	if k > len(e.central) {
+		k = len(e.central)
+	}
+	out := append([]Query(nil), e.central[:k]...)
+	e.central = e.central[k:]
+	return out
+}
+
+// PopWorker removes and returns up to k queries from worker w's queue.
+func (e *Engine) PopWorker(w, k int) []Query {
+	if k > len(e.wq[w]) {
+		k = len(e.wq[w])
+	}
+	out := append([]Query(nil), e.wq[w][:k]...)
+	e.wq[w] = e.wq[w][k:]
+	return out
+}
+
+// event is a batch completion.
+type event struct {
+	time    float64
+	worker  int
+	queries []Query
+	model   int
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i].time < h[j].time }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Run simulates the given arrival times (seconds, ascending) and returns the
+// aggregated metrics. The trace is drained fully: after the last arrival the
+// engine keeps dispatching until every queue is empty.
+func (e *Engine) Run(arrivals []float64) Metrics {
+	e.metrics = Metrics{ModelCounts: map[string]int{}}
+	ai := 0
+	for {
+		var nextArrival float64
+		haveArrival := ai < len(arrivals)
+		if haveArrival {
+			nextArrival = arrivals[ai]
+		}
+		haveEvent := e.events.Len() > 0
+		switch {
+		case haveArrival && (!haveEvent || nextArrival <= e.events[0].time):
+			q := Query{ID: ai, Arrival: nextArrival}
+			ai++
+			e.Sched.Route(e, nextArrival, q)
+			e.dispatchIdle(nextArrival)
+		case haveEvent:
+			ev := heap.Pop(&e.events).(event)
+			e.complete(ev)
+			e.busy[ev.worker] = false
+			e.dispatchIdle(ev.time)
+		default:
+			// No arrivals or events left; any queued queries are unserved
+			// (schedulers normally never leave work behind).
+			for _, wq := range e.wq {
+				e.metrics.Unserved += len(wq)
+			}
+			e.metrics.Unserved += len(e.central)
+			return e.metrics
+		}
+	}
+}
+
+// purgeExpired drops already-late queries from every queue head (FIFO
+// order puts the oldest deadlines in front).
+func (e *Engine) purgeExpired(now float64) {
+	drop := func(q []Query) []Query {
+		for len(q) > 0 && q[0].Deadline(e.SLO) < now {
+			q = q[1:]
+			e.metrics.Dropped++
+		}
+		return q
+	}
+	e.central = drop(e.central)
+	for w := range e.wq {
+		e.wq[w] = drop(e.wq[w])
+	}
+}
+
+// dispatchIdle offers work to every idle worker until none accepts.
+func (e *Engine) dispatchIdle(now float64) {
+	if e.DropExpired {
+		e.purgeExpired(now)
+	}
+	progress := true
+	for progress {
+		progress = false
+		for w := 0; w < e.Workers; w++ {
+			if e.busy[w] {
+				continue
+			}
+			queueBefore := e.WorkerLen(w) + e.CentralLen()
+			d, ok := e.Sched.Pick(e, now, w)
+			if !ok || len(d.Queries) == 0 {
+				continue
+			}
+			p := e.ProfilesFor(w).Profiles[d.Model]
+			lat := e.Latency.Latency(p, len(d.Queries), e.rng)
+			e.busy[w] = true
+			heap.Push(&e.events, event{time: now + lat, worker: w, queries: d.Queries, model: d.Model})
+			if e.RecordDecisions {
+				e.metrics.DecisionLog = append(e.metrics.DecisionLog, DecisionRecord{
+					Time:     now,
+					Worker:   w,
+					Model:    p.Name,
+					Batch:    len(d.Queries),
+					QueueLen: queueBefore,
+					Slack:    d.Queries[0].Deadline(e.SLO) - now,
+				})
+			}
+			progress = true
+		}
+	}
+}
+
+// complete records a finished batch.
+func (e *Engine) complete(ev event) {
+	p := e.ProfilesFor(ev.worker).Profiles[ev.model]
+	e.metrics.Decisions++
+	e.metrics.ModelCounts[p.Name] += len(ev.queries)
+	for _, q := range ev.queries {
+		e.metrics.Served++
+		lat := ev.time - q.Arrival
+		if e.CollectLatencies {
+			e.metrics.Latencies = append(e.metrics.Latencies, lat)
+		}
+		if lat > e.SLO+1e-12 {
+			e.metrics.Violations++
+		} else {
+			e.metrics.SatAccSum += p.Accuracy
+		}
+	}
+}

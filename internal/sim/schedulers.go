@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"fmt"
+
+	"ramsis/internal/core"
+	"ramsis/internal/dist"
+	"ramsis/internal/monitor"
+	"ramsis/internal/profile"
+	"ramsis/internal/trace"
+)
+
+// RAMSIS is the online phase of §3.2: a round-robin load balancer over
+// per-worker queues plus per-worker model selectors driven by the
+// offline-generated policies, switching policies with the monitored load.
+type RAMSIS struct {
+	Set     *core.PolicySet
+	Monitor monitor.Monitor
+	// Balance selects the load-balancing strategy; policies should be
+	// generated with the matching core.Balancing (§3.2.1, Appendix I).
+	Balance core.Balancing
+
+	rr int
+}
+
+// NewRAMSIS wires a policy set and a load monitor into a scheduler.
+func NewRAMSIS(set *core.PolicySet, mon monitor.Monitor) *RAMSIS {
+	return &RAMSIS{Set: set, Monitor: mon}
+}
+
+// Route observes the arrival for load tracking and assigns the query to a
+// worker queue round-robin (§3.2.1) or shortest-queue-first (Appendix I).
+func (r *RAMSIS) Route(e *Engine, now float64, q Query) {
+	r.Monitor.Observe(now)
+	w := 0
+	if r.Balance == core.ShortestQueueFirst {
+		for i := 1; i < e.Workers; i++ {
+			if e.WorkerLen(i) < e.WorkerLen(w) {
+				w = i
+			}
+		}
+	} else {
+		w = r.rr % e.Workers
+		r.rr++
+	}
+	e.EnqueueWorker(w, q)
+}
+
+// Pick applies the lowest-load policy meeting the anticipated load to worker
+// w's queue state (§3.2.2).
+func (r *RAMSIS) Pick(e *Engine, now float64, w int) (Decision, bool) {
+	n := e.WorkerLen(w)
+	if n == 0 {
+		return Decision{}, false
+	}
+	pol, err := r.Set.PolicyFor(r.Monitor.Load(now))
+	if err != nil {
+		panic(fmt.Sprintf("sim: no policy available: %v", err))
+	}
+	return pickWithPolicy(e, now, w, n, pol)
+}
+
+// pickWithPolicy applies one policy's decision to worker w's queue.
+func pickWithPolicy(e *Engine, now float64, w, n int, pol *core.Policy) (Decision, bool) {
+	head, _ := e.EarliestWorker(w)
+	slack := head.Deadline(e.SLO) - now
+	choice := pol.Select(n, slack)
+	profiles := e.ProfilesFor(w)
+	mi := -1
+	for i, p := range profiles.Profiles {
+		if p.Name == choice.Model {
+			mi = i
+			break
+		}
+	}
+	if mi < 0 {
+		panic(fmt.Sprintf("sim: policy model %q not loaded on worker %d", choice.Model, w))
+	}
+	batch := choice.Batch
+	if mb := profiles.Profiles[mi].MaxBatch(); batch > mb {
+		batch = mb
+	}
+	if batch > n {
+		batch = n
+	}
+	return Decision{Model: mi, Queries: e.PopWorker(w, batch)}, true
+}
+
+// HeteroRAMSIS serves a heterogeneous deployment: each worker has its own
+// policy set, generated from that worker type's latency profiles (§7 notes
+// homogeneity is not fundamental because policies are per-worker; §4's
+// transition probabilities only need the worker's own latencies and its
+// round-robin share of arrivals).
+type HeteroRAMSIS struct {
+	Sets    []*core.PolicySet // one per worker
+	Monitor monitor.Monitor
+
+	rr int
+}
+
+// Route distributes round-robin, as in the homogeneous scheduler.
+func (r *HeteroRAMSIS) Route(e *Engine, now float64, q Query) {
+	r.Monitor.Observe(now)
+	w := r.rr % e.Workers
+	r.rr++
+	e.EnqueueWorker(w, q)
+}
+
+// Pick applies worker w's own policy.
+func (r *HeteroRAMSIS) Pick(e *Engine, now float64, w int) (Decision, bool) {
+	n := e.WorkerLen(w)
+	if n == 0 {
+		return Decision{}, false
+	}
+	pol, err := r.Sets[w].PolicyFor(r.Monitor.Load(now))
+	if err != nil {
+		panic(fmt.Sprintf("sim: no policy for worker %d: %v", w, err))
+	}
+	return pickWithPolicy(e, now, w, n, pol)
+}
+
+// FixedModel always serves the same model from the central queue with eager
+// workers and a batch cap. It implements the offline response-latency
+// profiling runs of the ModelSwitching baseline and acts as the simplest
+// load-granular strawman.
+type FixedModel struct {
+	Model    int
+	MaxBatch int
+}
+
+// Route enqueues centrally.
+func (f *FixedModel) Route(e *Engine, _ float64, q Query) { e.EnqueueCentral(q) }
+
+// Pick eagerly grabs up to MaxBatch queries.
+func (f *FixedModel) Pick(e *Engine, _ float64, _ int) (Decision, bool) {
+	n := e.CentralLen()
+	if n == 0 {
+		return Decision{}, false
+	}
+	b := f.MaxBatch
+	if b <= 0 {
+		b = 1
+	}
+	if b > n {
+		b = n
+	}
+	return Decision{Model: f.Model, Queries: e.PopCentral(b)}, true
+}
+
+// VerifyPolicy empirically validates a policy's §5.1 guarantees: it serves
+// dur seconds of arrivals at the policy's design load through the simulator
+// and reports the observed metrics, which should respect the expected
+// accuracy (from below) and expected violation rate (from above). The
+// arrival pattern matches the policy's balancing assumption (Poisson +
+// round-robin by default).
+func VerifyPolicy(pol *core.Policy, models profile.Set, dur float64, seed int64) Metrics {
+	set := core.NewPolicySet(core.Config{
+		Models:  models,
+		SLO:     pol.SLO,
+		Workers: pol.Workers,
+		Arrival: dist.NewPoisson(pol.Load),
+		D:       pol.D,
+	}, nil)
+	set.Insert(pol)
+	tr := trace.Constant(pol.Load, dur)
+	sched := NewRAMSIS(set, monitor.Oracle{Trace: tr})
+	sched.Balance = pol.Balancing
+	e := NewEngine(models, pol.SLO, pol.Workers, Deterministic{}, sched, seed)
+	return e.Run(trace.PoissonArrivals(tr, seed))
+}

@@ -1,0 +1,211 @@
+// Package trace provides query-load traces and arrival-time sampling for the
+// workload generator. The paper evaluates on a 24-hour Twitter streaming
+// trace scaled to five minutes (query load 1,617-3,905 QPS over ten-second
+// intervals, 554,395 sampled queries) plus 30-second constant-load traces.
+// The published trace is a list of average QPS per fixed interval; query
+// arrival times are sampled from it under a stochastic inter-arrival pattern
+// (Poisson in the paper's experiments).
+//
+// Since the archived Twitter capture is not redistributable here, Twitter()
+// synthesizes a deterministic trace with the same published characteristics:
+// the same QPS range, a diurnal profile, and unexpected spikes.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ramsis/internal/dist"
+)
+
+// Trace is a query-load trace: QPS[i] is the average query arrival rate
+// during the i-th interval of IntervalSec seconds.
+type Trace struct {
+	Name        string
+	IntervalSec float64
+	QPS         []float64
+}
+
+// Duration returns the total trace duration in seconds.
+func (t Trace) Duration() float64 { return float64(len(t.QPS)) * t.IntervalSec }
+
+// MinQPS returns the smallest interval load.
+func (t Trace) MinQPS() float64 {
+	min := math.Inf(1)
+	for _, q := range t.QPS {
+		min = math.Min(min, q)
+	}
+	return min
+}
+
+// MaxQPS returns the largest interval load.
+func (t Trace) MaxQPS() float64 {
+	max := math.Inf(-1)
+	for _, q := range t.QPS {
+		max = math.Max(max, q)
+	}
+	return max
+}
+
+// MeanQPS returns the time-average load.
+func (t Trace) MeanQPS() float64 {
+	if len(t.QPS) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, q := range t.QPS {
+		sum += q
+	}
+	return sum / float64(len(t.QPS))
+}
+
+// Scale returns a copy with every interval load multiplied by f.
+func (t Trace) Scale(f float64) Trace {
+	out := Trace{Name: t.Name, IntervalSec: t.IntervalSec, QPS: make([]float64, len(t.QPS))}
+	for i, q := range t.QPS {
+		out.QPS[i] = q * f
+	}
+	return out
+}
+
+// Truncate returns a copy covering only the first dur seconds.
+func (t Trace) Truncate(dur float64) Trace {
+	n := int(math.Ceil(dur / t.IntervalSec))
+	if n > len(t.QPS) {
+		n = len(t.QPS)
+	}
+	return Trace{Name: t.Name, IntervalSec: t.IntervalSec, QPS: append([]float64(nil), t.QPS[:n]...)}
+}
+
+// QPSAt returns the trace load at time tsec (clamped to the trace range).
+func (t Trace) QPSAt(tsec float64) float64 {
+	if len(t.QPS) == 0 {
+		return 0
+	}
+	i := int(tsec / t.IntervalSec)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(t.QPS) {
+		i = len(t.QPS) - 1
+	}
+	return t.QPS[i]
+}
+
+// Constant returns a constant-load trace of the given duration, the workload
+// of §7.2 (30-second constant query load under Poisson arrivals).
+func Constant(qps, durationSec float64) Trace {
+	n := int(math.Ceil(durationSec / 10))
+	if n < 1 {
+		n = 1
+	}
+	qs := make([]float64, n)
+	for i := range qs {
+		qs[i] = qps
+	}
+	return Trace{Name: fmt.Sprintf("constant-%g", qps), IntervalSec: 10, QPS: qs}
+}
+
+// twitterSpikes places the trace's "unexpected spikes in query load" [38,54]
+// at fixed interval offsets so the trace is reproducible.
+var twitterSpikes = map[int]float64{
+	4: 1.22, 11: 1.35, 12: 1.18, 19: 0.78, 23: 1.30, 27: 1.15,
+}
+
+// Twitter synthesizes the 5-minute production trace of §7: thirty
+// ten-second intervals whose loads span 1,617-3,905 QPS with a diurnal
+// profile (the 24-hour capture compressed to five minutes) and intermittent
+// spikes. The mean load is calibrated to ~1,848 QPS so that a Poisson
+// arrival sample totals ~554,395 queries as the paper reports. The result
+// is deterministic.
+func Twitter() Trace {
+	const n = 30
+	const lo, hi = 1617.0, 3905.0
+	const meanTarget = 554395.0 / 300 // published query count over 5 min
+
+	// Raw diurnal shape with spikes, normalized to [0, 1].
+	raw := make([]float64, n)
+	for i := 0; i < n; i++ {
+		phase := 2 * math.Pi * (float64(i)/n - 0.65)
+		raw[i] = (1 + math.Cos(phase)) / 2
+		if f, ok := twitterSpikes[i]; ok {
+			raw[i] = math.Min(raw[i]*f, 1)
+		}
+	}
+	minR, maxR := math.Inf(1), math.Inf(-1)
+	for _, r := range raw {
+		minR = math.Min(minR, r)
+		maxR = math.Max(maxR, r)
+	}
+	for i, r := range raw {
+		raw[i] = (r - minR) / (maxR - minR)
+	}
+
+	// q_i = lo + (hi-lo)·raw_i^gamma pins the extremes; solve gamma by
+	// bisection so the mean load hits the published total query count.
+	meanFor := func(gamma float64) float64 {
+		sum := 0.0
+		for _, r := range raw {
+			sum += lo + (hi-lo)*math.Pow(r, gamma)
+		}
+		return sum / n
+	}
+	loG, hiG := 0.05, 50.0
+	for it := 0; it < 200; it++ {
+		mid := (loG + hiG) / 2
+		if meanFor(mid) > meanTarget {
+			loG = mid // larger gamma lowers the mean
+		} else {
+			hiG = mid
+		}
+	}
+	gamma := (loG + hiG) / 2
+	qs := make([]float64, n)
+	for i, r := range raw {
+		qs[i] = math.Round(lo + (hi-lo)*math.Pow(r, gamma))
+	}
+	return Trace{Name: "twitter", IntervalSec: 10, QPS: qs}
+}
+
+// Arrivals samples query arrival times (seconds from trace start) from the
+// trace under the given inter-arrival pattern, deterministically for a seed.
+// Within each interval, inter-arrival times are drawn from the sampler
+// family scaled to the interval's load; this reproduces the paper's
+// workload generator, which samples Poisson arrival times per logged load.
+// The family is selected by newSampler(rate); use PoissonArrivals or
+// GammaArrivals for the common cases.
+func Arrivals(t Trace, seed int64, newSampler func(rate float64) dist.Sampler) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	var out []float64
+	now := 0.0
+	for i, qps := range t.QPS {
+		end := float64(i+1) * t.IntervalSec
+		if qps <= 0 {
+			now = end
+			continue
+		}
+		s := newSampler(qps)
+		if now < float64(i)*t.IntervalSec {
+			now = float64(i) * t.IntervalSec
+		}
+		for {
+			now += s.NextInterarrival(rng)
+			if now >= end {
+				break
+			}
+			out = append(out, now)
+		}
+	}
+	return out
+}
+
+// PoissonArrivals samples arrival times under Poisson inter-arrivals.
+func PoissonArrivals(t Trace, seed int64) []float64 {
+	return Arrivals(t, seed, func(rate float64) dist.Sampler { return dist.NewPoisson(rate) })
+}
+
+// GammaArrivals samples arrival times under Erlang(shape) inter-arrivals.
+func GammaArrivals(t Trace, seed int64, shape int) []float64 {
+	return Arrivals(t, seed, func(rate float64) dist.Sampler { return dist.NewGamma(rate, shape) })
+}

@@ -1,0 +1,113 @@
+package ramsis
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Options{Workers: 4}); err == nil {
+		t.Error("missing SLO accepted")
+	}
+	if _, err := New(Options{SLOMillis: 150}); err == nil {
+		t.Error("missing workers accepted")
+	}
+	s, err := New(Options{SLOMillis: 150, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Models.Task != "image" {
+		t.Errorf("default models = %s, want image", s.Models.Task)
+	}
+	if s.SLO != 0.150 {
+		t.Errorf("SLO = %v, want 0.150", s.SLO)
+	}
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	s, err := New(Options{SLOMillis: 150, Workers: 8, D: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PrecomputePolicies(250); err != nil {
+		t.Fatal(err)
+	}
+	pol, err := s.Policy(250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.ExpectedAccuracy <= 0 {
+		t.Fatal("policy has no accuracy expectation")
+	}
+	m := s.SimulateConstant(250, 10, 1)
+	if m.Served == 0 || m.Unserved != 0 {
+		t.Fatalf("metrics %+v", m)
+	}
+	if math.Abs(m.AccuracyPerSatisfiedQuery()-pol.ExpectedAccuracy) > 0.05 {
+		t.Errorf("simulated accuracy %.4f far from expectation %.4f",
+			m.AccuracyPerSatisfiedQuery(), pol.ExpectedAccuracy)
+	}
+}
+
+func TestFacadeTraceRun(t *testing.T) {
+	s, err := New(Options{Models: TextModels(), SLOMillis: 100, Workers: 4, D: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PrecomputePolicies(200, 400, 600); err != nil {
+		t.Fatal(err)
+	}
+	tr := TwitterTrace().Scale(0.1).Truncate(30) // ~160-390 QPS for 30 s
+	m := s.SimulateTrace(tr, 2)
+	if m.Served == 0 {
+		t.Fatal("nothing served")
+	}
+	if vr := m.ViolationRate(); vr > 0.05 {
+		t.Errorf("violation rate %.4f above 5%%", vr)
+	}
+}
+
+func TestFacadeGammaArrivals(t *testing.T) {
+	s, err := New(Options{SLOMillis: 150, Workers: 4, D: 50, GammaShape: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PrecomputePolicies(100); err != nil {
+		t.Fatal(err)
+	}
+	pol, _ := s.Policy(100)
+	if pol.ExpectedAccuracy <= 0 {
+		t.Error("gamma-arrival policy invalid")
+	}
+}
+
+func TestPrecomputePolicyLadder(t *testing.T) {
+	s, err := New(Options{SLOMillis: 150, Workers: 4, D: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PrecomputePolicyLadder(50, 200); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Policies()) < 2 {
+		t.Errorf("ladder has %d policies", len(s.Policies()))
+	}
+}
+
+func TestFacadeVerify(t *testing.T) {
+	s, err := New(Options{SLOMillis: 150, Workers: 6, D: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PrecomputePolicies(180); err != nil {
+		t.Fatal(err)
+	}
+	pol, _ := s.Policy(180)
+	m := s.Verify(pol, 15, 2)
+	if m.AccuracyPerSatisfiedQuery() < pol.ExpectedAccuracy-0.02 {
+		t.Errorf("verify accuracy %v below bound %v", m.AccuracyPerSatisfiedQuery(), pol.ExpectedAccuracy)
+	}
+	if m.ViolationRate() > pol.ExpectedViolation+0.02 {
+		t.Errorf("verify violations %v above bound %v", m.ViolationRate(), pol.ExpectedViolation)
+	}
+}
