@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test vet race verify bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The lb and serve packages are the concurrency-heavy ones (balancers,
+# health tracker, per-worker queue locks, HTTP dispatch); run them under
+# the race detector. Their tests scale sleeps by TimeScale, so the race
+# pass stays within a CI budget.
+race:
+	$(GO) test -race ./internal/lb/ ./internal/serve/
+
+# Tier-1 verify path (see ROADMAP.md).
+verify: build vet test race
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .

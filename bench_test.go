@@ -13,6 +13,7 @@ import (
 	"ramsis/internal/core"
 	"ramsis/internal/dist"
 	"ramsis/internal/experiments"
+	"ramsis/internal/lb"
 	"ramsis/internal/mdp"
 	"ramsis/internal/monitor"
 	"ramsis/internal/profile"
@@ -156,6 +157,31 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(arr)), "queries/op")
+}
+
+// BenchmarkBalancerPick compares the per-arrival routing cost of the three
+// load-balancing strategies at a paper-scale worker count (60, Fig. 5): RR
+// is an atomic increment, JSQ a full scan, P2C two RNG draws behind a
+// mutex.
+func BenchmarkBalancerPick(b *testing.B) {
+	const workers = 60
+	lens := make([]int, workers)
+	for i := range lens {
+		lens[i] = i % 7
+	}
+	healthy := make([]bool, workers)
+	for i := range healthy {
+		healthy[i] = true
+	}
+	for _, bal := range []lb.Balancer{lb.NewRoundRobin(), lb.NewJoinShortestQueue(), lb.NewPowerOfTwoChoices(1)} {
+		b.Run(bal.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if w := bal.Pick(lens, healthy); w < 0 {
+					b.Fatal("no pick")
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkRAMSISScheduler measures end-to-end simulated serving with the

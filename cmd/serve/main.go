@@ -13,6 +13,7 @@ import (
 
 	"ramsis/internal/core"
 	"ramsis/internal/dist"
+	"ramsis/internal/lb"
 	"ramsis/internal/monitor"
 	"ramsis/internal/profile"
 	"ramsis/internal/serve"
@@ -34,6 +35,7 @@ func main() {
 		d         = flag.Int("d", 100, "FLD resolution")
 		seed      = flag.Int64("seed", 1, "workload seed")
 		frontend  = flag.Bool("frontend", false, "serve a live POST /query API instead of replaying a trace (Ctrl-C to stop)")
+		lbArg     = flag.String("lb", "rr", "load balancer across worker queues: rr, jsq, or p2c")
 	)
 	flag.Parse()
 
@@ -42,11 +44,20 @@ func main() {
 		log.Fatal(err)
 	}
 	slo := *sloMS / 1000
+	balancing, err := core.ParseBalancing(*lbArg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	balancer, err := lb.New(*lbArg, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	fmt.Printf("generating RAMSIS policy (%s, SLO %.0f ms, %d workers, %.0f QPS)...\n",
-		*task, *sloMS, *workers, *load)
+	fmt.Printf("generating RAMSIS policy (%s, SLO %.0f ms, %d workers, %.0f QPS, %s balancing)...\n",
+		*task, *sloMS, *workers, *load, balancing)
 	set := core.NewPolicySet(core.Config{
 		Models: models, SLO: slo, Workers: *workers, Arrival: dist.NewPoisson(1), D: *d,
+		Balancing: balancing,
 	}, nil)
 	if err := set.GenerateLoads([]float64{*load}); err != nil {
 		log.Fatal(err)
@@ -62,6 +73,7 @@ func main() {
 			Select:        serve.RAMSISSelector(set),
 			Monitor:       monitor.NewMovingAverage(0.5),
 			Seed:          *seed,
+			Balancer:      balancer,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -97,6 +109,7 @@ func main() {
 		Workers:   urls,
 		Select:    serve.RAMSISSelector(set),
 		Monitor:   monitor.NewMovingAverage(0.5),
+		Balancer:  balancer,
 	}
 	arrivals := trace.PoissonArrivals(tr, *seed)
 	fmt.Printf("replaying %d queries over %.0fs (wall %.0fs)...\n",

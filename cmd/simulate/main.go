@@ -37,6 +37,7 @@ func main() {
 		noise    = flag.Float64("noise", 0, "inference latency stddev in ms (0 = deterministic p95)")
 		polPath  = flag.String("policy", "", "load a saved RAMSIS policy JSON (from ramsisgen) instead of generating")
 		msTable  = flag.String("ms-table", "", "load a ModelSwitching profile JSON (from msgen) instead of profiling")
+		lbArg    = flag.String("lb", "rr", "RAMSIS per-worker load balancer: rr, jsq, or p2c (policies are generated with the matching MDP transition model)")
 	)
 	flag.Parse()
 
@@ -45,6 +46,10 @@ func main() {
 		log.Fatal(err)
 	}
 	slo := *sloMS / 1000
+	balancing, err := core.ParseBalancing(*lbArg)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	var tr trace.Trace
 	var mon monitor.Monitor
@@ -62,7 +67,7 @@ func main() {
 	var sched sim.Scheduler
 	switch *method {
 	case "RAMSIS":
-		base := core.Config{Models: models, SLO: slo, Workers: *workers, Arrival: dist.NewPoisson(1), D: *d}
+		base := core.Config{Models: models, SLO: slo, Workers: *workers, Arrival: dist.NewPoisson(1), D: *d, Balancing: balancing}
 		set := core.NewPolicySet(base, nil)
 		if *polPath != "" {
 			pol, err := core.LoadPolicy(*polPath, models)
@@ -72,6 +77,10 @@ func main() {
 			if pol.SLO != slo || pol.Workers != *workers {
 				log.Fatalf("policy %s was generated for SLO %.0fms / %d workers, not %.0fms / %d",
 					*polPath, pol.SLO*1000, pol.Workers, *sloMS, *workers)
+			}
+			if pol.Balancing != balancing {
+				log.Printf("warning: policy %s assumes %s balancing but -lb requested %s; routing with %s",
+					*polPath, pol.Balancing, balancing, balancing)
 			}
 			set.Insert(pol)
 			fmt.Printf("loaded policy %s (load %.0f QPS)\n", *polPath, pol.Load)
@@ -89,7 +98,10 @@ func main() {
 				log.Fatal(err)
 			}
 		}
-		sched = sim.NewRAMSIS(set, mon)
+		r := sim.NewRAMSIS(set, mon)
+		r.Balance = balancing
+		r.LB = sim.BalancerFor(balancing, *seed)
+		sched = r
 	case "JF":
 		sched = &baselines.JellyfishPlus{Profiles: models, SLO: slo, Workers: *workers, Monitor: mon}
 	case "MS":

@@ -68,6 +68,10 @@ const (
 	// ShortestQueueFirst models join-the-shortest-queue via the Appendix I
 	// conditional Poisson approximation.
 	ShortestQueueFirst
+	// PowerOfTwoChoices models the two-sample JSQ approximation via the
+	// same conditional-Poisson machinery with the Mitzenmacher
+	// doubly-exponential queue tail standing in for Appendix I's ρ^K term.
+	PowerOfTwoChoices
 )
 
 func (b Balancing) String() string {
@@ -76,8 +80,25 @@ func (b Balancing) String() string {
 		return "round-robin"
 	case ShortestQueueFirst:
 		return "shortest-queue-first"
+	case PowerOfTwoChoices:
+		return "power-of-two-choices"
 	}
 	return fmt.Sprintf("Balancing(%d)", int(b))
+}
+
+// ParseBalancing maps a CLI strategy name to the Balancing assumption. It
+// accepts the same aliases as lb.New so -lb flags configure both the
+// offline MDP and the online balancer consistently; "" means round-robin.
+func ParseBalancing(s string) (Balancing, error) {
+	switch s {
+	case "", "rr", "round-robin", "roundrobin":
+		return RoundRobin, nil
+	case "jsq", "shortest-queue", "sqf":
+		return ShortestQueueFirst, nil
+	case "p2c", "power-of-two", "poweroftwo":
+		return PowerOfTwoChoices, nil
+	}
+	return RoundRobin, fmt.Errorf("core: unknown balancing strategy %q (want rr, jsq, or p2c)", s)
 }
 
 // Solver selects the exact MDP solution method (§4.1).

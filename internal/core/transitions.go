@@ -41,9 +41,10 @@ import (
 //     evaluated by midpoint quadrature on a fine fixed grid.
 //
 // Case 1 (empty queue, Eq. 1) and case 3 (overflow complement, Eq. 3) are
-// implemented exactly as written. Appendix I (shortest-queue-first) reuses
-// the same machinery with a per-state conditional Poisson process and an
-// effective K of 1.
+// implemented exactly as written. Queue-aware balancers reuse the same
+// machinery with a per-state conditional Poisson process and an effective
+// K of 1: Appendix I's rate for shortest-queue-first, and the Mitzenmacher
+// doubly-exponential tail for power-of-two-choices.
 
 // builder precomputes the shared probability tables and assembles the
 // sparse MDP in parallel across states.
@@ -56,7 +57,7 @@ type builder struct {
 	aborted  atomic.Bool
 
 	// Read-only after prepare(): probability tables keyed by process rate
-	// (round-robin uses one process; shortest-queue-first uses one per
+	// (round-robin uses one process; queue-aware balancers use one per
 	// queue-length regime) and action latency.
 	fk  map[float64][][]float64  // rate -> [cell][k-1] k-th-arrival pdf
 	h   map[tableKey][]float64   // (rate, latency) -> [cell*N_w + j-1]
@@ -108,14 +109,15 @@ func (b *builder) expired() bool {
 
 // procFor returns the worker-level arrival process and effective fan-out K
 // for transitions leaving queue length n. Round-robin sees the central
-// process thinned by K; shortest-queue-first sees a conditional Poisson
-// process with the Appendix I rate and no further thinning.
+// process thinned by K; queue-aware balancers (shortest-queue-first,
+// power-of-two-choices) see a conditional Poisson process whose rate
+// depends on the queue state, with no further thinning.
 func (b *builder) procFor(n int) (dist.Process, int) {
 	cfg := b.sp.cfg
 	if cfg.Balancing == RoundRobin {
 		return cfg.Arrival, cfg.Workers
 	}
-	rate := sqfRate(cfg, b.sp.models, n)
+	rate := conditionalRate(cfg, b.sp.models, n)
 	p, ok := b.sqf[rate]
 	if !ok {
 		p = dist.NewPoisson(rate)
@@ -222,7 +224,7 @@ func (b *builder) buildCDFTable(proc dist.Process, l float64) []float64 {
 }
 
 // procForRate recovers the effective K for a process (round-robin: the
-// configured worker count; SQF processes: 1).
+// configured worker count; conditional queue-aware processes: 1).
 func (b *builder) procForRate(proc dist.Process) (dist.Process, int) {
 	if b.sp.cfg.Balancing == RoundRobin {
 		return proc, b.sp.cfg.Workers
@@ -581,21 +583,23 @@ func (b *builder) variableTransitions(sc *stateScratch, n int, tj float64, a act
 	// i > imax overflows; handled by the complement in emit().
 }
 
-// sqfRate implements the Appendix I conditional arrival rate λ_w(n) for
-// shortest-queue-first balancing: λ/K for n ≤ 2 and ρ^K·μ for n ≥ 3, where
-// ρ = λ/(K·μ) is the per-worker utilization. The appendix defines μ through
-// the largest l_w(m, 1) among Pareto-front models m that can meet the
-// per-worker load within SLO/2; since the formula needs a service *rate*,
-// we take μ = 1/l_w(m, 1), the standard reading of [18].
-func sqfRate(cfg Config, models profile.Set, n int) float64 {
-	lambda := cfg.Arrival.Rate()
-	perWorker := lambda / float64(cfg.Workers)
-	if n <= 2 {
-		return perWorker
+// conditionalRate dispatches to the queue-state-conditioned per-worker
+// arrival rate of the configured queue-aware balancer.
+func conditionalRate(cfg Config, models profile.Set, n int) float64 {
+	if cfg.Balancing == PowerOfTwoChoices {
+		return p2cRate(cfg, models, n)
 	}
-	// The appendix picks the slowest (batch-1 latency) Pareto-front model
-	// that can meet the per-worker load within SLO/2; μ is its effective
-	// per-query service rate, so ρ = (λ/K)/μ <= 1 by construction.
+	return sqfRate(cfg, models, n)
+}
+
+// effectiveServiceRate derives the Appendix I service rate μ: the appendix
+// picks the slowest (batch-1 latency) Pareto-front model that can meet the
+// per-worker load within SLO/2; μ is its effective per-query service rate,
+// so ρ = (λ/K)/μ <= 1 by construction. Since the formula needs a service
+// *rate* and the appendix defines μ through the largest l_w(m, 1), we take
+// μ = 1/l_w(m, 1), the standard reading of [18].
+func effectiveServiceRate(cfg Config, models profile.Set) float64 {
+	perWorker := cfg.Arrival.Rate() / float64(cfg.Workers)
 	var chosen *profile.Profile
 	for i := range models.Profiles {
 		p := &models.Profiles[i]
@@ -614,8 +618,13 @@ func sqfRate(cfg Config, models profile.Set, n int) float64 {
 	if mu <= 0 {
 		mu = chosen.Throughput()
 	}
-	rho := perWorker / mu
-	rate := math.Pow(rho, float64(cfg.Workers)) * mu
+	return mu
+}
+
+// clampRate keeps a conditional rate physical: no worker attracts more
+// than its uniform share, and a vanished rate floors at a tiny positive
+// value so the conditional process stays well-defined.
+func clampRate(rate, perWorker float64) float64 {
 	if rate > perWorker {
 		rate = perWorker
 	}
@@ -623,6 +632,48 @@ func sqfRate(cfg Config, models profile.Set, n int) float64 {
 		rate = perWorker * 1e-9
 	}
 	return rate
+}
+
+// sqfRate implements the Appendix I conditional arrival rate λ_w(n) for
+// shortest-queue-first balancing: λ/K for n ≤ 2 and ρ^K·μ for n ≥ 3, where
+// ρ = λ/(K·μ) is the per-worker utilization.
+func sqfRate(cfg Config, models profile.Set, n int) float64 {
+	perWorker := cfg.Arrival.Rate() / float64(cfg.Workers)
+	if n <= 2 {
+		return perWorker
+	}
+	mu := effectiveServiceRate(cfg, models)
+	rho := perWorker / mu
+	return clampRate(math.Pow(rho, float64(cfg.Workers))*mu, perWorker)
+}
+
+// p2cRate is the power-of-two-choices analogue of sqfRate. Mitzenmacher's
+// supermarket model gives P[queue length >= i] ≈ ρ^(2^i − 1) in
+// equilibrium, a doubly-exponential tail; a worker already holding n
+// queries keeps receiving arrivals only while both sampled queues are at
+// least that long, so its conditional rate decays with the same tail:
+// λ/K for n ≤ 2 (matching the Appendix I small-queue regime, where the
+// balancer cannot distinguish workers) and (λ/K)·ρ^(2^(n−1) − 1) beyond.
+// This lands between round-robin's uniform split and SQF's ρ^K cutoff,
+// which is exactly P2C's behaviour.
+func p2cRate(cfg Config, models profile.Set, n int) float64 {
+	perWorker := cfg.Arrival.Rate() / float64(cfg.Workers)
+	if n <= 2 || cfg.Workers < 2 {
+		return perWorker
+	}
+	mu := effectiveServiceRate(cfg, models)
+	rho := perWorker / mu
+	if rho > 1 {
+		rho = 1
+	}
+	exp := math.Pow(2, float64(n-1)) - 1
+	if exp > 512 {
+		// ρ^exp underflows far before this; clamp so Pow stays finite and
+		// every deeper queue state shares one floored rate (keeping the
+		// number of distinct probability tables bounded).
+		exp = 512
+	}
+	return clampRate(perWorker*math.Pow(rho, exp), perWorker)
 }
 
 // parallelFor runs fn(i) for i in [0, n) across GOMAXPROCS workers.

@@ -44,6 +44,7 @@ func TestBuiltMDPValidates(t *testing.T) {
 		func(c *Config) { c.Disc = ModelBased },
 		func(c *Config) { c.Batching = VariableBatching },
 		func(c *Config) { c.Balancing = ShortestQueueFirst },
+		func(c *Config) { c.Balancing = PowerOfTwoChoices },
 		func(c *Config) { c.Workers = 1 },
 		func(c *Config) { c.NoParetoPruning = true },
 	} {
@@ -280,6 +281,40 @@ func TestSQFRate(t *testing.T) {
 	cfg.Arrival = dist.NewPoisson(160)
 	if got := sqfRate(cfg, models, 3); got > 40+1e-9 {
 		t.Errorf("sqfRate at saturation = %v, want <= λ/K = 40", got)
+	}
+}
+
+func TestP2CRate(t *testing.T) {
+	cfg := testConfig()
+	cfg.Arrival = dist.NewPoisson(100) // sub-critical: ρ < 1 strictly
+	models := cfg.Models.ParetoFront()
+	perWorker := 25.0
+	// Small queues: indistinguishable from the uniform split, as in the
+	// Appendix I SQF regime.
+	for n := 0; n <= 2; n++ {
+		if got := p2cRate(cfg, models, n); math.Abs(got-perWorker) > 1e-9 {
+			t.Errorf("p2cRate(n=%d) = %v, want λ/K = %v", n, got, perWorker)
+		}
+	}
+	// Beyond that the rate decays doubly exponentially: strictly
+	// decreasing in n until it hits the floor, always in (0, λ/K], and
+	// never below the SQF rate's long-queue regime at the first step
+	// (P2C is a weaker equalizer than full JSQ).
+	prev := perWorker
+	for n := 3; n <= 8; n++ {
+		got := p2cRate(cfg, models, n)
+		if got <= 0 || got >= prev {
+			t.Errorf("p2cRate(n=%d) = %v, want in (0, %v)", n, got, prev)
+		}
+		prev = got
+	}
+	if sqf, p2c := sqfRate(cfg, models, 3), p2cRate(cfg, models, 3); p2c < sqf-1e-9 {
+		t.Errorf("p2cRate(n=3) = %v < sqfRate(n=3) = %v; P2C should equalize less aggressively", p2c, sqf)
+	}
+	// At full utilization the rate saturates at λ/K rather than exceeding it.
+	cfg.Arrival = dist.NewPoisson(160)
+	if got := p2cRate(cfg, models, 3); got > 40+1e-9 {
+		t.Errorf("p2cRate at saturation = %v, want <= λ/K = 40", got)
 	}
 }
 

@@ -1,0 +1,164 @@
+package lb
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+// HealthConfig tunes a HealthTracker. Zero values take the defaults noted
+// per field.
+type HealthConfig struct {
+	// Interval is the wall-clock period between probe rounds (default
+	// 500 ms). Serving layers that compress modeled time divide their
+	// modeled probe period by TimeScale before building the tracker so
+	// detection latency compresses with the rest of the run.
+	Interval time.Duration
+	// Timeout bounds one probe request (default Interval, capped at 2 s).
+	Timeout time.Duration
+	// FailThreshold is the number of consecutive failures — probe or
+	// dispatch-reported — after which a worker is marked unhealthy
+	// (default 2).
+	FailThreshold int
+	// Path is the probe endpoint (default "/healthz").
+	Path string
+}
+
+func (c HealthConfig) withDefaults() HealthConfig {
+	if c.Interval <= 0 {
+		c.Interval = 500 * time.Millisecond
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = c.Interval
+		if c.Timeout > 2*time.Second {
+			c.Timeout = 2 * time.Second
+		}
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 2
+	}
+	if c.Path == "" {
+		c.Path = "/healthz"
+	}
+	return c
+}
+
+// HealthTracker probes each worker's health endpoint on a fixed interval
+// and maintains a healthy/unhealthy mark per worker: FailThreshold
+// consecutive failures mark a worker unhealthy, and a single successful
+// probe re-admits it. Dispatch paths feed their own observations in via
+// ReportFailure/ReportSuccess so detection does not have to wait for the
+// next probe round.
+//
+// All workers start healthy: a tracker that has not probed yet must not
+// block traffic.
+type HealthTracker struct {
+	cfg    HealthConfig
+	urls   []string
+	client *http.Client
+
+	mu      sync.Mutex
+	fails   []int
+	healthy []bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewHealthTracker builds a tracker over the worker base URLs (not yet
+// probing; call Start).
+func NewHealthTracker(urls []string, cfg HealthConfig) *HealthTracker {
+	cfg = cfg.withDefaults()
+	t := &HealthTracker{
+		cfg:     cfg,
+		urls:    urls,
+		client:  &http.Client{Timeout: cfg.Timeout},
+		fails:   make([]int, len(urls)),
+		healthy: make([]bool, len(urls)),
+		stop:    make(chan struct{}),
+	}
+	for i := range t.healthy {
+		t.healthy[i] = true
+	}
+	return t
+}
+
+// Start launches one probe loop per worker.
+func (t *HealthTracker) Start() {
+	for w := range t.urls {
+		t.wg.Add(1)
+		go t.probeLoop(w)
+	}
+}
+
+// Stop halts the probe loops and waits for them to exit.
+func (t *HealthTracker) Stop() {
+	close(t.stop)
+	t.wg.Wait()
+}
+
+func (t *HealthTracker) probeLoop(w int) {
+	defer t.wg.Done()
+	ticker := time.NewTicker(t.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-t.stop:
+			return
+		case <-ticker.C:
+			t.probe(w)
+		}
+	}
+}
+
+// probe performs one health check against worker w.
+func (t *HealthTracker) probe(w int) {
+	resp, err := t.client.Get(t.urls[w] + t.cfg.Path)
+	ok := err == nil && resp.StatusCode >= 200 && resp.StatusCode < 300
+	if err == nil {
+		resp.Body.Close()
+	}
+	if ok {
+		t.ReportSuccess(w)
+	} else {
+		t.ReportFailure(w)
+	}
+}
+
+// ReportFailure records one failed interaction with worker w (probe
+// failure or dispatch error); FailThreshold consecutive failures mark the
+// worker unhealthy.
+func (t *HealthTracker) ReportFailure(w int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.fails[w]++
+	if t.fails[w] >= t.cfg.FailThreshold {
+		t.healthy[w] = false
+	}
+}
+
+// ReportSuccess records one successful interaction with worker w,
+// re-admitting it immediately if it was marked unhealthy.
+func (t *HealthTracker) ReportSuccess(w int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.fails[w] = 0
+	t.healthy[w] = true
+}
+
+// Healthy returns a snapshot of the per-worker health marks, sized and
+// ordered like the URL list the tracker was built with.
+func (t *HealthTracker) Healthy() []bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]bool, len(t.healthy))
+	copy(out, t.healthy)
+	return out
+}
+
+// IsHealthy reports worker w's current mark.
+func (t *HealthTracker) IsHealthy(w int) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.healthy[w]
+}

@@ -2,7 +2,9 @@ package serve
 
 import (
 	"fmt"
+	"time"
 
+	"ramsis/internal/lb"
 	"ramsis/internal/monitor"
 	"ramsis/internal/profile"
 	"ramsis/internal/sim"
@@ -21,6 +23,10 @@ type ClusterConfig struct {
 	Select        SelectFunc
 	Monitor       monitor.Monitor
 	Seed          int64
+	// Balancer routes queries across worker queues (default round-robin).
+	Balancer lb.Balancer
+	// HealthInterval overrides the frontend's health-probe period.
+	HealthInterval time.Duration
 }
 
 // Cluster is a running localhost deployment.
@@ -54,12 +60,14 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 		urls[i] = w.URL()
 	}
 	c.Frontend = &Frontend{
-		Profiles:  cfg.Models,
-		SLO:       cfg.SLO,
-		TimeScale: cfg.TimeScale,
-		Workers:   urls,
-		Select:    cfg.Select,
-		Monitor:   cfg.Monitor,
+		Profiles:       cfg.Models,
+		SLO:            cfg.SLO,
+		TimeScale:      cfg.TimeScale,
+		Workers:        urls,
+		Select:         cfg.Select,
+		Monitor:        cfg.Monitor,
+		Balancer:       cfg.Balancer,
+		HealthInterval: cfg.HealthInterval,
 	}
 	if err := c.Frontend.Start(); err != nil {
 		c.Stop()

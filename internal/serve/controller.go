@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"ramsis/internal/core"
+	"ramsis/internal/lb"
 	"ramsis/internal/monitor"
 	"ramsis/internal/profile"
 	"ramsis/internal/sim"
@@ -67,19 +68,27 @@ type Controller struct {
 	Monitor   monitor.Monitor
 	// Central routes all queries through the central queue with eager
 	// workers (the baselines' implicit balancing); otherwise queries are
-	// distributed round-robin to per-worker queues (RAMSIS, §3.2.1).
+	// distributed to per-worker queues via Balancer (RAMSIS, §3.2.1).
 	Central bool
+	// Balancer picks the per-worker queue for each arrival (default
+	// round-robin); unused in Central mode.
+	Balancer lb.Balancer
+	// Health optionally masks unhealthy workers out of routing and
+	// failover. The caller owns its lifecycle (Start/Stop).
+	Health *lb.HealthTracker
 	// CollectLatencies records every response latency in the metrics.
 	CollectLatencies bool
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	central []sim.Query
-	wq      [][]sim.Query
-	genDone bool
-	metrics sim.Metrics
-	start   time.Time
-	client  *http.Client
+	mu       sync.Mutex
+	cond     *sync.Cond
+	central  []sim.Query
+	wq       [][]sim.Query
+	inflight []int // per-worker in-dispatch query count
+	lens     []int // scratch buffer for balancer input
+	genDone  bool
+	metrics  sim.Metrics
+	start    time.Time
+	client   *http.Client
 }
 
 // now returns modeled seconds since Run started.
@@ -97,8 +106,13 @@ func (c *Controller) Run(arrivals []float64) (sim.Metrics, error) {
 	if c.TimeScale <= 0 {
 		c.TimeScale = 1
 	}
+	if c.Balancer == nil {
+		c.Balancer = lb.NewRoundRobin()
+	}
 	c.cond = sync.NewCond(&c.mu)
 	c.wq = make([][]sim.Query, len(c.Workers))
+	c.inflight = make([]int, len(c.Workers))
+	c.lens = make([]int, len(c.Workers))
 	c.central = nil
 	c.genDone = false
 	c.metrics = sim.Metrics{ModelCounts: map[string]int{}}
@@ -136,7 +150,8 @@ func (c *Controller) Run(arrivals []float64) (sim.Metrics, error) {
 		if c.Central {
 			c.central = append(c.central, q)
 		} else {
-			c.wq[i%len(c.Workers)] = append(c.wq[i%len(c.Workers)], q)
+			w := c.Balancer.Pick(c.queueLensLocked(), c.healthMask())
+			c.wq[w] = append(c.wq[w], q)
 		}
 		c.cond.Broadcast()
 		c.mu.Unlock()
@@ -188,12 +203,33 @@ func (c *Controller) workerLoop(w int) error {
 			batch = 1
 		}
 		queries := c.pop(w, batch)
+		if !c.Central {
+			// Count the popped batch as in-dispatch so the balancer still
+			// sees this worker's load while its queue slice reads empty.
+			c.inflight[w] += len(queries)
+		}
 		c.mu.Unlock()
 
-		if err := c.dispatch(w, model, queries); err != nil {
-			return err
-		}
+		c.dispatch(w, model, queries)
 	}
+}
+
+// queueLensLocked snapshots per-worker outstanding load (queued plus
+// in-dispatch) into the scratch buffer; callers must hold c.mu.
+func (c *Controller) queueLensLocked() []int {
+	for w := range c.wq {
+		c.lens[w] = len(c.wq[w]) + c.inflight[w]
+	}
+	return c.lens
+}
+
+// healthMask returns the tracker's current mask, or nil (all healthy) when
+// no tracker is configured.
+func (c *Controller) healthMask() []bool {
+	if c.Health == nil {
+		return nil
+	}
+	return c.Health.Healthy()
 }
 
 func (c *Controller) queueLen(w int) int {
@@ -227,36 +263,81 @@ func (c *Controller) pop(w, k int) []sim.Query {
 	return out
 }
 
-// dispatch POSTs the batch to the worker and records per-query outcomes at
-// the modeled completion time.
-func (c *Controller) dispatch(w int, model string, queries []sim.Query) error {
-	body, err := json.Marshal(InferRequest{Model: model, Batch: len(queries)})
+// post attempts one /infer POST against worker w, reporting the outcome to
+// the health tracker when one is configured. Connection errors and 5xx
+// responses count as health failures; other non-2xx statuses fail the
+// dispatch without marking the worker unhealthy.
+func (c *Controller) post(w int, model string, batch int) bool {
+	body, _ := json.Marshal(InferRequest{Model: model, Batch: batch})
+	resp, err := c.client.Post(c.Workers[w]+"/infer", "application/json", bytes.NewReader(body))
 	if err != nil {
-		return err
-	}
-	var resp *http.Response
-	for attempt := 0; ; attempt++ {
-		resp, err = c.client.Post(c.Workers[w]+"/infer", "application/json", bytes.NewReader(body))
-		if err == nil {
-			break
+		if c.Health != nil {
+			c.Health.ReportFailure(w)
 		}
-		if attempt >= 2 {
-			return fmt.Errorf("serve: worker %d unreachable: %w", w, err)
-		}
+		return false
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("serve: worker %d returned %s", w, resp.Status)
+	if resp.StatusCode >= 500 {
+		if c.Health != nil {
+			c.Health.ReportFailure(w)
+		}
+		return false
+	}
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		return false
+	}
+	if c.Health != nil {
+		c.Health.ReportSuccess(w)
 	}
 	var ir InferResponse
-	if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
-		return err
+	return json.NewDecoder(resp.Body).Decode(&ir) == nil
+}
+
+// failoverTarget picks a healthy worker other than w, or -1 if none exists.
+func (c *Controller) failoverTarget(w int) int {
+	if len(c.Workers) < 2 {
+		return -1
+	}
+	healthy := c.healthMask()
+	if healthy == nil {
+		healthy = make([]bool, len(c.Workers))
+		for i := range healthy {
+			healthy[i] = true
+		}
+	}
+	healthy[w] = false
+	if !anyHealthy(healthy) {
+		return -1
+	}
+	c.mu.Lock()
+	lens := append([]int(nil), c.queueLensLocked()...)
+	c.mu.Unlock()
+	alt := c.Balancer.Pick(lens, healthy)
+	if alt == w {
+		return -1
+	}
+	return alt
+}
+
+// dispatch POSTs the batch to the worker, failing over once to another
+// healthy worker, and records per-query outcomes at the modeled completion
+// time. A batch no worker accepted counts its queries as violations (and
+// FailedDispatches) instead of aborting the replay.
+func (c *Controller) dispatch(w int, model string, queries []sim.Query) {
+	ok := c.post(w, model, len(queries))
+	if !ok {
+		if alt := c.failoverTarget(w); alt >= 0 {
+			ok = c.post(alt, model, len(queries))
+		}
 	}
 	done := c.now()
 	p, _ := c.Profiles.ByName(model)
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if !c.Central {
+		c.inflight[w] -= len(queries)
+	}
 	c.metrics.Decisions++
 	c.metrics.ModelCounts[model] += len(queries)
 	for _, q := range queries {
@@ -265,13 +346,15 @@ func (c *Controller) dispatch(w int, model string, queries []sim.Query) error {
 		if c.CollectLatencies {
 			c.metrics.Latencies = append(c.metrics.Latencies, lat)
 		}
-		if lat > c.SLO {
-			c.metrics.Violations++
-		} else {
+		if ok && lat <= c.SLO {
 			c.metrics.SatAccSum += p.Accuracy
+		} else {
+			c.metrics.Violations++
+		}
+		if !ok {
+			c.metrics.FailedDispatches++
 		}
 	}
-	return nil
 }
 
 // newReader wraps a byte slice for repeated HTTP posts.

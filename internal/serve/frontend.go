@@ -1,13 +1,16 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"ramsis/internal/lb"
 	"ramsis/internal/monitor"
 	"ramsis/internal/profile"
 	"ramsis/internal/sim"
@@ -20,6 +23,10 @@ type QueryResponse struct {
 	Batch       int     `json:"batch"`
 	LatencyMS   float64 `json:"latencyMs"` // modeled response latency
 	DeadlineMet bool    `json:"deadlineMet"`
+	// Error is set when the batch could not be delivered to any worker
+	// (the dispatch failed on the picked worker and on the failover
+	// target); the query counts as a violation.
+	Error string `json:"error,omitempty"`
 }
 
 // StatsResponse is the /stats snapshot.
@@ -29,6 +36,14 @@ type StatsResponse struct {
 	Accuracy      float64 `json:"accuracyPerSatisfiedQuery"`
 	ViolationRate float64 `json:"violationRate"`
 	QueueLengths  []int   `json:"queueLengths"`
+	// FailedDispatches counts queries whose batch reached no worker even
+	// after failover; they are included in Served and Violations.
+	FailedDispatches int `json:"failedDispatches"`
+	// WorkerHealthy is the health tracker's current per-worker mark.
+	WorkerHealthy []bool `json:"workerHealthy"`
+	// WorkerDispatches counts /infer POSTs attempted per worker (failover
+	// retries count against the worker they were sent to).
+	WorkerDispatches []int `json:"workerDispatches"`
 }
 
 // Frontend is the client-facing half of the prototype: applications POST
@@ -36,6 +51,12 @@ type StatsResponse struct {
 // (central queue -> load balancer -> worker queue -> model selector ->
 // worker). It shares the worker HTTP API with Controller but serves live
 // traffic instead of replaying a trace.
+//
+// Routing goes through a pluggable lb.Balancer over per-worker queues,
+// masked by an lb.HealthTracker: workers that fail consecutive health
+// probes (or dispatches) stop receiving traffic until they recover, and a
+// batch whose dispatch fails is retried once on another healthy worker
+// before its queries are recorded as violations.
 type Frontend struct {
 	Profiles  profile.Set
 	SLO       float64
@@ -43,19 +64,49 @@ type Frontend struct {
 	Workers   []string
 	Select    SelectFunc
 	Monitor   monitor.Monitor
+	// Balancer picks the worker queue for each arriving query; default
+	// round-robin, matching the §3.2.1 policy assumption.
+	Balancer lb.Balancer
+	// Health overrides the health tracker. When nil, Start builds and
+	// owns one probing Workers' /healthz every HealthInterval.
+	Health *lb.HealthTracker
+	// HealthInterval is the wall-clock probe period for the built-in
+	// tracker; default 500 ms divided by TimeScale, so detection latency
+	// compresses with modeled time in tests.
+	HealthInterval time.Duration
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	wq      [][]pendingQuery
-	nextID  int
-	rr      int
-	start   time.Time
-	closed  bool
+	closed    atomic.Bool
+	nextID    atomic.Int64
+	start     time.Time
+	wq        []*workerQueue
+	ownHealth bool
+
+	// statsMu guards metrics, failed-dispatch accounting, and the Monitor
+	// (whose Observe times must be non-decreasing). It is never held
+	// while a workerQueue lock is taken.
+	statsMu sync.Mutex
 	metrics sim.Metrics
-	srv     *http.Server
-	addr    string
-	client  *http.Client
-	loops   sync.WaitGroup
+
+	srv    *http.Server
+	addr   string
+	client *http.Client
+	loops  sync.WaitGroup
+}
+
+// workerQueue is one worker's pending-query queue with its own lock and
+// condition variable, so a slow worker's selector loop never serializes
+// enqueues for the others.
+type workerQueue struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []pendingQuery
+	// outstanding = queued + in-dispatch queries, the balancer's view of
+	// the worker's load. In-dispatch queries must count: a worker that
+	// just popped its whole queue reads as empty, and a queue-aware
+	// balancer would keep stacking arrivals on it while others idle.
+	outstanding atomic.Int32
+	// dispatches counts /infer POSTs attempted against this worker.
+	dispatches atomic.Int64
 }
 
 type pendingQuery struct {
@@ -71,8 +122,27 @@ func (f *Frontend) Start() error {
 	if f.TimeScale <= 0 {
 		f.TimeScale = 1
 	}
-	f.cond = sync.NewCond(&f.mu)
-	f.wq = make([][]pendingQuery, len(f.Workers))
+	if f.Balancer == nil {
+		f.Balancer = lb.NewRoundRobin()
+	}
+	if f.Health == nil {
+		iv := f.HealthInterval
+		if iv <= 0 {
+			iv = time.Duration(float64(500*time.Millisecond) / f.TimeScale)
+			if iv < 5*time.Millisecond {
+				iv = 5 * time.Millisecond
+			}
+		}
+		f.Health = lb.NewHealthTracker(f.Workers, lb.HealthConfig{Interval: iv})
+		f.Health.Start()
+		f.ownHealth = true
+	}
+	f.wq = make([]*workerQueue, len(f.Workers))
+	for i := range f.wq {
+		ws := &workerQueue{}
+		ws.cond = sync.NewCond(&ws.mu)
+		f.wq[i] = ws
+	}
 	f.start = time.Now()
 	f.metrics = sim.Metrics{ModelCounts: map[string]int{}}
 	f.client = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: len(f.Workers) + 4}}
@@ -98,31 +168,44 @@ func (f *Frontend) Start() error {
 // URL returns the frontend's base URL.
 func (f *Frontend) URL() string { return "http://" + f.addr }
 
-// Stop shuts down the HTTP server and the selector loops.
+// Stop shuts down the HTTP server, the selector loops, and the health
+// tracker (if owned).
 func (f *Frontend) Stop() error {
 	err := f.srv.Close()
-	f.mu.Lock()
-	f.closed = true
-	f.cond.Broadcast()
-	f.mu.Unlock()
+	f.closed.Store(true)
+	for _, ws := range f.wq {
+		ws.mu.Lock()
+		ws.cond.Broadcast()
+		ws.mu.Unlock()
+	}
 	f.loops.Wait()
+	if f.ownHealth {
+		f.Health.Stop()
+	}
 	return err
 }
 
 // Stats returns a metrics snapshot.
 func (f *Frontend) Stats() StatsResponse {
-	f.mu.Lock()
-	defer f.mu.Unlock()
 	qs := make([]int, len(f.wq))
-	for i := range f.wq {
-		qs[i] = len(f.wq[i])
+	ds := make([]int, len(f.wq))
+	for i, ws := range f.wq {
+		ws.mu.Lock()
+		qs[i] = len(ws.queue)
+		ws.mu.Unlock()
+		ds[i] = int(ws.dispatches.Load())
 	}
+	f.statsMu.Lock()
+	defer f.statsMu.Unlock()
 	return StatsResponse{
-		Served:        f.metrics.Served,
-		Violations:    f.metrics.Violations,
-		Accuracy:      f.metrics.AccuracyPerSatisfiedQuery(),
-		ViolationRate: f.metrics.ViolationRate(),
-		QueueLengths:  qs,
+		Served:           f.metrics.Served,
+		Violations:       f.metrics.Violations,
+		Accuracy:         f.metrics.AccuracyPerSatisfiedQuery(),
+		ViolationRate:    f.metrics.ViolationRate(),
+		QueueLengths:     qs,
+		FailedDispatches: f.metrics.FailedDispatches,
+		WorkerHealthy:    f.Health.Healthy(),
+		WorkerDispatches: ds,
 	}
 }
 
@@ -130,37 +213,55 @@ func (f *Frontend) now() float64 {
 	return time.Since(f.start).Seconds() * f.TimeScale
 }
 
-// handleQuery enqueues the query round-robin and blocks until it is served.
+// queueLens snapshots every worker's outstanding load for the balancer.
+func (f *Frontend) queueLens() []int {
+	lens := make([]int, len(f.wq))
+	for i, ws := range f.wq {
+		lens[i] = int(ws.outstanding.Load())
+	}
+	return lens
+}
+
+// handleQuery routes the query through the balancer and blocks until it is
+// served.
 func (f *Frontend) handleQuery(rw http.ResponseWriter, req *http.Request) {
 	if req.Method != http.MethodPost {
 		http.Error(rw, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
-	done := make(chan QueryResponse, 1)
-	f.mu.Lock()
-	if f.closed {
-		f.mu.Unlock()
+	if f.closed.Load() {
 		http.Error(rw, "shutting down", http.StatusServiceUnavailable)
 		return
 	}
-	id := f.nextID
-	f.nextID++
+	id := int(f.nextID.Add(1) - 1)
 	now := f.now()
 	if f.Monitor != nil {
+		f.statsMu.Lock()
 		f.Monitor.Observe(now)
+		f.statsMu.Unlock()
 	}
-	w := f.rr % len(f.Workers)
-	f.rr++
-	f.wq[w] = append(f.wq[w], pendingQuery{q: sim.Query{ID: id, Arrival: now}, done: done})
-	f.cond.Broadcast()
-	f.mu.Unlock()
+	w := f.Balancer.Pick(f.queueLens(), f.Health.Healthy())
+
+	done := make(chan QueryResponse, 1)
+	ws := f.wq[w]
+	ws.mu.Lock()
+	if f.closed.Load() {
+		ws.mu.Unlock()
+		http.Error(rw, "shutting down", http.StatusServiceUnavailable)
+		return
+	}
+	ws.queue = append(ws.queue, pendingQuery{q: sim.Query{ID: id, Arrival: now}, done: done})
+	ws.outstanding.Add(1)
+	ws.cond.Signal()
+	ws.mu.Unlock()
 
 	select {
 	case resp := <-done:
 		rw.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(rw).Encode(resp)
 	case <-req.Context().Done():
-		// Client went away; the batch still completes and records metrics.
+		// Client went away; the batch still completes and records metrics
+		// (the done channel is buffered, so dispatch never blocks on it).
 	}
 }
 
@@ -169,25 +270,33 @@ func (f *Frontend) handleStats(rw http.ResponseWriter, _ *http.Request) {
 	_ = json.NewEncoder(rw).Encode(f.Stats())
 }
 
-// workerLoop mirrors Controller.workerLoop for live queries.
+// workerLoop mirrors Controller.workerLoop for live queries. It is the
+// only consumer of its queue, so a snapshot of the head and length stays
+// valid after the lock is dropped (the queue can only grow underneath it).
 func (f *Frontend) workerLoop(w int) {
 	defer f.loops.Done()
+	ws := f.wq[w]
 	for {
-		f.mu.Lock()
-		for len(f.wq[w]) == 0 && !f.closed {
-			f.cond.Wait()
+		ws.mu.Lock()
+		for len(ws.queue) == 0 && !f.closed.Load() {
+			ws.cond.Wait()
 		}
-		if f.closed && len(f.wq[w]) == 0 {
-			f.mu.Unlock()
+		if len(ws.queue) == 0 && f.closed.Load() {
+			ws.mu.Unlock()
 			return
 		}
-		n := len(f.wq[w])
+		n := len(ws.queue)
+		head := ws.queue[0].q
+		ws.mu.Unlock()
+
 		now := f.now()
 		load := 0.0
 		if f.Monitor != nil {
+			f.statsMu.Lock()
 			load = f.Monitor.Load(now)
+			f.statsMu.Unlock()
 		}
-		slack := f.wq[w][0].q.Arrival + f.SLO - now
+		slack := head.Arrival + f.SLO - now
 		model, batch := f.Select(now, load, n, slack)
 		p, ok := f.Profiles.ByName(model)
 		if !ok || batch < 1 {
@@ -201,39 +310,100 @@ func (f *Frontend) workerLoop(w int) {
 		if batch > n {
 			batch = n
 		}
-		queries := f.wq[w][:batch]
-		f.wq[w] = append([]pendingQuery(nil), f.wq[w][batch:]...)
-		f.mu.Unlock()
+		ws.mu.Lock()
+		queries := ws.queue[:batch]
+		ws.queue = append([]pendingQuery(nil), ws.queue[batch:]...)
+		ws.mu.Unlock()
 
 		f.dispatch(w, p.Name, queries)
+		ws.outstanding.Add(-int32(len(queries)))
 	}
 }
 
+// post attempts one /infer POST against worker w and reports the outcome
+// to the health tracker. Connection errors and 5xx responses count as
+// health failures; 4xx responses fail the dispatch without poisoning the
+// worker's health (they indicate a bad request, not a bad worker).
+func (f *Frontend) post(w int, model string, batch int) bool {
+	body, _ := json.Marshal(InferRequest{Model: model, Batch: batch})
+	f.wq[w].dispatches.Add(1)
+	resp, err := f.client.Post(f.Workers[w]+"/infer", "application/json", bytes.NewReader(body))
+	if err != nil {
+		f.Health.ReportFailure(w)
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 500 {
+		f.Health.ReportFailure(w)
+		return false
+	}
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		return false
+	}
+	f.Health.ReportSuccess(w)
+	return true
+}
+
+// failoverTarget picks a healthy worker other than w, or -1 if none.
+func (f *Frontend) failoverTarget(w int) int {
+	if len(f.Workers) < 2 {
+		return -1
+	}
+	healthy := f.Health.Healthy()
+	healthy[w] = false
+	if !anyHealthy(healthy) {
+		return -1
+	}
+	alt := f.Balancer.Pick(f.queueLens(), healthy)
+	if alt == w {
+		return -1
+	}
+	return alt
+}
+
+func anyHealthy(healthy []bool) bool {
+	for _, h := range healthy {
+		if h {
+			return true
+		}
+	}
+	return false
+}
+
+// dispatch delivers the batch to worker w, failing over once to another
+// healthy worker; queries whose batch reached no worker are recorded as
+// violations (and FailedDispatches) rather than silently marked served.
 func (f *Frontend) dispatch(w int, model string, queries []pendingQuery) {
-	body, _ := json.Marshal(InferRequest{Model: model, Batch: len(queries)})
-	resp, err := f.client.Post(f.Workers[w]+"/infer", "application/json", newReader(body))
-	if err == nil {
-		resp.Body.Close()
+	ok := f.post(w, model, len(queries))
+	if !ok {
+		if alt := f.failoverTarget(w); alt >= 0 {
+			ok = f.post(alt, model, len(queries))
+		}
 	}
 	done := f.now()
 	p, _ := f.Profiles.ByName(model)
 
-	f.mu.Lock()
+	f.statsMu.Lock()
 	f.metrics.Decisions++
 	f.metrics.ModelCounts[model] += len(queries)
 	for _, pq := range queries {
 		f.metrics.Served++
 		lat := done - pq.q.Arrival
-		met := lat <= f.SLO
+		met := ok && lat <= f.SLO
 		if met {
 			f.metrics.SatAccSum += p.Accuracy
 		} else {
 			f.metrics.Violations++
 		}
-		pq.done <- QueryResponse{
+		resp := QueryResponse{
 			ID: pq.q.ID, Model: model, Batch: len(queries),
 			LatencyMS: lat * 1000, DeadlineMet: met,
 		}
+		if !ok {
+			f.metrics.FailedDispatches++
+			resp.Error = "dispatch failed: no healthy worker reachable"
+		}
+		pq.done <- resp
 	}
-	f.mu.Unlock()
+	f.statsMu.Unlock()
 }

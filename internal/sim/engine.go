@@ -94,6 +94,11 @@ type Metrics struct {
 	Decisions   int
 	Unserved    int
 	Dropped     int
+	// FailedDispatches counts queries whose batch could not be delivered
+	// to any worker (serve layer only: connection error or non-2xx on the
+	// picked worker and on the one-shot failover target). They are also
+	// counted in Served and Violations, so ViolationRate reflects them.
+	FailedDispatches int
 	Latencies   []float64 // response latencies, if collection was enabled
 	ModelCounts map[string]int
 	DecisionLog []DecisionRecord
@@ -158,12 +163,13 @@ type Engine struct {
 	// entry per worker, each with the same model names as Profiles.
 	WorkerProfiles []profile.Set
 
-	rng     *rand.Rand
-	central []Query
-	wq      [][]Query
-	busy    []bool
-	events  eventHeap
-	metrics Metrics
+	rng      *rand.Rand
+	central  []Query
+	wq       [][]Query
+	busy     []bool
+	inflight []int // queries in the batch worker w is currently serving
+	events   eventHeap
+	metrics  Metrics
 }
 
 // NewEngine builds a simulator. Seed fixes the latency-noise stream.
@@ -180,6 +186,7 @@ func NewEngine(profiles profile.Set, slo float64, workers int, lat LatencyModel,
 		rng:      rand.New(rand.NewSource(seed)),
 		wq:       make([][]Query, workers),
 		busy:     make([]bool, workers),
+		inflight: make([]int, workers),
 	}
 }
 
@@ -196,6 +203,24 @@ func (e *Engine) CentralLen() int { return len(e.central) }
 
 // WorkerLen returns worker w's queue length.
 func (e *Engine) WorkerLen(w int) int { return len(e.wq[w]) }
+
+// QueueLens fills buf (grown as needed) with every worker's outstanding
+// work — queued plus in-service queries — which is the lb.Balancer input.
+// In-service queries must count: under maximal batching a busy worker's
+// queue reads empty the moment it pops, and a balancer looking at queued
+// work alone would keep stacking arrivals on it while idle workers starve.
+// The caller reuses the returned slice to keep the per-arrival routing
+// path allocation-free.
+func (e *Engine) QueueLens(buf []int) []int {
+	if cap(buf) < e.Workers {
+		buf = make([]int, e.Workers)
+	}
+	buf = buf[:e.Workers]
+	for w := range e.wq {
+		buf[w] = len(e.wq[w]) + e.inflight[w]
+	}
+	return buf
+}
 
 // EnqueueCentral appends to the central queue.
 func (e *Engine) EnqueueCentral(q Query) { e.central = append(e.central, q) }
@@ -285,6 +310,7 @@ func (e *Engine) Run(arrivals []float64) Metrics {
 			ev := heap.Pop(&e.events).(event)
 			e.complete(ev)
 			e.busy[ev.worker] = false
+			e.inflight[ev.worker] = 0
 			e.dispatchIdle(ev.time)
 		default:
 			// No arrivals or events left; any queued queries are unserved
@@ -334,6 +360,7 @@ func (e *Engine) dispatchIdle(now float64) {
 			p := e.ProfilesFor(w).Profiles[d.Model]
 			lat := e.Latency.Latency(p, len(d.Queries), e.rng)
 			e.busy[w] = true
+			e.inflight[w] = len(d.Queries)
 			heap.Push(&e.events, event{time: now + lat, worker: w, queries: d.Queries, model: d.Model})
 			if e.RecordDecisions {
 				e.metrics.DecisionLog = append(e.metrics.DecisionLog, DecisionRecord{

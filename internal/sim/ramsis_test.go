@@ -6,6 +6,7 @@ import (
 
 	"ramsis/internal/core"
 	"ramsis/internal/dist"
+	"ramsis/internal/lb"
 	"ramsis/internal/monitor"
 	"ramsis/internal/profile"
 	"ramsis/internal/trace"
@@ -223,6 +224,116 @@ func TestRAMSISEndToEndWithSQF(t *testing.T) {
 	}
 	if vr := m.ViolationRate(); vr > 0.05 {
 		t.Errorf("SQF violation rate %v at sub-critical load", vr)
+	}
+}
+
+func TestRAMSISPowerOfTwoRouting(t *testing.T) {
+	const workers = 4
+	ps := ramsisFixture(t, workers, 0.150, []float64{100})
+	sched := NewRAMSIS(ps, monitor.NewMovingAverage(0.5))
+	sched.Balance = core.PowerOfTwoChoices
+	e := NewEngine(profile.ImageSet(), 0.150, workers, Deterministic{}, sched, 1)
+	// One empty worker among loaded ones: P2C must never join the longest
+	// queue when it samples the empty worker, so across many routes the
+	// empty worker takes a clear plurality.
+	for i := 0; i < 5; i++ {
+		e.EnqueueWorker(0, Query{ID: 100 + i})
+		e.EnqueueWorker(1, Query{ID: 200 + i})
+		e.EnqueueWorker(2, Query{ID: 300 + i})
+	}
+	for i := 0; i < 40; i++ {
+		sched.Route(e, float64(i)*1e-6, Query{ID: i})
+	}
+	routed3 := e.WorkerLen(3)
+	if routed3 < 10 {
+		t.Errorf("P2C routed only %d/40 to the drained worker; queues: %d %d %d %d",
+			routed3, e.WorkerLen(0), e.WorkerLen(1), e.WorkerLen(2), e.WorkerLen(3))
+	}
+	if e.CentralLen() != 0 {
+		t.Error("P2C left queries in the central queue")
+	}
+}
+
+// fixedModelLB is a minimal per-worker-queue scheduler for balancer
+// comparisons: it routes through an lb.Balancer and serves one query at a
+// time on a fixed model, so the measured difference is the balancer's
+// alone (no model-selection or batching confound).
+type fixedModelLB struct {
+	model int
+	bal   lb.Balancer
+	lens  []int
+}
+
+func (s *fixedModelLB) Route(e *Engine, _ float64, q Query) {
+	s.lens = e.QueueLens(s.lens)
+	e.EnqueueWorker(s.bal.Pick(s.lens, nil), q)
+}
+
+func (s *fixedModelLB) Pick(e *Engine, _ float64, w int) (Decision, bool) {
+	if e.WorkerLen(w) == 0 {
+		return Decision{}, false
+	}
+	return Decision{Model: s.model, Queries: e.PopWorker(w, 1)}, true
+}
+
+func TestJSQNoWorseThanRoundRobinOnBurstyTrace(t *testing.T) {
+	// The ISSUE-1 acceptance criterion: at equal load on a bursty on-off
+	// MMPP arrival pattern, queue-aware balancing achieves a violation
+	// rate no worse than round-robin's. The decisive case is a straggler:
+	// one worker runs 1.5x slower (the degraded-replica scenario
+	// queue-aware balancers exist for), and round-robin keeps feeding it
+	// its full 1/K share while JSQ and P2C route around the backlog.
+	//
+	// Note the homogeneous-cluster result is the opposite and is worth
+	// stating: with identical workers, deterministic round-robin spread
+	// is already near-optimal and JSQ's count-equalization buys nothing
+	// (it can even lose slightly under maximal batching, where letting
+	// queues differ grows more efficient batches). The balancer choice
+	// matters when workers diverge, which in production they do.
+	models := profile.ImageSet()
+	mi := -1
+	for i, p := range models.Profiles {
+		if p.Name == "shufflenet_v2_x0_5" {
+			mi = i
+		}
+	}
+	if mi < 0 {
+		t.Fatal("fixed model missing from image set")
+	}
+	const workers, slo = 6, 0.150
+	mu := 1 / models.Profiles[mi].BatchLatency(1)
+	load := 0.7 * float64(workers) * mu
+	wp := make([]profile.Set, workers)
+	for i := range wp {
+		wp[i] = models
+	}
+	wp[0] = models.ScaleLatency(1.5) // the straggler
+	tr := trace.Constant(load, 30)
+	// 2.5x-rate bursts of mean 50 ms separated by mean-200 ms lulls (the
+	// misspecification study's "burstier than assumed" pattern); the same
+	// arrival realization feeds every balancer.
+	arr := trace.Arrivals(tr, 13, func(r float64) dist.Sampler { return dist.NewOnOff(r, 2.5, 0.05, 0.2) })
+	run := func(bal lb.Balancer) Metrics {
+		e := NewEngine(models, slo, workers, Stochastic{StdDev: 0.010}, &fixedModelLB{model: mi, bal: bal}, 1)
+		e.WorkerProfiles = wp
+		return e.Run(arr)
+	}
+	rr := run(lb.NewRoundRobin())
+	jsq := run(lb.NewJoinShortestQueue())
+	p2c := run(lb.NewPowerOfTwoChoices(1))
+	if rr.Served != len(arr) || jsq.Served != len(arr) || p2c.Served != len(arr) {
+		t.Fatalf("served rr=%d jsq=%d p2c=%d of %d", rr.Served, jsq.Served, p2c.Served, len(arr))
+	}
+	if rr.ViolationRate() == 0 {
+		t.Fatal("straggler not slow enough: round-robin has zero violations, comparison is vacuous")
+	}
+	if jsq.ViolationRate() > rr.ViolationRate() {
+		t.Errorf("JSQ violation rate %.5f above round-robin's %.5f on bursty trace",
+			jsq.ViolationRate(), rr.ViolationRate())
+	}
+	if p2c.ViolationRate() > rr.ViolationRate() {
+		t.Errorf("P2C violation rate %.5f above round-robin's %.5f on bursty trace",
+			p2c.ViolationRate(), rr.ViolationRate())
 	}
 }
 

@@ -5,22 +5,41 @@ import (
 
 	"ramsis/internal/core"
 	"ramsis/internal/dist"
+	"ramsis/internal/lb"
 	"ramsis/internal/monitor"
 	"ramsis/internal/profile"
 	"ramsis/internal/trace"
 )
 
-// RAMSIS is the online phase of §3.2: a round-robin load balancer over
-// per-worker queues plus per-worker model selectors driven by the
-// offline-generated policies, switching policies with the monitored load.
+// BalancerFor returns the lb implementation matching an offline balancing
+// assumption, so simulated routing behaves the way the policy's MDP
+// transition probabilities assume. The seed only affects power-of-two
+// choices.
+func BalancerFor(b core.Balancing, seed int64) lb.Balancer {
+	switch b {
+	case core.ShortestQueueFirst:
+		return lb.NewJoinShortestQueue()
+	case core.PowerOfTwoChoices:
+		return lb.NewPowerOfTwoChoices(seed)
+	}
+	return lb.NewRoundRobin()
+}
+
+// RAMSIS is the online phase of §3.2: a load balancer over per-worker
+// queues plus per-worker model selectors driven by the offline-generated
+// policies, switching policies with the monitored load.
 type RAMSIS struct {
 	Set     *core.PolicySet
 	Monitor monitor.Monitor
 	// Balance selects the load-balancing strategy; policies should be
 	// generated with the matching core.Balancing (§3.2.1, Appendix I).
 	Balance core.Balancing
+	// LB overrides the balancer implementation. When nil it is derived
+	// from Balance on first use (deterministically seeded); set it
+	// explicitly to control the P2C sampling stream.
+	LB lb.Balancer
 
-	rr int
+	lens []int
 }
 
 // NewRAMSIS wires a policy set and a load monitor into a scheduler.
@@ -28,22 +47,23 @@ func NewRAMSIS(set *core.PolicySet, mon monitor.Monitor) *RAMSIS {
 	return &RAMSIS{Set: set, Monitor: mon}
 }
 
+// balancer resolves the effective balancer, deriving one from the Balance
+// assumption on first use.
+func (r *RAMSIS) balancer() lb.Balancer {
+	if r.LB == nil {
+		r.LB = BalancerFor(r.Balance, 1)
+	}
+	return r.LB
+}
+
 // Route observes the arrival for load tracking and assigns the query to a
-// worker queue round-robin (§3.2.1) or shortest-queue-first (Appendix I).
+// worker queue via the configured balancer: round-robin (§3.2.1),
+// shortest-queue-first (Appendix I), or power-of-two choices. Simulated
+// workers never fail, so the health mask is nil.
 func (r *RAMSIS) Route(e *Engine, now float64, q Query) {
 	r.Monitor.Observe(now)
-	w := 0
-	if r.Balance == core.ShortestQueueFirst {
-		for i := 1; i < e.Workers; i++ {
-			if e.WorkerLen(i) < e.WorkerLen(w) {
-				w = i
-			}
-		}
-	} else {
-		w = r.rr % e.Workers
-		r.rr++
-	}
-	e.EnqueueWorker(w, q)
+	r.lens = e.QueueLens(r.lens)
+	e.EnqueueWorker(r.balancer().Pick(r.lens, nil), q)
 }
 
 // Pick applies the lowest-load policy meeting the anticipated load to worker
@@ -94,16 +114,22 @@ func pickWithPolicy(e *Engine, now float64, w, n int, pol *core.Policy) (Decisio
 type HeteroRAMSIS struct {
 	Sets    []*core.PolicySet // one per worker
 	Monitor monitor.Monitor
+	// LB overrides the balancer (default round-robin, the assumption the
+	// per-worker policies are generated under).
+	LB lb.Balancer
 
-	rr int
+	lens []int
 }
 
-// Route distributes round-robin, as in the homogeneous scheduler.
+// Route distributes via the balancer (round-robin by default), as in the
+// homogeneous scheduler.
 func (r *HeteroRAMSIS) Route(e *Engine, now float64, q Query) {
 	r.Monitor.Observe(now)
-	w := r.rr % e.Workers
-	r.rr++
-	e.EnqueueWorker(w, q)
+	if r.LB == nil {
+		r.LB = lb.NewRoundRobin()
+	}
+	r.lens = e.QueueLens(r.lens)
+	e.EnqueueWorker(r.LB.Pick(r.lens, nil), q)
 }
 
 // Pick applies worker w's own policy.
