@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench
+.PHONY: build test vet race verify bench profile
 
 build:
 	$(GO) build ./...
@@ -11,15 +11,25 @@ test:
 vet:
 	$(GO) vet ./...
 
-# The lb and serve packages are the concurrency-heavy ones (balancers,
-# health tracker, per-worker queue locks, HTTP dispatch); run them under
-# the race detector. Their tests scale sleeps by TimeScale, so the race
-# pass stays within a CI budget.
+# The lb, serve, and telemetry packages are the concurrency-heavy ones
+# (balancers, health tracker, per-worker queue locks, HTTP dispatch, the
+# lock-free metrics registry); run them under the race detector. Their
+# tests scale sleeps by TimeScale, so the race pass stays within a CI
+# budget.
 race:
-	$(GO) test -race ./internal/lb/ ./internal/serve/
+	$(GO) test -race ./internal/lb/ ./internal/serve/ ./internal/telemetry/
 
 # Tier-1 verify path (see ROADMAP.md).
 verify: build vet test race
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# CPU- and heap-profile the simulator throughput benchmark and print the
+# top hotspots (profiles land in ./profiles for interactive pprof use).
+profile:
+	mkdir -p profiles
+	$(GO) test -bench BenchmarkSimulatorThroughput -run '^$$' \
+		-cpuprofile profiles/cpu.out -memprofile profiles/mem.out -o profiles/bench.test .
+	$(GO) tool pprof -top -nodecount 15 profiles/bench.test profiles/cpu.out
+	$(GO) tool pprof -top -nodecount 15 -sample_index=alloc_space profiles/bench.test profiles/mem.out

@@ -16,11 +16,12 @@ import (
 	"time"
 )
 
-import "ramsis/internal/experiments"
+import (
+	"ramsis/internal/experiments"
+	"ramsis/internal/telemetry"
+)
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("experiments: ")
 	var (
 		exp        = flag.String("exp", "all", "experiment id (fig3, fig5, ..., table2, infaas, sqf, all)")
 		full       = flag.Bool("full", false, "paper-scale grid (slow)")
@@ -29,8 +30,13 @@ func main() {
 		policyDir  = flag.String("policy-dir", "", "cache generated policies under this directory")
 		resultsDir = flag.String("results-dir", "", "write structured JSON results under this directory")
 		plotFlag   = flag.Bool("plot", false, "render ASCII charts alongside the numeric rows")
+		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logFmt     = flag.String("log-format", "text", "log format: text or json")
 	)
 	flag.Parse()
+	if _, err := telemetry.SetupLogging(*logLevel, *logFmt, "experiments"); err != nil {
+		log.Fatal(err)
+	}
 
 	h := experiments.New(experiments.Options{
 		Full: *full, Quick: *quick, Seed: *seed,

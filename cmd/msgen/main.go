@@ -14,23 +14,27 @@ import (
 
 	"ramsis/internal/baselines"
 	"ramsis/internal/profile"
+	"ramsis/internal/telemetry"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("msgen: ")
 	var (
-		task    = flag.String("task", "image", "inference task: image or text")
-		sloMS   = flag.Float64("slo", 150, "latency SLO in milliseconds")
-		workers = flag.Int("workers", 60, "number of workers")
-		loLoad  = flag.Float64("lo", 400, "lowest profiled load (QPS)")
-		hiLoad  = flag.Float64("hi", 4000, "highest profiled load (QPS)")
-		step    = flag.Float64("step", 100, "load step (QPS); the paper uses 100")
-		dur     = flag.Float64("dur", 10, "profiling run length per (model, load), seconds")
-		out     = flag.String("out", "policy_gen", "output directory")
-		seed    = flag.Int64("seed", 1, "workload seed")
+		task     = flag.String("task", "image", "inference task: image or text")
+		sloMS    = flag.Float64("slo", 150, "latency SLO in milliseconds")
+		workers  = flag.Int("workers", 60, "number of workers")
+		loLoad   = flag.Float64("lo", 400, "lowest profiled load (QPS)")
+		hiLoad   = flag.Float64("hi", 4000, "highest profiled load (QPS)")
+		step     = flag.Float64("step", 100, "load step (QPS); the paper uses 100")
+		dur      = flag.Float64("dur", 10, "profiling run length per (model, load), seconds")
+		out      = flag.String("out", "policy_gen", "output directory")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		logLevel = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logFmt   = flag.String("log-format", "text", "log format: text or json")
 	)
 	flag.Parse()
+	if _, err := telemetry.SetupLogging(*logLevel, *logFmt, "msgen"); err != nil {
+		log.Fatal(err)
+	}
 
 	models, err := profile.SetForTask(*task)
 	if err != nil {

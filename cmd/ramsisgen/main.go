@@ -16,11 +16,10 @@ import (
 	"ramsis/internal/dist"
 	"ramsis/internal/profile"
 	"ramsis/internal/sim"
+	"ramsis/internal/telemetry"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("ramsisgen: ")
 	var (
 		task      = flag.String("task", "image", "inference task: image or text")
 		sloMS     = flag.Float64("slo", 150, "latency SLO in milliseconds")
@@ -34,8 +33,13 @@ func main() {
 		gamma     = flag.Float64("gamma", 0.99, "value-iteration discount factor")
 		describe  = flag.Bool("describe", false, "print the policy decision table")
 		verify    = flag.Bool("verify", false, "simulate 30s at the design load and check the guarantees")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logFmt    = flag.String("log-format", "text", "log format: text or json")
 	)
 	flag.Parse()
+	if _, err := telemetry.SetupLogging(*logLevel, *logFmt, "ramsisgen"); err != nil {
+		log.Fatal(err)
+	}
 
 	models, err := profile.SetForTask(*task)
 	if err != nil {

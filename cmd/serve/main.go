@@ -10,6 +10,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"ramsis/internal/core"
 	"ramsis/internal/dist"
@@ -18,12 +19,11 @@ import (
 	"ramsis/internal/profile"
 	"ramsis/internal/serve"
 	"ramsis/internal/sim"
+	"ramsis/internal/telemetry"
 	"ramsis/internal/trace"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("serve: ")
 	var (
 		task      = flag.String("task", "image", "inference task: image or text")
 		sloMS     = flag.Float64("slo", 150, "latency SLO in milliseconds")
@@ -36,8 +36,15 @@ func main() {
 		seed      = flag.Int64("seed", 1, "workload seed")
 		frontend  = flag.Bool("frontend", false, "serve a live POST /query API instead of replaying a trace (Ctrl-C to stop)")
 		lbArg     = flag.String("lb", "rr", "load balancer across worker queues: rr, jsq, or p2c")
+		addr      = flag.String("addr", "127.0.0.1:8080", "frontend listen address (frontend mode)")
+		traceOut  = flag.String("trace-out", "", "append completed query traces as JSONL to this file (frontend mode)")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logFmt    = flag.String("log-format", "text", "log format: text or json")
 	)
 	flag.Parse()
+	if _, err := telemetry.SetupLogging(*logLevel, *logFmt, "serve"); err != nil {
+		log.Fatal(err)
+	}
 
 	models, err := profile.SetForTask(*task)
 	if err != nil {
@@ -64,6 +71,15 @@ func main() {
 	}
 
 	if *frontend {
+		var tw *telemetry.TraceWriter
+		if *traceOut != "" {
+			fh, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer fh.Close()
+			tw = telemetry.NewTraceWriter(fh)
+		}
 		cluster, err := serve.StartCluster(serve.ClusterConfig{
 			Models:        models,
 			Workers:       *workers,
@@ -74,6 +90,8 @@ func main() {
 			Monitor:       monitor.NewMovingAverage(0.5),
 			Seed:          *seed,
 			Balancer:      balancer,
+			Addr:          *addr,
+			TraceWriter:   tw,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -82,6 +100,8 @@ func main() {
 		fmt.Printf("live inference service at %s\n", cluster.URL())
 		fmt.Printf("try: curl -X POST %s/query -d '{}'\n", cluster.URL())
 		fmt.Printf("     curl %s/stats\n", cluster.URL())
+		fmt.Printf("     curl %s/metrics\n", cluster.URL())
+		fmt.Printf("     curl %s/debug/traces\n", cluster.URL())
 		select {} // serve until interrupted
 	}
 
@@ -121,6 +141,8 @@ func main() {
 	fmt.Printf("served:                      %d\n", m.Served)
 	fmt.Printf("accuracy/satisfied query:    %.4f\n", m.AccuracyPerSatisfiedQuery())
 	fmt.Printf("latency SLO violation rate:  %.4f%%\n", m.ViolationRate()*100)
+	fmt.Printf("latency p50/p95/p99 (ms):    %.1f / %.1f / %.1f\n",
+		m.LatencyP50*1000, m.LatencyP95*1000, m.LatencyP99*1000)
 	pol := set.Policies()[0]
 	fmt.Printf("policy expectation:          accuracy %.4f, violation %.4f%%\n",
 		pol.ExpectedAccuracy, pol.ExpectedViolation*100)

@@ -18,12 +18,11 @@ import (
 	"ramsis/internal/monitor"
 	"ramsis/internal/profile"
 	"ramsis/internal/sim"
+	"ramsis/internal/telemetry"
 	"ramsis/internal/trace"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("simulate: ")
 	var (
 		method   = flag.String("m", "RAMSIS", "MS&S method: RAMSIS, JF, MS, Greedy")
 		traceArg = flag.String("trace", "constant", "query trace: real (Twitter) or constant")
@@ -38,8 +37,13 @@ func main() {
 		polPath  = flag.String("policy", "", "load a saved RAMSIS policy JSON (from ramsisgen) instead of generating")
 		msTable  = flag.String("ms-table", "", "load a ModelSwitching profile JSON (from msgen) instead of profiling")
 		lbArg    = flag.String("lb", "rr", "RAMSIS per-worker load balancer: rr, jsq, or p2c (policies are generated with the matching MDP transition model)")
+		logLevel = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logFmt   = flag.String("log-format", "text", "log format: text or json")
 	)
 	flag.Parse()
+	if _, err := telemetry.SetupLogging(*logLevel, *logFmt, "simulate"); err != nil {
+		log.Fatal(err)
+	}
 
 	models, err := profile.SetForTask(*task)
 	if err != nil {
@@ -149,6 +153,8 @@ func main() {
 	fmt.Printf("decisions:                   %d\n", m.Decisions)
 	fmt.Printf("accuracy/satisfied query:    %.4f\n", m.AccuracyPerSatisfiedQuery())
 	fmt.Printf("latency SLO violation rate:  %.4f%%\n", m.ViolationRate()*100)
+	fmt.Printf("latency p50/p95/p99 (ms):    %.1f / %.1f / %.1f\n",
+		m.LatencyP50*1000, m.LatencyP95*1000, m.LatencyP99*1000)
 	fmt.Println("model usage (queries):")
 	for name, c := range m.ModelCounts {
 		fmt.Printf("  %-22s %d\n", name, c)

@@ -15,12 +15,11 @@ import (
 	"os"
 
 	"ramsis/internal/stats"
+	"ramsis/internal/telemetry"
 	"ramsis/internal/trace"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("trace: ")
 	var (
 		in       = flag.String("in", "", "input trace file (default: built-in Twitter trace)")
 		interval = flag.Float64("interval", 10, "seconds per trace line")
@@ -30,8 +29,13 @@ func main() {
 		truncate = flag.Float64("truncate", 0, "keep only the first N seconds (0 = all)")
 		seed     = flag.Int64("seed", 1, "arrival sampling seed")
 		gamma    = flag.Int("gamma", 0, "sample Erlang-<shape> arrivals instead of Poisson (0 = Poisson)")
+		logLevel = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logFmt   = flag.String("log-format", "text", "log format: text or json")
 	)
 	flag.Parse()
+	if _, err := telemetry.SetupLogging(*logLevel, *logFmt, "trace"); err != nil {
+		log.Fatal(err)
+	}
 
 	tr := trace.Twitter()
 	if *in != "" {

@@ -19,6 +19,11 @@ type Fig7Point struct {
 	ExpViolation  float64
 	SimViolation  float64
 	ImplViolation float64
+
+	// Tail latency (seconds) from the engine's telemetry histogram: the
+	// p99 against the SLO shows how close each variant runs to the edge.
+	SimLatencyP99  float64
+	ImplLatencyP99 float64
 }
 
 // Fig7 reproduces §7.3.1: RAMSIS's achieved accuracy and violation rate in
@@ -55,8 +60,9 @@ func (h *Harness) Fig7() []Fig7Point {
 	}
 	var out []Fig7Point
 	h.printf("Fig. 7: RAMSIS fidelity — expectation vs simulation vs implementation (image, SLO 150 ms)\n")
-	h.printf("%8s %10s  %8s %8s %8s  %9s %9s %9s\n", "#workers", "load(QPS)",
-		"E[acc]", "sim acc", "impl acc", "E[viol]", "sim viol", "impl viol")
+	h.printf("%8s %10s  %8s %8s %8s  %9s %9s %9s  %8s %8s\n", "#workers", "load(QPS)",
+		"E[acc]", "sim acc", "impl acc", "E[viol]", "sim viol", "impl viol",
+		"sim p99", "impl p99")
 	for _, workers := range workerSet {
 		for _, load := range loadsFor(workers) {
 			set := h.policySet(models, slo, workers, []float64{load}, "", nil)
@@ -76,14 +82,17 @@ func (h *Harness) Fig7() []Fig7Point {
 				ExpAccuracy:   pol.ExpectedAccuracy,
 				SimAccuracy:   simM.AccuracyPerSatisfiedQuery(),
 				ImplAccuracy:  implM.AccuracyPerSatisfiedQuery(),
-				ExpViolation:  pol.ExpectedViolation,
-				SimViolation:  simM.ViolationRate(),
-				ImplViolation: implM.ViolationRate(),
+				ExpViolation:   pol.ExpectedViolation,
+				SimViolation:   simM.ViolationRate(),
+				ImplViolation:  implM.ViolationRate(),
+				SimLatencyP99:  simM.LatencyP99,
+				ImplLatencyP99: implM.LatencyP99,
 			}
 			out = append(out, p)
-			h.printf("%8d %10.0f  %8.4f %8.4f %8.4f  %9.5f %9.5f %9.5f\n",
+			h.printf("%8d %10.0f  %8.4f %8.4f %8.4f  %9.5f %9.5f %9.5f  %6.1fms %6.1fms\n",
 				p.Workers, p.Load, p.ExpAccuracy, p.SimAccuracy, p.ImplAccuracy,
-				p.ExpViolation, p.SimViolation, p.ImplViolation)
+				p.ExpViolation, p.SimViolation, p.ImplViolation,
+				p.SimLatencyP99*1000, p.ImplLatencyP99*1000)
 		}
 	}
 	h.printf("\n")

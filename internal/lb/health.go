@@ -4,6 +4,8 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"ramsis/internal/telemetry"
 )
 
 // HealthConfig tunes a HealthTracker. Zero values take the defaults noted
@@ -22,6 +24,11 @@ type HealthConfig struct {
 	FailThreshold int
 	// Path is the probe endpoint (default "/healthz").
 	Path string
+	// Telemetry, when set, records health-mark flips as
+	// ramsis_health_transitions_total{to="healthy"|"unhealthy"} counters —
+	// the time series that makes failover behaviour debuggable after the
+	// fact.
+	Telemetry *telemetry.Registry
 }
 
 func (c HealthConfig) withDefaults() HealthConfig {
@@ -61,6 +68,10 @@ type HealthTracker struct {
 	fails   []int
 	healthy []bool
 
+	// transition counters; nil when no registry was configured.
+	toUnhealthy *telemetry.Counter
+	toHealthy   *telemetry.Counter
+
 	stop chan struct{}
 	wg   sync.WaitGroup
 }
@@ -79,6 +90,10 @@ func NewHealthTracker(urls []string, cfg HealthConfig) *HealthTracker {
 	}
 	for i := range t.healthy {
 		t.healthy[i] = true
+	}
+	if cfg.Telemetry != nil {
+		t.toUnhealthy = cfg.Telemetry.Counter(telemetry.MetricHealthTransitions, "to", "unhealthy")
+		t.toHealthy = cfg.Telemetry.Counter(telemetry.MetricHealthTransitions, "to", "healthy")
 	}
 	return t
 }
@@ -133,6 +148,9 @@ func (t *HealthTracker) ReportFailure(w int) {
 	defer t.mu.Unlock()
 	t.fails[w]++
 	if t.fails[w] >= t.cfg.FailThreshold {
+		if t.healthy[w] && t.toUnhealthy != nil {
+			t.toUnhealthy.Inc()
+		}
 		t.healthy[w] = false
 	}
 }
@@ -143,6 +161,9 @@ func (t *HealthTracker) ReportSuccess(w int) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.fails[w] = 0
+	if !t.healthy[w] && t.toHealthy != nil {
+		t.toHealthy.Inc()
+	}
 	t.healthy[w] = true
 }
 

@@ -1,0 +1,37 @@
+package lb
+
+import (
+	"time"
+
+	"ramsis/internal/telemetry"
+)
+
+// instrumented wraps a Balancer and observes every Pick's wall latency into
+// a per-balancer histogram, so the routing hot path's cost (an atomic
+// increment for RR, a full scan for JSQ, two RNG draws behind a mutex for
+// P2C) is visible on /metrics instead of only in BenchmarkBalancerPick.
+type instrumented struct {
+	b Balancer
+	h *telemetry.Histogram
+}
+
+// Instrumented wraps b so each Pick records its wall-clock duration into
+// reg's ramsis_lb_pick_seconds{balancer=<name>} histogram. A nil registry
+// returns b unchanged, so callers can wrap unconditionally.
+func Instrumented(b Balancer, reg *telemetry.Registry) Balancer {
+	if reg == nil {
+		return b
+	}
+	return &instrumented{b: b, h: reg.Histogram(telemetry.MetricPickSeconds, "balancer", b.Name())}
+}
+
+// Pick delegates to the wrapped balancer, timing the call.
+func (i *instrumented) Pick(queueLens []int, healthy []bool) int {
+	start := time.Now()
+	w := i.b.Pick(queueLens, healthy)
+	i.h.Observe(time.Since(start).Seconds())
+	return w
+}
+
+// Name returns the wrapped balancer's name.
+func (i *instrumented) Name() string { return i.b.Name() }

@@ -16,11 +16,16 @@ type Monitor interface {
 	Load(t float64) float64
 }
 
-// MovingAverage tracks load as arrivals over a trailing window.
+// MovingAverage tracks load as arrivals over a trailing window. Arrivals
+// live in a ring buffer sized to the window's high-water mark, so memory is
+// bounded by the peak in-window count and Observe is O(1) amortized: the
+// old slice-backed version appended forever and only compacted its dead
+// prefix occasionally, holding every arrival ever seen between compactions.
 type MovingAverage struct {
-	window   float64
-	arrivals []float64
-	head     int
+	window float64
+	buf    []float64 // ring storage, len(buf) is the capacity
+	head   int       // index of the oldest retained arrival
+	n      int       // retained arrivals
 }
 
 // NewMovingAverage returns a monitor with the given window in seconds.
@@ -34,27 +39,42 @@ func NewMovingAverage(window float64) *MovingAverage {
 
 // Observe records an arrival.
 func (m *MovingAverage) Observe(t float64) {
-	m.arrivals = append(m.arrivals, t)
 	m.evict(t)
+	if m.n == len(m.buf) {
+		m.grow()
+	}
+	m.buf[(m.head+m.n)%len(m.buf)] = t
+	m.n++
 }
 
 // Load returns the windowed arrival rate at time t.
 func (m *MovingAverage) Load(t float64) float64 {
 	m.evict(t)
-	return float64(len(m.arrivals)-m.head) / m.window
+	return float64(m.n) / m.window
 }
 
-// evict drops arrivals older than the window, compacting occasionally so the
-// slice does not grow without bound.
+// evict drops arrivals older than the window. Each arrival is evicted at
+// most once, so the cost amortizes against its own Observe.
 func (m *MovingAverage) evict(t float64) {
 	lo := t - m.window
-	for m.head < len(m.arrivals) && m.arrivals[m.head] < lo {
-		m.head++
+	for m.n > 0 && m.buf[m.head] < lo {
+		m.head = (m.head + 1) % len(m.buf)
+		m.n--
 	}
-	if m.head > 4096 && m.head*2 > len(m.arrivals) {
-		m.arrivals = append(m.arrivals[:0], m.arrivals[m.head:]...)
-		m.head = 0
+}
+
+// grow doubles the ring (from 16), unwrapping the live region to the front.
+func (m *MovingAverage) grow() {
+	c := len(m.buf) * 2
+	if c == 0 {
+		c = 16
 	}
+	next := make([]float64, c)
+	for i := 0; i < m.n; i++ {
+		next[i] = m.buf[(m.head+i)%len(m.buf)]
+	}
+	m.buf = next
+	m.head = 0
 }
 
 // Oracle returns the true trace load, the perfect predictor of §7.2.

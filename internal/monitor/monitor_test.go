@@ -49,17 +49,60 @@ func TestMovingAverageTracksLoadChange(t *testing.T) {
 	}
 }
 
-func TestMovingAverageCompaction(t *testing.T) {
+func TestMovingAverageBoundedMemory(t *testing.T) {
 	m := NewMovingAverage(0.5)
-	// Force many evictions to exercise compaction.
+	// 200 s at 1000 QPS: only ~500 arrivals are ever in-window, so the
+	// ring must stay near that high-water mark, not the 200k total.
 	for i := 0; i < 200000; i++ {
 		m.Observe(float64(i) * 0.001)
 	}
 	if got := m.Load(200.0); math.Abs(got-1000) > 20 {
 		t.Errorf("Load after long run = %v, want ~1000", got)
 	}
-	if len(m.arrivals) > 10000 {
-		t.Errorf("arrival buffer grew to %d entries; compaction failed", len(m.arrivals))
+	if len(m.buf) > 2048 {
+		t.Errorf("ring grew to %d entries for a ~500-arrival window", len(m.buf))
+	}
+}
+
+func TestMovingAverageRingWrap(t *testing.T) {
+	m := NewMovingAverage(0.5)
+	// Alternate bursts and idle gaps so head repeatedly laps the ring.
+	tm := 0.0
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 37; i++ { // co-prime with the ring sizes
+			m.Observe(tm)
+			tm += 0.001
+		}
+		tm += 1.0 // idle past the window: everything evicts
+		if got := m.Load(tm); got != 0 {
+			t.Fatalf("round %d: load after idle = %v, want 0", round, got)
+		}
+	}
+	// One more burst must be fully counted.
+	for i := 0; i < 37; i++ {
+		m.Observe(tm)
+		tm += 0.001
+	}
+	if got := m.Load(tm); got != 37/0.5 {
+		t.Errorf("load after wrap = %v, want %v", got, 37/0.5)
+	}
+}
+
+// BenchmarkMovingAverageObserve proves Observe is O(1) amortized with zero
+// steady-state allocations: the ring reaches its high-water capacity early
+// and is reused forever after.
+func BenchmarkMovingAverageObserve(b *testing.B) {
+	m := NewMovingAverage(0.5)
+	// Pre-warm to steady state at 1000 QPS.
+	for i := 0; i < 2048; i++ {
+		m.Observe(float64(i) * 0.001)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	t := 2.048
+	for i := 0; i < b.N; i++ {
+		m.Observe(t)
+		t += 0.001
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"ramsis/internal/monitor"
 	"ramsis/internal/profile"
 	"ramsis/internal/sim"
+	"ramsis/internal/telemetry"
 )
 
 // ClusterConfig configures a self-contained localhost deployment: N worker
@@ -27,6 +28,13 @@ type ClusterConfig struct {
 	Balancer lb.Balancer
 	// HealthInterval overrides the frontend's health-probe period.
 	HealthInterval time.Duration
+	// Addr is the frontend listen address (default random localhost port).
+	Addr string
+	// Telemetry is shared by the frontend's /metrics; workers keep their
+	// own registries (each serves its own /metrics endpoint).
+	Telemetry *telemetry.Registry
+	// TraceWriter streams each completed query trace as JSONL.
+	TraceWriter *telemetry.TraceWriter
 }
 
 // Cluster is a running localhost deployment.
@@ -68,6 +76,9 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 		Monitor:        cfg.Monitor,
 		Balancer:       cfg.Balancer,
 		HealthInterval: cfg.HealthInterval,
+		Addr:           cfg.Addr,
+		Telemetry:      cfg.Telemetry,
+		TraceWriter:    cfg.TraceWriter,
 	}
 	if err := c.Frontend.Start(); err != nil {
 		c.Stop()

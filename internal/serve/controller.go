@@ -13,6 +13,8 @@ import (
 	"ramsis/internal/monitor"
 	"ramsis/internal/profile"
 	"ramsis/internal/sim"
+	"ramsis/internal/stats"
+	"ramsis/internal/telemetry"
 )
 
 // SelectFunc is an online model-selection decision for one worker queue:
@@ -78,7 +80,13 @@ type Controller struct {
 	Health *lb.HealthTracker
 	// CollectLatencies records every response latency in the metrics.
 	CollectLatencies bool
+	// Telemetry records the same counters and per-stage histograms as the
+	// Frontend and the simulator engine (ramsis_queries_total,
+	// ramsis_stage_seconds, ...); Run builds a registry when nil.
+	Telemetry *telemetry.Registry
 
+	tel      *serveSeries
+	wrapped  bool
 	mu       sync.Mutex
 	cond     *sync.Cond
 	central  []sim.Query
@@ -108,6 +116,14 @@ func (c *Controller) Run(arrivals []float64) (sim.Metrics, error) {
 	}
 	if c.Balancer == nil {
 		c.Balancer = lb.NewRoundRobin()
+	}
+	if c.Telemetry == nil {
+		c.Telemetry = telemetry.NewRegistry()
+	}
+	c.tel = newServeSeries(c.Telemetry, len(c.Workers))
+	if !c.wrapped {
+		c.Balancer = lb.Instrumented(c.Balancer, c.Telemetry)
+		c.wrapped = true
 	}
 	c.cond = sync.NewCond(&c.mu)
 	c.wq = make([][]sim.Query, len(c.Workers))
@@ -162,12 +178,28 @@ func (c *Controller) Run(arrivals []float64) (sim.Metrics, error) {
 	c.mu.Unlock()
 
 	wg.Wait()
+	c.finishMetrics()
 	select {
 	case err := <-errs:
 		return c.metrics, err
 	default:
 	}
 	return c.metrics, nil
+}
+
+// finishMetrics fills the latency percentiles: exact order statistics when
+// latencies were collected, otherwise interpolated from the registry's
+// latency histogram (same fallback as the simulator engine).
+func (c *Controller) finishMetrics() {
+	if c.CollectLatencies && len(c.metrics.Latencies) > 0 {
+		c.metrics.LatencyP50 = stats.Percentile(c.metrics.Latencies, 50)
+		c.metrics.LatencyP95 = stats.Percentile(c.metrics.Latencies, 95)
+		c.metrics.LatencyP99 = stats.Percentile(c.metrics.Latencies, 99)
+		return
+	}
+	c.metrics.LatencyP50 = c.tel.latency.Quantile(50)
+	c.metrics.LatencyP95 = c.tel.latency.Quantile(95)
+	c.metrics.LatencyP99 = c.tel.latency.Quantile(99)
 }
 
 // workerLoop is one per-worker model selector: it waits for queued queries,
@@ -266,31 +298,37 @@ func (c *Controller) pop(w, k int) []sim.Query {
 // post attempts one /infer POST against worker w, reporting the outcome to
 // the health tracker when one is configured. Connection errors and 5xx
 // responses count as health failures; other non-2xx statuses fail the
-// dispatch without marking the worker unhealthy.
-func (c *Controller) post(w int, model string, batch int) bool {
+// dispatch without marking the worker unhealthy. On success it returns
+// the worker-reported inference latency (modeled seconds) for the span
+// breakdown.
+func (c *Controller) post(w int, model string, batch int) (float64, bool) {
 	body, _ := json.Marshal(InferRequest{Model: model, Batch: batch})
+	c.tel.workerDispatch[w].Inc()
 	resp, err := c.client.Post(c.Workers[w]+"/infer", "application/json", bytes.NewReader(body))
 	if err != nil {
 		if c.Health != nil {
 			c.Health.ReportFailure(w)
 		}
-		return false
+		return 0, false
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 500 {
 		if c.Health != nil {
 			c.Health.ReportFailure(w)
 		}
-		return false
+		return 0, false
 	}
 	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
-		return false
+		return 0, false
 	}
 	if c.Health != nil {
 		c.Health.ReportSuccess(w)
 	}
 	var ir InferResponse
-	return json.NewDecoder(resp.Body).Decode(&ir) == nil
+	if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+		return 0, false
+	}
+	return ir.Latency, true
 }
 
 // failoverTarget picks a healthy worker other than w, or -1 if none exists.
@@ -322,16 +360,29 @@ func (c *Controller) failoverTarget(w int) int {
 // dispatch POSTs the batch to the worker, failing over once to another
 // healthy worker, and records per-query outcomes at the modeled completion
 // time. A batch no worker accepted counts its queries as violations (and
-// FailedDispatches) instead of aborting the replay.
+// FailedDispatches) instead of aborting the replay. Alongside the run
+// metrics, the same outcomes land in the telemetry registry, including the
+// batch_wait / dispatch / inference / respond stage histograms (the replay
+// path has no client-side enqueue or pick stage to time).
 func (c *Controller) dispatch(w int, model string, queries []sim.Query) {
-	ok := c.post(w, model, len(queries))
+	dispStart := c.now()
+	infSec, ok := c.post(w, model, len(queries))
 	if !ok {
 		if alt := c.failoverTarget(w); alt >= 0 {
-			ok = c.post(alt, model, len(queries))
+			infSec, ok = c.post(alt, model, len(queries))
 		}
+	}
+	postEnd := c.now()
+	dispSec := postEnd - dispStart - infSec
+	if dispSec < 0 {
+		dispSec = 0
 	}
 	done := c.now()
 	p, _ := c.Profiles.ByName(model)
+
+	c.tel.decisions.Inc()
+	c.tel.model(model).Add(float64(len(queries)))
+	c.tel.batchSize.Observe(float64(len(queries)))
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -346,13 +397,22 @@ func (c *Controller) dispatch(w int, model string, queries []sim.Query) {
 		if c.CollectLatencies {
 			c.metrics.Latencies = append(c.metrics.Latencies, lat)
 		}
+		c.tel.queries.Inc()
+		c.tel.latency.Observe(lat)
+		c.tel.stages[telemetry.StageBatchWait].Observe(dispStart - q.Arrival)
+		c.tel.stages[telemetry.StageDispatch].Observe(dispSec)
+		c.tel.stages[telemetry.StageInference].Observe(infSec)
+		c.tel.stages[telemetry.StageRespond].Observe(done - postEnd)
 		if ok && lat <= c.SLO {
 			c.metrics.SatAccSum += p.Accuracy
+			c.tel.satAcc.Add(p.Accuracy)
 		} else {
 			c.metrics.Violations++
+			c.tel.violations.Inc()
 		}
 		if !ok {
 			c.metrics.FailedDispatches++
+			c.tel.failed.Inc()
 		}
 	}
 }

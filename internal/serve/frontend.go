@@ -14,6 +14,7 @@ import (
 	"ramsis/internal/monitor"
 	"ramsis/internal/profile"
 	"ramsis/internal/sim"
+	"ramsis/internal/telemetry"
 )
 
 // QueryResponse is the client-facing result of one inference query.
@@ -29,7 +30,9 @@ type QueryResponse struct {
 	Error string `json:"error,omitempty"`
 }
 
-// StatsResponse is the /stats snapshot.
+// StatsResponse is the /stats snapshot. Every count is read from the same
+// telemetry registry that backs /metrics, so the two views agree by
+// construction.
 type StatsResponse struct {
 	Served        int     `json:"served"`
 	Violations    int     `json:"violations"`
@@ -57,6 +60,12 @@ type StatsResponse struct {
 // probes (or dispatches) stop receiving traffic until they recover, and a
 // batch whose dispatch fails is retried once on another healthy worker
 // before its queries are recorded as violations.
+//
+// Observability: every query carries a six-stage span trace
+// (enqueue/pick/batch_wait/dispatch/inference/respond) recorded into the
+// Telemetry registry's ramsis_stage_seconds histograms and the Traces ring
+// buffer; /metrics serves the registry in Prometheus text format,
+// /debug/traces dumps the ring, and /debug/pprof is wired for profiling.
 type Frontend struct {
 	Profiles  profile.Set
 	SLO       float64
@@ -65,7 +74,8 @@ type Frontend struct {
 	Select    SelectFunc
 	Monitor   monitor.Monitor
 	// Balancer picks the worker queue for each arriving query; default
-	// round-robin, matching the §3.2.1 policy assumption.
+	// round-robin, matching the §3.2.1 policy assumption. Start wraps it
+	// with pick-latency instrumentation.
 	Balancer lb.Balancer
 	// Health overrides the health tracker. When nil, Start builds and
 	// owns one probing Workers' /healthz every HealthInterval.
@@ -74,18 +84,28 @@ type Frontend struct {
 	// tracker; default 500 ms divided by TimeScale, so detection latency
 	// compresses with modeled time in tests.
 	HealthInterval time.Duration
+	// Addr is the listen address; default "127.0.0.1:0" (random port).
+	Addr string
+	// Telemetry is the metrics registry backing /metrics and /stats;
+	// Start builds one when nil.
+	Telemetry *telemetry.Registry
+	// Traces is the completed-query trace ring buffer behind
+	// /debug/traces; Start builds one (DefaultTraceCapacity) when nil.
+	Traces *telemetry.TraceBuffer
+	// TraceWriter, when set, additionally exports every completed trace
+	// as one JSONL line (the -trace-out flow).
+	TraceWriter *telemetry.TraceWriter
 
 	closed    atomic.Bool
 	nextID    atomic.Int64
 	start     time.Time
 	wq        []*workerQueue
 	ownHealth bool
+	tel       *serveSeries
 
-	// statsMu guards metrics, failed-dispatch accounting, and the Monitor
-	// (whose Observe times must be non-decreasing). It is never held
-	// while a workerQueue lock is taken.
-	statsMu sync.Mutex
-	metrics sim.Metrics
+	// monitorMu guards the Monitor, whose Observe times must be
+	// non-decreasing. It is never held while a workerQueue lock is taken.
+	monitorMu sync.Mutex
 
 	srv    *http.Server
 	addr   string
@@ -105,16 +125,18 @@ type workerQueue struct {
 	// just popped its whole queue reads as empty, and a queue-aware
 	// balancer would keep stacking arrivals on it while others idle.
 	outstanding atomic.Int32
-	// dispatches counts /infer POSTs attempted against this worker.
-	dispatches atomic.Int64
 }
 
 type pendingQuery struct {
 	q    sim.Query
 	done chan QueryResponse
+	// pickSec and enqueuedAt stamp the query's first two span stages
+	// (modeled seconds); the dispatch path fills in the rest.
+	pickSec    float64
+	enqueuedAt float64
 }
 
-// Start begins serving on a random localhost port.
+// Start begins serving on Addr (default a random localhost port).
 func (f *Frontend) Start() error {
 	if len(f.Workers) == 0 {
 		return fmt.Errorf("serve: frontend needs workers")
@@ -122,9 +144,17 @@ func (f *Frontend) Start() error {
 	if f.TimeScale <= 0 {
 		f.TimeScale = 1
 	}
+	if f.Telemetry == nil {
+		f.Telemetry = telemetry.NewRegistry()
+	}
+	if f.Traces == nil {
+		f.Traces = telemetry.NewTraceBuffer(0)
+	}
+	f.tel = newServeSeries(f.Telemetry, len(f.Workers))
 	if f.Balancer == nil {
 		f.Balancer = lb.NewRoundRobin()
 	}
+	f.Balancer = lb.Instrumented(f.Balancer, f.Telemetry)
 	if f.Health == nil {
 		iv := f.HealthInterval
 		if iv <= 0 {
@@ -133,10 +163,11 @@ func (f *Frontend) Start() error {
 				iv = 5 * time.Millisecond
 			}
 		}
-		f.Health = lb.NewHealthTracker(f.Workers, lb.HealthConfig{Interval: iv})
+		f.Health = lb.NewHealthTracker(f.Workers, lb.HealthConfig{Interval: iv, Telemetry: f.Telemetry})
 		f.Health.Start()
 		f.ownHealth = true
 	}
+	registerHealthGauges(f.Telemetry, f.Health, len(f.Workers))
 	f.wq = make([]*workerQueue, len(f.Workers))
 	for i := range f.wq {
 		ws := &workerQueue{}
@@ -144,10 +175,13 @@ func (f *Frontend) Start() error {
 		f.wq[i] = ws
 	}
 	f.start = time.Now()
-	f.metrics = sim.Metrics{ModelCounts: map[string]int{}}
 	f.client = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: len(f.Workers) + 4}}
 
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	addr := f.Addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
@@ -155,6 +189,9 @@ func (f *Frontend) Start() error {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", f.handleQuery)
 	mux.HandleFunc("/stats", f.handleStats)
+	mux.Handle("/metrics", f.Telemetry.Handler())
+	mux.Handle("/debug/traces", f.Traces.Handler())
+	telemetry.RegisterPprof(mux)
 	f.srv = &http.Server{Handler: mux}
 	go func() { _ = f.srv.Serve(ln) }()
 
@@ -185,25 +222,42 @@ func (f *Frontend) Stop() error {
 	return err
 }
 
-// Stats returns a metrics snapshot.
-func (f *Frontend) Stats() StatsResponse {
+// Stats returns the current snapshot; it is the single source for the
+// /stats handler, and every count in it is read from the registry that
+// serves /metrics.
+func (f *Frontend) Stats() StatsResponse { return f.snapshot() }
+
+// snapshot assembles the StatsResponse from the telemetry registry and the
+// per-worker queues. It is the only stats read path (the old Stats /
+// handleStats pair re-serialized under two separate lock acquisitions).
+// Counter reads are individually atomic; a scrape racing an in-flight
+// batch may see its served count before its violation count, but the two
+// endpoints can never disagree about a settled system.
+func (f *Frontend) snapshot() StatsResponse {
 	qs := make([]int, len(f.wq))
 	ds := make([]int, len(f.wq))
 	for i, ws := range f.wq {
 		ws.mu.Lock()
 		qs[i] = len(ws.queue)
 		ws.mu.Unlock()
-		ds[i] = int(ws.dispatches.Load())
+		ds[i] = int(f.tel.workerDispatch[i].Value())
 	}
-	f.statsMu.Lock()
-	defer f.statsMu.Unlock()
+	served := int(f.tel.queries.Value())
+	violations := int(f.tel.violations.Value())
+	acc, vr := 0.0, 0.0
+	if sat := served - violations; sat > 0 {
+		acc = f.tel.satAcc.Value() / float64(sat)
+	}
+	if served > 0 {
+		vr = float64(violations) / float64(served)
+	}
 	return StatsResponse{
-		Served:           f.metrics.Served,
-		Violations:       f.metrics.Violations,
-		Accuracy:         f.metrics.AccuracyPerSatisfiedQuery(),
-		ViolationRate:    f.metrics.ViolationRate(),
+		Served:           served,
+		Violations:       violations,
+		Accuracy:         acc,
+		ViolationRate:    vr,
 		QueueLengths:     qs,
-		FailedDispatches: f.metrics.FailedDispatches,
+		FailedDispatches: int(f.tel.failed.Value()),
 		WorkerHealthy:    f.Health.Healthy(),
 		WorkerDispatches: ds,
 	}
@@ -234,13 +288,15 @@ func (f *Frontend) handleQuery(rw http.ResponseWriter, req *http.Request) {
 		return
 	}
 	id := int(f.nextID.Add(1) - 1)
-	now := f.now()
+	arrival := f.now()
 	if f.Monitor != nil {
-		f.statsMu.Lock()
-		f.Monitor.Observe(now)
-		f.statsMu.Unlock()
+		f.monitorMu.Lock()
+		f.Monitor.Observe(arrival)
+		f.monitorMu.Unlock()
 	}
+	pickStart := f.now()
 	w := f.Balancer.Pick(f.queueLens(), f.Health.Healthy())
+	pickSec := f.now() - pickStart
 
 	done := make(chan QueryResponse, 1)
 	ws := f.wq[w]
@@ -250,7 +306,11 @@ func (f *Frontend) handleQuery(rw http.ResponseWriter, req *http.Request) {
 		http.Error(rw, "shutting down", http.StatusServiceUnavailable)
 		return
 	}
-	ws.queue = append(ws.queue, pendingQuery{q: sim.Query{ID: id, Arrival: now}, done: done})
+	pq := pendingQuery{
+		q: sim.Query{ID: id, Arrival: arrival}, done: done,
+		pickSec: pickSec, enqueuedAt: f.now(),
+	}
+	ws.queue = append(ws.queue, pq)
 	ws.outstanding.Add(1)
 	ws.cond.Signal()
 	ws.mu.Unlock()
@@ -267,7 +327,7 @@ func (f *Frontend) handleQuery(rw http.ResponseWriter, req *http.Request) {
 
 func (f *Frontend) handleStats(rw http.ResponseWriter, _ *http.Request) {
 	rw.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(rw).Encode(f.Stats())
+	_ = json.NewEncoder(rw).Encode(f.snapshot())
 }
 
 // workerLoop mirrors Controller.workerLoop for live queries. It is the
@@ -292,9 +352,9 @@ func (f *Frontend) workerLoop(w int) {
 		now := f.now()
 		load := 0.0
 		if f.Monitor != nil {
-			f.statsMu.Lock()
+			f.monitorMu.Lock()
 			load = f.Monitor.Load(now)
-			f.statsMu.Unlock()
+			f.monitorMu.Unlock()
 		}
 		slack := head.Arrival + f.SLO - now
 		model, batch := f.Select(now, load, n, slack)
@@ -323,25 +383,32 @@ func (f *Frontend) workerLoop(w int) {
 // post attempts one /infer POST against worker w and reports the outcome
 // to the health tracker. Connection errors and 5xx responses count as
 // health failures; 4xx responses fail the dispatch without poisoning the
-// worker's health (they indicate a bad request, not a bad worker).
-func (f *Frontend) post(w int, model string, batch int) bool {
+// worker's health (they indicate a bad request, not a bad worker). On
+// success it returns the worker-reported inference latency in modeled
+// seconds, so the dispatch overhead and the inference time can be
+// attributed to separate span stages.
+func (f *Frontend) post(w int, model string, batch int) (float64, bool) {
 	body, _ := json.Marshal(InferRequest{Model: model, Batch: batch})
-	f.wq[w].dispatches.Add(1)
+	f.tel.workerDispatch[w].Inc()
 	resp, err := f.client.Post(f.Workers[w]+"/infer", "application/json", bytes.NewReader(body))
 	if err != nil {
 		f.Health.ReportFailure(w)
-		return false
+		return 0, false
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 500 {
 		f.Health.ReportFailure(w)
-		return false
+		return 0, false
 	}
 	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
-		return false
+		return 0, false
 	}
 	f.Health.ReportSuccess(w)
-	return true
+	var ir InferResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+		return 0, true // delivered; latency attribution degrades to dispatch
+	}
+	return ir.Latency, true
 }
 
 // failoverTarget picks a healthy worker other than w, or -1 if none.
@@ -373,37 +440,77 @@ func anyHealthy(healthy []bool) bool {
 // dispatch delivers the batch to worker w, failing over once to another
 // healthy worker; queries whose batch reached no worker are recorded as
 // violations (and FailedDispatches) rather than silently marked served.
+// Every query's telemetry — counters, per-stage histograms, and its trace
+// — is recorded here.
 func (f *Frontend) dispatch(w int, model string, queries []pendingQuery) {
-	ok := f.post(w, model, len(queries))
+	dispStart := f.now()
+	target := w
+	infSec, ok := f.post(w, model, len(queries))
 	if !ok {
 		if alt := f.failoverTarget(w); alt >= 0 {
-			ok = f.post(alt, model, len(queries))
+			infSec, ok = f.post(alt, model, len(queries))
+			if ok {
+				target = alt
+			}
 		}
 	}
-	done := f.now()
+	postEnd := f.now()
+	dispSec := postEnd - dispStart - infSec
+	if dispSec < 0 {
+		dispSec = 0
+	}
 	p, _ := f.Profiles.ByName(model)
 
-	f.statsMu.Lock()
-	f.metrics.Decisions++
-	f.metrics.ModelCounts[model] += len(queries)
+	f.tel.decisions.Inc()
+	f.tel.model(model).Add(float64(len(queries)))
+	f.tel.batchSize.Observe(float64(len(queries)))
 	for _, pq := range queries {
-		f.metrics.Served++
+		done := f.now()
 		lat := done - pq.q.Arrival
 		met := ok && lat <= f.SLO
+		f.tel.queries.Inc()
 		if met {
-			f.metrics.SatAccSum += p.Accuracy
+			f.tel.satAcc.Add(p.Accuracy)
 		} else {
-			f.metrics.Violations++
+			f.tel.violations.Inc()
 		}
 		resp := QueryResponse{
 			ID: pq.q.ID, Model: model, Batch: len(queries),
 			LatencyMS: lat * 1000, DeadlineMet: met,
 		}
 		if !ok {
-			f.metrics.FailedDispatches++
+			f.tel.failed.Inc()
 			resp.Error = "dispatch failed: no healthy worker reachable"
+		}
+
+		enqSec := pq.enqueuedAt - pq.q.Arrival - pq.pickSec
+		if enqSec < 0 {
+			enqSec = 0
+		}
+		waitSec := dispStart - pq.enqueuedAt
+		respSec := done - postEnd
+		spans := []telemetry.Span{
+			{Stage: telemetry.StageEnqueue, Seconds: enqSec},
+			{Stage: telemetry.StagePick, Seconds: pq.pickSec},
+			{Stage: telemetry.StageBatchWait, Seconds: waitSec},
+			{Stage: telemetry.StageDispatch, Seconds: dispSec},
+			{Stage: telemetry.StageInference, Seconds: infSec},
+			{Stage: telemetry.StageRespond, Seconds: respSec},
+		}
+		for _, s := range spans {
+			f.tel.stages[s.Stage].Observe(s.Seconds)
+		}
+		f.tel.latency.Observe(lat)
+		qt := telemetry.QueryTrace{
+			ID: pq.q.ID, Arrival: pq.q.Arrival, Worker: target,
+			Model: model, Batch: len(queries),
+			LatencyMS: lat * 1000, DeadlineMet: met, Error: resp.Error,
+			Spans: spans,
+		}
+		f.Traces.Add(qt)
+		if f.TraceWriter != nil {
+			_ = f.TraceWriter.Write(qt)
 		}
 		pq.done <- resp
 	}
-	f.statsMu.Unlock()
 }

@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"strconv"
+
+	"ramsis/internal/lb"
+	"ramsis/internal/telemetry"
+)
+
+// serveSeries caches the registry series both serving layers (Frontend and
+// Controller) update on their dispatch paths, so the hot path never takes
+// the registry's lookup lock. The same metric names are recorded by the
+// simulator's engine, keeping sim and live runs directly comparable.
+type serveSeries struct {
+	queries    *telemetry.Counter
+	violations *telemetry.Counter
+	failed     *telemetry.Counter
+	decisions  *telemetry.Counter
+	satAcc     *telemetry.Counter
+	latency    *telemetry.Histogram
+	batchSize  *telemetry.Histogram
+	stages     map[string]*telemetry.Histogram
+	// workerDispatch counts /infer POSTs per worker; it backs both the
+	// exposition and StatsResponse.WorkerDispatches so they cannot drift.
+	workerDispatch []*telemetry.Counter
+	reg            *telemetry.Registry
+}
+
+func newServeSeries(reg *telemetry.Registry, workers int) *serveSeries {
+	s := &serveSeries{
+		queries:    reg.Counter(telemetry.MetricQueries),
+		violations: reg.Counter(telemetry.MetricViolations),
+		failed:     reg.Counter(telemetry.MetricFailedDispatches),
+		decisions:  reg.Counter(telemetry.MetricDecisions),
+		satAcc:     reg.Counter(telemetry.MetricSatAccuracySum),
+		latency:    reg.Histogram(telemetry.MetricLatencySeconds),
+		batchSize:  reg.HistogramBuckets(telemetry.MetricBatchSize, telemetry.LinearBuckets(1, 1, 32)),
+		stages:     map[string]*telemetry.Histogram{},
+		reg:        reg,
+	}
+	for _, st := range telemetry.Stages() {
+		s.stages[st] = reg.Histogram(telemetry.MetricStageSeconds, "stage", st)
+	}
+	for w := 0; w < workers; w++ {
+		s.workerDispatch = append(s.workerDispatch,
+			reg.Counter(telemetry.MetricWorkerDispatches, "worker", strconv.Itoa(w)))
+	}
+	reg.Help(telemetry.MetricQueries, "Queries whose batch completed (served).")
+	reg.Help(telemetry.MetricViolations, "Served queries that missed the latency SLO.")
+	reg.Help(telemetry.MetricStageSeconds, "Per-stage latency breakdown in modeled seconds.")
+	reg.Help(telemetry.MetricLatencySeconds, "End-to-end response latency in modeled seconds.")
+	reg.Help(telemetry.MetricWorkerHealthy, "Per-worker health mark (1 healthy, 0 unhealthy).")
+	return s
+}
+
+// model returns the per-model served-queries counter.
+func (s *serveSeries) model(name string) *telemetry.Counter {
+	return s.reg.Counter(telemetry.MetricModelQueries, "model", name)
+}
+
+// registerHealthGauges exposes the tracker's live per-worker marks as
+// ramsis_worker_healthy gauges; reading the tracker at exposition time
+// keeps /metrics and /stats backed by the same source.
+func registerHealthGauges(reg *telemetry.Registry, h *lb.HealthTracker, workers int) {
+	for w := 0; w < workers; w++ {
+		w := w
+		reg.GaugeFunc(telemetry.MetricWorkerHealthy, func() float64 {
+			if h.IsHealthy(w) {
+				return 1
+			}
+			return 0
+		}, "worker", strconv.Itoa(w))
+	}
+}

@@ -19,6 +19,7 @@ import (
 
 	"ramsis/internal/profile"
 	"ramsis/internal/sim"
+	"ramsis/internal/telemetry"
 )
 
 // InferRequest is the worker HTTP API request: run a batch on a model.
@@ -44,11 +45,17 @@ type Worker struct {
 	Profiles  profile.Set
 	Latency   sim.LatencyModel
 	TimeScale float64
+	// Telemetry backs the worker's own /metrics endpoint (inference
+	// counts, realized inference latency, batch sizes); Start builds a
+	// registry when nil. /debug/pprof is wired on the same mux.
+	Telemetry *telemetry.Registry
 
-	mu   sync.Mutex
-	rng  *rand.Rand
-	srv  *http.Server
-	addr string
+	mu      sync.Mutex
+	rng     *rand.Rand
+	srv     *http.Server
+	addr    string
+	infHist *telemetry.Histogram
+	bsHist  *telemetry.Histogram
 }
 
 // NewWorker builds a worker server (not yet started).
@@ -71,11 +78,20 @@ func (w *Worker) Start() error {
 		return err
 	}
 	w.addr = ln.Addr().String()
+	if w.Telemetry == nil {
+		w.Telemetry = telemetry.NewRegistry()
+	}
+	w.infHist = w.Telemetry.Histogram(telemetry.MetricInferenceSeconds)
+	w.bsHist = w.Telemetry.HistogramBuckets(telemetry.MetricBatchSize, telemetry.LinearBuckets(1, 1, 32))
+	w.Telemetry.Help(telemetry.MetricInferenceSeconds, "Realized inference latency per batch in modeled seconds.")
+	w.Telemetry.Help(telemetry.MetricInferences, "Batches executed, by model.")
 	mux := http.NewServeMux()
 	mux.HandleFunc("/infer", w.handleInfer)
 	mux.HandleFunc("/healthz", func(rw http.ResponseWriter, _ *http.Request) {
 		rw.WriteHeader(http.StatusOK)
 	})
+	mux.Handle("/metrics", w.Telemetry.Handler())
+	telemetry.RegisterPprof(mux)
 	w.srv = &http.Server{Handler: mux}
 	go func() { _ = w.srv.Serve(ln) }()
 	return nil
@@ -114,6 +130,9 @@ func (w *Worker) handleInfer(rw http.ResponseWriter, req *http.Request) {
 	w.mu.Lock()
 	lat := w.Latency.Latency(p, ir.Batch, w.rng)
 	w.mu.Unlock()
+	w.Telemetry.Counter(telemetry.MetricInferences, "model", ir.Model).Inc()
+	w.infHist.Observe(lat)
+	w.bsHist.Observe(float64(ir.Batch))
 	time.Sleep(time.Duration(lat / w.TimeScale * float64(time.Second)))
 	rw.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(rw).Encode(InferResponse{Model: ir.Model, Batch: ir.Batch, Latency: lat})

@@ -12,6 +12,8 @@ import (
 	"math/rand"
 
 	"ramsis/internal/profile"
+	"ramsis/internal/stats"
+	"ramsis/internal/telemetry"
 )
 
 // Query is one inference request.
@@ -88,17 +90,24 @@ func (s Stochastic) Latency(p profile.Profile, batch int, rng *rand.Rand) float6
 // latency SLO violation rate over all serviced queries and accuracy per
 // satisfied query.
 type Metrics struct {
-	Served      int
-	Violations  int
-	SatAccSum   float64
-	Decisions   int
-	Unserved    int
-	Dropped     int
+	Served     int
+	Violations int
+	SatAccSum  float64
+	Decisions  int
+	Unserved   int
+	Dropped    int
 	// FailedDispatches counts queries whose batch could not be delivered
 	// to any worker (serve layer only: connection error or non-2xx on the
 	// picked worker and on the one-shot failover target). They are also
 	// counted in Served and Violations, so ViolationRate reflects them.
 	FailedDispatches int
+	// LatencyP50/P95/P99 are response-latency percentiles in seconds,
+	// always populated by Engine.Run: exact (stats.Percentile) when
+	// CollectLatencies is on, otherwise from the engine's log-bucketed
+	// histogram.
+	LatencyP50  float64
+	LatencyP95  float64
+	LatencyP99  float64
 	Latencies   []float64 // response latencies, if collection was enabled
 	ModelCounts map[string]int
 	DecisionLog []DecisionRecord
@@ -162,6 +171,13 @@ type Engine struct {
 	// — RAMSIS derives policies per worker). When set it must have one
 	// entry per worker, each with the same model names as Profiles.
 	WorkerProfiles []profile.Set
+	// Telemetry optionally records the same counters and stage histograms
+	// the serve layer exposes (ramsis_queries_total, ramsis_stage_seconds,
+	// ...), so a simulated run and a live run are directly comparable on
+	// identical metric names — the §7.3.1 fidelity claim as dashboards see
+	// it. The sim has no HTTP hops, so only the batch_wait and inference
+	// stages carry non-trivial mass.
+	Telemetry *telemetry.Registry
 
 	rng      *rand.Rand
 	central  []Query
@@ -170,6 +186,31 @@ type Engine struct {
 	inflight []int // queries in the batch worker w is currently serving
 	events   eventHeap
 	metrics  Metrics
+	latHist  *telemetry.Histogram // always on; backs the Metrics percentiles
+	tel      *engineSeries        // cached registry series; nil without Telemetry
+}
+
+// engineSeries caches the registry series the engine updates per query, so
+// the hot loop skips the registry's name lookup.
+type engineSeries struct {
+	queries, violations, decisions, satAcc *telemetry.Counter
+	latency, batchWait, inference          *telemetry.Histogram
+	batchSize                              *telemetry.Histogram
+	reg                                    *telemetry.Registry
+}
+
+func newEngineSeries(reg *telemetry.Registry) *engineSeries {
+	return &engineSeries{
+		queries:    reg.Counter(telemetry.MetricQueries),
+		violations: reg.Counter(telemetry.MetricViolations),
+		decisions:  reg.Counter(telemetry.MetricDecisions),
+		satAcc:     reg.Counter(telemetry.MetricSatAccuracySum),
+		latency:    reg.Histogram(telemetry.MetricLatencySeconds),
+		batchWait:  reg.Histogram(telemetry.MetricStageSeconds, "stage", telemetry.StageBatchWait),
+		inference:  reg.Histogram(telemetry.MetricStageSeconds, "stage", telemetry.StageInference),
+		batchSize:  reg.HistogramBuckets(telemetry.MetricBatchSize, telemetry.LinearBuckets(1, 1, 32)),
+		reg:        reg,
+	}
 }
 
 // NewEngine builds a simulator. Seed fixes the latency-noise stream.
@@ -268,6 +309,7 @@ func (e *Engine) PopWorker(w, k int) []Query {
 // event is a batch completion.
 type event struct {
 	time    float64
+	start   float64 // dispatch time, for the batch_wait/inference split
 	worker  int
 	queries []Query
 	model   int
@@ -292,6 +334,10 @@ func (h *eventHeap) Pop() interface{} {
 // engine keeps dispatching until every queue is empty.
 func (e *Engine) Run(arrivals []float64) Metrics {
 	e.metrics = Metrics{ModelCounts: map[string]int{}}
+	e.latHist = telemetry.NewHistogram(telemetry.DefaultLatencyBuckets())
+	if e.Telemetry != nil {
+		e.tel = newEngineSeries(e.Telemetry)
+	}
 	ai := 0
 	for {
 		var nextArrival float64
@@ -319,6 +365,7 @@ func (e *Engine) Run(arrivals []float64) Metrics {
 				e.metrics.Unserved += len(wq)
 			}
 			e.metrics.Unserved += len(e.central)
+			e.finishMetrics()
 			return e.metrics
 		}
 	}
@@ -361,7 +408,7 @@ func (e *Engine) dispatchIdle(now float64) {
 			lat := e.Latency.Latency(p, len(d.Queries), e.rng)
 			e.busy[w] = true
 			e.inflight[w] = len(d.Queries)
-			heap.Push(&e.events, event{time: now + lat, worker: w, queries: d.Queries, model: d.Model})
+			heap.Push(&e.events, event{time: now + lat, start: now, worker: w, queries: d.Queries, model: d.Model})
 			if e.RecordDecisions {
 				e.metrics.DecisionLog = append(e.metrics.DecisionLog, DecisionRecord{
 					Time:     now,
@@ -382,16 +429,48 @@ func (e *Engine) complete(ev event) {
 	p := e.ProfilesFor(ev.worker).Profiles[ev.model]
 	e.metrics.Decisions++
 	e.metrics.ModelCounts[p.Name] += len(ev.queries)
+	if e.tel != nil {
+		e.tel.decisions.Inc()
+		e.tel.reg.Counter(telemetry.MetricModelQueries, "model", p.Name).Add(float64(len(ev.queries)))
+		e.tel.batchSize.Observe(float64(len(ev.queries)))
+		e.tel.inference.Observe(ev.time - ev.start)
+	}
 	for _, q := range ev.queries {
 		e.metrics.Served++
 		lat := ev.time - q.Arrival
+		e.latHist.Observe(lat)
 		if e.CollectLatencies {
 			e.metrics.Latencies = append(e.metrics.Latencies, lat)
 		}
-		if lat > e.SLO+1e-12 {
+		violated := lat > e.SLO+1e-12
+		if violated {
 			e.metrics.Violations++
 		} else {
 			e.metrics.SatAccSum += p.Accuracy
 		}
+		if e.tel != nil {
+			e.tel.queries.Inc()
+			if violated {
+				e.tel.violations.Inc()
+			} else {
+				e.tel.satAcc.Add(p.Accuracy)
+			}
+			e.tel.latency.Observe(lat)
+			e.tel.batchWait.Observe(ev.start - q.Arrival)
+		}
 	}
+}
+
+// finishMetrics fills the latency percentile fields at the end of a run:
+// exact when every latency was collected, histogram-approximated otherwise.
+func (e *Engine) finishMetrics() {
+	if e.CollectLatencies && len(e.metrics.Latencies) > 0 {
+		e.metrics.LatencyP50 = stats.Percentile(e.metrics.Latencies, 50)
+		e.metrics.LatencyP95 = stats.Percentile(e.metrics.Latencies, 95)
+		e.metrics.LatencyP99 = stats.Percentile(e.metrics.Latencies, 99)
+		return
+	}
+	e.metrics.LatencyP50 = e.latHist.Quantile(50)
+	e.metrics.LatencyP95 = e.latHist.Quantile(95)
+	e.metrics.LatencyP99 = e.latHist.Quantile(99)
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"ramsis/internal/profile"
+	"ramsis/internal/telemetry"
 	"ramsis/internal/trace"
 )
 
@@ -210,5 +211,54 @@ func TestDropExpiredLeavesTimelyQueries(t *testing.T) {
 	m := e.Run([]float64{0, 0.01, 0.02, 0.03})
 	if m.Dropped != 0 || m.Served != 4 || m.Violations != 0 {
 		t.Errorf("timely workload affected by DropExpired: %+v", m)
+	}
+}
+
+func TestMetricsLatencyPercentiles(t *testing.T) {
+	ps := imageProfiles()
+	// Exact path: latencies collected.
+	e := NewEngine(ps, 0.5, 2, Deterministic{}, &FixedModel{Model: 0, MaxBatch: 4}, 1)
+	e.CollectLatencies = true
+	m := e.Run([]float64{0, 0.01, 0.02, 0.03, 0.04})
+	if m.LatencyP50 <= 0 || m.LatencyP95 < m.LatencyP50 || m.LatencyP99 < m.LatencyP95 {
+		t.Fatalf("percentiles not monotone: p50=%v p95=%v p99=%v", m.LatencyP50, m.LatencyP95, m.LatencyP99)
+	}
+	// Histogram path: same run without collection must stay close.
+	e2 := NewEngine(ps, 0.5, 2, Deterministic{}, &FixedModel{Model: 0, MaxBatch: 4}, 1)
+	m2 := e2.Run([]float64{0, 0.01, 0.02, 0.03, 0.04})
+	if m2.LatencyP50 <= 0 {
+		t.Fatal("histogram-backed p50 missing")
+	}
+	if rel := math.Abs(m2.LatencyP95-m.LatencyP95) / m.LatencyP95; rel > 0.5 {
+		t.Errorf("histogram p95 %v far from exact %v", m2.LatencyP95, m.LatencyP95)
+	}
+}
+
+func TestEngineTelemetryMatchesMetrics(t *testing.T) {
+	ps := imageProfiles()
+	reg := telemetry.NewRegistry()
+	e := NewEngine(ps, 0.150, 2, Deterministic{}, &FixedModel{Model: 0, MaxBatch: 4}, 1)
+	e.Telemetry = reg
+	var arr []float64
+	for i := 0; i < 40; i++ {
+		arr = append(arr, float64(i)*0.005)
+	}
+	m := e.Run(arr)
+	if got := reg.Counter(telemetry.MetricQueries).Value(); int(got) != m.Served {
+		t.Errorf("registry served %v, metrics %d", got, m.Served)
+	}
+	if got := reg.Counter(telemetry.MetricViolations).Value(); int(got) != m.Violations {
+		t.Errorf("registry violations %v, metrics %d", got, m.Violations)
+	}
+	if got := reg.Counter(telemetry.MetricDecisions).Value(); int(got) != m.Decisions {
+		t.Errorf("registry decisions %v, metrics %d", got, m.Decisions)
+	}
+	inf := reg.Histogram(telemetry.MetricStageSeconds, "stage", telemetry.StageInference)
+	if inf.Count() != uint64(m.Decisions) {
+		t.Errorf("inference stage samples %d, want one per decision (%d)", inf.Count(), m.Decisions)
+	}
+	bw := reg.Histogram(telemetry.MetricStageSeconds, "stage", telemetry.StageBatchWait)
+	if bw.Count() != uint64(m.Served) {
+		t.Errorf("batch_wait stage samples %d, want one per query (%d)", bw.Count(), m.Served)
 	}
 }

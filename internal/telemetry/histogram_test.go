@@ -1,0 +1,120 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"ramsis/internal/stats"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(DefaultLatencyBuckets())
+	if h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 {
+		t.Errorf("empty histogram: count %d sum %v mean %v", h.Count(), h.Sum(), h.Mean())
+	}
+	for _, p := range []float64{0, 50, 95, 100} {
+		if q := h.Quantile(p); q != 0 {
+			t.Errorf("empty Quantile(%v) = %v, want 0", p, q)
+		}
+	}
+	if h.Min() != 0 || h.Max() != 0 {
+		t.Errorf("empty min/max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	h := NewHistogram(DefaultLatencyBuckets())
+	h.Observe(0.3)
+	for _, p := range []float64{0, 1, 50, 99, 100} {
+		if q := h.Quantile(p); math.Abs(q-0.3) > 1e-12 {
+			t.Errorf("single-sample Quantile(%v) = %v, want 0.3", p, q)
+		}
+	}
+	if h.Min() != 0.3 || h.Max() != 0.3 || h.Mean() != 0.3 {
+		t.Errorf("min/max/mean = %v/%v/%v", h.Min(), h.Max(), h.Mean())
+	}
+}
+
+// TestHistogramBucketBoundary checks the Prometheus le contract: a sample
+// equal to an upper bound counts in that bucket, one epsilon above spills
+// into the next.
+func TestHistogramBucketBoundary(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(1)                    // le="1"
+	h.Observe(math.Nextafter(1, 2)) // le="2"
+	h.Observe(2)                    // le="2"
+	h.Observe(2.5)                  // +Inf
+	var b bytes.Buffer
+	h.write(&b, "x", "")
+	out := b.String()
+	for _, want := range []string{
+		`x_bucket{le="1"} 1`,
+		`x_bucket{le="2"} 3`,
+		`x_bucket{le="+Inf"} 4`,
+		`x_count 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestHistogramQuantileVsExact compares the log-bucketed approximation to
+// the exact stats.Percentile over the same samples: within a bucket the
+// error is bounded by the 1.5x bucket growth.
+func TestHistogramQuantileVsExact(t *testing.T) {
+	h := NewHistogram(DefaultLatencyBuckets())
+	var xs []float64
+	for i := 1; i <= 5000; i++ {
+		v := 0.0005 * float64(i) // 0.5 ms .. 2.5 s, uniform
+		xs = append(xs, v)
+		h.Observe(v)
+	}
+	for _, p := range []float64{10, 50, 90, 95, 99} {
+		exact := stats.Percentile(xs, p)
+		approx := h.Quantile(p)
+		if rel := math.Abs(approx-exact) / exact; rel > 0.25 {
+			t.Errorf("Quantile(%v) = %v, exact %v (rel err %.3f)", p, approx, exact, rel)
+		}
+	}
+	if h.Quantile(0) != xs[0] || h.Quantile(100) != xs[len(xs)-1] {
+		t.Errorf("edge quantiles %v/%v, want exact min/max %v/%v",
+			h.Quantile(0), h.Quantile(100), xs[0], xs[len(xs)-1])
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	h := NewHistogram(DefaultLatencyBuckets())
+	for _, v := range []float64{0.001, 0.002, 0.004, 0.1, 0.1, 0.1, 1.5, 9} {
+		h.Observe(v)
+	}
+	prev := math.Inf(-1)
+	for p := 0.0; p <= 100; p += 5 {
+		q := h.Quantile(p)
+		if q < prev-1e-12 {
+			t.Fatalf("Quantile(%v) = %v < Quantile(%v) = %v", p, q, p-5, prev)
+		}
+		prev = q
+	}
+}
+
+func TestHistogramRejectsUnsortedBuckets(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unsorted buckets accepted")
+		}
+	}()
+	NewHistogram([]float64{1, 1})
+}
+
+func TestLinearBuckets(t *testing.T) {
+	got := LinearBuckets(1, 2, 3)
+	want := []float64{1, 3, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("LinearBuckets = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+)
+
+// NewLogger builds a slog.Logger writing to w at the given level ("debug",
+// "info", "warn", "error") and format ("text" or "json"), tagged with the
+// component name (the CLI previously encoded in its log.SetPrefix).
+func NewLogger(w io.Writer, level, format, component string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "", "info":
+		lvl = slog.LevelInfo
+	case "debug":
+		lvl = slog.LevelDebug
+	case "warn", "warning":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("telemetry: unknown log level %q (want debug, info, warn, or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	var h slog.Handler
+	switch strings.ToLower(format) {
+	case "", "text":
+		h = slog.NewTextHandler(w, opts)
+	case "json":
+		h = slog.NewJSONHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("telemetry: unknown log format %q (want text or json)", format)
+	}
+	l := slog.New(h)
+	if component != "" {
+		l = l.With("component", component)
+	}
+	return l, nil
+}
+
+// SetupLogging installs a NewLogger on stderr as the slog default, which
+// also routes the legacy log package (log.Printf, log.Fatal) through the
+// structured handler — replacing the CLIs' ad-hoc log.SetPrefix setup.
+func SetupLogging(level, format, component string) (*slog.Logger, error) {
+	l, err := NewLogger(os.Stderr, level, format, component)
+	if err != nil {
+		return nil, err
+	}
+	slog.SetDefault(l)
+	return l, nil
+}

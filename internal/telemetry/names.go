@@ -1,0 +1,66 @@
+package telemetry
+
+// Canonical metric names shared by the serve layer and the simulator, so a
+// dashboard built against the prototype reads identically off a sim run
+// (the §7.3.1 fidelity claim depends on comparing exactly these series).
+const (
+	// MetricQueries counts queries whose batch completed (served, whether
+	// or not the deadline was met). Identical to /stats "served".
+	MetricQueries = "ramsis_queries_total"
+	// MetricViolations counts served queries that missed the SLO.
+	MetricViolations = "ramsis_slo_violations_total"
+	// MetricFailedDispatches counts queries whose batch reached no worker
+	// even after failover (serve layer only).
+	MetricFailedDispatches = "ramsis_failed_dispatches_total"
+	// MetricDecisions counts MS&S decisions (batches dispatched).
+	MetricDecisions = "ramsis_decisions_total"
+	// MetricSatAccuracySum accumulates the profiled accuracy over queries
+	// that met their deadline; divided by (queries - violations) it yields
+	// the paper's accuracy-per-satisfied-query.
+	MetricSatAccuracySum = "ramsis_satisfied_accuracy_sum"
+	// MetricStageSeconds is the per-stage latency histogram, labeled
+	// stage=<enqueue|pick|dispatch|batch_wait|inference|respond>.
+	MetricStageSeconds = "ramsis_stage_seconds"
+	// MetricLatencySeconds is the end-to-end response latency histogram in
+	// modeled seconds.
+	MetricLatencySeconds = "ramsis_query_latency_seconds"
+	// MetricModelQueries counts queries served per model, labeled model=.
+	MetricModelQueries = "ramsis_model_queries_total"
+	// MetricWorkerHealthy is the per-worker health mark (1 healthy, 0
+	// unhealthy), labeled worker=<index>.
+	MetricWorkerHealthy = "ramsis_worker_healthy"
+	// MetricWorkerDispatches counts /infer POSTs attempted per worker,
+	// labeled worker=<index>.
+	MetricWorkerDispatches = "ramsis_worker_dispatches_total"
+	// MetricPickSeconds is the balancer pick-latency histogram, labeled
+	// balancer=<rr|jsq|p2c>.
+	MetricPickSeconds = "ramsis_lb_pick_seconds"
+	// MetricHealthTransitions counts health-mark flips, labeled
+	// to=<healthy|unhealthy>.
+	MetricHealthTransitions = "ramsis_health_transitions_total"
+	// MetricInferences counts inference batches executed on a worker
+	// server, labeled model=.
+	MetricInferences = "ramsis_worker_inferences_total"
+	// MetricInferenceSeconds is the worker-side realized inference latency
+	// histogram in modeled seconds.
+	MetricInferenceSeconds = "ramsis_worker_inference_seconds"
+	// MetricBatchSize is the dispatched batch-size histogram.
+	MetricBatchSize = "ramsis_batch_size"
+)
+
+// Span stage names, in the order a query traverses them: queued by the
+// handler, routed by the balancer, waiting for the selector to batch it,
+// dispatched over HTTP, executing inference, and finally responded to.
+const (
+	StageEnqueue   = "enqueue"
+	StagePick      = "pick"
+	StageBatchWait = "batch_wait"
+	StageDispatch  = "dispatch"
+	StageInference = "inference"
+	StageRespond   = "respond"
+)
+
+// Stages returns every span stage in traversal order.
+func Stages() []string {
+	return []string{StageEnqueue, StagePick, StageBatchWait, StageDispatch, StageInference, StageRespond}
+}

@@ -1,0 +1,18 @@
+package telemetry
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// RegisterPprof attaches the net/http/pprof handlers to mux under
+// /debug/pprof/. The serving layers build their own muxes (never the
+// DefaultServeMux the pprof package self-registers on), so the explicit
+// wiring here is what actually exposes profiles.
+func RegisterPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

@@ -1,0 +1,157 @@
+package telemetry
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrentUse hammers counters, gauges, and histograms from
+// concurrent goroutines while the exposition writer runs — the -race pass
+// over this package is part of make verify.
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	const goroutines, iters = 8, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := r.Counter(MetricQueries)
+			h := r.Histogram(MetricStageSeconds, "stage", StageInference)
+			gauge := r.Gauge("ramsis_inflight")
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				h.Observe(float64(i%100) / 1000)
+				gauge.Add(1)
+				gauge.Add(-1)
+				if i%500 == 0 {
+					var b bytes.Buffer
+					r.WritePrometheus(&b)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.Counter(MetricQueries).Value(); got != goroutines*iters {
+		t.Errorf("counter = %v, want %d", got, goroutines*iters)
+	}
+	if got := r.Histogram(MetricStageSeconds, "stage", StageInference).Count(); got != goroutines*iters {
+		t.Errorf("histogram count = %d, want %d", got, goroutines*iters)
+	}
+	if got := r.Gauge("ramsis_inflight").Value(); got != 0 {
+		t.Errorf("gauge = %v, want 0", got)
+	}
+}
+
+func TestRegistryReturnsSameSeries(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter(MetricModelQueries, "model", "resnet50")
+	b := r.Counter(MetricModelQueries, "model", "resnet50")
+	if a != b {
+		t.Error("same name+labels returned distinct counters")
+	}
+	other := r.Counter(MetricModelQueries, "model", "shufflenet")
+	if a == other {
+		t.Error("distinct labels returned the same counter")
+	}
+}
+
+func TestRegistryTypeConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ramsis_queries_total")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("ramsis_queries_total")
+}
+
+func TestGaugeFuncIsLive(t *testing.T) {
+	r := NewRegistry()
+	healthy := true
+	r.GaugeFunc(MetricWorkerHealthy, func() float64 {
+		if healthy {
+			return 1
+		}
+		return 0
+	}, "worker", "0")
+	var b bytes.Buffer
+	r.WritePrometheus(&b)
+	if !strings.Contains(b.String(), `ramsis_worker_healthy{worker="0"} 1`) {
+		t.Fatalf("exposition missing live gauge:\n%s", b.String())
+	}
+	healthy = false
+	b.Reset()
+	r.WritePrometheus(&b)
+	if !strings.Contains(b.String(), `ramsis_worker_healthy{worker="0"} 0`) {
+		t.Errorf("gauge func not re-read at exposition:\n%s", b.String())
+	}
+}
+
+// TestPrometheusExpositionGolden locks the text exposition format against
+// a golden file. Regenerate with UPDATE_GOLDEN=1 go test ./internal/telemetry.
+func TestPrometheusExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	q := r.Counter(MetricQueries)
+	q.Add(3)
+	r.Help(MetricQueries, "Total queries served.")
+	r.Counter(MetricModelQueries, "model", "a").Add(2)
+	r.Counter(MetricModelQueries, "model", "b").Inc()
+	r.Gauge(MetricWorkerHealthy, "worker", "0").Set(1)
+	r.GaugeFunc(MetricWorkerHealthy, func() float64 { return 0 }, "worker", "1")
+	h := r.HistogramBuckets(MetricStageSeconds, []float64{0.1, 1, 10}, "stage", StageInference)
+	for _, v := range []float64{0.0625, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+
+	var b bytes.Buffer
+	r.WritePrometheus(&b)
+	golden := filepath.Join("testdata", "exposition.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, b.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b.Bytes(), want) {
+		t.Errorf("exposition mismatch\n--- got ---\n%s--- want ---\n%s", b.Bytes(), want)
+	}
+}
+
+func TestLabelKeySortsPairs(t *testing.T) {
+	if got := labelKey([]string{"z", "1", "a", "2"}); got != `a="2",z="1"` {
+		t.Errorf("labelKey = %s", got)
+	}
+}
+
+func TestNewLoggerValidation(t *testing.T) {
+	var b bytes.Buffer
+	if _, err := NewLogger(&b, "nope", "text", "t"); err == nil {
+		t.Error("bad level accepted")
+	}
+	if _, err := NewLogger(&b, "info", "yaml", "t"); err == nil {
+		t.Error("bad format accepted")
+	}
+	l, err := NewLogger(&b, "info", "json", "serve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Info("hello", "k", "v")
+	out := b.String()
+	if !strings.Contains(out, `"component":"serve"`) || !strings.Contains(out, `"k":"v"`) {
+		t.Errorf("structured output missing fields: %s", out)
+	}
+	b.Reset()
+	l.Debug("hidden")
+	if b.Len() != 0 {
+		t.Error("debug line emitted at info level")
+	}
+}

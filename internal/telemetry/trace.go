@@ -1,0 +1,126 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+)
+
+// Span is one stage of a query's lifetime. Durations are modeled seconds,
+// so simulator and prototype traces compare directly.
+type Span struct {
+	Stage   string  `json:"stage"`
+	Seconds float64 `json:"seconds"`
+}
+
+// QueryTrace is the completed per-query trace: where the latency budget of
+// one query went, stage by stage. Every response — and in particular every
+// SLO violation — can be attributed to the stage that consumed the budget.
+type QueryTrace struct {
+	ID          int     `json:"id"`
+	Arrival     float64 `json:"arrival"` // modeled seconds from start
+	Worker      int     `json:"worker"`  // worker the batch ran on (-1 if none)
+	Model       string  `json:"model"`
+	Batch       int     `json:"batch"`
+	LatencyMS   float64 `json:"latencyMs"` // end-to-end, modeled
+	DeadlineMet bool    `json:"deadlineMet"`
+	Error       string  `json:"error,omitempty"`
+	Spans       []Span  `json:"spans"`
+}
+
+// Span returns the duration of the named stage and whether it is present.
+func (t QueryTrace) Span(stage string) (float64, bool) {
+	for _, s := range t.Spans {
+		if s.Stage == stage {
+			return s.Seconds, true
+		}
+	}
+	return 0, false
+}
+
+// TraceBuffer is a bounded ring of the most recent completed query traces,
+// dumpable via its /debug/traces handler. Memory is fixed at capacity; a
+// new trace overwrites the oldest once full.
+type TraceBuffer struct {
+	mu   sync.Mutex
+	buf  []QueryTrace
+	next int
+	full bool
+}
+
+// DefaultTraceCapacity is the ring size serving layers use when the caller
+// does not choose one.
+const DefaultTraceCapacity = 256
+
+// NewTraceBuffer returns a ring holding the last n traces (n <= 0 takes
+// DefaultTraceCapacity).
+func NewTraceBuffer(n int) *TraceBuffer {
+	if n <= 0 {
+		n = DefaultTraceCapacity
+	}
+	return &TraceBuffer{buf: make([]QueryTrace, n)}
+}
+
+// Add records a completed trace, evicting the oldest when full.
+func (b *TraceBuffer) Add(t QueryTrace) {
+	b.mu.Lock()
+	b.buf[b.next] = t
+	b.next++
+	if b.next == len(b.buf) {
+		b.next = 0
+		b.full = true
+	}
+	b.mu.Unlock()
+}
+
+// Len returns the number of buffered traces.
+func (b *TraceBuffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.full {
+		return len(b.buf)
+	}
+	return b.next
+}
+
+// Snapshot returns the buffered traces oldest-first.
+func (b *TraceBuffer) Snapshot() []QueryTrace {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.full {
+		return append([]QueryTrace(nil), b.buf[:b.next]...)
+	}
+	out := make([]QueryTrace, 0, len(b.buf))
+	out = append(out, b.buf[b.next:]...)
+	out = append(out, b.buf[:b.next]...)
+	return out
+}
+
+// Handler serves the buffered traces as a JSON array (the /debug/traces
+// endpoint).
+func (b *TraceBuffer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(b.Snapshot())
+	})
+}
+
+// TraceWriter streams completed traces as JSONL (one JSON object per line)
+// for offline analysis; it serializes concurrent writers.
+type TraceWriter struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewTraceWriter wraps w (typically the -trace-out file).
+func NewTraceWriter(w io.Writer) *TraceWriter {
+	return &TraceWriter{enc: json.NewEncoder(w)}
+}
+
+// Write appends one trace line.
+func (t *TraceWriter) Write(qt QueryTrace) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.enc.Encode(qt)
+}

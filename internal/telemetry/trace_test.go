@@ -1,0 +1,98 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+)
+
+func mkTrace(id int) QueryTrace {
+	return QueryTrace{
+		ID: id, Arrival: float64(id), Model: "resnet50", Batch: 2,
+		LatencyMS: 12.5, DeadlineMet: true,
+		Spans: []Span{{Stage: StageEnqueue, Seconds: 0.001}, {Stage: StageInference, Seconds: 0.010}},
+	}
+}
+
+func TestTraceBufferWrapsOldestFirst(t *testing.T) {
+	b := NewTraceBuffer(3)
+	if b.Len() != 0 {
+		t.Fatalf("fresh buffer len %d", b.Len())
+	}
+	for i := 0; i < 5; i++ {
+		b.Add(mkTrace(i))
+	}
+	if b.Len() != 3 {
+		t.Fatalf("len %d, want 3", b.Len())
+	}
+	snap := b.Snapshot()
+	for i, want := range []int{2, 3, 4} {
+		if snap[i].ID != want {
+			t.Errorf("snapshot[%d].ID = %d, want %d", i, snap[i].ID, want)
+		}
+	}
+}
+
+func TestTraceBufferHandler(t *testing.T) {
+	b := NewTraceBuffer(8)
+	b.Add(mkTrace(7))
+	rr := httptest.NewRecorder()
+	b.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/traces", nil))
+	var got []QueryTrace
+	if err := json.Unmarshal(rr.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].ID != 7 || len(got[0].Spans) != 2 {
+		t.Fatalf("handler returned %+v", got)
+	}
+}
+
+func TestTraceSpanLookup(t *testing.T) {
+	tr := mkTrace(0)
+	if d, ok := tr.Span(StageInference); !ok || d != 0.010 {
+		t.Errorf("Span(inference) = %v, %v", d, ok)
+	}
+	if _, ok := tr.Span(StageRespond); ok {
+		t.Error("absent stage reported present")
+	}
+}
+
+func TestTraceWriterJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewTraceWriter(&buf)
+	for i := 0; i < 3; i++ {
+		if err := w.Write(mkTrace(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sc := bufio.NewScanner(&buf)
+	lines := 0
+	for sc.Scan() {
+		var qt QueryTrace
+		if err := json.Unmarshal(sc.Bytes(), &qt); err != nil {
+			t.Fatalf("line %d: %v", lines, err)
+		}
+		if qt.ID != lines {
+			t.Errorf("line %d has ID %d", lines, qt.ID)
+		}
+		lines++
+	}
+	if lines != 3 {
+		t.Errorf("wrote %d lines, want 3", lines)
+	}
+}
+
+func TestStagesOrder(t *testing.T) {
+	want := []string{StageEnqueue, StagePick, StageBatchWait, StageDispatch, StageInference, StageRespond}
+	got := Stages()
+	if len(got) != len(want) {
+		t.Fatalf("Stages() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Stages()[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
