@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench profile
+.PHONY: build test vet lint race verify bench profile
 
 build:
 	$(GO) build ./...
@@ -11,16 +11,23 @@ test:
 vet:
 	$(GO) vet ./...
 
-# The lb, serve, and telemetry packages are the concurrency-heavy ones
-# (balancers, health tracker, per-worker queue locks, HTTP dispatch, the
-# lock-free metrics registry); run them under the race detector. Their
-# tests scale sleeps by TimeScale, so the race pass stays within a CI
-# budget.
+# Formatting gate: gofmt must have nothing to rewrite. gofmt -l prints
+# offending files and always exits 0, so fail on non-empty output.
+lint:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+
+# The lb, serve, telemetry, and adapt packages are the concurrency-heavy
+# ones (balancers, health tracker, per-worker queue locks, HTTP dispatch,
+# the lock-free metrics registry, and the background policy re-solve /
+# hot-swap path); run them under the race detector. Their tests scale
+# sleeps by TimeScale, so the race pass stays within a CI budget.
 race:
-	$(GO) test -race ./internal/lb/ ./internal/serve/ ./internal/telemetry/
+	$(GO) test -race ./internal/adapt/ ./internal/lb/ ./internal/serve/ ./internal/telemetry/
 
 # Tier-1 verify path (see ROADMAP.md).
-verify: build vet test race
+verify: build lint test race
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

@@ -12,6 +12,7 @@ import (
 	"log"
 	"os"
 
+	"ramsis/internal/adapt"
 	"ramsis/internal/core"
 	"ramsis/internal/dist"
 	"ramsis/internal/lb"
@@ -40,6 +41,11 @@ func main() {
 		traceOut  = flag.String("trace-out", "", "append completed query traces as JSONL to this file (frontend mode)")
 		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		logFmt    = flag.String("log-format", "text", "log format: text or json")
+
+		adaptive    = flag.Bool("adapt", false, "close the adaptation loop: drift-detect the monitored rate, re-solve in the background, hot-swap policies without pausing dispatch")
+		adaptBand   = flag.Float64("adapt-band", 0.2, "adaptation hysteresis half-width as a fraction of the solved-for rate")
+		adaptDwell  = flag.Float64("adapt-dwell", 2, "seconds the rate must stay outside the band before re-solving")
+		adaptBucket = flag.Float64("adapt-bucket", 0, "rate bucket size in QPS for re-solves and the policy cache (0 = hysteresis band width at the initial rate)")
 	)
 	flag.Parse()
 	if _, err := telemetry.SetupLogging(*logLevel, *logFmt, "serve"); err != nil {
@@ -62,12 +68,35 @@ func main() {
 
 	fmt.Printf("generating RAMSIS policy (%s, SLO %.0f ms, %d workers, %.0f QPS, %s balancing)...\n",
 		*task, *sloMS, *workers, *load, balancing)
-	set := core.NewPolicySet(core.Config{
+	base := core.Config{
 		Models: models, SLO: slo, Workers: *workers, Arrival: dist.NewPoisson(1), D: *d,
 		Balancing: balancing,
-	}, nil)
+	}
+	set := core.NewPolicySet(base, nil)
 	if err := set.GenerateLoads([]float64{*load}); err != nil {
 		log.Fatal(err)
+	}
+
+	// All serve paths share one registry so /metrics (frontend mode) and the
+	// adapter's ramsis_adapt_* series land in the same exposition.
+	registry := telemetry.NewRegistry()
+	selector := serve.RAMSISSelector(set)
+	var adapter *adapt.Adapter
+	if *adaptive {
+		adapter, err = adapt.New(adapt.Config{
+			Base:       base,
+			Band:       *adaptBand,
+			Dwell:      *adaptDwell,
+			BucketSize: *adaptBucket,
+			Background: true, // never stall dispatch behind a re-solve
+			Telemetry:  registry,
+		}, set.Policies()[0])
+		if err != nil {
+			log.Fatal(err)
+		}
+		selector = serve.AdaptiveSelector(adapter)
+		fmt.Printf("adaptation on: band ±%.0f%%, dwell %.1fs, bucket %.0f QPS\n",
+			*adaptBand*100, *adaptDwell, adapter.ActiveBucket())
 	}
 
 	if *frontend {
@@ -86,12 +115,13 @@ func main() {
 			SLO:           slo,
 			TimeScale:     *timeScale,
 			LatencyStdDev: *noiseMS / 1000,
-			Select:        serve.RAMSISSelector(set),
+			Select:        selector,
 			Monitor:       monitor.NewMovingAverage(0.5),
 			Seed:          *seed,
 			Balancer:      balancer,
 			Addr:          *addr,
 			TraceWriter:   tw,
+			Telemetry:     registry,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -127,9 +157,10 @@ func main() {
 		SLO:       slo,
 		TimeScale: *timeScale,
 		Workers:   urls,
-		Select:    serve.RAMSISSelector(set),
+		Select:    selector,
 		Monitor:   monitor.NewMovingAverage(0.5),
 		Balancer:  balancer,
+		Telemetry: registry,
 	}
 	arrivals := trace.PoissonArrivals(tr, *seed)
 	fmt.Printf("replaying %d queries over %.0fs (wall %.0fs)...\n",
@@ -146,5 +177,10 @@ func main() {
 	pol := set.Policies()[0]
 	fmt.Printf("policy expectation:          accuracy %.4f, violation %.4f%%\n",
 		pol.ExpectedAccuracy, pol.ExpectedViolation*100)
+	if adapter != nil {
+		s := adapter.Stats()
+		fmt.Printf("adaptation: %d re-solves (%d failed), %d cache hits / %d misses, %d hot-swaps, final bucket %.0f QPS\n",
+			s.Resolves, s.ResolveErrors, s.CacheHits, s.CacheMisses, s.Swaps, s.ActiveBucket)
+	}
 	fmt.Println("script complete!")
 }

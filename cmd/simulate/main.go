@@ -12,6 +12,7 @@ import (
 	"log"
 	"os"
 
+	"ramsis/internal/adapt"
 	"ramsis/internal/baselines"
 	"ramsis/internal/core"
 	"ramsis/internal/dist"
@@ -33,12 +34,21 @@ func main() {
 		dur      = flag.Float64("dur", 30, "constant-trace duration in seconds")
 		seed     = flag.Int64("seed", 1, "workload seed")
 		d        = flag.Int("d", 100, "FLD resolution for RAMSIS policies")
+		maxQueue = flag.Int("maxqueue", 0, "RAMSIS MDP queue-length cap N_w (0 = default 32)")
 		noise    = flag.Float64("noise", 0, "inference latency stddev in ms (0 = deterministic p95)")
 		polPath  = flag.String("policy", "", "load a saved RAMSIS policy JSON (from ramsisgen) instead of generating")
 		msTable  = flag.String("ms-table", "", "load a ModelSwitching profile JSON (from msgen) instead of profiling")
 		lbArg    = flag.String("lb", "rr", "RAMSIS per-worker load balancer: rr, jsq, or p2c (policies are generated with the matching MDP transition model)")
 		logLevel = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		logFmt   = flag.String("log-format", "text", "log format: text or json")
+
+		adaptive    = flag.Bool("adapt", false, "RAMSIS only: close the adaptation loop (drift-detect the monitored rate, re-solve and hot-swap policies mid-run)")
+		adaptBand   = flag.Float64("adapt-band", 0.2, "adaptation hysteresis half-width as a fraction of the solved-for rate")
+		adaptDwell  = flag.Float64("adapt-dwell", 2, "seconds the rate must stay outside the band before re-solving")
+		adaptBucket = flag.Float64("adapt-bucket", 0, "rate bucket size in QPS for re-solves and the policy cache (0 = hysteresis band width at the initial rate)")
+		stepLoad    = flag.Float64("step-load", 0, "step trace: QPS during the step (with --trace step)")
+		stepAt      = flag.Float64("step-at", 10, "step trace: seconds into the run the step starts")
+		stepDur     = flag.Float64("step-dur", 10, "step trace: step duration in seconds")
 	)
 	flag.Parse()
 	if _, err := telemetry.SetupLogging(*logLevel, *logFmt, "simulate"); err != nil {
@@ -64,14 +74,59 @@ func main() {
 	case "constant":
 		tr = trace.Constant(*load, *dur)
 		mon = monitor.Oracle{Trace: tr}
+	case "step":
+		if *stepLoad <= 0 {
+			log.Fatal("--trace step requires --step-load")
+		}
+		tr = trace.Step(*load, *stepLoad, *stepAt, *stepAt+*stepDur, *dur)
+		mon = monitor.NewMovingAverage(0.5)
 	default:
 		log.Fatalf("unknown trace %q", *traceArg)
 	}
 
+	if *adaptive && *method != "RAMSIS" {
+		log.Fatalf("-adapt applies to the RAMSIS method, not %q", *method)
+	}
+
 	var sched sim.Scheduler
+	var adapter *adapt.Adapter
 	switch *method {
 	case "RAMSIS":
-		base := core.Config{Models: models, SLO: slo, Workers: *workers, Arrival: dist.NewPoisson(1), D: *d, Balancing: balancing}
+		base := core.Config{Models: models, SLO: slo, Workers: *workers, Arrival: dist.NewPoisson(1), D: *d, MaxQueue: *maxQueue, Balancing: balancing}
+		if *adaptive {
+			// Adaptive mode: one policy solved for the starting rate; every
+			// later rate is the drift detector's job.
+			initLoad := tr.QPSAt(0)
+			var initial *core.Policy
+			if *polPath != "" {
+				initial, err = core.LoadPolicy(*polPath, models)
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("loaded initial policy %s (load %.0f QPS)\n", *polPath, initial.Load)
+			} else {
+				cfg := base
+				cfg.Arrival = dist.NewPoisson(initLoad)
+				fmt.Printf("generating initial RAMSIS policy at %.0f QPS...\n", initLoad)
+				if initial, err = core.Generate(cfg); err != nil {
+					log.Fatal(err)
+				}
+			}
+			adapter, err = adapt.New(adapt.Config{
+				Base:       base,
+				Band:       *adaptBand,
+				Dwell:      *adaptDwell,
+				BucketSize: *adaptBucket,
+			}, initial)
+			if err != nil {
+				log.Fatal(err)
+			}
+			r := sim.NewAdaptiveRAMSIS(adapter, mon)
+			r.Balance = balancing
+			r.LB = sim.BalancerFor(balancing, *seed)
+			sched = r
+			break
+		}
 		set := core.NewPolicySet(base, nil)
 		if *polPath != "" {
 			pol, err := core.LoadPolicy(*polPath, models)
@@ -158,6 +213,11 @@ func main() {
 	fmt.Println("model usage (queries):")
 	for name, c := range m.ModelCounts {
 		fmt.Printf("  %-22s %d\n", name, c)
+	}
+	if adapter != nil {
+		s := adapter.Stats()
+		fmt.Printf("adaptation: %d re-solves (%d failed), %d cache hits / %d misses, %d hot-swaps, final bucket %.0f QPS\n",
+			s.Resolves, s.ResolveErrors, s.CacheHits, s.CacheMisses, s.Swaps, s.ActiveBucket)
 	}
 	fmt.Println("script complete!")
 }

@@ -1,0 +1,257 @@
+package adapt
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ramsis/internal/core"
+	"ramsis/internal/dist"
+	"ramsis/internal/profile"
+	"ramsis/internal/telemetry"
+)
+
+// adaptBase is a small, fast generation problem (3-model ablation set) so
+// adapter tests solve real MDPs in milliseconds.
+func adaptBase() core.Config {
+	return core.Config{
+		Models:   profile.AblationImageSet(),
+		SLO:      0.150,
+		Workers:  4,
+		Arrival:  dist.NewPoisson(20), // replaced per bucket
+		D:        20,
+		MaxQueue: 16,
+	}
+}
+
+func initialPolicy(t *testing.T, load float64) *core.Policy {
+	t.Helper()
+	cfg := adaptBase()
+	cfg.Arrival = dist.NewPoisson(load)
+	pol, err := core.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pol
+}
+
+func newAdapter(t *testing.T, cfg Config) *Adapter {
+	t.Helper()
+	if cfg.Base.Workers == 0 {
+		cfg.Base = adaptBase()
+	}
+	a, err := New(cfg, initialPolicy(t, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestAdapterDriftSolvesThenCacheHitsOnReturn(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	a := newAdapter(t, Config{Band: 0.2, Dwell: 1, BucketSize: 20, Telemetry: reg})
+	if got := a.ActiveBucket(); got != 20 {
+		t.Fatalf("initial bucket %v, want 20", got)
+	}
+
+	// Sustained step 20 -> 120 QPS: confirmed after the 1 s dwell, solved
+	// once (cache miss), hot-swapped.
+	a.Observe(0, 120)
+	a.Observe(0.5, 120)
+	if s := a.Stats(); s.Swaps != 0 {
+		t.Fatalf("swapped before dwell elapsed: %+v", s)
+	}
+	a.Observe(1.0, 120)
+	s := a.Stats()
+	if s.Resolves != 1 || s.CacheMisses != 1 || s.Swaps != 1 || s.ActiveBucket != 120 {
+		t.Fatalf("after step up: %+v", s)
+	}
+	if pol := a.PolicyFor(120); pol == nil || pol.Load != 120 {
+		t.Fatalf("PolicyFor(120) = %+v, want the freshly solved 120 policy", pol)
+	}
+	if n := len(a.Current().Policies()); n != 2 {
+		t.Fatalf("ladder has %d policies, want 2", n)
+	}
+
+	// Step back to the original rate: the initial policy is cached, so the
+	// swap is a lookup — no new solve.
+	a.Observe(10, 20)
+	a.Observe(11, 20)
+	s = a.Stats()
+	if s.Resolves != 1 {
+		t.Errorf("return to original rate re-solved: %+v", s)
+	}
+	if s.CacheHits != 1 || s.Swaps != 2 || s.ActiveBucket != 20 {
+		t.Fatalf("after step back: %+v", s)
+	}
+
+	// Telemetry mirrors the counters.
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"ramsis_adapt_resolves_total 1",
+		"ramsis_adapt_cache_hits_total 1",
+		"ramsis_adapt_cache_misses_total 1",
+		"ramsis_adapt_swaps_total 2",
+		"ramsis_adapt_rate_bucket 20",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("telemetry missing %q", want)
+		}
+	}
+}
+
+func TestAdapterOscillationNeverResolves(t *testing.T) {
+	a := newAdapter(t, Config{Band: 0.2, Dwell: 1, BucketSize: 20})
+	// Bursts shorter than the dwell, always returning to band: the
+	// hysteresis must suppress every re-solve.
+	for i := 0; i < 20; i++ {
+		base := float64(i)
+		a.Observe(base, 120)
+		a.Observe(base+0.5, 120)
+		a.Observe(base+0.8, 20)
+	}
+	if s := a.Stats(); s.Resolves != 0 || s.Swaps != 0 || s.CacheHits != 0 {
+		t.Fatalf("oscillating rate triggered adaptation: %+v", s)
+	}
+}
+
+func TestAdapterSubBucketDriftIsFree(t *testing.T) {
+	// Out of the hysteresis band but within the active rate bucket: the
+	// active policy already covers the rate, so no solve and no swap.
+	a := newAdapter(t, Config{Band: 0.1, Dwell: 1, BucketSize: 100})
+	a.Observe(0, 28)
+	a.Observe(1, 28) // bucketOf(28, 100) = 100 = active bucket
+	if s := a.Stats(); s.Resolves != 0 || s.Swaps != 0 || s.CacheMisses != 0 {
+		t.Fatalf("sub-bucket drift adapted: %+v", s)
+	}
+	// The detector recentered, so the new rate does not keep firing.
+	a.Observe(2, 28)
+	a.Observe(50, 28)
+	if s := a.Stats(); s.Resolves != 0 || s.Swaps != 0 {
+		t.Fatalf("recentered rate kept firing: %+v", s)
+	}
+}
+
+func TestAdapterDefaultBucketSeesSmallRateDrift(t *testing.T) {
+	// Regression: with the bucket size left to default, a small deployment
+	// (20 QPS) drifting well outside the band must still re-solve. A fixed
+	// coarse default (e.g. the 100-QPS on-demand rung) aliases every rate
+	// below 150 QPS into one bucket, so the sub-bucket short-circuit
+	// swallowed genuine drift forever.
+	a := newAdapter(t, Config{Band: 0.2, Dwell: 1})
+	if got := a.ActiveBucket(); got != 20 {
+		t.Fatalf("initial bucket %v, want 20 (bucket size = band width = 4)", got)
+	}
+	a.Observe(0, 40)
+	a.Observe(1, 40) // 2× the solved-for rate, sustained past the dwell
+	s := a.Stats()
+	if s.Resolves != 1 || s.Swaps != 1 || s.ActiveBucket != 40 {
+		t.Fatalf("default bucket swallowed a 2x drift: %+v", s)
+	}
+}
+
+func TestAdapterBackgroundResolve(t *testing.T) {
+	a := newAdapter(t, Config{Band: 0.2, Dwell: -1, BucketSize: 20, Background: true})
+	a.Observe(0, 120) // negative dwell: fires on the first out-of-band reading
+	deadline := time.Now().Add(30 * time.Second)
+	for a.Stats().Swaps == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("background resolve never swapped: %+v", a.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if s := a.Stats(); s.Resolves != 1 || s.ActiveBucket != 120 {
+		t.Fatalf("after background resolve: %+v", s)
+	}
+}
+
+func TestAdapterResolveErrorKeepsOldPolicy(t *testing.T) {
+	// An unsolvable base (no models) fails generation; the previous policy
+	// must stay active and the failure must be counted.
+	cfg := Config{Band: 0.2, Dwell: -1, BucketSize: 20}
+	cfg.Base = adaptBase()
+	a, err := New(cfg, initialPolicy(t, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.cfg.Base.Models = profile.Set{}
+	before := a.PolicyFor(20)
+	a.Observe(0, 120)
+	s := a.Stats()
+	if s.ResolveErrors != 1 || s.Swaps != 0 || s.ActiveBucket != 20 {
+		t.Fatalf("after failed resolve: %+v", s)
+	}
+	if a.PolicyFor(20) != before {
+		t.Error("failed resolve replaced the active policy")
+	}
+	// The resolving latch must be released so the next drift retries.
+	a.Observe(1, 200)
+	if s := a.Stats(); s.ResolveErrors != 2 {
+		t.Fatalf("failed resolve latched the adapter: %+v", s)
+	}
+}
+
+func TestAdapterNilInitial(t *testing.T) {
+	if _, err := New(Config{Base: adaptBase()}, nil); err == nil {
+		t.Fatal("New accepted a nil initial policy")
+	}
+}
+
+func TestAdapterConcurrentLookupAndSwap(t *testing.T) {
+	// The -race half of the hot-swap contract: lookups race against
+	// installs and must always see a complete, non-nil policy.
+	a := newAdapter(t, Config{Band: 0.2, Dwell: 1, BucketSize: 20})
+	p120 := func() *core.Policy {
+		cfg := adaptBase()
+		cfg.Arrival = dist.NewPoisson(120)
+		pol, err := core.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pol
+	}()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if pol := a.PolicyFor(float64(20 + (i+g)%120)); pol == nil {
+					t.Error("lookup observed an empty policy set mid-swap")
+					return
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 200; i++ {
+		if i%2 == 0 {
+			a.Install(120, p120)
+		} else {
+			a.Install(20, a.cache.mustGet(t, a.key(20)))
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if s := a.Stats(); s.Swaps < 200 {
+		t.Fatalf("swaps = %d, want >= 200", s.Swaps)
+	}
+}
+
+// mustGet is a test helper: fetch a policy known to be cached.
+func (c *Cache) mustGet(t *testing.T, k Key) *core.Policy {
+	t.Helper()
+	pol, ok := c.Get(k)
+	if !ok {
+		t.Fatal("expected cached policy missing")
+	}
+	return pol
+}

@@ -1,0 +1,60 @@
+package adapt
+
+import "math"
+
+// Detector decides when the monitored arrival rate has genuinely drifted
+// away from the rate the active policy was solved for. Two guards keep
+// monitor noise from thrashing the solver:
+//
+//   - a hysteresis band: rates within ±Band (fractional) of the solved-for
+//     center are always fine, however long they persist;
+//   - a minimum dwell time: the rate must sit outside the band continuously
+//     for at least Dwell modeled seconds before drift is confirmed — a
+//     single excursion (one burst, one lull) re-arms the timer as soon as
+//     the rate returns to the band.
+//
+// The detector works in modeled time so the same implementation drives the
+// simulator and the live serving path.
+type Detector struct {
+	band     float64
+	dwell    float64
+	center   float64
+	outSince float64 // first time of the current out-of-band excursion; NaN when in band
+}
+
+// NewDetector returns a detector centered on the given rate. band is the
+// fractional half-width of the hysteresis band (0.2 = ±20 %); dwell is the
+// confirmation time in modeled seconds.
+func NewDetector(center, band, dwell float64) *Detector {
+	return &Detector{band: band, dwell: dwell, center: center, outSince: math.NaN()}
+}
+
+// Center returns the rate the detector currently considers solved-for.
+func (d *Detector) Center() float64 { return d.center }
+
+// Recenter moves the band to a new solved-for rate and re-arms the dwell
+// timer. The adapter calls it the moment drift is confirmed, so one drift
+// event triggers exactly one re-solve.
+func (d *Detector) Recenter(center float64) {
+	d.center = center
+	d.outSince = math.NaN()
+}
+
+// Observe feeds one monitored rate reading at modeled time now and reports
+// whether drift is confirmed: the rate has stayed outside the hysteresis
+// band continuously for at least the dwell time. Out-of-order readings
+// (concurrent selector loops) are tolerated: a reading older than the
+// excursion start cannot shorten the dwell.
+func (d *Detector) Observe(now, rate float64) bool {
+	lo := d.center * (1 - d.band)
+	hi := d.center * (1 + d.band)
+	if rate >= lo && rate <= hi {
+		d.outSince = math.NaN()
+		return false
+	}
+	if math.IsNaN(d.outSince) {
+		d.outSince = now
+		return d.dwell <= 0
+	}
+	return now-d.outSince >= d.dwell
+}

@@ -1,0 +1,121 @@
+package adapt
+
+import "testing"
+
+// obs is one monitored reading and whether drift must be confirmed on it.
+type obs struct {
+	t, rate float64
+	fire    bool
+}
+
+// TestDetectorHysteresis is the drift-detection contract, table-driven: the
+// hysteresis band plus dwell time must suppress re-solves for rates that
+// merely oscillate or briefly burst, while a genuine sustained step must be
+// confirmed as soon as the dwell window elapses.
+func TestDetectorHysteresis(t *testing.T) {
+	cases := []struct {
+		name                string
+		center, band, dwell float64
+		obs                 []obs
+	}{
+		{
+			name: "in-band oscillation never fires", center: 100, band: 0.2, dwell: 1,
+			obs: []obs{
+				{0, 95, false}, {1, 110, false}, {2, 85, false},
+				{3, 119, false}, {10, 101, false}, {60, 81, false},
+			},
+		},
+		{
+			name: "band edges are in-band", center: 100, band: 0.2, dwell: 1,
+			obs: []obs{{0, 80, false}, {5, 120, false}, {10, 80, false}},
+		},
+		{
+			name: "short excursions re-arm the dwell timer", center: 100, band: 0.2, dwell: 1,
+			obs: []obs{
+				// Bursts of 0.6 s < dwell 1 s, separated by in-band readings:
+				// each return to the band re-arms, so drift is never confirmed
+				// no matter how many bursts occur.
+				{0.0, 150, false}, {0.6, 150, false}, {0.8, 100, false},
+				{1.0, 150, false}, {1.6, 150, false}, {1.8, 100, false},
+				{2.0, 150, false}, {2.6, 150, false}, {2.8, 100, false},
+				{3.0, 150, false}, {3.6, 150, false}, {3.8, 100, false},
+			},
+		},
+		{
+			name: "genuine step up fires at the dwell window", center: 100, band: 0.2, dwell: 1,
+			obs: []obs{
+				{0, 150, false}, {0.5, 150, false}, {0.99, 150, false},
+				{1.0, 150, true}, {1.5, 150, true}, // keeps firing until recentered
+			},
+		},
+		{
+			name: "genuine step down fires too", center: 100, band: 0.2, dwell: 1,
+			obs: []obs{{0, 50, false}, {0.5, 50, false}, {1.0, 50, true}},
+		},
+		{
+			name: "excursion side may change without re-arming", center: 100, band: 0.2, dwell: 1,
+			obs: []obs{
+				// Out of band the whole time — above, then below — still one
+				// continuous excursion.
+				{0, 150, false}, {0.5, 50, false}, {1.0, 150, true},
+			},
+		},
+		{
+			name: "zero dwell fires immediately", center: 100, band: 0.2, dwell: 0,
+			obs: []obs{{0, 95, false}, {1, 130, true}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := NewDetector(tc.center, tc.band, tc.dwell)
+			for i, o := range tc.obs {
+				if got := d.Observe(o.t, o.rate); got != o.fire {
+					t.Fatalf("obs %d (t=%v rate=%v): fire=%v, want %v", i, o.t, o.rate, got, o.fire)
+				}
+			}
+		})
+	}
+}
+
+func TestDetectorRecenterRearms(t *testing.T) {
+	d := NewDetector(100, 0.2, 1)
+	if d.Observe(0, 200) || d.Observe(0.5, 200) {
+		t.Fatal("fired before dwell elapsed")
+	}
+	if !d.Observe(1, 200) {
+		t.Fatal("did not fire after dwell at sustained step")
+	}
+	d.Recenter(200)
+	if d.Center() != 200 {
+		t.Fatalf("center = %v after Recenter(200)", d.Center())
+	}
+	// The stepped-to rate is now the normal one: no more firing, even after
+	// arbitrarily long.
+	for _, now := range []float64{1.1, 2, 50} {
+		if d.Observe(now, 200) {
+			t.Fatalf("fired at t=%v after recentering on the new rate", now)
+		}
+	}
+	// And a step back to the old rate must confirm afresh with a full dwell.
+	if d.Observe(100, 100) {
+		t.Fatal("fired immediately on the return step")
+	}
+	if !d.Observe(101, 100) {
+		t.Fatal("return step not confirmed after dwell")
+	}
+}
+
+func TestDetectorToleratesStaleReadings(t *testing.T) {
+	d := NewDetector(100, 0.2, 1)
+	if d.Observe(5, 150) {
+		t.Fatal("fired on first out-of-band reading")
+	}
+	// A stale reading (earlier timestamp) must not confirm drift: elapsed
+	// time within the excursion cannot be negative-credited.
+	if d.Observe(4, 150) {
+		t.Fatal("stale reading confirmed drift")
+	}
+	if !d.Observe(6, 150) {
+		t.Fatal("did not fire once dwell genuinely elapsed")
+	}
+}

@@ -73,6 +73,26 @@ type Policy struct {
 	space *space
 }
 
+// BuildWorkerMDP formulates (but does not solve) the worker MDP for the
+// configuration — the §4 transition-probability computation in isolation.
+// The solver benchmarks use it to measure the Bellman sweep on a real
+// worker-scale state space rather than a synthetic MDP.
+func BuildWorkerMDP(cfg Config) (*mdp.MDP, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	b := newBuilder(newSpace(cfg))
+	m := b.buildMDP()
+	if b.aborted.Load() {
+		return nil, ErrTimeout
+	}
+	if err := m.Validate(1e-6); err != nil {
+		return nil, fmt.Errorf("core: built MDP invalid: %w", err)
+	}
+	return m, nil
+}
+
 // Generate runs RAMSIS's offline phase for one worker: it formulates the
 // worker MDP (§4), solves it with value iteration (§4.1), and computes the
 // §5.1 expectations over the induced stationary distribution.

@@ -80,6 +80,38 @@ func (ps *PolicySet) Insert(p *Policy) {
 	ps.insert(p)
 }
 
+// Clone returns a copy-on-write duplicate: the ladder slice is copied but
+// the (immutable) policy objects are shared. The adaptation layer publishes
+// whole sets behind an atomic pointer, so a set is never mutated after
+// publication — readers get a consistent ladder without taking its lock.
+func (ps *PolicySet) Clone() *PolicySet {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return &PolicySet{
+		base:     ps.base,
+		arrival:  ps.arrival,
+		policies: append([]*Policy(nil), ps.policies...),
+	}
+}
+
+// Best returns the policy that should serve an anticipated load without
+// ever generating: the lowest-load policy meeting the load (§3.2.2), or the
+// highest-load policy available when the load exceeds the whole ladder. It
+// returns nil only for an empty set. Generation is the adaptation layer's
+// job; the decision path must stay lookup-only.
+func (ps *PolicySet) Best(load float64) *Policy {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if len(ps.policies) == 0 {
+		return nil
+	}
+	i := sort.Search(len(ps.policies), func(i int) bool { return ps.policies[i].Load >= load })
+	if i < len(ps.policies) {
+		return ps.policies[i]
+	}
+	return ps.policies[len(ps.policies)-1]
+}
+
 // GenerateLoads pre-computes policies for the given loads in parallel.
 func (ps *PolicySet) GenerateLoads(loads []float64) error {
 	pols := make([]*Policy, len(loads))

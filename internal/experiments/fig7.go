@@ -77,11 +77,11 @@ func (h *Harness) Fig7() []Fig7Point {
 				method: MethodRAMSIS, tr: tr, oracle: true, ramsisLoads: []float64{load},
 				latency: sim.Stochastic{StdDev: 0.010}})
 			p := Fig7Point{
-				Workers:       workers,
-				Load:          load,
-				ExpAccuracy:   pol.ExpectedAccuracy,
-				SimAccuracy:   simM.AccuracyPerSatisfiedQuery(),
-				ImplAccuracy:  implM.AccuracyPerSatisfiedQuery(),
+				Workers:        workers,
+				Load:           load,
+				ExpAccuracy:    pol.ExpectedAccuracy,
+				SimAccuracy:    simM.AccuracyPerSatisfiedQuery(),
+				ImplAccuracy:   implM.AccuracyPerSatisfiedQuery(),
 				ExpViolation:   pol.ExpectedViolation,
 				SimViolation:   simM.ViolationRate(),
 				ImplViolation:  implM.ViolationRate(),

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"time"
 )
 
@@ -102,6 +103,12 @@ type SolveOptions struct {
 	// Deadline, when non-zero, aborts the solve with ErrDeadline once the
 	// wall clock passes it (checked once per sweep).
 	Deadline time.Time
+	// Parallel is the goroutine count the Bellman sweep is partitioned
+	// across (ValueIteration only). 0 uses GOMAXPROCS; 1 runs serially.
+	// Every setting produces byte-identical values and policies: each
+	// sweep reads only the previous iterate, so partitioning cannot change
+	// any floating-point operation or its order within a state.
+	Parallel int
 }
 
 func (o SolveOptions) withDefaults() SolveOptions {
@@ -125,24 +132,37 @@ type Result struct {
 	Iterations int
 }
 
-// ValueIteration solves the MDP by repeated Bellman optimality backups
-// (Gauss-Seidel, in-place) until the residual drops below Tol, returning an
-// optimal policy. This is the paper's solution method (§4.1).
+// ValueIteration solves the MDP by repeated synchronous Bellman optimality
+// backups (Jacobi, double-buffered) until the residual drops below Tol,
+// returning an optimal policy. This is the paper's solution method (§4.1).
+//
+// The sweep is partitioned across SolveOptions.Parallel goroutines: every
+// state's backup reads only the previous iterate, so the partitioning is
+// invisible to the arithmetic and the result is byte-identical for every
+// worker count — the property the online re-solve path depends on (a policy
+// must not change with the core count of the machine that solved it).
 func ValueIteration(m *MDP, opts SolveOptions) (Result, error) {
 	opts = opts.withDefaults()
 	if opts.Gamma <= 0 || opts.Gamma >= 1 {
 		return Result{}, fmt.Errorf("mdp: gamma %v outside (0,1)", opts.Gamma)
 	}
 	n := m.NumStates()
+	workers := opts.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
 	v := make([]float64, n)
+	next := make([]float64, n)
 	pol := make(Policy, n)
-	it := 0
-	for ; it < opts.MaxIter; it++ {
-		if !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
-			return Result{Values: v, Policy: pol, Iterations: it}, ErrDeadline
-		}
+
+	// sweepChunk backs up states [lo, hi) from the previous iterate v into
+	// next, recording the greedy action, and returns the chunk's residual.
+	sweepChunk := func(lo, hi int) float64 {
 		residual := 0.0
-		for s := 0; s < n; s++ {
+		for s := lo; s < hi; s++ {
 			best := math.Inf(-1)
 			bestA := 0
 			for ai := range m.Actions[s] {
@@ -159,9 +179,49 @@ func ValueIteration(m *MDP, opts SolveOptions) (Result, error) {
 			if d := math.Abs(best - v[s]); d > residual {
 				residual = d
 			}
-			v[s] = best
+			next[s] = best
 			pol[s] = bestA
 		}
+		return residual
+	}
+
+	sweep := func() float64 { return sweepChunk(0, n) }
+	if workers > 1 {
+		// Persistent pool: worker i owns the fixed state range
+		// [i·n/W, (i+1)·n/W) for the whole solve. The tick/res channel pair
+		// is a per-sweep barrier; combining chunk residuals by max is
+		// order-independent, so collection order does not matter.
+		tick := make(chan struct{})
+		res := make(chan float64)
+		defer close(tick)
+		for i := 0; i < workers; i++ {
+			go func(lo, hi int) {
+				for range tick {
+					res <- sweepChunk(lo, hi)
+				}
+			}(i*n/workers, (i+1)*n/workers)
+		}
+		sweep = func() float64 {
+			for i := 0; i < workers; i++ {
+				tick <- struct{}{}
+			}
+			residual := 0.0
+			for i := 0; i < workers; i++ {
+				if r := <-res; r > residual {
+					residual = r
+				}
+			}
+			return residual
+		}
+	}
+
+	it := 0
+	for ; it < opts.MaxIter; it++ {
+		if !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
+			return Result{Values: v, Policy: pol, Iterations: it}, ErrDeadline
+		}
+		residual := sweep()
+		v, next = next, v
 		if residual < opts.Tol {
 			it++
 			break

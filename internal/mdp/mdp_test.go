@@ -77,6 +77,37 @@ func TestValueIterationRejectsBadGamma(t *testing.T) {
 	}
 }
 
+func TestValueIterationParallelByteIdentical(t *testing.T) {
+	// The partitioned sweep must be invisible: values and policies are
+	// byte-identical for every worker count, on MDPs whose state count is
+	// not a multiple of the partition count.
+	rng := rand.New(rand.NewSource(7))
+	for _, states := range []int{1, 2, 23, 157} {
+		m := randomMDP(rng, states, 3, 5)
+		base, err := ValueIteration(m, SolveOptions{Gamma: 0.95, Tol: 1e-10, Parallel: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 3, 8, 64} {
+			got, err := ValueIteration(m, SolveOptions{Gamma: 0.95, Tol: 1e-10, Parallel: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Iterations != base.Iterations {
+				t.Errorf("states=%d workers=%d: %d iterations, serial took %d", states, workers, got.Iterations, base.Iterations)
+			}
+			for s := range base.Values {
+				if math.Float64bits(got.Values[s]) != math.Float64bits(base.Values[s]) {
+					t.Fatalf("states=%d workers=%d: V(%d) = %v differs from serial %v", states, workers, s, got.Values[s], base.Values[s])
+				}
+				if got.Policy[s] != base.Policy[s] {
+					t.Fatalf("states=%d workers=%d: policy[%d] = %d differs from serial %d", states, workers, s, got.Policy[s], base.Policy[s])
+				}
+			}
+		}
+	}
+}
+
 func TestPolicyIterationMatchesValueIteration(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	m := randomMDP(rng, 25, 4, 6)

@@ -1,0 +1,30 @@
+package serve
+
+import (
+	"fmt"
+
+	"ramsis/internal/adapt"
+)
+
+// AdaptiveSelector adapts an adapt.Adapter to the online selector
+// interface: every selection feeds the monitored load to the drift
+// detector, and the policy lookup goes through the adapter's atomically
+// published set. The adapter should be configured with Background set —
+// the selector runs on the dispatch path, and a confirmed drift must start
+// its re-solve on a goroutine rather than stall the worker loop; dispatch
+// keeps using the old policy until the solved one is hot-swapped in.
+func AdaptiveSelector(a *adapt.Adapter) SelectFunc {
+	return func(now, load float64, n int, slack float64) (string, int) {
+		a.Observe(now, load)
+		pol := a.PolicyFor(load)
+		if pol == nil {
+			panic(fmt.Sprintf("serve: adapter has no policy for load %v", load))
+		}
+		c := pol.Select(n, slack)
+		b := c.Batch
+		if b > n {
+			b = n
+		}
+		return c.Model, b
+	}
+}

@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"fmt"
+
+	"ramsis/internal/adapt"
+	"ramsis/internal/core"
+	"ramsis/internal/lb"
+	"ramsis/internal/monitor"
+)
+
+// AdaptiveRAMSIS is the RAMSIS scheduler with the adaptation loop closed:
+// every monitored load reading also feeds the drift detector, so a
+// sustained rate change re-solves the per-worker MDP at the new rate and
+// hot-swaps the policy mid-run. Decisions stay lookup-only — the adapter
+// owns all generation — unlike the legacy RAMSIS scheduler, whose policy
+// set generates on demand the first time a load exceeds its ladder.
+//
+// Re-solves run inline (adapt.Config.Background unset): in a discrete-event
+// simulation a solve costs zero modeled time, which models a controller
+// whose re-solve is fast relative to the drift dwell time — the measured
+// 200 ms solve on the paper-scale worker MDP against multi-second dwell.
+type AdaptiveRAMSIS struct {
+	Adapter *adapt.Adapter
+	Monitor monitor.Monitor
+	// Balance selects the load-balancing strategy, as in RAMSIS.
+	Balance core.Balancing
+	// LB overrides the balancer implementation (see RAMSIS.LB).
+	LB lb.Balancer
+
+	lens []int
+}
+
+// NewAdaptiveRAMSIS wires an adapter and a load monitor into a scheduler.
+func NewAdaptiveRAMSIS(a *adapt.Adapter, mon monitor.Monitor) *AdaptiveRAMSIS {
+	return &AdaptiveRAMSIS{Adapter: a, Monitor: mon}
+}
+
+func (r *AdaptiveRAMSIS) balancer() lb.Balancer {
+	if r.LB == nil {
+		r.LB = BalancerFor(r.Balance, 1)
+	}
+	return r.LB
+}
+
+// Route observes the arrival, feeds the drift detector, and assigns the
+// query to a worker queue via the configured balancer.
+func (r *AdaptiveRAMSIS) Route(e *Engine, now float64, q Query) {
+	r.Monitor.Observe(now)
+	r.Adapter.Observe(now, r.Monitor.Load(now))
+	r.lens = e.QueueLens(r.lens)
+	e.EnqueueWorker(r.balancer().Pick(r.lens, nil), q)
+}
+
+// Pick applies the adapter's current policy for the anticipated load to
+// worker w's queue state. Dispatch decisions also feed the detector, so a
+// rate drop (fewer arrivals) is still noticed promptly.
+func (r *AdaptiveRAMSIS) Pick(e *Engine, now float64, w int) (Decision, bool) {
+	n := e.WorkerLen(w)
+	if n == 0 {
+		return Decision{}, false
+	}
+	load := r.Monitor.Load(now)
+	r.Adapter.Observe(now, load)
+	pol := r.Adapter.PolicyFor(load)
+	if pol == nil {
+		panic(fmt.Sprintf("sim: adapter has no policy for load %v", load))
+	}
+	return pickWithPolicy(e, now, w, n, pol)
+}

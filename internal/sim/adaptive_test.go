@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"testing"
+
+	"ramsis/internal/adapt"
+	"ramsis/internal/core"
+	"ramsis/internal/dist"
+	"ramsis/internal/monitor"
+	"ramsis/internal/profile"
+	"ramsis/internal/trace"
+)
+
+// adaptiveBase is the generation problem for the adaptation tests: the
+// 3-model ablation set keeps inline re-solves fast.
+func adaptiveBase() core.Config {
+	return core.Config{
+		Models:   profile.AblationImageSet(),
+		SLO:      0.150,
+		Workers:  4,
+		Arrival:  dist.NewPoisson(20), // replaced per bucket
+		D:        20,
+		MaxQueue: 16,
+	}
+}
+
+func adaptiveFixture(t *testing.T, cfg adapt.Config) *adapt.Adapter {
+	t.Helper()
+	base := adaptiveBase()
+	base.Arrival = dist.NewPoisson(20)
+	initial, err := core.Generate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Base = adaptiveBase()
+	a, err := adapt.New(cfg, initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// TestAdaptiveRecoversFromRateStep is the adaptation scenario the subsystem
+// exists for: the arrival rate steps 20 -> 200 -> 20 QPS mid-run. The
+// static scheduler keeps serving with the policy solved for 20 QPS and
+// loses SLO attainment during the high phase (measured: 11.8 % violations
+// — its policy stays optimistic about lulls that no longer come); the
+// adaptive scheduler detects the sustained drift after the 1 s dwell,
+// re-solves at 200 QPS, hot-swaps, and recovers to ~3.5 % violations
+// (the load-matched policy alone measures 1.8 %; the remainder is the one
+// dwell second served on the stale policy). When the rate steps back, the
+// swap is a cache hit — the counter proves the solve was skipped.
+func TestAdaptiveRecoversFromRateStep(t *testing.T) {
+	const slo, workers = 0.150, 4
+	models := profile.AblationImageSet()
+	tr := trace.Step(20, 200, 10, 20, 30)
+	arr := trace.PoissonArrivals(tr, 7)
+
+	// Static baseline: the 20 QPS policy with a monitor that, like any
+	// monitor trained on the pre-step regime, keeps anticipating 20 QPS.
+	base := adaptiveBase()
+	staticSet := core.NewPolicySet(base, nil)
+	if err := staticSet.GenerateLoads([]float64{20}); err != nil {
+		t.Fatal(err)
+	}
+	static := NewRAMSIS(staticSet, monitor.Oracle{Trace: trace.Constant(20, 30)})
+	eS := NewEngine(models, slo, workers, Deterministic{}, static, 1)
+	mS := eS.Run(arr)
+
+	// Adaptive: same initial policy, drift detector on the monitored rate
+	// (§7.2 perfect-predictor monitor: the margin below measures the policy
+	// swap, not monitor noise).
+	a := adaptiveFixture(t, adapt.Config{Band: 0.2, Dwell: 1, BucketSize: 20})
+	sched := NewAdaptiveRAMSIS(a, monitor.Oracle{Trace: tr})
+	eA := NewEngine(models, slo, workers, Deterministic{}, sched, 1)
+	mA := eA.Run(arr)
+
+	if mS.Served != len(arr) || mA.Served != len(arr) {
+		t.Fatalf("served static=%d adaptive=%d of %d", mS.Served, mA.Served, len(arr))
+	}
+	t.Logf("static:   violations %.4f accuracy %.4f", mS.ViolationRate(), mS.AccuracyPerSatisfiedQuery())
+	t.Logf("adaptive: violations %.4f accuracy %.4f", mA.ViolationRate(), mA.AccuracyPerSatisfiedQuery())
+	t.Logf("stats: %+v", a.Stats())
+
+	s := a.Stats()
+	if s.Resolves != 1 {
+		t.Errorf("resolves = %d, want exactly 1 (the step up; the step back must be a cache hit)", s.Resolves)
+	}
+	if s.CacheHits != 1 {
+		t.Errorf("cache hits = %d, want 1: returning to the original rate must skip the solve", s.CacheHits)
+	}
+	if s.Swaps != 2 {
+		t.Errorf("swaps = %d, want 2 (up and back)", s.Swaps)
+	}
+	if s.ActiveBucket != 20 {
+		t.Errorf("active bucket %v after the trace returned to 20 QPS", s.ActiveBucket)
+	}
+	// The documented margin: static loses >= 5 percentage points of SLO
+	// attainment to the step that adaptation wins back (measured gap is
+	// ~9 points; 5 leaves room for arrival-sampling variation).
+	if gap := mS.ViolationRate() - mA.ViolationRate(); gap < 0.05 {
+		t.Errorf("adaptive recovered only %.4f violation rate over static (%.4f vs %.4f), want >= 0.05",
+			gap, mA.ViolationRate(), mS.ViolationRate())
+	}
+	if vr := mA.ViolationRate(); vr > 0.05 {
+		t.Errorf("adaptive violation rate %.4f above 5%% despite load-matched policies", vr)
+	}
+}
+
+// TestAdaptiveWithMovingAverageMonitor runs the same step under the paper's
+// real 500 ms moving-average monitor instead of the oracle: estimates are
+// noisy (±30 % at 20 QPS), so this is the integration proof that the
+// hysteresis band and dwell absorb monitor noise while still adapting to
+// the genuine step. Counter assertions are correspondingly looser than the
+// oracle test's: noise may legitimately fire a mid-ramp re-solve.
+func TestAdaptiveWithMovingAverageMonitor(t *testing.T) {
+	const slo, workers = 0.150, 4
+	models := profile.AblationImageSet()
+	tr := trace.Step(20, 200, 10, 20, 30)
+	arr := trace.PoissonArrivals(tr, 7)
+
+	base := adaptiveBase()
+	staticSet := core.NewPolicySet(base, nil)
+	if err := staticSet.GenerateLoads([]float64{20}); err != nil {
+		t.Fatal(err)
+	}
+	static := NewRAMSIS(staticSet, monitor.Oracle{Trace: trace.Constant(20, 30)})
+	eS := NewEngine(models, slo, workers, Deterministic{}, static, 1)
+	mS := eS.Run(arr)
+
+	a := adaptiveFixture(t, adapt.Config{Band: 0.3, Dwell: 1, BucketSize: 20})
+	sched := NewAdaptiveRAMSIS(a, monitor.NewMovingAverage(0.5))
+	eA := NewEngine(models, slo, workers, Deterministic{}, sched, 1)
+	mA := eA.Run(arr)
+
+	if mA.Served != len(arr) {
+		t.Fatalf("served %d of %d", mA.Served, len(arr))
+	}
+	s := a.Stats()
+	t.Logf("static %.4f adaptive %.4f stats %+v", mS.ViolationRate(), mA.ViolationRate(), s)
+	if s.ResolveErrors != 0 {
+		t.Errorf("resolve errors: %+v", s)
+	}
+	if s.Swaps < 2 {
+		t.Errorf("swaps = %d, want >= 2 (step up and back)", s.Swaps)
+	}
+	if s.Resolves > 3 {
+		t.Errorf("resolves = %d; hysteresis should bound noise-driven solves", s.Resolves)
+	}
+	if mA.ViolationRate() >= mS.ViolationRate() {
+		t.Errorf("adaptive violation rate %.4f not below static %.4f under the real monitor",
+			mA.ViolationRate(), mS.ViolationRate())
+	}
+}

@@ -46,6 +46,28 @@ const (
 	MetricInferenceSeconds = "ramsis_worker_inference_seconds"
 	// MetricBatchSize is the dispatched batch-size histogram.
 	MetricBatchSize = "ramsis_batch_size"
+
+	// MetricAdaptResolves counts background MDP re-solves triggered by rate
+	// drift (cache hits do not solve and are not counted here).
+	MetricAdaptResolves = "ramsis_adapt_resolves_total"
+	// MetricAdaptResolveErrors counts re-solves that failed; the previous
+	// policy set stays active.
+	MetricAdaptResolveErrors = "ramsis_adapt_resolve_errors_total"
+	// MetricAdaptCacheHits counts drift events served from the LRU policy
+	// cache (return to a previously solved rate bucket).
+	MetricAdaptCacheHits = "ramsis_adapt_cache_hits_total"
+	// MetricAdaptCacheMisses counts drift events that had to solve.
+	MetricAdaptCacheMisses = "ramsis_adapt_cache_misses_total"
+	// MetricAdaptSwaps counts policy-set hot-swaps published to the
+	// dispatch path.
+	MetricAdaptSwaps = "ramsis_adapt_swaps_total"
+	// MetricAdaptSwapSeconds is the drift-to-swap latency histogram in wall
+	// seconds: how long dispatch ran on the stale policy after drift was
+	// confirmed (≈ solve time on a miss, ≈ 0 on a cache hit).
+	MetricAdaptSwapSeconds = "ramsis_adapt_swap_seconds"
+	// MetricAdaptRateBucket is the rate bucket (QPS) of the currently
+	// active policy.
+	MetricAdaptRateBucket = "ramsis_adapt_rate_bucket"
 )
 
 // Span stage names, in the order a query traverses them: queued by the

@@ -107,6 +107,27 @@ func Constant(qps, durationSec float64) Trace {
 	return Trace{Name: fmt.Sprintf("constant-%g", qps), IntervalSec: 10, QPS: qs}
 }
 
+// Step returns a trace that runs at baseQPS, steps to stepQPS on
+// [stepAtSec, stepEndSec), and returns to baseQPS until durationSec — the
+// sustained-drift scenario the adaptation loop exists for (one-second
+// intervals, so step edges land where asked).
+func Step(baseQPS, stepQPS, stepAtSec, stepEndSec, durationSec float64) Trace {
+	n := int(math.Ceil(durationSec))
+	if n < 1 {
+		n = 1
+	}
+	qs := make([]float64, n)
+	for i := range qs {
+		t := float64(i)
+		if t >= stepAtSec && t < stepEndSec {
+			qs[i] = stepQPS
+		} else {
+			qs[i] = baseQPS
+		}
+	}
+	return Trace{Name: fmt.Sprintf("step-%g-%g", baseQPS, stepQPS), IntervalSec: 1, QPS: qs}
+}
+
 // twitterSpikes places the trace's "unexpected spikes in query load" [38,54]
 // at fixed interval offsets so the trace is reproducible.
 var twitterSpikes = map[int]float64{
