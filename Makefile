@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race verify bench profile
+.PHONY: build test vet lint race verify bench bench-smoke profile
 
 build:
 	$(GO) build ./...
@@ -29,7 +29,20 @@ race:
 # Tier-1 verify path (see ROADMAP.md).
 verify: build lint test race
 
+# Perf measurement over the hot paths: the MDP solve (slice vs compiled
+# CSR kernels), MDP compilation, per-decision policy lookup, balancer pick,
+# and raw simulator throughput. -count=3 repetitions with allocation stats;
+# raw output lands in bench.out and tools/benchjson distills it into
+# BENCH_4.json, the committed baseline (quote best_ns_per_op when comparing).
+BENCH_KEY := 'BenchmarkValueIteration|BenchmarkCompile$$|BenchmarkPolicySelect|BenchmarkBalancerPick|BenchmarkSimulatorThroughput'
+
 bench:
+	$(GO) test -run '^$$' -bench $(BENCH_KEY) -benchmem -count=3 . | tee bench.out
+	$(GO) run ./tools/benchjson -o BENCH_4.json bench.out
+
+# Every benchmark (figure regenerations included) runs exactly once: not a
+# perf measurement, just proof the bench harness cannot silently rot.
+bench-smoke:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
 # CPU- and heap-profile the simulator throughput benchmark and print the

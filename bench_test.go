@@ -115,6 +115,7 @@ func BenchmarkPolicySelect(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		pol.Select(1+i%32, float64(i%150)/1000)
@@ -123,35 +124,60 @@ func BenchmarkPolicySelect(b *testing.B) {
 
 // BenchmarkValueIteration measures the exact MDP solve in isolation on the
 // built-in ImageNet-scale worker MDP (26 image models, D=50, 60 workers at
-// 2,400 QPS), comparing the serial Bellman sweep against the partitioned
-// parallel sweep. The two must produce byte-identical policies — the sweep
-// reads only the previous iterate, so partitioning cannot change any
-// floating-point operation — which the benchmark asserts before timing.
+// 2,400 QPS), crossing the slice-walking sweep with the compiled CSR sweep
+// and the serial sweep with the partitioned parallel one. All four must
+// produce byte-identical policies — the compiled kernel replays the same
+// floating-point operations in the same order, and partitioning only reads
+// the previous iterate — which the benchmark asserts before timing.
 func BenchmarkValueIteration(b *testing.B) {
 	m, err := core.BuildWorkerMDP(genCfg())
 	if err != nil {
 		b.Fatal(err)
 	}
+	cm := mdp.Compile(m)
 	serial, err := mdp.ValueIteration(m, mdp.SolveOptions{Parallel: 1})
 	if err != nil {
 		b.Fatal(err)
 	}
-	par, err := mdp.ValueIteration(m, mdp.SolveOptions{Parallel: 4})
-	if err != nil {
-		b.Fatal(err)
-	}
-	for s := range serial.Policy {
-		if serial.Policy[s] != par.Policy[s] {
-			b.Fatalf("state %d: parallel sweep picked action %d, serial %d", s, par.Policy[s], serial.Policy[s])
+	for _, variant := range []struct {
+		name  string
+		solve func() (mdp.Result, error)
+	}{
+		{"slice parallel", func() (mdp.Result, error) { return mdp.ValueIteration(m, mdp.SolveOptions{Parallel: 4}) }},
+		{"compiled serial", func() (mdp.Result, error) { return cm.ValueIteration(mdp.SolveOptions{Parallel: 1}) }},
+		{"compiled parallel", func() (mdp.Result, error) { return cm.ValueIteration(mdp.SolveOptions{Parallel: 4}) }},
+	} {
+		res, err := variant.solve()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for s := range serial.Policy {
+			if serial.Policy[s] != res.Policy[s] {
+				b.Fatalf("state %d: %s sweep picked action %d, slice serial %d", s, variant.name, res.Policy[s], serial.Policy[s])
+			}
 		}
 	}
 	for _, bc := range []struct {
 		name     string
+		compiled bool
 		parallel int
-	}{{"sequential", 1}, {"parallel", 0}} {
+	}{
+		{"slice/sequential", false, 1},
+		{"slice/parallel", false, 0},
+		{"compiled/sequential", true, 1},
+		{"compiled/parallel", true, 0},
+	} {
 		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := mdp.ValueIteration(m, mdp.SolveOptions{Parallel: bc.parallel}); err != nil {
+				opts := mdp.SolveOptions{Parallel: bc.parallel}
+				var err error
+				if bc.compiled {
+					_, err = cm.ValueIteration(opts)
+				} else {
+					_, err = mdp.ValueIteration(m, opts)
+				}
+				if err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -159,11 +185,28 @@ func BenchmarkValueIteration(b *testing.B) {
 	}
 }
 
+// BenchmarkCompile measures the one-time cost of flattening an MDP into the
+// CSR form, which every Generate call pays before solving.
+func BenchmarkCompile(b *testing.B) {
+	m, err := core.BuildWorkerMDP(genCfg())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mdp.Compile(m)
+	}
+}
+
 // BenchmarkSimulatorThroughput measures raw discrete-event simulation speed
 // (queries per second of simulated serving, fixed-model scheduler).
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	models := profile.ImageSet()
+	// The arrival stream is input, not the work under test: generate it
+	// once outside the timed loop.
 	arr := trace.PoissonArrivals(trace.Constant(2000, 10), 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e := sim.NewEngine(models, 0.150, 60, sim.Deterministic{}, &sim.FixedModel{Model: 0, MaxBatch: 8}, 1)
@@ -191,6 +234,7 @@ func BenchmarkBalancerPick(b *testing.B) {
 	}
 	for _, bal := range []lb.Balancer{lb.NewRoundRobin(), lb.NewJoinShortestQueue(), lb.NewPowerOfTwoChoices(1)} {
 		b.Run(bal.Name(), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if w := bal.Pick(lens, healthy); w < 0 {
 					b.Fatal("no pick")

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"runtime"
 	"strings"
 	"time"
 )
@@ -30,6 +31,7 @@ func main() {
 		policyDir  = flag.String("policy-dir", "", "cache generated policies under this directory")
 		resultsDir = flag.String("results-dir", "", "write structured JSON results under this directory")
 		plotFlag   = flag.Bool("plot", false, "render ASCII charts alongside the numeric rows")
+		parallel   = flag.Int("parallel", 1, "max concurrent simulation runs in the figure sweeps (0 = GOMAXPROCS); results are identical at any setting")
 		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		logFmt     = flag.String("log-format", "text", "log format: text or json")
 	)
@@ -38,9 +40,13 @@ func main() {
 		log.Fatal(err)
 	}
 
+	if *parallel == 0 {
+		*parallel = runtime.GOMAXPROCS(0)
+	}
 	h := experiments.New(experiments.Options{
 		Full: *full, Quick: *quick, Seed: *seed,
 		PolicyDir: *policyDir, ResultsDir: *resultsDir, Plot: *plotFlag,
+		Parallel: *parallel,
 	})
 	runners := map[string]func(){
 		"fig2":    func() { h.Fig2() },

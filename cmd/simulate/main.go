@@ -216,8 +216,8 @@ func main() {
 	}
 	if adapter != nil {
 		s := adapter.Stats()
-		fmt.Printf("adaptation: %d re-solves (%d failed), %d cache hits / %d misses, %d hot-swaps, final bucket %.0f QPS\n",
-			s.Resolves, s.ResolveErrors, s.CacheHits, s.CacheMisses, s.Swaps, s.ActiveBucket)
+		fmt.Printf("adaptation: %d re-solves (%d failed, %d warm-started, last %d iterations), %d cache hits / %d misses, %d hot-swaps, final bucket %.0f QPS\n",
+			s.Resolves, s.ResolveErrors, s.WarmStarts, s.LastResolveIterations, s.CacheHits, s.CacheMisses, s.Swaps, s.ActiveBucket)
 	}
 	fmt.Println("script complete!")
 }

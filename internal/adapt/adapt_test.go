@@ -96,6 +96,8 @@ func TestAdapterDriftSolvesThenCacheHitsOnReturn(t *testing.T) {
 		"ramsis_adapt_cache_misses_total 1",
 		"ramsis_adapt_swaps_total 2",
 		"ramsis_adapt_rate_bucket 20",
+		// The one resolve warm-started from the cached initial policy.
+		"ramsis_adapt_warm_starts_total 1",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("telemetry missing %q", want)
@@ -191,6 +193,78 @@ func TestAdapterResolveErrorKeepsOldPolicy(t *testing.T) {
 	a.Observe(1, 200)
 	if s := a.Stats(); s.ResolveErrors != 2 {
 		t.Fatalf("failed resolve latched the adapter: %+v", s)
+	}
+}
+
+// TestAdapterWarmStartFewerIterations pins the warm-start win: a drift
+// re-solve seeds value iteration from the nearest cached bucket's converged
+// vector and reaches the same policy in strictly fewer iterations than the
+// identical problem solved cold from zeros.
+func TestAdapterWarmStartFewerIterations(t *testing.T) {
+	// Cold reference: the 120-QPS bucket solved from zeros.
+	cfg := adaptBase()
+	cfg.Arrival = dist.NewPoisson(120)
+	cold, err := core.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a := newAdapter(t, Config{Band: 0.2, Dwell: -1, BucketSize: 20})
+	a.Observe(0, 120) // fires immediately (negative dwell), warm-starts off the cached 20-QPS policy
+	s := a.Stats()
+	if s.Resolves != 1 || s.WarmStarts != 1 {
+		t.Fatalf("after drift: %+v, want 1 resolve and 1 warm start", s)
+	}
+	if s.LastResolveIterations == 0 {
+		t.Fatal("LastResolveIterations not recorded")
+	}
+	if s.LastResolveIterations >= uint64(cold.Iterations) {
+		t.Errorf("warm-started resolve took %d iterations, cold solve %d — want strictly fewer",
+			s.LastResolveIterations, cold.Iterations)
+	}
+
+	// Same fixed point: the warm-started policy decides identically to the
+	// cold one everywhere.
+	warm := a.PolicyFor(120)
+	if warm.Load != 120 {
+		t.Fatalf("PolicyFor(120).Load = %v", warm.Load)
+	}
+	for s := range cold.Choices {
+		if warm.Choices[s] != cold.Choices[s] {
+			t.Fatalf("state %d: warm choice %+v != cold %+v", s, warm.Choices[s], cold.Choices[s])
+		}
+	}
+}
+
+// TestCacheNearest pins the donor-selection rule: same SLO and config hash
+// only, closest bucket, lower bucket on ties, and no recency bump.
+func TestCacheNearest(t *testing.T) {
+	pol := func(load float64) *core.Policy { return &core.Policy{Load: load} }
+	c := NewCache(8)
+	base := Key{SLO: 0.150, ConfigHash: 1}
+	for _, b := range []float64{20, 120, 300} {
+		k := base
+		k.Bucket = b
+		c.Put(k, pol(b))
+	}
+	otherSLO := Key{Bucket: 90, SLO: 0.300, ConfigHash: 1}
+	c.Put(otherSLO, pol(90))
+
+	want := base
+	want.Bucket = 100
+	got, ok := c.Nearest(want)
+	if !ok || got.Load != 120 {
+		t.Fatalf("Nearest(100) = %v, %v; want the 120 bucket", got, ok)
+	}
+	// Equidistant 20 vs 120 from 70: the lower bucket wins deterministically.
+	want.Bucket = 70
+	if got, _ := c.Nearest(want); got.Load != 20 {
+		t.Errorf("Nearest(70) = %v, want the 20 bucket on a tie", got.Load)
+	}
+	// A different SLO never donates even when its bucket is closest.
+	miss := Key{Bucket: 90, SLO: 0.500, ConfigHash: 1}
+	if _, ok := c.Nearest(miss); ok {
+		t.Error("Nearest crossed an SLO boundary")
 	}
 }
 

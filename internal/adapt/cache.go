@@ -118,6 +118,30 @@ func (c *Cache) Put(k Key, pol *core.Policy) {
 	}
 }
 
+// Nearest returns the cached policy whose key shares k's SLO and config
+// hash with the rate bucket closest to k.Bucket — the warm-start donor for
+// a re-solve at k.Bucket (same state space, only the arrival differs, so
+// its converged value vector seeds the new solve). Ties prefer the lower
+// bucket for determinism. Recency is not updated: peeking for a warm start
+// must not protect an entry from eviction the way serving from it does.
+func (c *Cache) Nearest(k Key) (*core.Policy, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var best *core.Policy
+	bestDist, bestBucket := math.Inf(1), math.Inf(1)
+	for key, el := range c.items {
+		if key.SLO != k.SLO || key.ConfigHash != k.ConfigHash {
+			continue
+		}
+		d := math.Abs(key.Bucket - k.Bucket)
+		if d < bestDist || (d == bestDist && key.Bucket < bestBucket) {
+			bestDist, bestBucket = d, key.Bucket
+			best = el.Value.(*cacheEntry).pol
+		}
+	}
+	return best, best != nil
+}
+
 // Len returns the number of cached policies.
 func (c *Cache) Len() int {
 	c.mu.Lock()

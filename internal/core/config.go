@@ -165,6 +165,14 @@ type Config struct {
 	// Timeout aborts policy generation with ErrTimeout when exceeded
 	// (0 means no limit). Used by the Table 2 runtime study.
 	Timeout time.Duration
+
+	// InitialValues optionally warm-starts the solver from a previously
+	// converged value vector — typically a neighboring rate bucket's, whose
+	// state space is identical because only the arrival process differs. It
+	// never changes the solved policy's fixed point, only the iteration
+	// count; it is silently ignored when its length does not match the
+	// built MDP's state count (e.g. a donor solved under different knobs).
+	InitialValues []float64
 }
 
 // withDefaults returns a copy with zero fields replaced by defaults.

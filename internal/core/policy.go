@@ -71,7 +71,16 @@ type Policy struct {
 	SolveTime   time.Duration `json:"solveTime"`
 
 	space *space
+	// values is the converged solver value vector, retained in memory (not
+	// serialized — policies loaded from disk have none) so re-solves at
+	// neighboring rates can warm-start from it via Config.InitialValues.
+	values []float64
 }
+
+// SolveValues returns the converged value vector of the solve that produced
+// this policy, or nil for policies loaded from disk. The slice is shared;
+// callers must not mutate it.
+func (p *Policy) SolveValues() []float64 { return p.values }
 
 // BuildWorkerMDP formulates (but does not solve) the worker MDP for the
 // configuration — the §4 transition-probability computation in isolation.
@@ -114,14 +123,20 @@ func Generate(cfg Config) (*Policy, error) {
 		return nil, fmt.Errorf("core: built MDP invalid: %w", err)
 	}
 
+	// Compile once; the solve and the stationary-distribution pass both run
+	// on the contiguous form.
 	start = time.Now()
+	cm := mdp.Compile(m)
 	opts := mdp.SolveOptions{Gamma: cfg.Gamma, Deadline: b.deadline}
+	if len(cfg.InitialValues) == cm.NumStates() {
+		opts.InitialValues = cfg.InitialValues
+	}
 	var res mdp.Result
 	var err error
 	if cfg.Solver == SolvePolicyIteration {
-		res, err = mdp.PolicyIteration(m, opts)
+		res, err = cm.PolicyIteration(opts)
 	} else {
-		res, err = mdp.ValueIteration(m, opts)
+		res, err = cm.ValueIteration(opts)
 	}
 	if errors.Is(err, mdp.ErrDeadline) {
 		return nil, ErrTimeout
@@ -149,6 +164,7 @@ func Generate(cfg Config) (*Policy, error) {
 		BuildTime:   buildTime,
 		SolveTime:   solveTime,
 		space:       sp,
+		values:      res.Values,
 	}
 	pol.Choices = make([]Choice, m.NumStates())
 	for s := range m.Actions {
@@ -166,7 +182,7 @@ func Generate(cfg Config) (*Policy, error) {
 			Satisfies: a.Satisfies,
 		}
 	}
-	if err := pol.computeExpectations(m, res.Policy); err != nil {
+	if err := pol.computeExpectations(cm, res.Policy); err != nil {
 		return nil, err
 	}
 	return pol, nil
@@ -175,8 +191,8 @@ func Generate(cfg Config) (*Policy, error) {
 // computeExpectations evaluates the §5.1 guarantees: the stationary
 // distribution of the policy-induced chain (power iteration) weighted by
 // queries served per decision.
-func (p *Policy) computeExpectations(m *mdp.MDP, pol mdp.Policy) error {
-	pi, err := mdp.StationaryDistribution(m, pol, 1e-13, 0)
+func (p *Policy) computeExpectations(cm *mdp.Compiled, pol mdp.Policy) error {
+	pi, err := cm.StationaryDistribution(pol, 1e-13, 0)
 	if err != nil {
 		return err
 	}

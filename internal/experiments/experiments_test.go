@@ -1,13 +1,16 @@
 package experiments
 
 import (
+	"bytes"
 	"encoding/json"
 	"io"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"ramsis/internal/profile"
+	"ramsis/internal/trace"
 )
 
 // quickHarness runs the minimal grid; these tests assert the paper's
@@ -265,6 +268,43 @@ func TestSQFRunsCleanly(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestParallelMatchesSerial pins the -parallel contract: the same grid run
+// serially and with 4 concurrent runs produces bit-identical figure output,
+// because every run has its own seeded RNG streams and results are placed
+// by grid position. Fig. 6 exercises runAll plus both single-flight caches
+// (policy sets and the ModelSwitching profile).
+func TestParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy experiment; skipped with -short")
+	}
+	var serialOut, parallelOut bytes.Buffer
+	serial := New(Options{Quick: true, Out: &serialOut, Seed: 1}).Fig6()
+	parallel := New(Options{Quick: true, Out: &parallelOut, Seed: 1, Parallel: 4}).Fig6()
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("parallel Fig6 result differs from serial:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+	if serialOut.String() != parallelOut.String() {
+		t.Errorf("parallel Fig6 printed rows differ from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serialOut.String(), parallelOut.String())
+	}
+}
+
+// TestRunAllPanicPropagates pins runAll's error semantics: a panicking spec
+// (unknown method) aborts the sweep like the serial path does, instead of
+// dying in a worker goroutine.
+func TestRunAllPanicPropagates(t *testing.T) {
+	h := New(Options{Quick: true, Out: io.Discard, Parallel: 2})
+	defer func() {
+		if recover() == nil {
+			t.Error("runAll swallowed the worker panic")
+		}
+	}()
+	h.runAll([]runSpec{
+		{method: "no-such-method", tr: trace.Constant(10, 1), models: profile.ImageSet()},
+		{method: "no-such-method", tr: trace.Constant(10, 1), models: profile.ImageSet()},
+	})
 }
 
 func TestLoadRange(t *testing.T) {

@@ -50,13 +50,20 @@ func (h *Harness) Fig5() Fig5Result {
 			h.printf("%8s  %28s  %28s\n", "", "accuracy per satisfied query", "violation rate")
 			h.printf("%8s  %8s %8s %8s  %8s %8s %8s\n", "#workers",
 				MethodRAMSIS, MethodMS, MethodJF, MethodRAMSIS, MethodMS, MethodJF)
+			var specs []runSpec
 			for _, w := range workers {
-				row := map[string]Point{}
 				for _, m := range methods {
-					met := h.run(runSpec{
+					specs = append(specs, runSpec{
 						models: models, slo: slo, workers: w, method: m,
 						tr: tr, ramsisLoads: h.ladderFor(tr),
 					})
+				}
+			}
+			mets := h.runAll(specs)
+			for wi, w := range workers {
+				row := map[string]Point{}
+				for mi, m := range methods {
+					met := mets[wi*len(methods)+mi]
 					p := Point{X: float64(w), Method: m,
 						Accuracy: met.AccuracyPerSatisfiedQuery(), Violation: met.ViolationRate()}
 					series.add(p)

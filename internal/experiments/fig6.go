@@ -47,14 +47,21 @@ func (h *Harness) Fig6() Fig6Result {
 			h.printf("%10s  %28s  %28s\n", "", "accuracy per satisfied query", "violation rate")
 			h.printf("%10s  %8s %8s %8s  %8s %8s %8s\n", "load(QPS)",
 				MethodRAMSIS, MethodMS, MethodJF, MethodRAMSIS, MethodMS, MethodJF)
+			var specs []runSpec
 			for _, load := range loads {
 				tr := trace.Constant(load, dur)
-				row := map[string]Point{}
 				for _, m := range methods {
-					met := h.run(runSpec{
+					specs = append(specs, runSpec{
 						models: models, slo: slo, workers: workers, method: m,
 						tr: tr, oracle: true, ramsisLoads: []float64{load},
 					})
+				}
+			}
+			mets := h.runAll(specs)
+			for li, load := range loads {
+				row := map[string]Point{}
+				for mi, m := range methods {
+					met := mets[li*len(methods)+mi]
 					p := Point{X: load, Method: m,
 						Accuracy: met.AccuracyPerSatisfiedQuery(), Violation: met.ViolationRate()}
 					series.add(p)

@@ -63,37 +63,51 @@ func (h *Harness) Fig7() []Fig7Point {
 	h.printf("%8s %10s  %8s %8s %8s  %9s %9s %9s  %8s %8s\n", "#workers", "load(QPS)",
 		"E[acc]", "sim acc", "impl acc", "E[viol]", "sim viol", "impl viol",
 		"sim p99", "impl p99")
+	// Each (workers, load) cell needs a deterministic-latency run and a
+	// stochastic one; interleave them so runAll keeps cells adjacent.
+	type cell struct {
+		workers int
+		load    float64
+	}
+	var cells []cell
+	var specs []runSpec
 	for _, workers := range workerSet {
 		for _, load := range loadsFor(workers) {
-			set := h.policySet(models, slo, workers, []float64{load}, "", nil)
-			pol, err := set.PolicyFor(load)
-			if err != nil {
-				panic(err)
-			}
+			cells = append(cells, cell{workers, load})
 			tr := trace.Constant(load, dur)
-			simM := h.run(runSpec{models: models, slo: slo, workers: workers,
-				method: MethodRAMSIS, tr: tr, oracle: true, ramsisLoads: []float64{load}})
-			implM := h.run(runSpec{models: models, slo: slo, workers: workers,
-				method: MethodRAMSIS, tr: tr, oracle: true, ramsisLoads: []float64{load},
-				latency: sim.Stochastic{StdDev: 0.010}})
-			p := Fig7Point{
-				Workers:        workers,
-				Load:           load,
-				ExpAccuracy:    pol.ExpectedAccuracy,
-				SimAccuracy:    simM.AccuracyPerSatisfiedQuery(),
-				ImplAccuracy:   implM.AccuracyPerSatisfiedQuery(),
-				ExpViolation:   pol.ExpectedViolation,
-				SimViolation:   simM.ViolationRate(),
-				ImplViolation:  implM.ViolationRate(),
-				SimLatencyP99:  simM.LatencyP99,
-				ImplLatencyP99: implM.LatencyP99,
-			}
-			out = append(out, p)
-			h.printf("%8d %10.0f  %8.4f %8.4f %8.4f  %9.5f %9.5f %9.5f  %6.1fms %6.1fms\n",
-				p.Workers, p.Load, p.ExpAccuracy, p.SimAccuracy, p.ImplAccuracy,
-				p.ExpViolation, p.SimViolation, p.ImplViolation,
-				p.SimLatencyP99*1000, p.ImplLatencyP99*1000)
+			specs = append(specs,
+				runSpec{models: models, slo: slo, workers: workers,
+					method: MethodRAMSIS, tr: tr, oracle: true, ramsisLoads: []float64{load}},
+				runSpec{models: models, slo: slo, workers: workers,
+					method: MethodRAMSIS, tr: tr, oracle: true, ramsisLoads: []float64{load},
+					latency: sim.Stochastic{StdDev: 0.010}})
 		}
+	}
+	mets := h.runAll(specs)
+	for i, c := range cells {
+		set := h.policySet(models, slo, c.workers, []float64{c.load}, "", nil)
+		pol, err := set.PolicyFor(c.load)
+		if err != nil {
+			panic(err)
+		}
+		simM, implM := mets[2*i], mets[2*i+1]
+		p := Fig7Point{
+			Workers:        c.workers,
+			Load:           c.load,
+			ExpAccuracy:    pol.ExpectedAccuracy,
+			SimAccuracy:    simM.AccuracyPerSatisfiedQuery(),
+			ImplAccuracy:   implM.AccuracyPerSatisfiedQuery(),
+			ExpViolation:   pol.ExpectedViolation,
+			SimViolation:   simM.ViolationRate(),
+			ImplViolation:  implM.ViolationRate(),
+			SimLatencyP99:  simM.LatencyP99,
+			ImplLatencyP99: implM.LatencyP99,
+		}
+		out = append(out, p)
+		h.printf("%8d %10.0f  %8.4f %8.4f %8.4f  %9.5f %9.5f %9.5f  %6.1fms %6.1fms\n",
+			p.Workers, p.Load, p.ExpAccuracy, p.SimAccuracy, p.ImplAccuracy,
+			p.ExpViolation, p.SimViolation, p.ImplViolation,
+			p.SimLatencyP99*1000, p.ImplLatencyP99*1000)
 	}
 	h.printf("\n")
 	h.saveResult("fig7", out)

@@ -26,24 +26,32 @@ func (h *Harness) Fig8() Series {
 		loads = []float64{800, 2400}
 		dur = 8.0
 	}
+	scenarios := []struct {
+		label  string
+		models profile.Set
+		method string
+	}{
+		{"RAMSIS M=9", nine, MethodRAMSIS},
+		{"RAMSIS M=60", sixty, MethodRAMSIS},
+		{"MS M=9", nine, MethodMS},
+		{"MS M=60", sixty, MethodMS},
+	}
 	series := Series{}
 	h.printf("Fig. 8: model-count sensitivity (image, SLO %.0f ms, %d workers)\n", slo*1000, workers)
 	h.printf("%10s  %12s %12s %12s %12s\n", "load(QPS)", "RAMSIS M=9", "RAMSIS M=60", "MS M=9", "MS M=60")
+	var specs []runSpec
 	for _, load := range loads {
 		tr := trace.Constant(load, dur)
-		row := map[string]float64{}
-		for _, sc := range []struct {
-			label  string
-			models profile.Set
-			method string
-		}{
-			{"RAMSIS M=9", nine, MethodRAMSIS},
-			{"RAMSIS M=60", sixty, MethodRAMSIS},
-			{"MS M=9", nine, MethodMS},
-			{"MS M=60", sixty, MethodMS},
-		} {
-			met := h.run(runSpec{models: sc.models, slo: slo, workers: workers,
+		for _, sc := range scenarios {
+			specs = append(specs, runSpec{models: sc.models, slo: slo, workers: workers,
 				method: sc.method, tr: tr, oracle: true, ramsisLoads: []float64{load}})
+		}
+	}
+	mets := h.runAll(specs)
+	for li, load := range loads {
+		row := map[string]float64{}
+		for si, sc := range scenarios {
+			met := mets[li*len(scenarios)+si]
 			series.add(Point{X: load, Method: sc.label,
 				Accuracy: met.AccuracyPerSatisfiedQuery(), Violation: met.ViolationRate()})
 			row[sc.label] = met.AccuracyPerSatisfiedQuery()

@@ -14,6 +14,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"ramsis/internal/baselines"
 	"ramsis/internal/core"
@@ -57,6 +58,11 @@ type Options struct {
 	Plot bool
 	// D is the FLD resolution for generated policies; default 100 (§6).
 	D int
+	// Parallel bounds the number of simulation runs in flight at once in
+	// the figure sweeps (Figs. 5-8). 0 or 1 runs serially. Results are
+	// identical at any setting: every run draws from its own seeded RNG
+	// streams and lands in its grid slot, not completion order.
+	Parallel int
 }
 
 // Harness runs experiments with memoized policy sets and baseline profiles.
@@ -64,8 +70,23 @@ type Harness struct {
 	opts Options
 
 	mu       sync.Mutex
-	sets     map[string]*core.PolicySet
-	msTables map[string]*baselines.MSTable
+	sets     map[string]*setEntry
+	msTables map[string]*msEntry
+}
+
+// setEntry single-flights one memoized policy set: the first caller of a
+// key generates inside once, concurrent callers block on it and read the
+// finished set. Check-then-insert under mu alone would let two parallel
+// runs generate the same set twice.
+type setEntry struct {
+	once sync.Once
+	set  *core.PolicySet
+}
+
+// msEntry single-flights one ModelSwitching profile the same way.
+type msEntry struct {
+	once  sync.Once
+	table *baselines.MSTable
 }
 
 // New builds a harness.
@@ -81,8 +102,8 @@ func New(opts Options) *Harness {
 	}
 	return &Harness{
 		opts:     opts,
-		sets:     map[string]*core.PolicySet{},
-		msTables: map[string]*baselines.MSTable{},
+		sets:     map[string]*setEntry{},
+		msTables: map[string]*msEntry{},
 	}
 }
 
@@ -186,39 +207,39 @@ func loadRange(lo, hi, step float64) []float64 {
 func (h *Harness) policySet(models profile.Set, slo float64, workers int, loads []float64, variant string, mutate func(*core.Config)) *core.PolicySet {
 	key := fmt.Sprintf("%s|%d|%.0f|%d|%v|%s", models.Task, models.Len(), slo*1000, workers, loads, variant)
 	h.mu.Lock()
-	if s, ok := h.sets[key]; ok {
-		h.mu.Unlock()
-		return s
+	e, ok := h.sets[key]
+	if !ok {
+		e = &setEntry{}
+		h.sets[key] = e
 	}
 	h.mu.Unlock()
-
-	cfg := core.Config{
-		Models:  models,
-		SLO:     slo,
-		Workers: workers,
-		Arrival: dist.NewPoisson(1),
-		D:       h.opts.D,
-	}
-	if mutate != nil {
-		mutate(&cfg)
-	}
-	set := core.NewPolicySet(cfg, nil)
-	missing := loads
-	if h.opts.PolicyDir != "" {
-		missing = h.loadCached(set, cfg, loads)
-	}
-	if len(missing) > 0 {
-		if err := set.GenerateLoads(missing); err != nil {
-			panic(fmt.Sprintf("experiments: policy generation failed: %v", err))
+	e.once.Do(func() {
+		cfg := core.Config{
+			Models:  models,
+			SLO:     slo,
+			Workers: workers,
+			Arrival: dist.NewPoisson(1),
+			D:       h.opts.D,
 		}
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		set := core.NewPolicySet(cfg, nil)
+		missing := loads
 		if h.opts.PolicyDir != "" {
-			h.saveCached(set, cfg, missing)
+			missing = h.loadCached(set, cfg, loads)
 		}
-	}
-	h.mu.Lock()
-	h.sets[key] = set
-	h.mu.Unlock()
-	return set
+		if len(missing) > 0 {
+			if err := set.GenerateLoads(missing); err != nil {
+				panic(fmt.Sprintf("experiments: policy generation failed: %v", err))
+			}
+			if h.opts.PolicyDir != "" {
+				h.saveCached(set, cfg, missing)
+			}
+		}
+		e.set = set
+	})
+	return e.set
 }
 
 func (h *Harness) policyPath(cfg core.Config, load float64) string {
@@ -261,25 +282,25 @@ func (h *Harness) saveCached(set *core.PolicySet, cfg core.Config, loads []float
 func (h *Harness) msTable(models profile.Set, slo float64, workers int) *baselines.MSTable {
 	key := fmt.Sprintf("%s|%d|%.0f|%d", models.Task, models.Len(), slo*1000, workers)
 	h.mu.Lock()
-	if t, ok := h.msTables[key]; ok {
-		h.mu.Unlock()
-		return t
+	e, ok := h.msTables[key]
+	if !ok {
+		e = &msEntry{}
+		h.msTables[key] = e
 	}
 	h.mu.Unlock()
-	var step, dur float64
-	switch h.scale() {
-	case scaleFull:
-		step, dur = 100, 10
-	case scaleQuick:
-		step, dur = 800, 3
-	default:
-		step, dur = 400, 5
-	}
-	t := baselines.ProfileModelSwitching(models, slo, workers, loadRange(400, 4400, step), dur, h.opts.Seed)
-	h.mu.Lock()
-	h.msTables[key] = t
-	h.mu.Unlock()
-	return t
+	e.once.Do(func() {
+		var step, dur float64
+		switch h.scale() {
+		case scaleFull:
+			step, dur = 100, 10
+		case scaleQuick:
+			step, dur = 800, 3
+		default:
+			step, dur = 400, 5
+		}
+		e.table = baselines.ProfileModelSwitching(models, slo, workers, loadRange(400, 4400, step), dur, h.opts.Seed)
+	})
+	return e.table
 }
 
 // runSpec describes one simulation run.
@@ -345,6 +366,58 @@ func (h *Harness) run(s runSpec) sim.Metrics {
 	e := sim.NewEngine(s.models, s.slo, s.workers, lat, sched, seed)
 	e.RecordDecisions = s.record
 	return e.Run(trace.PoissonArrivals(s.tr, seed))
+}
+
+// runAll simulates every spec and returns metrics in spec order. With
+// Options.Parallel > 1 up to that many runs are in flight at once; each
+// writes only its own slot, so output is identical to the serial path.
+// A panic in any run (policy generation, unknown method) is re-raised
+// here after the remaining workers drain, matching serial semantics.
+func (h *Harness) runAll(specs []runSpec) []sim.Metrics {
+	out := make([]sim.Metrics, len(specs))
+	workers := h.opts.Parallel
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	if workers <= 1 {
+		for i, s := range specs {
+			out[i] = h.run(s)
+		}
+		return out
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked interface{}
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicked == nil {
+						panicked = r
+					}
+					panicMu.Unlock()
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(specs) {
+					return
+				}
+				out[i] = h.run(specs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+	return out
 }
 
 // Point is one (x, method) measurement in a figure's series.

@@ -1,0 +1,237 @@
+package mdp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// compiledFixtures is the table the equivalence tests sweep: hand-built and
+// random MDPs covering degenerate sizes, state counts that don't divide the
+// partition count, and varying action fan-out.
+func compiledFixtures() map[string]*MDP {
+	rng := rand.New(rand.NewSource(42))
+	return map[string]*MDP{
+		"twoStateChain": twoStateChain(),
+		"single":        randomMDP(rng, 1, 2, 1),
+		"small":         randomMDP(rng, 23, 3, 5),
+		"medium":        randomMDP(rng, 157, 4, 8),
+	}
+}
+
+func sameValues(t *testing.T, name string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d values, want %d", name, len(got), len(want))
+	}
+	for s := range want {
+		if math.Float64bits(got[s]) != math.Float64bits(want[s]) {
+			t.Fatalf("%s: V(%d) = %v differs from slice form %v", name, s, got[s], want[s])
+		}
+	}
+}
+
+func samePolicy(t *testing.T, name string, got, want Policy) {
+	t.Helper()
+	for s := range want {
+		if got[s] != want[s] {
+			t.Fatalf("%s: policy[%d] = %d differs from slice form %d", name, s, got[s], want[s])
+		}
+	}
+}
+
+// TestCompiledValueIterationByteIdentical pins the tentpole contract: the
+// compiled kernel performs the same floating-point operations in the same
+// order as the slice kernel, so values and policies match bit for bit — for
+// serial and partitioned sweeps, cold and warm starts.
+func TestCompiledValueIterationByteIdentical(t *testing.T) {
+	for name, m := range compiledFixtures() {
+		c := Compile(m)
+		for _, workers := range []int{1, 3, 8} {
+			opts := SolveOptions{Gamma: 0.95, Tol: 1e-10, Parallel: workers}
+			want, err := ValueIteration(m, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := c.ValueIteration(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Iterations != want.Iterations {
+				t.Errorf("%s workers=%d: %d iterations, slice form took %d", name, workers, got.Iterations, want.Iterations)
+			}
+			sameValues(t, name, got.Values, want.Values)
+			samePolicy(t, name, got.Policy, want.Policy)
+
+			// Warm starts must also be byte-identical between forms.
+			warm := opts
+			warm.InitialValues = want.Values
+			wantW, err := ValueIteration(m, warm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotW, err := c.ValueIteration(warm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotW.Iterations != wantW.Iterations {
+				t.Errorf("%s workers=%d warm: %d iterations, slice form took %d", name, workers, gotW.Iterations, wantW.Iterations)
+			}
+			sameValues(t, name+" warm", gotW.Values, wantW.Values)
+			samePolicy(t, name+" warm", gotW.Policy, wantW.Policy)
+		}
+	}
+}
+
+func TestCompiledPolicyEvaluationByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for name, m := range compiledFixtures() {
+		c := Compile(m)
+		pol := make(Policy, m.NumStates())
+		for s := range pol {
+			pol[s] = rng.Intn(len(m.Actions[s]))
+		}
+		opts := SolveOptions{Gamma: 0.9, Tol: 1e-12}
+		want, err := PolicyEvaluation(m, pol, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.PolicyEvaluation(pol, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameValues(t, name, got, want)
+	}
+}
+
+func TestCompiledPolicyIterationByteIdentical(t *testing.T) {
+	for name, m := range compiledFixtures() {
+		c := Compile(m)
+		opts := SolveOptions{Gamma: 0.95, Tol: 1e-12}
+		want, err := PolicyIteration(m, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.PolicyIteration(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Iterations != want.Iterations {
+			t.Errorf("%s: %d iterations, slice form took %d", name, got.Iterations, want.Iterations)
+		}
+		sameValues(t, name, got.Values, want.Values)
+		samePolicy(t, name, got.Policy, want.Policy)
+	}
+}
+
+func TestCompiledStationaryDistributionByteIdentical(t *testing.T) {
+	for name, m := range compiledFixtures() {
+		c := Compile(m)
+		pol := make(Policy, m.NumStates())
+		want, err := StationaryDistribution(m, pol, 1e-13, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.StationaryDistribution(pol, 1e-13, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameValues(t, name, got, want)
+	}
+}
+
+func TestCompileShapes(t *testing.T) {
+	m := twoStateChain()
+	c := Compile(m)
+	if c.NumStates() != m.NumStates() {
+		t.Errorf("NumStates = %d, want %d", c.NumStates(), m.NumStates())
+	}
+	if c.NumTransitions() != m.NumTransitions() {
+		t.Errorf("NumTransitions = %d, want %d", c.NumTransitions(), m.NumTransitions())
+	}
+	if c.NumActions() != 3 {
+		t.Errorf("NumActions = %d, want 3", c.NumActions())
+	}
+	if c.Label(0, 1) != 1 || c.Label(1, 0) != 0 {
+		t.Errorf("labels not preserved: (0,1)=%d (1,0)=%d", c.Label(0, 1), c.Label(1, 0))
+	}
+}
+
+// TestWarmStartConvergesFaster asserts the warm-start contract: seeding the
+// solve with an already (or nearly) converged vector reaches the same fixed
+// point in no more iterations than the cold solve — and from the exact fixed
+// point, in a single verification sweep.
+func TestWarmStartConvergesFaster(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := randomMDP(rng, 80, 4, 6)
+	c := Compile(m)
+	opts := SolveOptions{Gamma: 0.97, Tol: 1e-10}
+	cold, err := c.ValueIteration(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// From the converged vector itself: one sweep confirms convergence.
+	exact := opts
+	exact.InitialValues = cold.Values
+	res, err := c.ValueIteration(exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 1 {
+		t.Errorf("warm start from the fixed point took %d iterations, want 1", res.Iterations)
+	}
+	samePolicy(t, "fixed-point warm start", res.Policy, cold.Policy)
+
+	// From a perturbed neighborhood of the fixed point (a stand-in for an
+	// adjacent rate bucket's values): fewer iterations, same fixed point.
+	perturbed := make([]float64, len(cold.Values))
+	for i, v := range cold.Values {
+		perturbed[i] = v * (1 + 0.05*rng.Float64())
+	}
+	near := opts
+	near.InitialValues = perturbed
+	warm, err := c.ValueIteration(near)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Iterations >= cold.Iterations {
+		t.Errorf("warm start took %d iterations, cold took %d — want strictly fewer", warm.Iterations, cold.Iterations)
+	}
+	samePolicy(t, "perturbed warm start", warm.Policy, cold.Policy)
+	for s := range cold.Values {
+		if math.Abs(warm.Values[s]-cold.Values[s]) > 1e-6 {
+			t.Fatalf("warm fixed point V(%d) = %v drifted from cold %v", s, warm.Values[s], cold.Values[s])
+		}
+	}
+}
+
+func TestWarmStartLengthMismatchRejected(t *testing.T) {
+	m := twoStateChain()
+	c := Compile(m)
+	bad := SolveOptions{Gamma: 0.9, InitialValues: []float64{1}}
+	if _, err := ValueIteration(m, bad); err == nil {
+		t.Error("slice ValueIteration accepted a mismatched warm start")
+	}
+	if _, err := c.ValueIteration(bad); err == nil {
+		t.Error("compiled ValueIteration accepted a mismatched warm start")
+	}
+	if _, err := c.PolicyEvaluation(Policy{0, 0}, bad); err == nil {
+		t.Error("compiled PolicyEvaluation accepted a mismatched warm start")
+	}
+}
+
+func TestCompiledValueIterationDeadline(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := Compile(randomMDP(rng, 200, 4, 8))
+	_, err := c.ValueIteration(SolveOptions{
+		Gamma:    0.999999,
+		Tol:      1e-300, // unreachable: force the deadline path
+		Deadline: time.Now().Add(5 * time.Millisecond),
+	})
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+}

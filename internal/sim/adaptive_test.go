@@ -86,6 +86,22 @@ func TestAdaptiveRecoversFromRateStep(t *testing.T) {
 	if s.Resolves != 1 {
 		t.Errorf("resolves = %d, want exactly 1 (the step up; the step back must be a cache hit)", s.Resolves)
 	}
+	// The forward-leg re-solve (20 -> 200) warm-starts from the cached
+	// 20-QPS policy's converged values and must beat the cold solve of the
+	// same 200-QPS problem on iteration count.
+	if s.WarmStarts != 1 {
+		t.Errorf("warm starts = %d, want 1 (the forward leg seeds off the initial bucket)", s.WarmStarts)
+	}
+	coldCfg := adaptiveBase()
+	coldCfg.Arrival = dist.NewPoisson(200)
+	cold, err := core.Generate(coldCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.LastResolveIterations == 0 || s.LastResolveIterations >= uint64(cold.Iterations) {
+		t.Errorf("warm-started forward-leg resolve took %d iterations, cold solve %d — want strictly fewer",
+			s.LastResolveIterations, cold.Iterations)
+	}
 	if s.CacheHits != 1 {
 		t.Errorf("cache hits = %d, want 1: returning to the original rate must skip the solve", s.CacheHits)
 	}

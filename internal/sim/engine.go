@@ -7,7 +7,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 
@@ -184,7 +183,7 @@ type Engine struct {
 	wq       [][]Query
 	busy     []bool
 	inflight []int // queries in the batch worker w is currently serving
-	events   eventHeap
+	events   eventQueue
 	metrics  Metrics
 	latHist  *telemetry.Histogram // always on; backs the Metrics percentiles
 	tel      *engineSeries        // cached registry series; nil without Telemetry
@@ -315,18 +314,67 @@ type event struct {
 	model   int
 }
 
-type eventHeap []event
+// eventQueue is a typed binary min-heap of batch completions ordered by
+// time. It replaces container/heap's interface{}-boxed API in the
+// simulator's hottest loop: push and pop sift directly on a concrete slice
+// preallocated to the worker count (each worker has at most one batch in
+// flight), so steady-state event traffic allocates nothing.
+type eventQueue struct {
+	ev []event
+}
 
-func (h eventHeap) Len() int            { return len(h) }
-func (h eventHeap) Less(i, j int) bool  { return h[i].time < h[j].time }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+// reset empties the queue, preallocating room for capacity events.
+func (q *eventQueue) reset(capacity int) {
+	if cap(q.ev) < capacity {
+		q.ev = make([]event, 0, capacity)
+		return
+	}
+	q.ev = q.ev[:0]
+}
+
+func (q *eventQueue) len() int { return len(q.ev) }
+
+// nextTime returns the earliest event time; the queue must be non-empty.
+func (q *eventQueue) nextTime() float64 { return q.ev[0].time }
+
+// push inserts an event (sift-up).
+func (q *eventQueue) push(e event) {
+	q.ev = append(q.ev, e)
+	i := len(q.ev) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if q.ev[parent].time <= q.ev[i].time {
+			break
+		}
+		q.ev[parent], q.ev[i] = q.ev[i], q.ev[parent]
+		i = parent
+	}
+}
+
+// pop removes and returns the earliest event (sift-down).
+func (q *eventQueue) pop() event {
+	top := q.ev[0]
+	last := len(q.ev) - 1
+	q.ev[0] = q.ev[last]
+	q.ev[last] = event{} // drop the queries slice reference
+	q.ev = q.ev[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(q.ev) && q.ev[l].time < q.ev[min].time {
+			min = l
+		}
+		if r < len(q.ev) && q.ev[r].time < q.ev[min].time {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		q.ev[i], q.ev[min] = q.ev[min], q.ev[i]
+		i = min
+	}
+	return top
 }
 
 // Run simulates the given arrival times (seconds, ascending) and returns the
@@ -338,6 +386,7 @@ func (e *Engine) Run(arrivals []float64) Metrics {
 	if e.Telemetry != nil {
 		e.tel = newEngineSeries(e.Telemetry)
 	}
+	e.events.reset(e.Workers)
 	ai := 0
 	for {
 		var nextArrival float64
@@ -345,15 +394,15 @@ func (e *Engine) Run(arrivals []float64) Metrics {
 		if haveArrival {
 			nextArrival = arrivals[ai]
 		}
-		haveEvent := e.events.Len() > 0
+		haveEvent := e.events.len() > 0
 		switch {
-		case haveArrival && (!haveEvent || nextArrival <= e.events[0].time):
+		case haveArrival && (!haveEvent || nextArrival <= e.events.nextTime()):
 			q := Query{ID: ai, Arrival: nextArrival}
 			ai++
 			e.Sched.Route(e, nextArrival, q)
 			e.dispatchIdle(nextArrival)
 		case haveEvent:
-			ev := heap.Pop(&e.events).(event)
+			ev := e.events.pop()
 			e.complete(ev)
 			e.busy[ev.worker] = false
 			e.inflight[ev.worker] = 0
@@ -408,7 +457,7 @@ func (e *Engine) dispatchIdle(now float64) {
 			lat := e.Latency.Latency(p, len(d.Queries), e.rng)
 			e.busy[w] = true
 			e.inflight[w] = len(d.Queries)
-			heap.Push(&e.events, event{time: now + lat, start: now, worker: w, queries: d.Queries, model: d.Model})
+			e.events.push(event{time: now + lat, start: now, worker: w, queries: d.Queries, model: d.Model})
 			if e.RecordDecisions {
 				e.metrics.DecisionLog = append(e.metrics.DecisionLog, DecisionRecord{
 					Time:     now,

@@ -68,6 +68,13 @@ const (
 	// MetricAdaptRateBucket is the rate bucket (QPS) of the currently
 	// active policy.
 	MetricAdaptRateBucket = "ramsis_adapt_rate_bucket"
+	// MetricAdaptWarmStarts counts re-solves warm-started from a cached
+	// neighboring bucket's converged value vector instead of zeros.
+	MetricAdaptWarmStarts = "ramsis_adapt_warm_starts_total"
+	// MetricAdaptResolveIterations is the solver iteration count of the most
+	// recent successful re-solve — warm starts drive it down, which is what
+	// shrinks the drift-to-swap histogram.
+	MetricAdaptResolveIterations = "ramsis_adapt_resolve_iterations"
 )
 
 // Span stage names, in the order a query traverses them: queued by the

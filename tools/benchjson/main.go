@@ -1,0 +1,154 @@
+// Command benchjson converts `go test -bench` text output into JSON so
+// benchmark baselines can be committed and diffed (see `make bench`, which
+// writes BENCH_4.json). Zero dependencies, stdlib only.
+//
+//	go test -bench . -benchmem -count=3 . | benchjson -o BENCH_4.json
+//	benchjson bench.out            # parse a saved file, JSON to stdout
+//
+// Each benchmark name maps to its runs (one per -count repetition); every
+// `value unit` pair on a line becomes a metric ("ns/op", "B/op",
+// "allocs/op", custom b.ReportMetric units like "queries/op"). BestNsPerOp
+// is the minimum ns/op across runs — the conventional number to quote,
+// being the least scheduler-noise-contaminated.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+type run struct {
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type benchmark struct {
+	Name        string  `json:"name"`
+	Runs        []run   `json:"runs"`
+	BestNsPerOp float64 `json:"best_ns_per_op,omitempty"`
+}
+
+type report struct {
+	Goos       string       `json:"goos,omitempty"`
+	Goarch     string       `json:"goarch,omitempty"`
+	Pkg        string       `json:"pkg,omitempty"`
+	CPU        string       `json:"cpu,omitempty"`
+	Benchmarks []*benchmark `json:"benchmarks"`
+}
+
+// procsSuffix is the -GOMAXPROCS suffix go test appends to benchmark names
+// when GOMAXPROCS > 1; strip it so baselines from different machines align.
+var procsSuffix = regexp.MustCompile(`-\d+$`)
+
+func parse(r io.Reader) (*report, error) {
+	rep := &report{}
+	byName := map[string]*benchmark{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+			continue
+		case strings.HasPrefix(line, "pkg: "):
+			rep.Pkg = strings.TrimPrefix(line, "pkg: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// name, iterations, then (value, unit) pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		metrics := map[string]float64{}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: bad value %q in line %q", fields[i], line)
+			}
+			metrics[fields[i+1]] = v
+		}
+		name := procsSuffix.ReplaceAllString(fields[0], "")
+		b := byName[name]
+		if b == nil {
+			b = &benchmark{Name: name}
+			byName[name] = b
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+		b.Runs = append(b.Runs, run{Iterations: iters, Metrics: metrics})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, b := range rep.Benchmarks {
+		for _, r := range b.Runs {
+			ns, ok := r.Metrics["ns/op"]
+			if !ok {
+				continue
+			}
+			if b.BestNsPerOp == 0 || ns < b.BestNsPerOp {
+				b.BestNsPerOp = ns
+			}
+		}
+	}
+	return rep, nil
+}
+
+func main() {
+	out := flag.String("o", "", "output path (default stdout)")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	rep, err := parse(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found")
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(rep, "", " ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	const out = `goos: linux
+goarch: amd64
+pkg: ramsis
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkValueIteration/slice/sequential         	       5	 432033220 ns/op	   40920 B/op	       7 allocs/op
+BenchmarkValueIteration/slice/sequential         	       5	 430000000 ns/op	   40920 B/op	       7 allocs/op
+BenchmarkValueIteration/compiled/sequential-8    	       9	 241024333 ns/op	  417688 B/op	       8 allocs/op
+BenchmarkSimulatorThroughput   	      10	 12345678 ns/op	         20000 queries/op	 1234 B/op	       2 allocs/op
+PASS
+ok  	ramsis	30.263s
+`
+	rep, err := parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Pkg != "ramsis" || rep.CPU == "" {
+		t.Errorf("header not parsed: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("benchmarks = %d, want 3 (repeated runs must merge)", len(rep.Benchmarks))
+	}
+	slice := rep.Benchmarks[0]
+	if slice.Name != "BenchmarkValueIteration/slice/sequential" || len(slice.Runs) != 2 {
+		t.Errorf("merge failed: %+v", slice)
+	}
+	if slice.BestNsPerOp != 430000000 {
+		t.Errorf("best ns/op = %v, want the min across runs", slice.BestNsPerOp)
+	}
+	if got := rep.Benchmarks[1].Name; got != "BenchmarkValueIteration/compiled/sequential" {
+		t.Errorf("-procs suffix not stripped: %q", got)
+	}
+	sim := rep.Benchmarks[2]
+	if sim.Runs[0].Metrics["queries/op"] != 20000 || sim.Runs[0].Metrics["allocs/op"] != 2 {
+		t.Errorf("custom metrics lost: %+v", sim.Runs[0].Metrics)
+	}
+}
+
+func TestParseRejectsGarbageValue(t *testing.T) {
+	if _, err := parse(strings.NewReader("BenchmarkX\t5\tabc ns/op\n")); err == nil {
+		t.Error("garbage value accepted")
+	}
+}
