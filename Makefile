@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race verify bench bench-smoke profile
+.PHONY: build test vet lint staticcheck race verify bench bench-smoke profile
 
 build:
 	$(GO) build ./...
@@ -11,20 +11,38 @@ test:
 vet:
 	$(GO) vet ./...
 
+# Pinned staticcheck version: CI runs it via `go run` (module-cached by
+# setup-go); locally it only runs when a staticcheck binary is already on
+# PATH, so `make verify` never reaches for the network.
+STATICCHECK_VERSION := 2024.1.1
+
 # Formatting gate: gofmt must have nothing to rewrite. gofmt -l prints
 # offending files and always exits 0, so fail on non-empty output.
+# staticcheck runs when available (CI always; locally if installed).
 lint:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo "staticcheck ./..."; staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it pinned at $(STATICCHECK_VERSION))"; \
+	fi
 
-# The lb, serve, telemetry, and adapt packages are the concurrency-heavy
-# ones (balancers, health tracker, per-worker queue locks, HTTP dispatch,
-# the lock-free metrics registry, and the background policy re-solve /
-# hot-swap path); run them under the race detector. Their tests scale
-# sleeps by TimeScale, so the race pass stays within a CI budget.
+# CI-only: fetch and run the pinned staticcheck. Not part of local verify so
+# offline development never needs the network.
+staticcheck:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
+
+# The admit, lb, serve, telemetry, and adapt packages are the
+# concurrency-heavy ones (the degrader's atomic level + locked windows,
+# balancers, health tracker, per-worker queue locks, HTTP dispatch and the
+# /query shed path, the lock-free metrics registry, and the background
+# policy re-solve / hot-swap path); run them under the race detector. Their
+# tests scale sleeps by TimeScale, so the race pass stays within a CI
+# budget.
 race:
-	$(GO) test -race ./internal/adapt/ ./internal/lb/ ./internal/serve/ ./internal/telemetry/
+	$(GO) test -race ./internal/admit/ ./internal/adapt/ ./internal/lb/ ./internal/serve/ ./internal/telemetry/
 
 # Tier-1 verify path (see ROADMAP.md).
 verify: build lint test race

@@ -49,24 +49,25 @@ func main() {
 		Parallel: *parallel,
 	})
 	runners := map[string]func(){
-		"fig2":    func() { h.Fig2() },
-		"fig3":    func() { h.Fig3() },
-		"fig9":    func() { h.Fig9() },
-		"table2":  func() { h.Table2() },
-		"fig5":    func() { h.Fig5() },
-		"fig6":    func() { h.Fig6() },
-		"fig7":    func() { h.Fig7() },
-		"fig8":    func() { h.Fig8() },
-		"fig10":   func() { h.Fig10() },
-		"fig11":   func() { h.Fig11() },
-		"fig12":   func() { h.Fig12() },
-		"infaas":  func() { h.INFaaS() },
-		"sqf":     func() { h.SQF() },
-		"misspec": func() { h.Misspec() },
-		"scaling": func() { h.Scaling() },
-		"greedy":  func() { h.Greedy() },
+		"fig2":     func() { h.Fig2() },
+		"fig3":     func() { h.Fig3() },
+		"fig9":     func() { h.Fig9() },
+		"table2":   func() { h.Table2() },
+		"fig5":     func() { h.Fig5() },
+		"fig6":     func() { h.Fig6() },
+		"fig7":     func() { h.Fig7() },
+		"fig8":     func() { h.Fig8() },
+		"fig10":    func() { h.Fig10() },
+		"fig11":    func() { h.Fig11() },
+		"fig12":    func() { h.Fig12() },
+		"infaas":   func() { h.INFaaS() },
+		"sqf":      func() { h.SQF() },
+		"misspec":  func() { h.Misspec() },
+		"scaling":  func() { h.Scaling() },
+		"greedy":   func() { h.Greedy() },
+		"overload": func() { h.Overload() },
 	}
-	order := []string{"fig2", "fig3", "fig9", "table2", "fig5", "fig6", "fig7", "fig8", "fig10", "fig11", "fig12", "infaas", "sqf", "misspec", "scaling", "greedy"}
+	order := []string{"fig2", "fig3", "fig9", "table2", "fig5", "fig6", "fig7", "fig8", "fig10", "fig11", "fig12", "infaas", "sqf", "misspec", "scaling", "greedy", "overload"}
 
 	ids := []string{*exp}
 	if *exp == "all" {

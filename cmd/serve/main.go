@@ -13,6 +13,7 @@ import (
 	"os"
 
 	"ramsis/internal/adapt"
+	"ramsis/internal/admit"
 	"ramsis/internal/core"
 	"ramsis/internal/dist"
 	"ramsis/internal/lb"
@@ -46,6 +47,12 @@ func main() {
 		adaptBand   = flag.Float64("adapt-band", 0.2, "adaptation hysteresis half-width as a fraction of the solved-for rate")
 		adaptDwell  = flag.Float64("adapt-dwell", 2, "seconds the rate must stay outside the band before re-solving")
 		adaptBucket = flag.Float64("adapt-bucket", 0, "rate bucket size in QPS for re-solves and the policy cache (0 = hysteresis band width at the initial rate)")
+
+		maxQueue     = flag.Int("maxqueue", 0, "queue-length bound N_w (0 = default 32): caps the RAMSIS MDP state space, and with -admit cap also sets the online admission bound (workers x N_w outstanding) — one knob for both, since policy guarantees lapse past N_w anyway")
+		admitName    = flag.String("admit", "none", "admission control: none, deadline (429 queries whose deadline is unmeetable), or cap (bound outstanding work; unifies the -maxqueue N_w bound online)")
+		admitMargin  = flag.Float64("admit-margin", 1, "deadline admission: shed when estimated wait exceeds SLO*margin minus best-case service time")
+		admitDegrade = flag.Int("admit-degrade", 0, "degraded-mode depth: maximum number of slowest models to forbid under confirmed overload (0 = off; requires -admit)")
+		retryRate    = flag.Float64("retry-budget", 0, "failover retry budget in retries per modeled second (0 = unlimited, the historical behaviour)")
 	)
 	flag.Parse()
 	if _, err := telemetry.SetupLogging(*logLevel, *logFmt, "serve"); err != nil {
@@ -70,11 +77,35 @@ func main() {
 		*task, *sloMS, *workers, *load, balancing)
 	base := core.Config{
 		Models: models, SLO: slo, Workers: *workers, Arrival: dist.NewPoisson(1), D: *d,
-		Balancing: balancing,
+		MaxQueue: *maxQueue, Balancing: balancing,
 	}
 	set := core.NewPolicySet(base, nil)
 	if err := set.GenerateLoads([]float64{*load}); err != nil {
 		log.Fatal(err)
+	}
+
+	var admitter admit.Admitter
+	var degrader *admit.Degrader
+	if *admitName != "none" {
+		nw := *maxQueue
+		if nw <= 0 {
+			nw = 32 // core.Config.MaxQueue default
+		}
+		admitter, err = admit.New(*admitName, slo, *admitMargin, nw**workers, core.NewWaitEstimator(models, *workers))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *admitDegrade > 0 {
+			degrader = admit.NewDegrader(admit.DegradeConfig{MaxLevel: *admitDegrade, EnterWait: slo})
+		}
+		fmt.Printf("admission control: %s (margin %.2f, degrade depth %d)\n",
+			admitter.Name(), *admitMargin, *admitDegrade)
+	} else if *admitDegrade > 0 {
+		log.Fatal("-admit-degrade requires an admitter (-admit deadline or -admit cap)")
+	}
+	var retryBudget *admit.RetryBudget
+	if *retryRate > 0 {
+		retryBudget = admit.NewRetryBudget(*workers, *retryRate)
 	}
 
 	// All serve paths share one registry so /metrics (frontend mode) and the
@@ -122,6 +153,9 @@ func main() {
 			Addr:          *addr,
 			TraceWriter:   tw,
 			Telemetry:     registry,
+			Admit:         admitter,
+			Degrade:       degrader,
+			RetryBudget:   retryBudget,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -153,14 +187,17 @@ func main() {
 
 	tr := trace.Constant(*load, *dur)
 	ctl := &serve.Controller{
-		Profiles:  models,
-		SLO:       slo,
-		TimeScale: *timeScale,
-		Workers:   urls,
-		Select:    selector,
-		Monitor:   monitor.NewMovingAverage(0.5),
-		Balancer:  balancer,
-		Telemetry: registry,
+		Profiles:    models,
+		SLO:         slo,
+		TimeScale:   *timeScale,
+		Workers:     urls,
+		Select:      selector,
+		Monitor:     monitor.NewMovingAverage(0.5),
+		Balancer:    balancer,
+		Telemetry:   registry,
+		Admit:       admitter,
+		Degrade:     degrader,
+		RetryBudget: retryBudget,
 	}
 	arrivals := trace.PoissonArrivals(tr, *seed)
 	fmt.Printf("replaying %d queries over %.0fs (wall %.0fs)...\n",
@@ -170,6 +207,16 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("served:                      %d\n", m.Served)
+	if admitter != nil {
+		fmt.Printf("offered / shed:              %d / %d (shed rate %.4f%%)\n",
+			m.Offered(), m.Shed, m.ShedRate()*100)
+		fmt.Printf("goodput (in-SLO/offered):    %.4f%%\n", m.GoodputRate()*100)
+	}
+	if degrader != nil {
+		st := degrader.Stats()
+		fmt.Printf("degraded mode: final level %d, %d escalations, %d de-escalations, %d clamped decisions\n",
+			st.Level, st.Escalations, st.Deescalations, m.DegradedDecisions)
+	}
 	fmt.Printf("accuracy/satisfied query:    %.4f\n", m.AccuracyPerSatisfiedQuery())
 	fmt.Printf("latency SLO violation rate:  %.4f%%\n", m.ViolationRate()*100)
 	fmt.Printf("latency p50/p95/p99 (ms):    %.1f / %.1f / %.1f\n",

@@ -13,6 +13,7 @@ import (
 	"os"
 
 	"ramsis/internal/adapt"
+	"ramsis/internal/admit"
 	"ramsis/internal/baselines"
 	"ramsis/internal/core"
 	"ramsis/internal/dist"
@@ -34,7 +35,7 @@ func main() {
 		dur      = flag.Float64("dur", 30, "constant-trace duration in seconds")
 		seed     = flag.Int64("seed", 1, "workload seed")
 		d        = flag.Int("d", 100, "FLD resolution for RAMSIS policies")
-		maxQueue = flag.Int("maxqueue", 0, "RAMSIS MDP queue-length cap N_w (0 = default 32)")
+		maxQueue = flag.Int("maxqueue", 0, "queue-length bound N_w (0 = default 32): caps the RAMSIS MDP state space, and with -admit cap also sets the online admission bound (workers x N_w outstanding) — one knob for both, since policy guarantees lapse past N_w anyway")
 		noise    = flag.Float64("noise", 0, "inference latency stddev in ms (0 = deterministic p95)")
 		polPath  = flag.String("policy", "", "load a saved RAMSIS policy JSON (from ramsisgen) instead of generating")
 		msTable  = flag.String("ms-table", "", "load a ModelSwitching profile JSON (from msgen) instead of profiling")
@@ -49,6 +50,10 @@ func main() {
 		stepLoad    = flag.Float64("step-load", 0, "step trace: QPS during the step (with --trace step)")
 		stepAt      = flag.Float64("step-at", 10, "step trace: seconds into the run the step starts")
 		stepDur     = flag.Float64("step-dur", 10, "step trace: step duration in seconds")
+
+		admitName    = flag.String("admit", "none", "admission control: none, deadline (shed queries whose deadline is unmeetable), or cap (bound outstanding work; unifies the -maxqueue N_w bound online)")
+		admitMargin  = flag.Float64("admit-margin", 1, "deadline admission: shed when estimated wait exceeds SLO*margin minus best-case service time")
+		admitDegrade = flag.Int("admit-degrade", 0, "degraded-mode depth: maximum number of slowest models to forbid under confirmed overload (0 = off; requires -admit)")
 	)
 	flag.Parse()
 	if _, err := telemetry.SetupLogging(*logLevel, *logFmt, "simulate"); err != nil {
@@ -198,6 +203,26 @@ func main() {
 		lat = sim.Stochastic{StdDev: *noise / 1000}
 	}
 	e := sim.NewEngine(models, slo, *workers, lat, sched, *seed)
+	var degrader *admit.Degrader
+	if *admitName != "none" {
+		nw := *maxQueue
+		if nw <= 0 {
+			nw = 32 // core.Config.MaxQueue default
+		}
+		admitter, err := admit.New(*admitName, slo, *admitMargin, nw**workers, core.NewWaitEstimator(models, *workers))
+		if err != nil {
+			log.Fatal(err)
+		}
+		e.Admit = admitter
+		if *admitDegrade > 0 {
+			degrader = admit.NewDegrader(admit.DegradeConfig{MaxLevel: *admitDegrade, EnterWait: slo})
+			e.Degrade = degrader
+		}
+		fmt.Printf("admission control: %s (margin %.2f, degrade depth %d)\n",
+			admitter.Name(), *admitMargin, *admitDegrade)
+	} else if *admitDegrade > 0 {
+		log.Fatal("-admit-degrade requires an admitter (-admit deadline or -admit cap)")
+	}
 	arrivals := trace.PoissonArrivals(tr, *seed)
 	fmt.Printf("simulating %d queries (%s trace, %s, SLO %.0f ms, %d workers)...\n",
 		len(arrivals), tr.Name, *task, *sloMS, *workers)
@@ -206,6 +231,16 @@ func main() {
 	fmt.Printf("method:                      %s\n", *method)
 	fmt.Printf("served:                      %d\n", m.Served)
 	fmt.Printf("decisions:                   %d\n", m.Decisions)
+	if e.Admit != nil {
+		fmt.Printf("offered / shed:              %d / %d (shed rate %.4f%%)\n",
+			m.Offered(), m.Shed, m.ShedRate()*100)
+		fmt.Printf("goodput (in-SLO/offered):    %.4f%%\n", m.GoodputRate()*100)
+	}
+	if degrader != nil {
+		st := degrader.Stats()
+		fmt.Printf("degraded mode: final level %d, %d escalations, %d de-escalations, %d clamped decisions\n",
+			st.Level, st.Escalations, st.Deescalations, m.DegradedDecisions)
+	}
 	fmt.Printf("accuracy/satisfied query:    %.4f\n", m.AccuracyPerSatisfiedQuery())
 	fmt.Printf("latency SLO violation rate:  %.4f%%\n", m.ViolationRate()*100)
 	fmt.Printf("latency p50/p95/p99 (ms):    %.1f / %.1f / %.1f\n",

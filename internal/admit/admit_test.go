@@ -1,0 +1,130 @@
+package admit
+
+import (
+	"strings"
+	"testing"
+)
+
+// fixedEst is a linear test estimator: each outstanding query adds perQ
+// seconds of wait, and service costs svc seconds.
+type fixedEst struct {
+	perQ, svc float64
+}
+
+func (f fixedEst) Wait(outstanding int) float64 { return float64(outstanding) * f.perQ }
+func (f fixedEst) Service() float64             { return f.svc }
+
+func TestNoneAdmitsEverything(t *testing.T) {
+	a := None{}
+	for _, out := range []int{0, 1, 1 << 20} {
+		if v := a.Admit(Request{Outstanding: out}); !v.Admit {
+			t.Fatalf("None shed a query at outstanding=%d", out)
+		}
+	}
+}
+
+func TestDeadlineShedsUnmeetableQueries(t *testing.T) {
+	// 10 ms of wait per queued query, 20 ms service, 100 ms SLO: the
+	// deadline test admits while wait + service <= SLO, i.e. up to 8
+	// outstanding queries (80 + 20 = 100 ms).
+	d := Deadline{SLO: 0.100, Margin: 1, Est: fixedEst{perQ: 0.010, svc: 0.020}}
+	for out := 0; out <= 8; out++ {
+		if v := d.Admit(Request{Outstanding: out}); !v.Admit {
+			t.Fatalf("deadline shed a meetable query at outstanding=%d", out)
+		}
+	}
+	v := d.Admit(Request{Outstanding: 9})
+	if v.Admit {
+		t.Fatal("deadline admitted a query whose deadline is unmeetable")
+	}
+	// Excess is 90+20-100 = 10 ms: the Retry-After hint.
+	if got, want := v.RetryAfter, 0.010; !approx(got, want) {
+		t.Errorf("RetryAfter = %v, want %v", got, want)
+	}
+	if got, want := v.EstWait, 0.090; !approx(got, want) {
+		t.Errorf("EstWait = %v, want %v", got, want)
+	}
+}
+
+func TestDeadlineMarginScalesTheDeadline(t *testing.T) {
+	est := fixedEst{perQ: 0.010, svc: 0.020}
+	tight := Deadline{SLO: 0.100, Margin: 0.5, Est: est} // budget 50 ms
+	if v := tight.Admit(Request{Outstanding: 4}); v.Admit {
+		t.Error("margin 0.5 should shed at 40+20 > 50 ms")
+	}
+	loose := Deadline{SLO: 0.100, Margin: 2, Est: est} // budget 200 ms
+	if v := loose.Admit(Request{Outstanding: 17}); !v.Admit {
+		t.Error("margin 2 should admit at 170+20 <= 200 ms")
+	}
+}
+
+func TestCapBoundsOutstanding(t *testing.T) {
+	c := Cap{Limit: 4, Est: fixedEst{perQ: 0.010, svc: 0.020}}
+	for out := 0; out < 4; out++ {
+		if v := c.Admit(Request{Outstanding: out}); !v.Admit {
+			t.Fatalf("cap shed below the bound at outstanding=%d", out)
+		}
+	}
+	v := c.Admit(Request{Outstanding: 4})
+	if v.Admit {
+		t.Fatal("cap admitted at the bound")
+	}
+	if v.RetryAfter <= 0 {
+		t.Errorf("cap shed verdict carries no Retry-After hint: %v", v.RetryAfter)
+	}
+}
+
+func TestCapWithoutEstimatorStillHints(t *testing.T) {
+	v := Cap{Limit: 1}.Admit(Request{Outstanding: 5})
+	if v.Admit || v.RetryAfter != 1 {
+		t.Errorf("estimator-less cap verdict = %+v, want shed with 1 s hint", v)
+	}
+}
+
+func TestNewSelectsPolicies(t *testing.T) {
+	est := fixedEst{perQ: 0.010, svc: 0.020}
+	for name, want := range map[string]string{
+		"":         "none",
+		"none":     "none",
+		"deadline": "deadline",
+		"cap":      "cap",
+		"Deadline": "deadline", // case-insensitive
+	} {
+		a, err := New(name, 0.1, 1, 8, est)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if a.Name() != want {
+			t.Errorf("New(%q).Name() = %q, want %q", name, a.Name(), want)
+		}
+	}
+	if _, err := New("bogus", 0.1, 1, 8, est); err == nil {
+		t.Error("New accepted an unknown policy")
+	}
+	if _, err := New("deadline", 0.1, 1, 8, nil); err == nil ||
+		!strings.Contains(err.Error(), "estimator") {
+		t.Errorf("deadline without estimator: err = %v", err)
+	}
+	if _, err := New("cap", 0.1, 1, 0, est); err == nil {
+		t.Error("New accepted cap with no bound")
+	}
+}
+
+func TestRetryAfterSeconds(t *testing.T) {
+	for _, tc := range []struct {
+		in   float64
+		want int
+	}{{0, 1}, {0.3, 1}, {1, 1}, {1.2, 2}, {7.9, 8}} {
+		if got := RetryAfterSeconds(tc.in); got != tc.want {
+			t.Errorf("RetryAfterSeconds(%v) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func approx(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}

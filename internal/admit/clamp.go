@@ -1,0 +1,27 @@
+package admit
+
+// ClampModel degrades one model-selection decision: given the model
+// indices sorted fastest-first (profile.Set.SpeedOrder) and the current
+// degradation level, it returns the model to run instead of `chosen`.
+// Level k forbids the k slowest models; a forbidden choice is replaced by
+// the slowest still-allowed model — the closest the clamp can stay to the
+// policy's accuracy choice — and an allowed choice passes through
+// untouched. Level 0 (or an empty order) is the identity.
+func ClampModel(speedOrder []int, level, chosen int) int {
+	if level <= 0 || len(speedOrder) == 0 {
+		return chosen
+	}
+	bound := len(speedOrder) - 1 - level
+	if bound < 0 {
+		bound = 0
+	}
+	for rank, idx := range speedOrder {
+		if idx == chosen {
+			if rank <= bound {
+				return chosen
+			}
+			return speedOrder[bound]
+		}
+	}
+	return chosen
+}

@@ -1,0 +1,32 @@
+package admit
+
+import "testing"
+
+func TestClampModel(t *testing.T) {
+	// Indices 2, 0, 1 fastest-first: model 2 is fastest, model 1 slowest.
+	order := []int{2, 0, 1}
+	for _, tc := range []struct {
+		level, chosen, want int
+	}{
+		{0, 1, 1}, // level 0: identity
+		{1, 1, 0}, // slowest forbidden -> slowest allowed
+		{1, 0, 0}, // allowed choice passes through
+		{1, 2, 2},
+		{2, 1, 2}, // only the fastest remains
+		{2, 0, 2},
+		{5, 1, 2}, // level past the set size clamps to the fastest
+	} {
+		if got := ClampModel(order, tc.level, tc.chosen); got != tc.want {
+			t.Errorf("ClampModel(level=%d, chosen=%d) = %d, want %d",
+				tc.level, tc.chosen, got, tc.want)
+		}
+	}
+	if got := ClampModel(nil, 3, 7); got != 7 {
+		t.Errorf("empty order must be identity, got %d", got)
+	}
+	// An index not present in the order (heterogeneous mismatch) passes
+	// through rather than panicking.
+	if got := ClampModel(order, 1, 9); got != 9 {
+		t.Errorf("unknown index must pass through, got %d", got)
+	}
+}

@@ -1,0 +1,168 @@
+package admit
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// DegradeConfig parameterizes the degraded-mode controller.
+type DegradeConfig struct {
+	// MaxLevel is the deepest degradation level. Level k removes the k
+	// slowest models from the selectable set, so level MaxLevel = number
+	// of models - 1 leaves only the fastest. Zero disables degradation.
+	MaxLevel int
+	// Window is the pressure-evaluation period in modeled seconds
+	// (default 1). Shed-rate is measured per window, so one unlucky
+	// arrival cannot flip the mode.
+	Window float64
+	// EnterShedRate is the windowed shed fraction at or above which
+	// overload is confirmed and the level escalates (default 0.05).
+	EnterShedRate float64
+	// EnterWait is the estimated queue wait (seconds) at or above which
+	// overload is confirmed even without shedding; 0 disables the wait
+	// trigger. Setting it to the SLO catches saturation before the first
+	// deadline miss.
+	EnterWait float64
+	// Hold is how long (modeled seconds) pressure must stay clear before
+	// the level steps back down, one level per Hold (default 3×Window).
+	// Clear means shed rate below EnterShedRate/2 and wait below
+	// EnterWait/2 — the exit thresholds sit at half the entry thresholds,
+	// so the mode cannot flap at the boundary.
+	Hold float64
+}
+
+func (c DegradeConfig) withDefaults() DegradeConfig {
+	if c.Window <= 0 {
+		c.Window = 1
+	}
+	if c.EnterShedRate <= 0 {
+		c.EnterShedRate = 0.05
+	}
+	if c.Hold <= 0 {
+		c.Hold = 3 * c.Window
+	}
+	return c
+}
+
+// DegradeStats is a snapshot of the controller's counters.
+type DegradeStats struct {
+	// Level is the current degradation level (0 = policy's own choice).
+	Level int
+	// Escalations and Deescalations count level transitions.
+	Escalations   uint64
+	Deescalations uint64
+}
+
+// Degrader confirms overload from windowed shed rate and estimated queue
+// wait, and answers "how hard should model selection be clamped right now".
+// Under confirmed overload it escalates one level per window; once pressure
+// clears it de-escalates one level per Hold, restoring the policy's own
+// choice. Escalation is fast (a saturated queue punishes every admitted
+// query) and recovery is deliberate (hysteresis: exit thresholds are half
+// the entry thresholds, and each step down requires a full clear Hold).
+//
+// Observe is serialized by a mutex; Level is a single atomic load so the
+// dispatch path never contends with arrivals.
+type Degrader struct {
+	cfg DegradeConfig
+
+	level atomic.Int32
+
+	mu           sync.Mutex
+	winStart     float64
+	arrivals     int
+	shed         int
+	maxWait      float64
+	lastPressure float64
+
+	escalations   atomic.Uint64
+	deescalations atomic.Uint64
+
+	// OnChange, when set, observes every level transition (telemetry
+	// hook). It is called under the Degrader's lock; keep it cheap.
+	OnChange func(level int, up bool)
+}
+
+// NewDegrader builds a degraded-mode controller; a MaxLevel of 0 yields a
+// controller that never degrades (Level is always 0). Windows are anchored
+// at modeled time zero, where both the simulator clock and the frontend's
+// scaled wall clock start.
+func NewDegrader(cfg DegradeConfig) *Degrader {
+	cfg = cfg.withDefaults()
+	return &Degrader{cfg: cfg, lastPressure: -cfg.Hold}
+}
+
+// Level returns the current degradation level: the number of slowest
+// models the selector must not use.
+func (d *Degrader) Level() int { return int(d.level.Load()) }
+
+// Stats returns a snapshot of the controller's counters.
+func (d *Degrader) Stats() DegradeStats {
+	return DegradeStats{
+		Level:         d.Level(),
+		Escalations:   d.escalations.Load(),
+		Deescalations: d.deescalations.Load(),
+	}
+}
+
+// Observe feeds one admission outcome at modeled time now: whether the
+// query was shed and the admitter's estimated queue wait. Windows are
+// evaluated lazily on observation, so the controller needs no clock of its
+// own and works identically under simulated and wall time.
+func (d *Degrader) Observe(now float64, shed bool, estWait float64) {
+	if d.cfg.MaxLevel <= 0 {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.arrivals++
+	if shed {
+		d.shed++
+	}
+	if estWait > d.maxWait {
+		d.maxWait = estWait
+	}
+	if now-d.winStart < d.cfg.Window {
+		return
+	}
+
+	rate := 0.0
+	if d.arrivals > 0 {
+		rate = float64(d.shed) / float64(d.arrivals)
+	}
+	pressured := rate >= d.cfg.EnterShedRate ||
+		(d.cfg.EnterWait > 0 && d.maxWait >= d.cfg.EnterWait)
+	clear := rate < d.cfg.EnterShedRate/2 &&
+		(d.cfg.EnterWait <= 0 || d.maxWait < d.cfg.EnterWait/2)
+
+	lvl := int(d.level.Load())
+	switch {
+	case pressured:
+		d.lastPressure = now
+		if lvl < d.cfg.MaxLevel {
+			d.setLevel(lvl+1, true)
+		}
+	case clear && lvl > 0 && now-d.lastPressure >= d.cfg.Hold:
+		d.setLevel(lvl-1, false)
+		// Each further step down requires its own full clear Hold.
+		d.lastPressure = now
+	case !clear:
+		// Neither confirmed overload nor confirmed calm: hold the level
+		// and restart the recovery clock.
+		d.lastPressure = now
+	}
+	d.winStart = now
+	d.arrivals, d.shed, d.maxWait = 0, 0, 0
+}
+
+func (d *Degrader) setLevel(lvl int, up bool) {
+	d.level.Store(int32(lvl))
+	if up {
+		d.escalations.Add(1)
+	} else {
+		d.deescalations.Add(1)
+	}
+	if d.OnChange != nil {
+		d.OnChange(lvl, up)
+	}
+}

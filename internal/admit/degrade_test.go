@@ -1,0 +1,109 @@
+package admit
+
+import "testing"
+
+// feedWindow pushes n observations with the given shed count spread over
+// one window ending at (start + window), returning the end time.
+func feedWindow(d *Degrader, start, window float64, n, shed int, wait float64) float64 {
+	dt := window / float64(n)
+	for i := 0; i < n; i++ {
+		now := start + dt*float64(i+1)
+		d.Observe(now, i < shed, wait)
+	}
+	return start + window
+}
+
+func TestDegraderEscalatesUnderSustainedShedding(t *testing.T) {
+	d := NewDegrader(DegradeConfig{MaxLevel: 3, Window: 1, EnterShedRate: 0.05, Hold: 3})
+	now := 0.0
+	// Three windows at a 50% shed rate: one escalation per window, capped
+	// at MaxLevel on the fourth.
+	for i, want := range []int{1, 2, 3, 3} {
+		now = feedWindow(d, now, 1, 20, 10, 0)
+		if got := d.Level(); got != want {
+			t.Fatalf("window %d: level = %d, want %d", i+1, got, want)
+		}
+	}
+	if s := d.Stats(); s.Escalations != 3 {
+		t.Errorf("escalations = %d, want 3", s.Escalations)
+	}
+}
+
+func TestDegraderRecoversAfterHold(t *testing.T) {
+	d := NewDegrader(DegradeConfig{MaxLevel: 2, Window: 1, EnterShedRate: 0.05, Hold: 3})
+	now := feedWindow(d, 0, 1, 20, 10, 0)
+	now = feedWindow(d, now, 1, 20, 10, 0)
+	if d.Level() != 2 {
+		t.Fatalf("level = %d after two pressured windows, want 2", d.Level())
+	}
+	// Clear windows: no step down until a full Hold (3 s) has passed
+	// pressure-free, then one level per Hold.
+	now = feedWindow(d, now, 1, 20, 0, 0)
+	now = feedWindow(d, now, 1, 20, 0, 0)
+	if d.Level() != 2 {
+		t.Fatalf("level dropped to %d before Hold elapsed", d.Level())
+	}
+	now = feedWindow(d, now, 1, 20, 0, 0) // 3 s clear: step to 1
+	if d.Level() != 1 {
+		t.Fatalf("level = %d after Hold, want 1", d.Level())
+	}
+	for i := 0; i < 3; i++ {
+		now = feedWindow(d, now, 1, 20, 0, 0)
+	}
+	if d.Level() != 0 {
+		t.Fatalf("level = %d after second Hold, want 0", d.Level())
+	}
+	if s := d.Stats(); s.Deescalations != 2 {
+		t.Errorf("deescalations = %d, want 2", s.Deescalations)
+	}
+}
+
+func TestDegraderHysteresisHoldsLevelInTheGap(t *testing.T) {
+	// Shed rate between exit (2.5%) and entry (5%) thresholds: the level
+	// must neither escalate nor recover — no flapping at the boundary.
+	d := NewDegrader(DegradeConfig{MaxLevel: 2, Window: 1, EnterShedRate: 0.05, Hold: 2})
+	now := feedWindow(d, 0, 1, 20, 10, 0) // escalate to 1
+	if d.Level() != 1 {
+		t.Fatalf("setup failed: level = %d", d.Level())
+	}
+	for i := 0; i < 6; i++ {
+		now = feedWindow(d, now, 1, 100, 3, 0) // 3% shed: in the gap
+	}
+	if d.Level() != 1 {
+		t.Errorf("level = %d after boundary windows, want 1 (hysteresis)", d.Level())
+	}
+}
+
+func TestDegraderWaitTriggerFiresWithoutShedding(t *testing.T) {
+	d := NewDegrader(DegradeConfig{MaxLevel: 1, Window: 1, EnterWait: 0.5, Hold: 2})
+	feedWindow(d, 0, 1, 10, 0, 0.6) // wait above threshold, nothing shed
+	if d.Level() != 1 {
+		t.Errorf("level = %d, want 1 (wait trigger)", d.Level())
+	}
+}
+
+func TestDegraderDisabledAtMaxLevelZero(t *testing.T) {
+	d := NewDegrader(DegradeConfig{})
+	feedWindow(d, 0, 1, 20, 20, 10)
+	if d.Level() != 0 {
+		t.Errorf("disabled degrader reached level %d", d.Level())
+	}
+}
+
+func TestDegraderOnChangeObservesTransitions(t *testing.T) {
+	var ups, downs int
+	d := NewDegrader(DegradeConfig{MaxLevel: 1, Window: 1, EnterShedRate: 0.05, Hold: 1})
+	d.OnChange = func(level int, up bool) {
+		if up {
+			ups++
+		} else {
+			downs++
+		}
+	}
+	now := feedWindow(d, 0, 1, 20, 10, 0)
+	now = feedWindow(d, now, 1, 20, 0, 0)
+	feedWindow(d, now, 1, 20, 0, 0)
+	if ups != 1 || downs != 1 {
+		t.Errorf("OnChange saw %d ups / %d downs, want 1 / 1", ups, downs)
+	}
+}

@@ -1,0 +1,75 @@
+package admit
+
+import "sync"
+
+// RetryBudget bounds dispatch failover retries with a token bucket so a
+// worker outage during an overload cannot amplify the overload: every
+// failed dispatch would otherwise retry on a surviving worker, doubling
+// the load exactly when the cluster can least absorb it. The budget admits
+// short failover bursts (Burst tokens) and a sustained trickle (PerSec
+// tokens per second); beyond that, failed dispatches fail fast instead of
+// retrying.
+//
+// Time is passed in (modeled seconds), so the budget behaves identically
+// under the simulator's virtual clock and the prototype's scaled wall
+// clock.
+type RetryBudget struct {
+	mu     sync.Mutex
+	tokens float64
+	burst  float64
+	rate   float64
+	last   float64
+	denied uint64
+	spent  uint64
+}
+
+// NewRetryBudget builds a budget holding at most burst tokens, refilled at
+// perSec tokens per second. The bucket starts full.
+func NewRetryBudget(burst int, perSec float64) *RetryBudget {
+	if burst < 1 {
+		burst = 1
+	}
+	if perSec < 0 {
+		perSec = 0
+	}
+	return &RetryBudget{tokens: float64(burst), burst: float64(burst), rate: perSec}
+}
+
+// Allow consumes one retry token at modeled time now, reporting whether
+// the failover may proceed.
+func (b *RetryBudget) Allow(now float64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if dt := now - b.last; dt > 0 {
+		b.tokens += dt * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	// A now that moved backwards (clock skew across goroutines) just
+	// skips the refill; the bucket still meters correctly.
+	if now > b.last {
+		b.last = now
+	}
+	if b.tokens < 1 {
+		b.denied++
+		return false
+	}
+	b.tokens--
+	b.spent++
+	return true
+}
+
+// Denied returns how many retries the budget has refused.
+func (b *RetryBudget) Denied() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.denied
+}
+
+// Spent returns how many retries the budget has granted.
+func (b *RetryBudget) Spent() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.spent
+}

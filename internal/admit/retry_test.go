@@ -1,0 +1,83 @@
+package admit
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRetryBudgetBurstThenDeny(t *testing.T) {
+	b := NewRetryBudget(3, 0) // no refill
+	for i := 0; i < 3; i++ {
+		if !b.Allow(0) {
+			t.Fatalf("burst token %d denied", i)
+		}
+	}
+	if b.Allow(0) {
+		t.Fatal("allowed past the burst with no refill")
+	}
+	if b.Denied() != 1 || b.Spent() != 3 {
+		t.Errorf("denied/spent = %d/%d, want 1/3", b.Denied(), b.Spent())
+	}
+}
+
+func TestRetryBudgetRefills(t *testing.T) {
+	b := NewRetryBudget(1, 2) // 2 tokens/s
+	if !b.Allow(0) {
+		t.Fatal("initial token denied")
+	}
+	if b.Allow(0.1) {
+		t.Fatal("allowed before refill accumulated a full token")
+	}
+	if !b.Allow(0.6) {
+		t.Fatal("denied after refill (1.2 tokens accrued)")
+	}
+}
+
+func TestRetryBudgetCapsAtBurst(t *testing.T) {
+	b := NewRetryBudget(2, 100)
+	// A long quiet period must not bank more than burst tokens.
+	if !b.Allow(100) || !b.Allow(100) {
+		t.Fatal("burst tokens denied after idle period")
+	}
+	if b.Allow(100) {
+		t.Fatal("banked more than burst tokens")
+	}
+}
+
+func TestRetryBudgetToleratesBackwardsTime(t *testing.T) {
+	b := NewRetryBudget(1, 1)
+	if !b.Allow(5) {
+		t.Fatal("initial token denied")
+	}
+	if b.Allow(4) { // clock skew: must not refill or panic
+		t.Fatal("backwards time minted a token")
+	}
+}
+
+func TestRetryBudgetConcurrentAccounting(t *testing.T) {
+	b := NewRetryBudget(64, 0)
+	var wg sync.WaitGroup
+	granted := make([]int, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if b.Allow(0) {
+					granted[g]++
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range granted {
+		total += n
+	}
+	if total != 64 {
+		t.Errorf("granted %d tokens from a burst of 64", total)
+	}
+	if b.Denied() != 800-64 {
+		t.Errorf("denied = %d, want %d", b.Denied(), 800-64)
+	}
+}

@@ -1,0 +1,57 @@
+package core
+
+import "ramsis/internal/profile"
+
+// WaitEstimator converts a queue backlog into estimated time from the
+// profiled latency tables, for admission control (internal/admit). The
+// estimate is deliberately optimistic — it assumes every worker drains the
+// backlog with the fastest model at its best profiled throughput, and that
+// the candidate itself runs on the fastest model at batch 1 — so a query
+// the estimator calls unmeetable was unmeetable under any schedule the
+// profiles permit. Deadline shedding built on it never rejects work an
+// ideal scheduler could have served.
+//
+// The zero value estimates zero wait everywhere (useful in tests); build
+// real ones with NewWaitEstimator.
+type WaitEstimator struct {
+	// perQuery is the optimistic seconds of service per backlog query:
+	// 1 / (workers × best throughput over all models and batch sizes).
+	perQuery float64
+	// service is the candidate's own best-case inference seconds: the
+	// fastest model's batch-1 p95 latency.
+	service float64
+}
+
+// NewWaitEstimator derives an estimator for a cluster of `workers` workers
+// sharing the model set.
+func NewWaitEstimator(models profile.Set, workers int) WaitEstimator {
+	if workers < 1 {
+		workers = 1
+	}
+	bestTP := 0.0
+	service := 0.0
+	for _, p := range models.Profiles {
+		if tp := p.Throughput(); tp > bestTP {
+			bestTP = tp
+		}
+		if l := p.BatchLatency(1); service == 0 || l < service {
+			service = l
+		}
+	}
+	if bestTP <= 0 {
+		return WaitEstimator{service: service}
+	}
+	return WaitEstimator{perQuery: 1 / (bestTP * float64(workers)), service: service}
+}
+
+// Wait returns the estimated seconds until a query arriving behind
+// `outstanding` queued or in-flight queries begins service.
+func (w WaitEstimator) Wait(outstanding int) float64 {
+	if outstanding <= 0 {
+		return 0
+	}
+	return float64(outstanding) * w.perQuery
+}
+
+// Service returns the candidate's own best-case inference seconds.
+func (w WaitEstimator) Service() float64 { return w.service }

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"testing"
+
+	"ramsis/internal/profile"
+)
+
+func TestWaitEstimatorIsOptimistic(t *testing.T) {
+	models := profile.ImageSet()
+	workers := 4
+	est := NewWaitEstimator(models, workers)
+
+	// Service must be the fastest batch-1 latency in the set.
+	if got, want := est.Service(), models.Fastest().BatchLatency(1); got != want {
+		t.Errorf("Service() = %v, want fastest batch-1 latency %v", got, want)
+	}
+
+	// Per-query drain must use the best throughput of any model: no model
+	// can clear the backlog faster than est.Wait predicts.
+	bestTP := 0.0
+	for _, p := range models.Profiles {
+		if tp := p.Throughput(); tp > bestTP {
+			bestTP = tp
+		}
+	}
+	wantWait := 10 / (bestTP * float64(workers))
+	if got := est.Wait(10); !floatNear(got, wantWait, 1e-12) {
+		t.Errorf("Wait(10) = %v, want %v", got, wantWait)
+	}
+	for _, p := range models.Profiles {
+		// Draining 10 queries with any single model on all workers takes
+		// at least the optimistic estimate.
+		actual := 10 / (p.Throughput() * float64(workers))
+		if est.Wait(10) > actual+1e-12 {
+			t.Errorf("estimate %v exceeds achievable drain %v for %s", est.Wait(10), actual, p.Name)
+		}
+	}
+}
+
+func TestWaitEstimatorEdges(t *testing.T) {
+	est := NewWaitEstimator(profile.ImageSet(), 4)
+	if est.Wait(0) != 0 || est.Wait(-3) != 0 {
+		t.Error("empty backlog must wait 0")
+	}
+	if w1, w2 := est.Wait(1), est.Wait(2); !(w2 > w1 && w1 > 0) {
+		t.Errorf("wait not increasing: Wait(1)=%v Wait(2)=%v", w1, w2)
+	}
+	var zero WaitEstimator
+	if zero.Wait(100) != 0 || zero.Service() != 0 {
+		t.Error("zero estimator must estimate zero")
+	}
+}
+
+func floatNear(a, b, eps float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < eps
+}

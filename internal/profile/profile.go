@@ -161,6 +161,27 @@ func (s Set) SortedByLatency() Set {
 	return out
 }
 
+// SpeedOrder returns the set's model indices sorted fastest-first by
+// batch-1 latency (ties broken by descending accuracy, matching
+// SortedByLatency). Degraded-mode serving (internal/admit) walks this
+// order: level k forbids the k slowest models, so escalating levels clamp
+// selection to progressively faster models.
+func (s Set) SpeedOrder() []int {
+	order := make([]int, len(s.Profiles))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		pi, pj := s.Profiles[order[a]], s.Profiles[order[b]]
+		li, lj := pi.BatchLatency(1), pj.BatchLatency(1)
+		if li != lj {
+			return li < lj
+		}
+		return pi.Accuracy > pj.Accuracy
+	})
+	return order
+}
+
 // ParetoFront returns the models on the Pareto front of accuracy and batch-1
 // latency: every model for which no other model has both lower-or-equal
 // latency and strictly higher accuracy (nor equal accuracy at strictly lower

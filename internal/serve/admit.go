@@ -1,0 +1,54 @@
+package serve
+
+import (
+	"ramsis/internal/admit"
+	"ramsis/internal/profile"
+	"ramsis/internal/telemetry"
+)
+
+// modelClamp maps degraded-mode levels onto the serve layer's by-name model
+// selection: selectors return model names, but admit.ClampModel speaks
+// profile indices, so the clamp keeps the speed order and a name->index map
+// built once at startup.
+type modelClamp struct {
+	set   profile.Set
+	order []int
+	index map[string]int
+}
+
+func newModelClamp(set profile.Set) *modelClamp {
+	m := &modelClamp{set: set, order: set.SpeedOrder(), index: map[string]int{}}
+	for i, p := range set.Profiles {
+		m.index[p.Name] = i
+	}
+	return m
+}
+
+// apply clamps one selection at the given degradation level, returning the
+// model to run and whether the choice was degraded.
+func (m *modelClamp) apply(level int, model string) (string, bool) {
+	idx, ok := m.index[model]
+	if !ok || level <= 0 {
+		return model, false
+	}
+	clamped := admit.ClampModel(m.order, level, idx)
+	if clamped == idx {
+		return model, false
+	}
+	return m.set.Profiles[clamped].Name, true
+}
+
+// wireDegradeTelemetry publishes the degrader's level and transitions into
+// the registry (the same series the simulator engine records), initializing
+// the level gauge so /metrics shows it before the first transition.
+func wireDegradeTelemetry(reg *telemetry.Registry, d *admit.Degrader) {
+	reg.Gauge(telemetry.MetricAdmitDegradeLevel).Set(float64(d.Level()))
+	d.OnChange = func(level int, up bool) {
+		reg.Gauge(telemetry.MetricAdmitDegradeLevel).Set(float64(level))
+		dir := "down"
+		if up {
+			dir = "up"
+		}
+		reg.Counter(telemetry.MetricAdmitDegradeTransitions, "dir", dir).Inc()
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"ramsis/internal/admit"
 	"ramsis/internal/lb"
 	"ramsis/internal/monitor"
 	"ramsis/internal/profile"
@@ -35,6 +36,13 @@ type ClusterConfig struct {
 	Telemetry *telemetry.Registry
 	// TraceWriter streams each completed query trace as JSONL.
 	TraceWriter *telemetry.TraceWriter
+	// Admit screens arrivals at the frontend; shed queries answer 429.
+	Admit admit.Admitter
+	// Degrade clamps model selection to faster models under confirmed
+	// overload.
+	Degrade *admit.Degrader
+	// RetryBudget gates the frontend's dispatch failover.
+	RetryBudget *admit.RetryBudget
 }
 
 // Cluster is a running localhost deployment.
@@ -79,6 +87,9 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 		Addr:           cfg.Addr,
 		Telemetry:      cfg.Telemetry,
 		TraceWriter:    cfg.TraceWriter,
+		Admit:          cfg.Admit,
+		Degrade:        cfg.Degrade,
+		RetryBudget:    cfg.RetryBudget,
 	}
 	if err := c.Frontend.Start(); err != nil {
 		c.Stop()

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"ramsis/internal/admit"
 	"ramsis/internal/core"
 	"ramsis/internal/lb"
 	"ramsis/internal/monitor"
@@ -84,7 +85,17 @@ type Controller struct {
 	// Frontend and the simulator engine (ramsis_queries_total,
 	// ramsis_stage_seconds, ...); Run builds a registry when nil.
 	Telemetry *telemetry.Registry
+	// Admit, when set, screens replayed arrivals exactly like the Frontend
+	// screens live ones: shed queries never enqueue and count in
+	// Metrics.Shed.
+	Admit admit.Admitter
+	// Degrade, when set, clamps the selector's model choice to faster
+	// models while admission pressure confirms overload.
+	Degrade *admit.Degrader
+	// RetryBudget, when set, gates dispatch failover like the Frontend's.
+	RetryBudget *admit.RetryBudget
 
+	clamp    *modelClamp
 	tel      *serveSeries
 	wrapped  bool
 	mu       sync.Mutex
@@ -121,6 +132,10 @@ func (c *Controller) Run(arrivals []float64) (sim.Metrics, error) {
 		c.Telemetry = telemetry.NewRegistry()
 	}
 	c.tel = newServeSeries(c.Telemetry, len(c.Workers))
+	if c.Degrade != nil {
+		c.clamp = newModelClamp(c.Profiles)
+		wireDegradeTelemetry(c.Telemetry, c.Degrade)
+	}
 	if !c.wrapped {
 		c.Balancer = lb.Instrumented(c.Balancer, c.Telemetry)
 		c.wrapped = true
@@ -162,6 +177,24 @@ func (c *Controller) Run(arrivals []float64) (sim.Metrics, error) {
 		c.mu.Lock()
 		if c.Monitor != nil {
 			c.Monitor.Observe(c.now())
+		}
+		if c.Admit != nil {
+			outstanding := len(c.central)
+			for w := range c.wq {
+				outstanding += len(c.wq[w]) + c.inflight[w]
+			}
+			v := c.Admit.Admit(admit.Request{Now: a, Outstanding: outstanding})
+			if c.Degrade != nil {
+				c.Degrade.Observe(a, !v.Admit, v.EstWait)
+			}
+			c.tel.estWait.Observe(v.EstWait)
+			if !v.Admit {
+				c.metrics.Shed++
+				c.tel.shed(c.Admit.Name()).Inc()
+				c.mu.Unlock()
+				continue
+			}
+			c.tel.admitted.Inc()
 		}
 		if c.Central {
 			c.central = append(c.central, q)
@@ -227,6 +260,16 @@ func (c *Controller) workerLoop(w int) error {
 		if !ok {
 			c.mu.Unlock()
 			return fmt.Errorf("serve: selector chose unknown model %q", model)
+		}
+		if c.Degrade != nil {
+			if lvl := c.Degrade.Level(); lvl > 0 {
+				if name, changed := c.clamp.apply(lvl, model); changed {
+					model = name
+					p, _ = c.Profiles.ByName(model)
+					c.metrics.DegradedDecisions++
+					c.tel.degraded.Inc()
+				}
+			}
 		}
 		if batch > p.MaxBatch() {
 			batch = p.MaxBatch()
@@ -368,7 +411,7 @@ func (c *Controller) dispatch(w int, model string, queries []sim.Query) {
 	dispStart := c.now()
 	infSec, ok := c.post(w, model, len(queries))
 	if !ok {
-		if alt := c.failoverTarget(w); alt >= 0 {
+		if alt := c.failoverTarget(w); alt >= 0 && c.allowFailover() {
 			infSec, ok = c.post(alt, model, len(queries))
 		}
 	}
@@ -417,5 +460,16 @@ func (c *Controller) dispatch(w int, model string, queries []sim.Query) {
 	}
 }
 
-// newReader wraps a byte slice for repeated HTTP posts.
-func newReader(b []byte) *bytes.Reader { return bytes.NewReader(b) }
+// allowFailover asks the retry budget for a failover attempt; without a
+// budget every failover is allowed.
+func (c *Controller) allowFailover() bool {
+	if c.RetryBudget == nil {
+		return true
+	}
+	if c.RetryBudget.Allow(c.now()) {
+		c.tel.retries.Inc()
+		return true
+	}
+	c.tel.retriesDenied.Inc()
+	return false
+}

@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"ramsis/internal/admit"
 	"ramsis/internal/lb"
 	"ramsis/internal/monitor"
 	"ramsis/internal/profile"
@@ -47,6 +49,12 @@ type StatsResponse struct {
 	// WorkerDispatches counts /infer POSTs attempted per worker (failover
 	// retries count against the worker they were sent to).
 	WorkerDispatches []int `json:"workerDispatches"`
+	// Shed counts queries the admission controller rejected with 429; they
+	// are not included in Served.
+	Shed int `json:"shed"`
+	// DegradeLevel is the current degraded-mode level (0 = the policy's own
+	// model choice; level k forbids the k slowest models).
+	DegradeLevel int `json:"degradeLevel"`
 }
 
 // Frontend is the client-facing half of the prototype: applications POST
@@ -95,12 +103,25 @@ type Frontend struct {
 	// TraceWriter, when set, additionally exports every completed trace
 	// as one JSONL line (the -trace-out flow).
 	TraceWriter *telemetry.TraceWriter
+	// Admit, when set, screens every arriving query before it is routed:
+	// shed queries are answered 429 with a Retry-After hint instead of
+	// being enqueued. The simulator engine runs the same admitters.
+	Admit admit.Admitter
+	// Degrade, when set, closes the degraded-mode loop: admission outcomes
+	// feed its pressure windows, and its level clamps the selector's model
+	// choice to progressively faster models while overload is confirmed.
+	Degrade *admit.Degrader
+	// RetryBudget, when set, gates dispatch failover: once the budget is
+	// exhausted a failed batch fails fast instead of doubling the load on
+	// the surviving workers mid-overload.
+	RetryBudget *admit.RetryBudget
 
 	closed    atomic.Bool
 	nextID    atomic.Int64
 	start     time.Time
 	wq        []*workerQueue
 	ownHealth bool
+	clamp     *modelClamp
 	tel       *serveSeries
 
 	// monitorMu guards the Monitor, whose Observe times must be
@@ -168,6 +189,10 @@ func (f *Frontend) Start() error {
 		f.ownHealth = true
 	}
 	registerHealthGauges(f.Telemetry, f.Health, len(f.Workers))
+	if f.Degrade != nil {
+		f.clamp = newModelClamp(f.Profiles)
+		wireDegradeTelemetry(f.Telemetry, f.Degrade)
+	}
 	f.wq = make([]*workerQueue, len(f.Workers))
 	for i := range f.wq {
 		ws := &workerQueue{}
@@ -208,6 +233,9 @@ func (f *Frontend) URL() string { return "http://" + f.addr }
 // Stop shuts down the HTTP server, the selector loops, and the health
 // tracker (if owned).
 func (f *Frontend) Stop() error {
+	if f.srv == nil {
+		return nil // Start never bound a listener; nothing to tear down
+	}
 	err := f.srv.Close()
 	f.closed.Store(true)
 	for _, ws := range f.wq {
@@ -251,6 +279,14 @@ func (f *Frontend) snapshot() StatsResponse {
 	if served > 0 {
 		vr = float64(violations) / float64(served)
 	}
+	shed := 0
+	if f.Admit != nil {
+		shed = int(f.tel.shed(f.Admit.Name()).Value())
+	}
+	level := 0
+	if f.Degrade != nil {
+		level = f.Degrade.Level()
+	}
 	return StatsResponse{
 		Served:           served,
 		Violations:       violations,
@@ -260,6 +296,8 @@ func (f *Frontend) snapshot() StatsResponse {
 		FailedDispatches: int(f.tel.failed.Value()),
 		WorkerHealthy:    f.Health.Healthy(),
 		WorkerDispatches: ds,
+		Shed:             shed,
+		DegradeLevel:     level,
 	}
 }
 
@@ -294,6 +332,9 @@ func (f *Frontend) handleQuery(rw http.ResponseWriter, req *http.Request) {
 		f.Monitor.Observe(arrival)
 		f.monitorMu.Unlock()
 	}
+	if f.Admit != nil && !f.admitOrShed(rw, id, arrival) {
+		return
+	}
 	pickStart := f.now()
 	w := f.Balancer.Pick(f.queueLens(), f.Health.Healthy())
 	pickSec := f.now() - pickStart
@@ -323,6 +364,42 @@ func (f *Frontend) handleQuery(rw http.ResponseWriter, req *http.Request) {
 		// Client went away; the batch still completes and records metrics
 		// (the done channel is buffered, so dispatch never blocks on it).
 	}
+}
+
+// admitOrShed screens one arrival through the admission controller. It
+// returns true when the query may proceed to routing; a shed query has
+// already been answered 429 with a Retry-After hint and recorded (shed
+// counter, degrader pressure, and a single-span shed trace so rejected
+// queries stay visible in /debug/traces).
+func (f *Frontend) admitOrShed(rw http.ResponseWriter, id int, arrival float64) bool {
+	outstanding := 0
+	for _, ws := range f.wq {
+		outstanding += int(ws.outstanding.Load())
+	}
+	v := f.Admit.Admit(admit.Request{Now: arrival, Outstanding: outstanding})
+	if f.Degrade != nil {
+		f.Degrade.Observe(arrival, !v.Admit, v.EstWait)
+	}
+	f.tel.estWait.Observe(v.EstWait)
+	if v.Admit {
+		f.tel.admitted.Inc()
+		return true
+	}
+	f.tel.shed(f.Admit.Name()).Inc()
+	qt := telemetry.QueryTrace{
+		ID: id, Arrival: arrival, Worker: -1,
+		Error: fmt.Sprintf("shed by %s admission control (est wait %.3fs)", f.Admit.Name(), v.EstWait),
+		Spans: []telemetry.Span{{Stage: telemetry.StageShed}},
+	}
+	f.Traces.Add(qt)
+	if f.TraceWriter != nil {
+		_ = f.TraceWriter.Write(qt)
+	}
+	// The hint is computed in modeled seconds; the client backs off in wall
+	// time, so scale it down under compressed TimeScale.
+	rw.Header().Set("Retry-After", strconv.Itoa(admit.RetryAfterSeconds(v.RetryAfter/f.TimeScale)))
+	http.Error(rw, "overloaded: query shed by admission control", http.StatusTooManyRequests)
+	return false
 }
 
 func (f *Frontend) handleStats(rw http.ResponseWriter, _ *http.Request) {
@@ -363,6 +440,14 @@ func (f *Frontend) workerLoop(w int) {
 			// Defensive: never drop live queries on selector misbehavior.
 			p = f.Profiles.Profiles[0]
 			batch = 1
+		}
+		if f.Degrade != nil {
+			if lvl := f.Degrade.Level(); lvl > 0 {
+				if name, changed := f.clamp.apply(lvl, p.Name); changed {
+					p, _ = f.Profiles.ByName(name)
+					f.tel.degraded.Inc()
+				}
+			}
 		}
 		if batch > p.MaxBatch() {
 			batch = p.MaxBatch()
@@ -411,6 +496,22 @@ func (f *Frontend) post(w int, model string, batch int) (float64, bool) {
 	return ir.Latency, true
 }
 
+// allowFailover asks the retry budget for a failover attempt. Without a
+// budget every failover is allowed (the historical behaviour); with one,
+// refusals fail the batch fast so retries cannot amplify an overload onto
+// the surviving workers.
+func (f *Frontend) allowFailover() bool {
+	if f.RetryBudget == nil {
+		return true
+	}
+	if f.RetryBudget.Allow(f.now()) {
+		f.tel.retries.Inc()
+		return true
+	}
+	f.tel.retriesDenied.Inc()
+	return false
+}
+
 // failoverTarget picks a healthy worker other than w, or -1 if none.
 func (f *Frontend) failoverTarget(w int) int {
 	if len(f.Workers) < 2 {
@@ -447,7 +548,7 @@ func (f *Frontend) dispatch(w int, model string, queries []pendingQuery) {
 	target := w
 	infSec, ok := f.post(w, model, len(queries))
 	if !ok {
-		if alt := f.failoverTarget(w); alt >= 0 {
+		if alt := f.failoverTarget(w); alt >= 0 && f.allowFailover() {
 			infSec, ok = f.post(alt, model, len(queries))
 			if ok {
 				target = alt

@@ -20,6 +20,14 @@ type serveSeries struct {
 	latency    *telemetry.Histogram
 	batchSize  *telemetry.Histogram
 	stages     map[string]*telemetry.Histogram
+	// Admission-control series: admitted/shed decisions, the wait estimate
+	// each decision was based on, degraded-mode clamps, and the failover
+	// retry budget's grants and refusals.
+	admitted      *telemetry.Counter
+	degraded      *telemetry.Counter
+	retries       *telemetry.Counter
+	retriesDenied *telemetry.Counter
+	estWait       *telemetry.Histogram
 	// workerDispatch counts /infer POSTs per worker; it backs both the
 	// exposition and StatsResponse.WorkerDispatches so they cannot drift.
 	workerDispatch []*telemetry.Counter
@@ -36,7 +44,14 @@ func newServeSeries(reg *telemetry.Registry, workers int) *serveSeries {
 		latency:    reg.Histogram(telemetry.MetricLatencySeconds),
 		batchSize:  reg.HistogramBuckets(telemetry.MetricBatchSize, telemetry.LinearBuckets(1, 1, 32)),
 		stages:     map[string]*telemetry.Histogram{},
-		reg:        reg,
+
+		admitted:      reg.Counter(telemetry.MetricAdmitAdmitted),
+		degraded:      reg.Counter(telemetry.MetricAdmitDegradedDecisions),
+		retries:       reg.Counter(telemetry.MetricAdmitRetries),
+		retriesDenied: reg.Counter(telemetry.MetricAdmitRetriesDenied),
+		estWait:       reg.Histogram(telemetry.MetricAdmitWaitSeconds),
+
+		reg: reg,
 	}
 	for _, st := range telemetry.Stages() {
 		s.stages[st] = reg.Histogram(telemetry.MetricStageSeconds, "stage", st)
@@ -56,6 +71,11 @@ func newServeSeries(reg *telemetry.Registry, workers int) *serveSeries {
 // model returns the per-model served-queries counter.
 func (s *serveSeries) model(name string) *telemetry.Counter {
 	return s.reg.Counter(telemetry.MetricModelQueries, "model", name)
+}
+
+// shed returns the shed counter for the given admission policy.
+func (s *serveSeries) shed(policy string) *telemetry.Counter {
+	return s.reg.Counter(telemetry.MetricAdmitShed, "policy", policy)
 }
 
 // registerHealthGauges exposes the tracker's live per-worker marks as

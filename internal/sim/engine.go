@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"ramsis/internal/admit"
 	"ramsis/internal/profile"
 	"ramsis/internal/stats"
 	"ramsis/internal/telemetry"
@@ -95,6 +96,14 @@ type Metrics struct {
 	Decisions  int
 	Unserved   int
 	Dropped    int
+	// Shed counts queries the admission controller rejected at arrival;
+	// they were never enqueued and the client was told to back off. Shed
+	// queries count against GoodputRate (they are offered work the system
+	// declined) but not ViolationRate (no latency promise was made).
+	Shed int
+	// DegradedDecisions counts dispatch decisions whose model choice was
+	// clamped to a faster model by degraded-mode serving.
+	DegradedDecisions int
 	// FailedDispatches counts queries whose batch could not be delivered
 	// to any worker (serve layer only: connection error or non-2xx on the
 	// picked worker and on the one-shot failover target). They are also
@@ -134,6 +143,35 @@ func (m Metrics) ViolationRate() float64 {
 		return 0
 	}
 	return float64(m.Violations+m.Unserved+m.Dropped) / float64(total)
+}
+
+// Offered counts every query the workload presented, whether served,
+// shed, dropped, or left unserved.
+func (m Metrics) Offered() int {
+	return m.Served + m.Unserved + m.Dropped + m.Shed
+}
+
+// GoodputRate is the fraction of all offered queries answered within the
+// SLO — the metric overload protection optimizes. Without admission
+// control every query is "served" eventually, so an overloaded run can
+// report 100% service while approaching 0% goodput; shedding the
+// unmeetable excess keeps the admitted queries inside their deadlines and
+// raises this number even though fewer queries are answered.
+func (m Metrics) GoodputRate() float64 {
+	off := m.Offered()
+	if off == 0 {
+		return 0
+	}
+	return float64(m.Served-m.Violations) / float64(off)
+}
+
+// ShedRate is the fraction of offered queries rejected at admission.
+func (m Metrics) ShedRate() float64 {
+	off := m.Offered()
+	if off == 0 {
+		return 0
+	}
+	return float64(m.Shed) / float64(off)
 }
 
 // AccuracyPerSatisfiedQuery is the mean profiled accuracy over queries that
@@ -177,16 +215,26 @@ type Engine struct {
 	// it. The sim has no HTTP hops, so only the batch_wait and inference
 	// stages carry non-trivial mass.
 	Telemetry *telemetry.Registry
+	// Admit, when set, screens every arrival before it is routed: shed
+	// queries never enqueue and count in Metrics.Shed. The serve frontend
+	// runs the same admitters, answering 429 instead.
+	Admit admit.Admitter
+	// Degrade, when set, closes the degraded-mode loop: admission
+	// outcomes feed its pressure windows, and its level clamps every
+	// decision's model to progressively faster ones while overload is
+	// confirmed (admit.ClampModel over Profiles.SpeedOrder()).
+	Degrade *admit.Degrader
 
-	rng      *rand.Rand
-	central  []Query
-	wq       [][]Query
-	busy     []bool
-	inflight []int // queries in the batch worker w is currently serving
-	events   eventQueue
-	metrics  Metrics
-	latHist  *telemetry.Histogram // always on; backs the Metrics percentiles
-	tel      *engineSeries        // cached registry series; nil without Telemetry
+	rng        *rand.Rand
+	central    []Query
+	wq         [][]Query
+	busy       []bool
+	inflight   []int // queries in the batch worker w is currently serving
+	events     eventQueue
+	metrics    Metrics
+	speedOrder []int                // model indices fastest-first, for the degrade clamp
+	latHist    *telemetry.Histogram // always on; backs the Metrics percentiles
+	tel        *engineSeries        // cached registry series; nil without Telemetry
 }
 
 // engineSeries caches the registry series the engine updates per query, so
@@ -195,6 +243,8 @@ type engineSeries struct {
 	queries, violations, decisions, satAcc *telemetry.Counter
 	latency, batchWait, inference          *telemetry.Histogram
 	batchSize                              *telemetry.Histogram
+	admitted, degraded                     *telemetry.Counter
+	estWait                                *telemetry.Histogram
 	reg                                    *telemetry.Registry
 }
 
@@ -208,6 +258,9 @@ func newEngineSeries(reg *telemetry.Registry) *engineSeries {
 		batchWait:  reg.Histogram(telemetry.MetricStageSeconds, "stage", telemetry.StageBatchWait),
 		inference:  reg.Histogram(telemetry.MetricStageSeconds, "stage", telemetry.StageInference),
 		batchSize:  reg.HistogramBuckets(telemetry.MetricBatchSize, telemetry.LinearBuckets(1, 1, 32)),
+		admitted:   reg.Counter(telemetry.MetricAdmitAdmitted),
+		degraded:   reg.Counter(telemetry.MetricAdmitDegradedDecisions),
+		estWait:    reg.Histogram(telemetry.MetricAdmitWaitSeconds),
 		reg:        reg,
 	}
 }
@@ -386,6 +439,20 @@ func (e *Engine) Run(arrivals []float64) Metrics {
 	if e.Telemetry != nil {
 		e.tel = newEngineSeries(e.Telemetry)
 	}
+	if e.Degrade != nil {
+		e.speedOrder = e.Profiles.SpeedOrder()
+		if e.tel != nil {
+			reg := e.tel.reg
+			e.Degrade.OnChange = func(level int, up bool) {
+				reg.Gauge(telemetry.MetricAdmitDegradeLevel).Set(float64(level))
+				dir := "down"
+				if up {
+					dir = "up"
+				}
+				reg.Counter(telemetry.MetricAdmitDegradeTransitions, "dir", dir).Inc()
+			}
+		}
+	}
 	e.events.reset(e.Workers)
 	ai := 0
 	for {
@@ -399,7 +466,9 @@ func (e *Engine) Run(arrivals []float64) Metrics {
 		case haveArrival && (!haveEvent || nextArrival <= e.events.nextTime()):
 			q := Query{ID: ai, Arrival: nextArrival}
 			ai++
-			e.Sched.Route(e, nextArrival, q)
+			if e.admitQuery(nextArrival) {
+				e.Sched.Route(e, nextArrival, q)
+			}
 			e.dispatchIdle(nextArrival)
 		case haveEvent:
 			ev := e.events.pop()
@@ -418,6 +487,42 @@ func (e *Engine) Run(arrivals []float64) Metrics {
 			return e.metrics
 		}
 	}
+}
+
+// totalOutstanding counts every query admitted but not yet completed:
+// central queue, worker queues, and in-flight batches. This is the backlog
+// the admitter's wait estimate drains.
+func (e *Engine) totalOutstanding() int {
+	n := len(e.central)
+	for w := range e.wq {
+		n += len(e.wq[w]) + e.inflight[w]
+	}
+	return n
+}
+
+// admitQuery screens one arrival through the admission controller. It
+// returns true when the query may be routed. With no admitter configured
+// every arrival is admitted and nothing is recorded.
+func (e *Engine) admitQuery(now float64) bool {
+	if e.Admit == nil {
+		return true
+	}
+	v := e.Admit.Admit(admit.Request{Now: now, Outstanding: e.totalOutstanding()})
+	if e.Degrade != nil {
+		e.Degrade.Observe(now, !v.Admit, v.EstWait)
+	}
+	if e.tel != nil {
+		e.tel.estWait.Observe(v.EstWait)
+		if v.Admit {
+			e.tel.admitted.Inc()
+		} else {
+			e.tel.reg.Counter(telemetry.MetricAdmitShed, "policy", e.Admit.Name()).Inc()
+		}
+	}
+	if !v.Admit {
+		e.metrics.Shed++
+	}
+	return v.Admit
 }
 
 // purgeExpired drops already-late queries from every queue head (FIFO
@@ -452,6 +557,20 @@ func (e *Engine) dispatchIdle(now float64) {
 			d, ok := e.Sched.Pick(e, now, w)
 			if !ok || len(d.Queries) == 0 {
 				continue
+			}
+			if e.Degrade != nil {
+				if lvl := e.Degrade.Level(); lvl > 0 {
+					m := admit.ClampModel(e.speedOrder, lvl, d.Model)
+					// The batch was sized for the policy's choice; only
+					// substitute when the faster model can still run it.
+					if m != d.Model && e.ProfilesFor(w).Profiles[m].MaxBatch() >= len(d.Queries) {
+						d.Model = m
+						e.metrics.DegradedDecisions++
+						if e.tel != nil {
+							e.tel.degraded.Inc()
+						}
+					}
+				}
 			}
 			p := e.ProfilesFor(w).Profiles[d.Model]
 			lat := e.Latency.Latency(p, len(d.Queries), e.rng)

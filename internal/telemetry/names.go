@@ -75,11 +75,44 @@ const (
 	// recent successful re-solve — warm starts drive it down, which is what
 	// shrinks the drift-to-swap histogram.
 	MetricAdaptResolveIterations = "ramsis_adapt_resolve_iterations"
+
+	// MetricAdmitAdmitted counts queries the admission controller let
+	// through (only incremented when an admitter is configured).
+	MetricAdmitAdmitted = "ramsis_admit_admitted_total"
+	// MetricAdmitShed counts queries rejected at arrival, labeled
+	// policy=<deadline|cap>. Shed queries are never enqueued: the serve
+	// layer answers 429 with Retry-After, the simulator drops them from
+	// the offered stream. They count against goodput, not the violation
+	// rate.
+	MetricAdmitShed = "ramsis_admit_shed_total"
+	// MetricAdmitWaitSeconds is the histogram of queue-wait estimates the
+	// admitter computed per arrival (admitted and shed alike) — the
+	// overload early-warning signal.
+	MetricAdmitWaitSeconds = "ramsis_admit_est_wait_seconds"
+	// MetricAdmitDegradeLevel is the current degraded-mode level: 0 runs
+	// the policy's own choice, level k forbids the k slowest models.
+	MetricAdmitDegradeLevel = "ramsis_admit_degrade_level"
+	// MetricAdmitDegradeTransitions counts degraded-mode level changes,
+	// labeled dir=<up|down>.
+	MetricAdmitDegradeTransitions = "ramsis_admit_degrade_transitions_total"
+	// MetricAdmitDegradedDecisions counts dispatch decisions whose model
+	// was clamped to a faster one by degraded mode.
+	MetricAdmitDegradedDecisions = "ramsis_admit_degraded_decisions_total"
+	// MetricAdmitRetries counts dispatch failover retries the retry
+	// budget granted.
+	MetricAdmitRetries = "ramsis_admit_failover_retries_total"
+	// MetricAdmitRetriesDenied counts failover retries the budget refused
+	// (the batch fails fast instead of amplifying an overload).
+	MetricAdmitRetriesDenied = "ramsis_admit_failover_denied_total"
 )
 
 // Span stage names, in the order a query traverses them: queued by the
 // handler, routed by the balancer, waiting for the selector to batch it,
 // dispatched over HTTP, executing inference, and finally responded to.
+// StageShed is the terminal outcome of a query the admission controller
+// rejected: its trace carries that single zero-length stage instead of the
+// traversal, so shed queries stay visible in /debug/traces and trace
+// exports without polluting the stage latency histograms.
 const (
 	StageEnqueue   = "enqueue"
 	StagePick      = "pick"
@@ -87,6 +120,7 @@ const (
 	StageDispatch  = "dispatch"
 	StageInference = "inference"
 	StageRespond   = "respond"
+	StageShed      = "shed"
 )
 
 // Stages returns every span stage in traversal order.
