@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint staticcheck race verify bench bench-smoke profile
+.PHONY: build test vet lint staticcheck race verify bench bench-smoke profile soak soak-smoke
 
 build:
 	$(GO) build ./...
@@ -34,15 +34,25 @@ lint:
 staticcheck:
 	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
 
-# The admit, lb, serve, telemetry, and adapt packages are the
+# The admit, lb, serve, telemetry, adapt, and tenant packages are the
 # concurrency-heavy ones (the degrader's atomic level + locked windows,
 # balancers, health tracker, per-worker queue locks, HTTP dispatch and the
-# /query shed path, the lock-free metrics registry, and the background
-# policy re-solve / hot-swap path); run them under the race detector. Their
-# tests scale sleeps by TimeScale, so the race pass stays within a CI
-# budget.
+# /query shed path, the lock-free metrics registry, the background policy
+# re-solve / hot-swap path, and the fair admitter + hot-reloaded tenant
+# registry); run them under the race detector. Their tests scale sleeps by
+# TimeScale, so the race pass stays within a CI budget.
 race:
-	$(GO) test -race ./internal/admit/ ./internal/adapt/ ./internal/lb/ ./internal/serve/ ./internal/telemetry/
+	$(GO) test -race ./internal/admit/ ./internal/adapt/ ./internal/lb/ ./internal/serve/ ./internal/telemetry/ ./internal/tenant/
+
+# Multi-tenant serving-plane soak: ≥100k offered wall QPS across 4 shards
+# and 3 tenants, one offering 4× its contract; asserts compliant goodput
+# ≥ 0.9 from the gateway's /metrics exposition and exits non-zero on any
+# miss. soak-smoke is the CI-scale variant (same assertions, ~2k QPS).
+soak:
+	$(GO) run ./cmd/soak
+
+soak-smoke:
+	$(GO) run ./cmd/soak -target-qps 2000 -qps-floor 1800 -dur 2s
 
 # Tier-1 verify path (see ROADMAP.md).
 verify: build lint test race

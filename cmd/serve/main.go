@@ -22,8 +22,70 @@ import (
 	"ramsis/internal/serve"
 	"ramsis/internal/sim"
 	"ramsis/internal/telemetry"
+	"ramsis/internal/tenant"
 	"ramsis/internal/trace"
 )
+
+// shardedOpts carries the single-tenant flags the sharded plane reuses.
+type shardedOpts struct {
+	workers      int
+	timeScale    float64
+	noiseMS      float64
+	seed         int64
+	d            int
+	maxQueue     int
+	lb           string
+	addr         string
+	degradeDepth int
+	adaptive     bool
+}
+
+// runSharded starts the multi-tenant sharded serving plane from a tenant
+// contract file and serves until interrupted. Every single-tenant flag
+// keeps its meaning; -workers counts per shard.
+func runSharded(models profile.Set, file string, shards int, shardBy string, o shardedOpts) {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tenants, err := tenant.Parse(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("solving %d per-tenant policies (%d shards x %d workers, %s sharding)...\n",
+		len(tenants), shards, o.workers, shardBy)
+	cluster, err := serve.StartShardedCluster(serve.ShardedConfig{
+		Models:          models,
+		Tenants:         tenants,
+		TenantFile:      file,
+		Shards:          shards,
+		WorkersPerShard: o.workers,
+		TimeScale:       o.timeScale,
+		LatencyStdDev:   o.noiseMS / 1000,
+		Seed:            o.seed,
+		D:               o.d,
+		MaxQueue:        o.maxQueue,
+		ShardBy:         shardBy,
+		LB:              o.lb,
+		Addr:            o.addr,
+		DegradeDepth:    o.degradeDepth,
+		Adaptive:        o.adaptive,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Stop()
+	fmt.Printf("multi-tenant gateway at %s (%d tenants)\n", cluster.URL(), len(tenants))
+	for _, t := range tenants {
+		fmt.Printf("  tenant %-12s class %-12s SLO %6.0f ms, weight %.1f, contracted %.0f QPS\n",
+			t.Name, t.Class, t.SLOMS, t.Weight, t.RateQPS)
+	}
+	fmt.Printf("try: curl -X POST %s/query -H 'X-Tenant: %s' -d '{}'\n", cluster.URL(), tenants[0].Name)
+	fmt.Printf("     curl %s/stats\n", cluster.URL())
+	fmt.Printf("     curl %s/metrics\n", cluster.URL())
+	fmt.Printf("     curl -X POST %s/reload   # after editing %s\n", cluster.URL(), file)
+	select {} // serve until interrupted
+}
 
 func main() {
 	var (
@@ -48,6 +110,10 @@ func main() {
 		adaptDwell  = flag.Float64("adapt-dwell", 2, "seconds the rate must stay outside the band before re-solving")
 		adaptBucket = flag.Float64("adapt-bucket", 0, "rate bucket size in QPS for re-solves and the policy cache (0 = hysteresis band width at the initial rate)")
 
+		tenantsFile = flag.String("tenants", "", "multi-tenant mode: tenant contract JSON (name, class, sloMs, weight, rateQps); starts the sharded serving plane with per-tenant policies, weighted-fair admission, and a tenant-routing gateway")
+		shards      = flag.Int("shards", 1, "frontend shard count (multi-tenant mode); -workers is per shard")
+		shardBy     = flag.String("shard-by", "hash", "shard routing policy: hash/rendezvous (pin tenant to shard) or p2c (spread by queue depth)")
+
 		maxQueue     = flag.Int("maxqueue", 0, "queue-length bound N_w (0 = default 32): caps the RAMSIS MDP state space, and with -admit cap also sets the online admission bound (workers x N_w outstanding) — one knob for both, since policy guarantees lapse past N_w anyway")
 		admitName    = flag.String("admit", "none", "admission control: none, deadline (429 queries whose deadline is unmeetable), or cap (bound outstanding work; unifies the -maxqueue N_w bound online)")
 		admitMargin  = flag.Float64("admit-margin", 1, "deadline admission: shed when estimated wait exceeds SLO*margin minus best-case service time")
@@ -62,6 +128,14 @@ func main() {
 	models, err := profile.SetForTask(*task)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *tenantsFile != "" {
+		runSharded(models, *tenantsFile, *shards, *shardBy, shardedOpts{
+			workers: *workers, timeScale: *timeScale, noiseMS: *noiseMS,
+			seed: *seed, d: *d, maxQueue: *maxQueue, lb: *lbArg, addr: *addr,
+			degradeDepth: *admitDegrade, adaptive: *adaptive,
+		})
+		return
 	}
 	slo := *sloMS / 1000
 	balancing, err := core.ParseBalancing(*lbArg)

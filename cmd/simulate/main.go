@@ -11,6 +11,9 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
+	"strconv"
+	"strings"
 
 	"ramsis/internal/adapt"
 	"ramsis/internal/admit"
@@ -21,8 +24,30 @@ import (
 	"ramsis/internal/profile"
 	"ramsis/internal/sim"
 	"ramsis/internal/telemetry"
+	"ramsis/internal/tenant"
 	"ramsis/internal/trace"
 )
+
+// parseMultipliers parses "-tenant-mult bronze=4,gold=2" into a rate
+// multiplier map for tenant.ArrivalsScaled.
+func parseMultipliers(s string) (map[string]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := map[string]float64{}
+	for _, kv := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("tenant-mult: %q is not name=factor", kv)
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil || f <= 0 {
+			return nil, fmt.Errorf("tenant-mult: bad factor in %q", kv)
+		}
+		out[strings.TrimSpace(name)] = f
+	}
+	return out, nil
+}
 
 func main() {
 	var (
@@ -51,6 +76,9 @@ func main() {
 		stepAt      = flag.Float64("step-at", 10, "step trace: seconds into the run the step starts")
 		stepDur     = flag.Float64("step-dur", 10, "step trace: step duration in seconds")
 
+		tenantsFile = flag.String("tenants", "", "multi-tenant mode: tenant contract JSON; each tenant offers its contracted rate over -dur, violations are judged per tenant SLO, and weighted-fair admission meters tenants (wraps -admit as the inner layer)")
+		tenantMult  = flag.String("tenant-mult", "", "per-tenant offered-rate multipliers, e.g. bronze=4 or bronze=4,gold=2 — the overload experiment knob (requires -tenants)")
+
 		admitName    = flag.String("admit", "none", "admission control: none, deadline (shed queries whose deadline is unmeetable), or cap (bound outstanding work; unifies the -maxqueue N_w bound online)")
 		admitMargin  = flag.Float64("admit-margin", 1, "deadline admission: shed when estimated wait exceeds SLO*margin minus best-case service time")
 		admitDegrade = flag.Int("admit-degrade", 0, "degraded-mode depth: maximum number of slowest models to forbid under confirmed overload (0 = off; requires -admit)")
@@ -63,6 +91,31 @@ func main() {
 	models, err := profile.SetForTask(*task)
 	if err != nil {
 		log.Fatal(err)
+	}
+	var tenants []tenant.Tenant
+	var mult map[string]float64
+	if *tenantsFile != "" {
+		data, err := os.ReadFile(*tenantsFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if tenants, err = tenant.Parse(data); err != nil {
+			log.Fatal(err)
+		}
+		if mult, err = parseMultipliers(*tenantMult); err != nil {
+			log.Fatal(err)
+		}
+		// The method solves for the contracted aggregate: overload beyond a
+		// contract is the fair admitter's problem, not the solver's. The
+		// constant trace at that rate also keeps the oracle monitor honest.
+		total := 0.0
+		for _, t := range tenants {
+			total += t.RateQPS
+		}
+		*traceArg = "constant"
+		*load = total
+	} else if *tenantMult != "" {
+		log.Fatal("-tenant-mult requires -tenants")
 	}
 	slo := *sloMS / 1000
 	balancing, err := core.ParseBalancing(*lbArg)
@@ -223,15 +276,38 @@ func main() {
 	} else if *admitDegrade > 0 {
 		log.Fatal("-admit-degrade requires an admitter (-admit deadline or -admit cap)")
 	}
-	arrivals := trace.PoissonArrivals(tr, *seed)
-	fmt.Printf("simulating %d queries (%s trace, %s, SLO %.0f ms, %d workers)...\n",
-		len(arrivals), tr.Name, *task, *sloMS, *workers)
-	m := e.Run(arrivals)
+	var m sim.Metrics
+	if tenants != nil {
+		reg, err := tenant.NewRegistry(tenants)
+		if err != nil {
+			log.Fatal(err)
+		}
+		e.TenantSLOs = make(map[string]float64, len(tenants))
+		for _, t := range tenants {
+			e.TenantSLOs[t.Name] = t.SLO()
+		}
+		// Weighted-fair admission wraps whatever -admit configured as the
+		// inner, capacity-facing layer.
+		e.FairAdmit = tenant.NewFairAdmitter(reg, e.Admit, tenant.FairConfig{})
+		evs := tenant.ArrivalsScaled(tenants, mult, *dur, *seed)
+		queries := make([]sim.Query, len(evs))
+		for i, ev := range evs {
+			queries[i] = sim.Query{ID: i, Arrival: ev.T, Tenant: ev.Tenant}
+		}
+		fmt.Printf("simulating %d queries (%d tenants, %s, %d workers, fair admission)...\n",
+			len(queries), len(tenants), *task, *workers)
+		m = e.RunQueries(queries)
+	} else {
+		arrivals := trace.PoissonArrivals(tr, *seed)
+		fmt.Printf("simulating %d queries (%s trace, %s, SLO %.0f ms, %d workers)...\n",
+			len(arrivals), tr.Name, *task, *sloMS, *workers)
+		m = e.Run(arrivals)
+	}
 
 	fmt.Printf("method:                      %s\n", *method)
 	fmt.Printf("served:                      %d\n", m.Served)
 	fmt.Printf("decisions:                   %d\n", m.Decisions)
-	if e.Admit != nil {
+	if e.Admit != nil || e.FairAdmit != nil {
 		fmt.Printf("offered / shed:              %d / %d (shed rate %.4f%%)\n",
 			m.Offered(), m.Shed, m.ShedRate()*100)
 		fmt.Printf("goodput (in-SLO/offered):    %.4f%%\n", m.GoodputRate()*100)
@@ -248,6 +324,19 @@ func main() {
 	fmt.Println("model usage (queries):")
 	for name, c := range m.ModelCounts {
 		fmt.Printf("  %-22s %d\n", name, c)
+	}
+	if m.Tenants != nil {
+		names := make([]string, 0, len(m.Tenants))
+		for name := range m.Tenants {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Println("per-tenant breakdown:")
+		for _, name := range names {
+			tm := m.Tenants[name]
+			fmt.Printf("  %-12s offered %6d  served %6d  shed %5d  violations %5d  goodput %.4f\n",
+				name, tm.Offered(), tm.Served, tm.Shed, tm.Violations, tm.GoodputRate())
+		}
 	}
 	if adapter != nil {
 		s := adapter.Stats()

@@ -131,7 +131,7 @@ func (c *Controller) Run(arrivals []float64) (sim.Metrics, error) {
 	if c.Telemetry == nil {
 		c.Telemetry = telemetry.NewRegistry()
 	}
-	c.tel = newServeSeries(c.Telemetry, len(c.Workers))
+	c.tel = newServeSeries(c.Telemetry, len(c.Workers), 0)
 	if c.Degrade != nil {
 		c.clamp = newModelClamp(c.Profiles)
 		wireDegradeTelemetry(c.Telemetry, c.Degrade)

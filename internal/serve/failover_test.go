@@ -101,9 +101,21 @@ func TestFrontendRoutesAroundDeadWorker(t *testing.T) {
 				t.Fatal("dead worker never marked unhealthy")
 			}
 			// Let any batch already queued to the dead worker drain through
-			// failover before snapshotting its dispatch counter.
-			time.Sleep(150 * time.Millisecond)
+			// failover before snapshotting its dispatch counter. The drain
+			// time is load-dependent (several fold slower under the race
+			// detector), so wait for the counter to go quiet instead of
+			// sleeping a fixed interval.
 			before := f.Stats().WorkerDispatches[1]
+			quietSince := time.Now()
+			for end := time.Now().Add(5 * time.Second); time.Now().Before(end); {
+				if now := f.Stats().WorkerDispatches[1]; now != before {
+					before = now
+					quietSince = time.Now()
+				} else if time.Since(quietSince) >= 300*time.Millisecond {
+					break
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
 			fireQueries(t, f.URL(), total/3, pace)
 			if after := f.Stats().WorkerDispatches[1]; after != before {
 				t.Errorf("dead worker got %d dispatches after detection", after-before)

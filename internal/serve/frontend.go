@@ -17,6 +17,7 @@ import (
 	"ramsis/internal/profile"
 	"ramsis/internal/sim"
 	"ramsis/internal/telemetry"
+	"ramsis/internal/tenant"
 )
 
 // QueryResponse is the client-facing result of one inference query.
@@ -115,6 +116,20 @@ type Frontend struct {
 	// exhausted a failed batch fails fast instead of doubling the load on
 	// the surviving workers mid-overload.
 	RetryBudget *admit.RetryBudget
+	// Plane, when set, runs this frontend as one shard of a multi-tenant
+	// deployment: arrivals resolve to a tenant whose own SLO, selector,
+	// rate monitor, degrader, and weighted-fair admission replace the
+	// frontend-wide Admit/Degrade/Monitor/Select/SLO fields (which then
+	// only serve as fallbacks for state-less paths). The plane is shared
+	// across shards.
+	Plane *TenantPlane
+	// Shard is this frontend's shard index in a sharded deployment
+	// (informational; 0 when unsharded).
+	Shard int
+	// WorkerOffset shifts the worker metric labels so shards sharing one
+	// telemetry registry keep distinct per-worker series: shard-local
+	// worker w is exposed as worker WorkerOffset+w.
+	WorkerOffset int
 
 	closed    atomic.Bool
 	nextID    atomic.Int64
@@ -123,6 +138,9 @@ type Frontend struct {
 	ownHealth bool
 	clamp     *modelClamp
 	tel       *serveSeries
+	// maxBatch caps how far workerLoop scans the queue prefix for the
+	// tightest deadline in the batch window.
+	maxBatch int
 
 	// monitorMu guards the Monitor, whose Observe times must be
 	// non-decreasing. It is never held while a workerQueue lock is taken.
@@ -151,6 +169,11 @@ type workerQueue struct {
 type pendingQuery struct {
 	q    sim.Query
 	done chan QueryResponse
+	// slo is the deadline this query is judged against: its tenant's own
+	// SLO in multi-tenant mode, the frontend-wide one otherwise.
+	slo float64
+	// st is the query's tenant state (nil in single-tenant mode).
+	st *tenantState
 	// pickSec and enqueuedAt stamp the query's first two span stages
 	// (modeled seconds); the dispatch path fills in the rest.
 	pickSec    float64
@@ -171,7 +194,10 @@ func (f *Frontend) Start() error {
 	if f.Traces == nil {
 		f.Traces = telemetry.NewTraceBuffer(0)
 	}
-	f.tel = newServeSeries(f.Telemetry, len(f.Workers))
+	f.tel = newServeSeries(f.Telemetry, len(f.Workers), f.WorkerOffset)
+	if f.Plane != nil && f.Select == nil {
+		f.Select = f.Plane.fallback
+	}
 	if f.Balancer == nil {
 		f.Balancer = lb.NewRoundRobin()
 	}
@@ -188,7 +214,7 @@ func (f *Frontend) Start() error {
 		f.Health.Start()
 		f.ownHealth = true
 	}
-	registerHealthGauges(f.Telemetry, f.Health, len(f.Workers))
+	registerHealthGauges(f.Telemetry, f.Health, len(f.Workers), f.WorkerOffset)
 	if f.Degrade != nil {
 		f.clamp = newModelClamp(f.Profiles)
 		wireDegradeTelemetry(f.Telemetry, f.Degrade)
@@ -199,7 +225,16 @@ func (f *Frontend) Start() error {
 		ws.cond = sync.NewCond(&ws.mu)
 		f.wq[i] = ws
 	}
-	f.start = time.Now()
+	for _, p := range f.Profiles.Profiles {
+		if b := p.MaxBatch(); b > f.maxBatch {
+			f.maxBatch = b
+		}
+	}
+	if f.start.IsZero() {
+		// The sharded gateway pre-sets a common epoch so every shard (and
+		// the shared fair admitter they feed) agrees on modeled time.
+		f.start = time.Now()
+	}
 	f.client = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: len(f.Workers) + 4}}
 
 	addr := f.Addr
@@ -314,27 +349,59 @@ func (f *Frontend) queueLens() []int {
 	return lens
 }
 
-// handleQuery routes the query through the balancer and blocks until it is
-// served.
-func (f *Frontend) handleQuery(rw http.ResponseWriter, req *http.Request) {
-	if req.Method != http.MethodPost {
-		http.Error(rw, "POST required", http.StatusMethodNotAllowed)
-		return
-	}
+// EnqueueError reports why Enqueue refused a query, with the HTTP mapping
+// the handlers use.
+type EnqueueError struct {
+	Status int // HTTP status: 400 unknown tenant, 429 shed, 503 shutdown
+	Msg    string
+	// RetryAfterSec is the wall-clock back-off hint for 429 responses
+	// (already scaled down from modeled seconds by TimeScale).
+	RetryAfterSec float64
+}
+
+// Error implements error.
+func (e *EnqueueError) Error() string { return e.Msg }
+
+// Enqueue admits and routes one query in-process, returning the channel
+// its response will be delivered on (buffered: dispatch never blocks on a
+// reader, so fire-and-forget injectors may drop the channel). tenantName
+// selects the tenant in multi-tenant mode ("" resolves to the default
+// tenant); it is ignored when no Plane is configured. The HTTP handler,
+// the sharded gateway, and load injectors all route through here.
+func (f *Frontend) Enqueue(tenantName string) (<-chan QueryResponse, *EnqueueError) {
 	if f.closed.Load() {
-		http.Error(rw, "shutting down", http.StatusServiceUnavailable)
-		return
+		return nil, &EnqueueError{Status: http.StatusServiceUnavailable, Msg: "shutting down"}
 	}
 	id := int(f.nextID.Add(1) - 1)
 	arrival := f.now()
-	if f.Monitor != nil {
-		f.monitorMu.Lock()
-		f.Monitor.Observe(arrival)
-		f.monitorMu.Unlock()
+
+	var st *tenantState
+	slo := f.SLO
+	if f.Plane != nil {
+		var ok bool
+		st, ok = f.Plane.state(tenantName)
+		if !ok {
+			return nil, &EnqueueError{Status: http.StatusBadRequest,
+				Msg: fmt.Sprintf("unknown tenant %q", tenantName)}
+		}
+		slo = st.slo
+		st.observe(arrival)
+		if err := f.admitTenant(st, id, arrival); err != nil {
+			return nil, err
+		}
+	} else {
+		if f.Monitor != nil {
+			f.monitorMu.Lock()
+			f.Monitor.Observe(arrival)
+			f.monitorMu.Unlock()
+		}
+		if f.Admit != nil {
+			if err := f.admitSingle(id, arrival); err != nil {
+				return nil, err
+			}
+		}
 	}
-	if f.Admit != nil && !f.admitOrShed(rw, id, arrival) {
-		return
-	}
+
 	pickStart := f.now()
 	w := f.Balancer.Pick(f.queueLens(), f.Health.Healthy())
 	pickSec := f.now() - pickStart
@@ -344,18 +411,33 @@ func (f *Frontend) handleQuery(rw http.ResponseWriter, req *http.Request) {
 	ws.mu.Lock()
 	if f.closed.Load() {
 		ws.mu.Unlock()
-		http.Error(rw, "shutting down", http.StatusServiceUnavailable)
-		return
+		return nil, &EnqueueError{Status: http.StatusServiceUnavailable, Msg: "shutting down"}
 	}
 	pq := pendingQuery{
-		q: sim.Query{ID: id, Arrival: arrival}, done: done,
+		q: sim.Query{ID: id, Arrival: arrival, Tenant: tenantName}, done: done,
+		slo: slo, st: st,
 		pickSec: pickSec, enqueuedAt: f.now(),
 	}
 	ws.queue = append(ws.queue, pq)
 	ws.outstanding.Add(1)
 	ws.cond.Signal()
 	ws.mu.Unlock()
+	return done, nil
+}
 
+// handleQuery routes the query through the balancer and blocks until it is
+// served. The tenant comes from the X-Tenant header or ?tenant= parameter
+// (multi-tenant mode only).
+func (f *Frontend) handleQuery(rw http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		http.Error(rw, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	done, eerr := f.Enqueue(tenantFromRequest(req))
+	if eerr != nil {
+		writeEnqueueError(rw, eerr)
+		return
+	}
 	select {
 	case resp := <-done:
 		rw.Header().Set("Content-Type", "application/json")
@@ -366,40 +448,100 @@ func (f *Frontend) handleQuery(rw http.ResponseWriter, req *http.Request) {
 	}
 }
 
-// admitOrShed screens one arrival through the admission controller. It
-// returns true when the query may proceed to routing; a shed query has
-// already been answered 429 with a Retry-After hint and recorded (shed
-// counter, degrader pressure, and a single-span shed trace so rejected
-// queries stay visible in /debug/traces).
-func (f *Frontend) admitOrShed(rw http.ResponseWriter, id int, arrival float64) bool {
-	outstanding := 0
-	for _, ws := range f.wq {
-		outstanding += int(ws.outstanding.Load())
+// tenantFromRequest extracts the tenant label: X-Tenant header first, then
+// the ?tenant= query parameter; empty means the default tenant.
+func tenantFromRequest(req *http.Request) string {
+	if tn := req.Header.Get("X-Tenant"); tn != "" {
+		return tn
 	}
-	v := f.Admit.Admit(admit.Request{Now: arrival, Outstanding: outstanding})
+	return req.URL.Query().Get("tenant")
+}
+
+// writeEnqueueError maps an EnqueueError onto the HTTP response, with the
+// Retry-After hint on 429s.
+func writeEnqueueError(rw http.ResponseWriter, e *EnqueueError) {
+	if e.Status == http.StatusTooManyRequests {
+		rw.Header().Set("Retry-After", strconv.Itoa(admit.RetryAfterSeconds(e.RetryAfterSec)))
+	}
+	http.Error(rw, e.Msg, e.Status)
+}
+
+// outstanding totals queued plus in-dispatch queries across this shard's
+// workers — the admitters' backlog signal and the sharder's depth input.
+func (f *Frontend) Outstanding() int {
+	n := 0
+	for _, ws := range f.wq {
+		n += int(ws.outstanding.Load())
+	}
+	return n
+}
+
+// admitSingle screens one arrival through the frontend-wide admission
+// controller. It returns nil when the query may proceed to routing; a shed
+// query has been recorded (shed counter, degrader pressure, and a
+// single-span shed trace so rejected queries stay visible in
+// /debug/traces).
+func (f *Frontend) admitSingle(id int, arrival float64) *EnqueueError {
+	v := f.Admit.Admit(admit.Request{Now: arrival, Outstanding: f.Outstanding()})
 	if f.Degrade != nil {
 		f.Degrade.Observe(arrival, !v.Admit, v.EstWait)
 	}
 	f.tel.estWait.Observe(v.EstWait)
 	if v.Admit {
 		f.tel.admitted.Inc()
-		return true
+		return nil
 	}
 	f.tel.shed(f.Admit.Name()).Inc()
+	msg := fmt.Sprintf("shed by %s admission control (est wait %.3fs)", f.Admit.Name(), v.EstWait)
+	f.recordShedTrace(id, arrival, msg)
+	return f.shedError(msg, v.RetryAfter)
+}
+
+// admitTenant screens one arrival through the shared weighted-fair
+// admitter, charging the decision to the query's tenant.
+func (f *Frontend) admitTenant(st *tenantState, id int, arrival float64) *EnqueueError {
+	v := f.Plane.fair.Admit(st.name, admit.Request{Now: arrival, Outstanding: f.Outstanding()})
+	if st.degrade != nil {
+		st.degrade.Observe(arrival, !v.Admit, v.EstWait)
+	}
+	f.tel.estWait.Observe(v.EstWait)
+	if v.Admit {
+		f.tel.admitted.Inc()
+		st.admitted.Inc()
+		if v.Reason == tenant.ReasonBorrowed {
+			st.borrowed.Inc()
+		}
+		return nil
+	}
+	f.tel.shed(f.Plane.fair.Name()).Inc()
+	st.shed.Inc()
+	msg := fmt.Sprintf("tenant %s shed by weighted-fair admission (%s)", st.name, v.Reason)
+	f.recordShedTrace(id, arrival, msg)
+	return f.shedError(msg, v.RetryAfter)
+}
+
+// recordShedTrace keeps a rejected query visible in /debug/traces and the
+// JSONL export via a single zero-length shed span.
+func (f *Frontend) recordShedTrace(id int, arrival float64, msg string) {
 	qt := telemetry.QueryTrace{
 		ID: id, Arrival: arrival, Worker: -1,
-		Error: fmt.Sprintf("shed by %s admission control (est wait %.3fs)", f.Admit.Name(), v.EstWait),
+		Error: msg,
 		Spans: []telemetry.Span{{Stage: telemetry.StageShed}},
 	}
 	f.Traces.Add(qt)
 	if f.TraceWriter != nil {
 		_ = f.TraceWriter.Write(qt)
 	}
-	// The hint is computed in modeled seconds; the client backs off in wall
-	// time, so scale it down under compressed TimeScale.
-	rw.Header().Set("Retry-After", strconv.Itoa(admit.RetryAfterSeconds(v.RetryAfter/f.TimeScale)))
-	http.Error(rw, "overloaded: query shed by admission control", http.StatusTooManyRequests)
-	return false
+}
+
+// shedError builds the 429, scaling the modeled-seconds back-off hint to
+// wall time (clients back off in wall time under compressed TimeScale).
+func (f *Frontend) shedError(msg string, retryAfterModeled float64) *EnqueueError {
+	return &EnqueueError{
+		Status:        http.StatusTooManyRequests,
+		Msg:           "overloaded: " + msg,
+		RetryAfterSec: retryAfterModeled / f.TimeScale,
+	}
 }
 
 func (f *Frontend) handleStats(rw http.ResponseWriter, _ *http.Request) {
@@ -423,27 +565,52 @@ func (f *Frontend) workerLoop(w int) {
 			return
 		}
 		n := len(ws.queue)
-		head := ws.queue[0].q
+		head := ws.queue[0]
+		// The decision slack honors the tightest deadline in the batch
+		// window, not just the head's: multi-tenant FIFO queues mix SLO
+		// classes, and a short-SLO query stuck behind a lax head would
+		// otherwise wait out a slow accurate-model batch it can never
+		// survive (head-of-line inversion).
+		deadline := head.q.Arrival + head.slo
+		scan := n
+		if scan > f.maxBatch {
+			scan = f.maxBatch
+		}
+		for i := 1; i < scan; i++ {
+			if d := ws.queue[i].q.Arrival + ws.queue[i].slo; d < deadline {
+				deadline = d
+			}
+		}
 		ws.mu.Unlock()
 
+		// In multi-tenant mode the batch decision is keyed by the head
+		// query's tenant: its selector, monitored load, and degrade clamp
+		// drive the pick. Batches may still mix tenants (FIFO order is
+		// preserved); each query is judged against its own SLO at dispatch.
 		now := f.now()
+		sel := f.Select
+		degrade, clamp := f.Degrade, f.clamp
 		load := 0.0
-		if f.Monitor != nil {
+		if head.st != nil {
+			sel = head.st.sel
+			degrade, clamp = head.st.degrade, head.st.clamp
+			load = head.st.load(now)
+		} else if f.Monitor != nil {
 			f.monitorMu.Lock()
 			load = f.Monitor.Load(now)
 			f.monitorMu.Unlock()
 		}
-		slack := head.Arrival + f.SLO - now
-		model, batch := f.Select(now, load, n, slack)
+		slack := deadline - now
+		model, batch := sel(now, load, n, slack)
 		p, ok := f.Profiles.ByName(model)
 		if !ok || batch < 1 {
 			// Defensive: never drop live queries on selector misbehavior.
 			p = f.Profiles.Profiles[0]
 			batch = 1
 		}
-		if f.Degrade != nil {
-			if lvl := f.Degrade.Level(); lvl > 0 {
-				if name, changed := f.clamp.apply(lvl, p.Name); changed {
+		if degrade != nil {
+			if lvl := degrade.Level(); lvl > 0 {
+				if name, changed := clamp.apply(lvl, p.Name); changed {
 					p, _ = f.Profiles.ByName(name)
 					f.tel.degraded.Inc()
 				}
@@ -568,12 +735,22 @@ func (f *Frontend) dispatch(w int, model string, queries []pendingQuery) {
 	for _, pq := range queries {
 		done := f.now()
 		lat := done - pq.q.Arrival
-		met := ok && lat <= f.SLO
+		slo := pq.slo
+		if slo <= 0 {
+			slo = f.SLO
+		}
+		met := ok && lat <= slo
 		f.tel.queries.Inc()
+		if pq.st != nil {
+			pq.st.queries.Inc()
+		}
 		if met {
 			f.tel.satAcc.Add(p.Accuracy)
 		} else {
 			f.tel.violations.Inc()
+			if pq.st != nil {
+				pq.st.violations.Inc()
+			}
 		}
 		resp := QueryResponse{
 			ID: pq.q.ID, Model: model, Batch: len(queries),

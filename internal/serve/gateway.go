@@ -1,0 +1,220 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"ramsis/internal/telemetry"
+	"ramsis/internal/tenant"
+)
+
+// Gateway fronts a sharded deployment: it resolves each query's tenant,
+// picks a frontend shard by the configured sharding policy, and enqueues
+// the query in-process on that shard (the shards share the gateway's
+// address space — sharding here partitions queues and worker pools, not
+// machines). It also serves the merged observability surface: /metrics
+// from the registry every shard writes into, /stats with the per-tenant
+// breakdown, and /reload for tenant-config hot swaps.
+type Gateway struct {
+	// Shards are the started frontend shards, index = shard id.
+	Shards []*Frontend
+	// Sharder picks a shard per query (default rendezvous hashing).
+	Sharder tenant.Sharder
+	// Plane is the shared per-tenant control state (required).
+	Plane *TenantPlane
+	// Addr is the listen address (default random localhost port).
+	Addr string
+	// TenantFile, when set, is re-parsed on POST /reload.
+	TenantFile string
+	// Telemetry is the shared registry (required: the same one the shards
+	// and the plane write into).
+	Telemetry *telemetry.Registry
+
+	shardQueries []*telemetry.Counter
+	goodputVec   *telemetry.GaugeVec
+	srv          *http.Server
+	addr         string
+	start        time.Time
+}
+
+// GatewayStats is the gateway's /stats document.
+type GatewayStats struct {
+	Served           int                    `json:"served"`
+	Violations       int                    `json:"violations"`
+	Shed             int                    `json:"shed"`
+	FailedDispatches int                    `json:"failedDispatches"`
+	Shards           int                    `json:"shards"`
+	ShardDepths      []int                  `json:"shardDepths"`
+	ShardQueries     []int                  `json:"shardQueries"`
+	TenantVersion    uint64                 `json:"tenantVersion"`
+	Tenants          map[string]TenantStats `json:"tenants"`
+}
+
+// Start wires the shard-level telemetry and binds the gateway listener.
+// The shards must already be started.
+func (g *Gateway) Start() error {
+	if len(g.Shards) == 0 {
+		return fmt.Errorf("serve: gateway needs at least one shard")
+	}
+	if g.Plane == nil {
+		return fmt.Errorf("serve: gateway needs a tenant plane")
+	}
+	if g.Telemetry == nil {
+		return fmt.Errorf("serve: gateway needs the shared telemetry registry")
+	}
+	if g.Sharder == nil {
+		g.Sharder = tenant.Rendezvous{}
+	}
+	if g.start.IsZero() {
+		g.start = time.Now()
+	}
+	for i, fe := range g.Shards {
+		fe := fe
+		shard := fmt.Sprintf("%d", i)
+		g.shardQueries = append(g.shardQueries,
+			g.Telemetry.Counter(telemetry.MetricShardQueries, "shard", shard))
+		g.Telemetry.GaugeFunc(telemetry.MetricShardDepth, func() float64 {
+			return float64(fe.Outstanding())
+		}, "shard", shard)
+	}
+	g.goodputVec = g.Telemetry.GaugeVec(telemetry.MetricTenantGoodput, "tenant")
+	g.Telemetry.Help(telemetry.MetricShardDepth, "Outstanding queries per frontend shard.")
+	g.Telemetry.Help(telemetry.MetricTenantGoodput, "Per-tenant goodput fraction: in-SLO served / offered.")
+
+	addr := g.Addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	g.addr = ln.Addr().String()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", g.handleQuery)
+	mux.HandleFunc("/stats", g.handleStats)
+	mux.HandleFunc("/reload", g.handleReload)
+	mux.Handle("/metrics", g.Telemetry.Handler())
+	telemetry.RegisterPprof(mux)
+	g.srv = &http.Server{Handler: mux}
+	go func() { _ = g.srv.Serve(ln) }()
+	return nil
+}
+
+// URL returns the gateway's base URL.
+func (g *Gateway) URL() string { return "http://" + g.addr }
+
+// Stop closes the gateway listener (the shards are stopped by their
+// owner).
+func (g *Gateway) Stop() error {
+	if g.srv == nil {
+		return nil
+	}
+	return g.srv.Close()
+}
+
+// Route admits and enqueues one query on the shard the sharding policy
+// picks for its tenant, returning the response channel. Load injectors
+// call this directly; handleQuery wraps it for HTTP clients.
+func (g *Gateway) Route(tenantName string) (<-chan QueryResponse, *EnqueueError) {
+	t, ok := g.Plane.Registry().Resolve(tenantName)
+	if !ok {
+		return nil, &EnqueueError{Status: http.StatusBadRequest,
+			Msg: fmt.Sprintf("unknown tenant %q", tenantName)}
+	}
+	depths := make([]int, len(g.Shards))
+	for i, fe := range g.Shards {
+		depths[i] = fe.Outstanding()
+	}
+	// Pick on the canonical name so "" and the default tenant hash alike.
+	s := g.Sharder.Pick(t.Name, depths)
+	if s < 0 || s >= len(g.Shards) {
+		s = 0
+	}
+	done, eerr := g.Shards[s].Enqueue(t.Name)
+	if eerr == nil {
+		g.shardQueries[s].Inc()
+	}
+	return done, eerr
+}
+
+// handleQuery resolves the tenant (X-Tenant header or ?tenant= parameter),
+// routes to a shard, and blocks until the query is served.
+func (g *Gateway) handleQuery(rw http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		http.Error(rw, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	done, eerr := g.Route(tenantFromRequest(req))
+	if eerr != nil {
+		writeEnqueueError(rw, eerr)
+		return
+	}
+	select {
+	case resp := <-done:
+		rw.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(rw).Encode(resp)
+	case <-req.Context().Done():
+	}
+}
+
+// Stats assembles the gateway-wide snapshot: aggregate serving counters
+// (the shards share one registry, so the totals are already merged) plus
+// the per-tenant breakdown. Each tenant's live goodput gauge is refreshed
+// as a side effect, so a /stats poll keeps /metrics' goodput current.
+func (g *Gateway) Stats() GatewayStats {
+	now := time.Since(g.start).Seconds() * g.Shards[0].TimeScale
+	tenants := g.Plane.Stats(now)
+	depths := make([]int, len(g.Shards))
+	sq := make([]int, len(g.Shards))
+	for i, fe := range g.Shards {
+		depths[i] = fe.Outstanding()
+		sq[i] = int(g.shardQueries[i].Value())
+	}
+	served := int(g.Telemetry.Counter(telemetry.MetricQueries).Value())
+	violations := int(g.Telemetry.Counter(telemetry.MetricViolations).Value())
+	shed := 0
+	for name, ts := range tenants {
+		shed += ts.Shed
+		g.goodputVec.With(name).Set(ts.Goodput)
+	}
+	return GatewayStats{
+		Served:           served,
+		Violations:       violations,
+		Shed:             shed,
+		FailedDispatches: int(g.Telemetry.Counter(telemetry.MetricFailedDispatches).Value()),
+		Shards:           len(g.Shards),
+		ShardDepths:      depths,
+		ShardQueries:     sq,
+		TenantVersion:    g.Plane.Registry().Version(),
+		Tenants:          tenants,
+	}
+}
+
+func (g *Gateway) handleStats(rw http.ResponseWriter, _ *http.Request) {
+	rw.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(rw).Encode(g.Stats())
+}
+
+// handleReload re-reads the tenant config file and hot-swaps the registry;
+// the fair admitter and plane pick up the new set on their next admit and
+// state lookup. POST only.
+func (g *Gateway) handleReload(rw http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		http.Error(rw, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	if g.TenantFile == "" {
+		http.Error(rw, "no tenant file configured", http.StatusBadRequest)
+		return
+	}
+	if err := g.Plane.Registry().ReloadFile(g.TenantFile); err != nil {
+		http.Error(rw, err.Error(), http.StatusBadRequest)
+		return
+	}
+	rw.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(rw).Encode(map[string]uint64{"version": g.Plane.Registry().Version()})
+}

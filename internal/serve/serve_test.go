@@ -121,7 +121,14 @@ func TestPrototypeEndToEndRAMSIS(t *testing.T) {
 	if acc := m.AccuracyPerSatisfiedQuery(); math.Abs(acc-pol.ExpectedAccuracy) > 0.08 {
 		t.Errorf("prototype accuracy %.4f far from expectation %.4f", acc, pol.ExpectedAccuracy)
 	}
-	if vr := m.ViolationRate(); vr > 0.20 {
+	budget := 0.20
+	if raceEnabled {
+		// The race detector multiplies the HTTP hop's wall cost several
+		// fold, and at this time scale that lands directly in modeled
+		// latency.
+		budget = 0.50
+	}
+	if vr := m.ViolationRate(); vr > budget {
 		t.Errorf("prototype violation rate %.4f implausibly high", vr)
 	}
 }

@@ -1,0 +1,265 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"ramsis/internal/adapt"
+	"ramsis/internal/admit"
+	"ramsis/internal/core"
+	"ramsis/internal/dist"
+	"ramsis/internal/lb"
+	"ramsis/internal/profile"
+	"ramsis/internal/sim"
+	"ramsis/internal/telemetry"
+	"ramsis/internal/tenant"
+)
+
+// ShardedConfig configures a localhost multi-tenant deployment: Shards
+// frontend shards of WorkersPerShard workers each, a shared tenant plane
+// (weighted-fair admission, per-tenant policies and degrade levels), and a
+// gateway routing by tenant.
+type ShardedConfig struct {
+	Models profile.Set
+	// Tenants is the serving contract set (required, non-empty).
+	Tenants []tenant.Tenant
+	// TenantFile, when set, enables POST /reload on the gateway.
+	TenantFile string
+	Shards     int
+	// WorkersPerShard is each shard's worker pool size.
+	WorkersPerShard int
+	TimeScale       float64
+	LatencyStdDev   float64
+	Seed            int64
+	// D is the FLD resolution for the per-tenant policy solves (default
+	// from core.Config).
+	D int
+	// MaxQueue bounds each shard's admitted backlog per worker (default
+	// from core.Config).
+	MaxQueue int
+	// QueueSlack multiplies the online queue cap beyond the MDP bound N_w
+	// (default 1). The MDP bound is capped at the profiled max batch, but
+	// at high time scales a wall-clock stall turns into a burst of modeled
+	// arrivals; extra online slack absorbs the burst (the solved policy's
+	// overflow action covers queues past N_w) instead of shedding it.
+	QueueSlack int
+	// ShardBy names the sharding policy: "hash"/"rendezvous" (default)
+	// pins each tenant to one shard; "p2c" spreads by queue depth.
+	ShardBy string
+	// LB names each shard's intra-shard balancer (default round-robin).
+	LB string
+	// Addr is the gateway listen address (default random localhost port).
+	Addr string
+	// Fair overrides the weighted-fair admitter knobs (zero values take
+	// the defaults: capacity = Σ contracted rates, 2 s bursts).
+	Fair tenant.FairConfig
+	// DegradeDepth > 0 arms a per-tenant degrader with that max level.
+	DegradeDepth int
+	// Adaptive runs each tenant's selector through the PR 3 adapt loop
+	// (background re-solve on drift) instead of a fixed policy set.
+	Adaptive bool
+	// Telemetry is the registry shared by every shard, the plane, and the
+	// gateway (default: a fresh one).
+	Telemetry *telemetry.Registry
+}
+
+// ShardedCluster is a running sharded multi-tenant deployment.
+type ShardedCluster struct {
+	Gateway *Gateway
+	Plane   *TenantPlane
+	shards  []*Frontend
+	workers []*Worker
+}
+
+// StartShardedCluster solves one policy set per tenant (sized to the
+// tenant's SLO and contracted rate), boots Shards×WorkersPerShard worker
+// servers and the frontend shards over them, and fronts everything with a
+// tenant-routing gateway. Every single-tenant mechanism is the N=1 special
+// case: one tenant, one shard reduces to StartCluster plus the fair
+// admitter metering its contracted rate.
+func StartShardedCluster(cfg ShardedConfig) (*ShardedCluster, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("serve: sharded cluster needs at least one shard")
+	}
+	if cfg.WorkersPerShard < 1 {
+		return nil, fmt.Errorf("serve: sharded cluster needs at least one worker per shard")
+	}
+	if cfg.TimeScale <= 0 {
+		cfg.TimeScale = 1
+	}
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = telemetry.NewRegistry()
+	}
+	reg, err := tenant.NewRegistry(cfg.Tenants)
+	if err != nil {
+		return nil, err
+	}
+	sharder, err := tenant.NewSharder(cfg.ShardBy, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	// Hash sharding pins a tenant's whole stream to one shard, so its
+	// policy must be solved at the full contracted rate; p2c spreads the
+	// stream across shards evenly in expectation.
+	loadScale := 1.0
+	if _, p2c := sharder.(*tenant.P2C); p2c {
+		loadScale = 1.0 / float64(cfg.Shards)
+	}
+	// Tenants share each shard's workers rather than partitioning them, so
+	// every tenant's policy must be solved against the shard's aggregate
+	// contracted rate: a policy solved at only its own tenant's rate would
+	// pick accuracy-optimal models the workers cannot sustain once the
+	// other tenants' admitted streams land on the same queues. What stays
+	// per-tenant is the SLO, so latency-tolerant tenants still resolve to
+	// more accurate models than interactive ones.
+	shardRate := reg.TotalRate() * loadScale
+	selectors := make(map[string]SelectFunc, len(cfg.Tenants))
+	var fallback SelectFunc
+	for _, t := range cfg.Tenants {
+		base := core.Config{
+			Models:   cfg.Models,
+			SLO:      t.SLO(),
+			Workers:  cfg.WorkersPerShard,
+			Arrival:  dist.NewPoisson(1),
+			D:        cfg.D,
+			MaxQueue: cfg.MaxQueue,
+		}
+		rate := shardRate
+		set := core.NewPolicySet(base, nil)
+		if err := set.GenerateLoads([]float64{rate}); err != nil {
+			return nil, fmt.Errorf("serve: solving tenant %s: %w", t.Name, err)
+		}
+		sel := RAMSISSelector(set)
+		if cfg.Adaptive {
+			adapter, err := adapt.New(adapt.Config{
+				Base:       base,
+				Background: true, // never stall dispatch behind a re-solve
+				Telemetry:  cfg.Telemetry,
+			}, set.Policies()[0])
+			if err != nil {
+				return nil, fmt.Errorf("serve: adapting tenant %s: %w", t.Name, err)
+			}
+			sel = AdaptiveSelector(adapter)
+		}
+		selectors[t.Name] = sel
+		if fallback == nil {
+			fallback = sel // hot-reloaded tenants borrow the first solve
+		}
+	}
+
+	// The inner admitter bounds each admit against the enqueueing shard's
+	// backlog (Request.Outstanding is shard-local), enforcing per shard
+	// the MaxQueue state bound the MDPs assume.
+	maxQueue := cfg.MaxQueue
+	if maxQueue <= 0 {
+		maxQueue = 32 // core.Config.MaxQueue default
+	}
+	slack := cfg.QueueSlack
+	if slack < 1 {
+		slack = 1
+	}
+	inner := admit.Cap{
+		Limit: maxQueue * cfg.WorkersPerShard * slack,
+		Est:   core.NewWaitEstimator(cfg.Models, cfg.WorkersPerShard),
+	}
+	fairCfg := cfg.Fair
+	if fairCfg.BorrowReserve == 0 {
+		// Default: reserve half the shard queue cap for within-share
+		// traffic, so an overloader's borrowed backlog can never crowd
+		// compliant tenants out of the queue (set negative to disable).
+		fairCfg.BorrowReserve = inner.Limit / 2
+	}
+	fair := tenant.NewFairAdmitter(reg, inner, fairCfg)
+	plane := NewTenantPlane(TenantPlaneConfig{
+		Registry:     reg,
+		Fair:         fair,
+		Profiles:     cfg.Models,
+		Selectors:    selectors,
+		Fallback:     fallback,
+		DegradeDepth: cfg.DegradeDepth,
+		Telemetry:    cfg.Telemetry,
+	})
+
+	var latModel sim.LatencyModel = sim.Deterministic{}
+	if cfg.LatencyStdDev > 0 {
+		latModel = sim.Stochastic{StdDev: cfg.LatencyStdDev}
+	}
+	minSLO := cfg.Tenants[0].SLO()
+	for _, t := range cfg.Tenants[1:] {
+		if s := t.SLO(); s < minSLO {
+			minSLO = s
+		}
+	}
+
+	c := &ShardedCluster{Plane: plane}
+	epoch := time.Now()
+	for s := 0; s < cfg.Shards; s++ {
+		urls := make([]string, cfg.WorkersPerShard)
+		for i := 0; i < cfg.WorkersPerShard; i++ {
+			w := NewWorker(cfg.Models, latModel, cfg.TimeScale, cfg.Seed+int64(s*cfg.WorkersPerShard+i))
+			if err := w.Start(); err != nil {
+				c.Stop()
+				return nil, err
+			}
+			c.workers = append(c.workers, w)
+			urls[i] = w.URL()
+		}
+		balancer, err := lb.New(cfg.LB, cfg.Seed+int64(s))
+		if err != nil {
+			c.Stop()
+			return nil, err
+		}
+		fe := &Frontend{
+			Profiles:     cfg.Models,
+			SLO:          minSLO,
+			TimeScale:    cfg.TimeScale,
+			Workers:      urls,
+			Plane:        plane,
+			Shard:        s,
+			WorkerOffset: s * cfg.WorkersPerShard,
+			Balancer:     balancer,
+			Telemetry:    cfg.Telemetry,
+		}
+		fe.start = epoch // shared modeled-time epoch across shards
+		if err := fe.Start(); err != nil {
+			c.Stop()
+			return nil, err
+		}
+		c.shards = append(c.shards, fe)
+	}
+
+	c.Gateway = &Gateway{
+		Shards:     c.shards,
+		Sharder:    sharder,
+		Plane:      plane,
+		Addr:       cfg.Addr,
+		TenantFile: cfg.TenantFile,
+		Telemetry:  cfg.Telemetry,
+	}
+	c.Gateway.start = epoch
+	if err := c.Gateway.Start(); err != nil {
+		c.Stop()
+		return nil, err
+	}
+	return c, nil
+}
+
+// URL returns the gateway's base URL.
+func (c *ShardedCluster) URL() string { return c.Gateway.URL() }
+
+// Shards returns the started frontend shards.
+func (c *ShardedCluster) Shards() []*Frontend { return c.shards }
+
+// Stop tears down the gateway, every shard, and every worker.
+func (c *ShardedCluster) Stop() {
+	if c.Gateway != nil {
+		_ = c.Gateway.Stop()
+	}
+	for _, fe := range c.shards {
+		_ = fe.Stop()
+	}
+	for _, w := range c.workers {
+		_ = w.Stop()
+	}
+}

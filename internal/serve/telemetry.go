@@ -34,7 +34,11 @@ type serveSeries struct {
 	reg            *telemetry.Registry
 }
 
-func newServeSeries(reg *telemetry.Registry, workers int) *serveSeries {
+// newServeSeries builds the cache. offset shifts the worker label indices:
+// shard i of a sharded plane passes its global worker offset so every
+// worker keeps a distinct series in the shared registry (shard-local index
+// w is exposed as worker offset+w).
+func newServeSeries(reg *telemetry.Registry, workers, offset int) *serveSeries {
 	s := &serveSeries{
 		queries:    reg.Counter(telemetry.MetricQueries),
 		violations: reg.Counter(telemetry.MetricViolations),
@@ -58,7 +62,7 @@ func newServeSeries(reg *telemetry.Registry, workers int) *serveSeries {
 	}
 	for w := 0; w < workers; w++ {
 		s.workerDispatch = append(s.workerDispatch,
-			reg.Counter(telemetry.MetricWorkerDispatches, "worker", strconv.Itoa(w)))
+			reg.Counter(telemetry.MetricWorkerDispatches, "worker", strconv.Itoa(offset+w)))
 	}
 	reg.Help(telemetry.MetricQueries, "Queries whose batch completed (served).")
 	reg.Help(telemetry.MetricViolations, "Served queries that missed the latency SLO.")
@@ -80,8 +84,11 @@ func (s *serveSeries) shed(policy string) *telemetry.Counter {
 
 // registerHealthGauges exposes the tracker's live per-worker marks as
 // ramsis_worker_healthy gauges; reading the tracker at exposition time
-// keeps /metrics and /stats backed by the same source.
-func registerHealthGauges(reg *telemetry.Registry, h *lb.HealthTracker, workers int) {
+// keeps /metrics and /stats backed by the same source. offset shifts the
+// worker labels like newServeSeries, so shards sharing a registry never
+// collide on a gauge (a second GaugeFunc on the same label set would be
+// silently dropped, leaving shard 1's workers reporting shard 0's health).
+func registerHealthGauges(reg *telemetry.Registry, h *lb.HealthTracker, workers, offset int) {
 	for w := 0; w < workers; w++ {
 		w := w
 		reg.GaugeFunc(telemetry.MetricWorkerHealthy, func() float64 {
@@ -89,6 +96,6 @@ func registerHealthGauges(reg *telemetry.Registry, h *lb.HealthTracker, workers 
 				return 1
 			}
 			return 0
-		}, "worker", strconv.Itoa(w))
+		}, "worker", strconv.Itoa(offset+w))
 	}
 }

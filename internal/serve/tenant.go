@@ -1,0 +1,244 @@
+package serve
+
+import (
+	"sync"
+
+	"ramsis/internal/admit"
+	"ramsis/internal/monitor"
+	"ramsis/internal/profile"
+	"ramsis/internal/telemetry"
+	"ramsis/internal/tenant"
+)
+
+// TenantPlane is the per-tenant control state shared by every frontend
+// shard: weighted-fair admission over the tenant registry, and for each
+// tenant its own SLO, rate monitor, model selector (optionally the PR 3
+// adapt loop), and degraded-mode level. A tenant's state is global — its
+// traffic may land on any shard (P2C sharding splits it), and rate
+// monitoring or degrade decisions must see the whole tenant, not one
+// shard's slice.
+type TenantPlane struct {
+	reg      *tenant.Registry
+	fair     *tenant.FairAdmitter
+	profiles profile.Set
+
+	// fallback picks models for tenants added by hot-reload after startup
+	// (no pre-solved policy of their own yet).
+	fallback SelectFunc
+	// degradeDepth > 0 arms a per-tenant degrader with that max level.
+	degradeDepth  int
+	monitorWindow float64
+
+	mu     sync.RWMutex
+	states map[string]*tenantState
+
+	// Shared label-keyed series; states cache their own .With handles.
+	queriesVec, violationsVec         *telemetry.CounterVec
+	admittedVec, shedVec, borrowedVec *telemetry.CounterVec
+	degradeVec, rateVec               *telemetry.GaugeVec
+}
+
+// tenantState is one tenant's live serving state.
+type tenantState struct {
+	name string
+	slo  float64
+	sel  SelectFunc
+
+	// monMu guards mon: Observe times must be non-decreasing, and arrivals
+	// for one tenant race across shards.
+	monMu sync.Mutex
+	mon   *monitor.MovingAverage
+
+	degrade *admit.Degrader
+	clamp   *modelClamp
+
+	queries, violations  *telemetry.Counter
+	admitted, shed       *telemetry.Counter
+	borrowed             *telemetry.Counter
+	degradeLevel, rateGa *telemetry.Gauge
+}
+
+// TenantPlaneConfig configures NewTenantPlane.
+type TenantPlaneConfig struct {
+	Registry *tenant.Registry
+	// Fair is the shared weighted-fair admitter (built over Registry).
+	Fair     *tenant.FairAdmitter
+	Profiles profile.Set
+	// Selectors maps tenant name to its model selector (per-tenant policy
+	// or adapt loop). Tenants without an entry use Fallback.
+	Selectors map[string]SelectFunc
+	// Fallback serves tenants with no dedicated selector (required).
+	Fallback SelectFunc
+	// DegradeDepth > 0 gives every tenant its own degrader with that max
+	// level, replacing the single global clamp.
+	DegradeDepth int
+	// MonitorWindow is the per-tenant rate monitor window in modeled
+	// seconds (default 0.5, matching the single-tenant frontends).
+	MonitorWindow float64
+	Telemetry     *telemetry.Registry
+}
+
+// NewTenantPlane builds the shared per-tenant state for a sharded
+// deployment.
+func NewTenantPlane(cfg TenantPlaneConfig) *TenantPlane {
+	if cfg.MonitorWindow <= 0 {
+		cfg.MonitorWindow = 0.5
+	}
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = telemetry.NewRegistry()
+	}
+	reg := cfg.Telemetry
+	p := &TenantPlane{
+		reg:           cfg.Registry,
+		fair:          cfg.Fair,
+		profiles:      cfg.Profiles,
+		fallback:      cfg.Fallback,
+		degradeDepth:  cfg.DegradeDepth,
+		monitorWindow: cfg.MonitorWindow,
+		states:        map[string]*tenantState{},
+
+		queriesVec:    reg.CounterVec(telemetry.MetricTenantQueries, "tenant"),
+		violationsVec: reg.CounterVec(telemetry.MetricTenantViolations, "tenant"),
+		admittedVec:   reg.CounterVec(telemetry.MetricTenantAdmitted, "tenant"),
+		shedVec:       reg.CounterVec(telemetry.MetricTenantShed, "tenant"),
+		borrowedVec:   reg.CounterVec(telemetry.MetricTenantBorrowed, "tenant"),
+		degradeVec:    reg.GaugeVec(telemetry.MetricTenantDegradeLevel, "tenant"),
+		rateVec:       reg.GaugeVec(telemetry.MetricTenantRate, "tenant"),
+	}
+	reg.Help(telemetry.MetricTenantQueries, "Served queries by tenant.")
+	reg.Help(telemetry.MetricTenantShed, "Weighted-fair admission rejections by tenant.")
+	for _, t := range cfg.Registry.All() {
+		sel := cfg.Selectors[t.Name]
+		if sel == nil {
+			sel = cfg.Fallback
+		}
+		p.states[t.Name] = p.newState(t, sel)
+	}
+	return p
+}
+
+func (p *TenantPlane) newState(t tenant.Tenant, sel SelectFunc) *tenantState {
+	st := &tenantState{
+		name:         t.Name,
+		slo:          t.SLO(),
+		sel:          sel,
+		mon:          monitor.NewMovingAverage(p.monitorWindow),
+		queries:      p.queriesVec.With(t.Name),
+		violations:   p.violationsVec.With(t.Name),
+		admitted:     p.admittedVec.With(t.Name),
+		shed:         p.shedVec.With(t.Name),
+		borrowed:     p.borrowedVec.With(t.Name),
+		degradeLevel: p.degradeVec.With(t.Name),
+		rateGa:       p.rateVec.With(t.Name),
+	}
+	if p.degradeDepth > 0 {
+		st.degrade = admit.NewDegrader(admit.DegradeConfig{MaxLevel: p.degradeDepth, EnterWait: st.slo})
+		st.clamp = newModelClamp(p.profiles)
+		gauge := st.degradeLevel
+		st.degrade.OnChange = func(level int, _ bool) { gauge.Set(float64(level)) }
+	}
+	return st
+}
+
+// Fair returns the shared weighted-fair admitter.
+func (p *TenantPlane) Fair() *tenant.FairAdmitter { return p.fair }
+
+// Registry returns the tenant registry the plane serves.
+func (p *TenantPlane) Registry() *tenant.Registry { return p.reg }
+
+// state resolves a request's tenant label to its serving state. Unknown
+// tenants return ok == false; tenants registered after startup (config
+// hot-reload) get a state lazily, running the fallback selector.
+func (p *TenantPlane) state(name string) (*tenantState, bool) {
+	t, ok := p.reg.Resolve(name)
+	if !ok {
+		return nil, false
+	}
+	p.mu.RLock()
+	st := p.states[t.Name]
+	p.mu.RUnlock()
+	if st != nil {
+		return st, true
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if st = p.states[t.Name]; st == nil {
+		st = p.newState(t, p.fallback)
+		p.states[t.Name] = st
+	}
+	return st, true
+}
+
+// observe feeds one arrival into the tenant's rate monitor and refreshes
+// its live rate gauge.
+func (st *tenantState) observe(now float64) {
+	st.monMu.Lock()
+	st.mon.Observe(now)
+	rate := st.mon.Load(now)
+	st.monMu.Unlock()
+	st.rateGa.Set(rate)
+}
+
+// load reads the tenant's monitored arrival rate.
+func (st *tenantState) load(now float64) float64 {
+	st.monMu.Lock()
+	defer st.monMu.Unlock()
+	return st.mon.Load(now)
+}
+
+// TenantStats is one tenant's /stats breakdown.
+type TenantStats struct {
+	Class        string  `json:"class,omitempty"`
+	SLOMS        float64 `json:"sloMs"`
+	Weight       float64 `json:"weight"`
+	ShareQPS     float64 `json:"shareQps"` // current fair-share admission rate
+	RateQPS      float64 `json:"rateQps"`  // monitored arrival rate
+	Served       int     `json:"served"`
+	Violations   int     `json:"violations"`
+	Admitted     int     `json:"admitted"`
+	Borrowed     int     `json:"borrowed"`
+	Shed         int     `json:"shed"`
+	Goodput      float64 `json:"goodput"` // in-SLO served / offered
+	DegradeLevel int     `json:"degradeLevel"`
+}
+
+// Stats snapshots every tenant's breakdown from the same series /metrics
+// exposes.
+func (p *TenantPlane) Stats(now float64) map[string]TenantStats {
+	p.mu.RLock()
+	states := make([]*tenantState, 0, len(p.states))
+	for _, st := range p.states {
+		states = append(states, st)
+	}
+	p.mu.RUnlock()
+	out := make(map[string]TenantStats, len(states))
+	for _, st := range states {
+		t, _ := p.reg.Lookup(st.name)
+		served := int(st.queries.Value())
+		violations := int(st.violations.Value())
+		shed := int(st.shed.Value())
+		goodput := 0.0
+		if offered := served + shed; offered > 0 {
+			goodput = float64(served-violations) / float64(offered)
+		}
+		level := 0
+		if st.degrade != nil {
+			level = st.degrade.Level()
+		}
+		out[st.name] = TenantStats{
+			Class:        t.Class,
+			SLOMS:        t.SLOMS,
+			Weight:       t.Weight,
+			ShareQPS:     p.fair.Share(st.name),
+			RateQPS:      st.load(now),
+			Served:       served,
+			Violations:   violations,
+			Admitted:     int(st.admitted.Value()),
+			Borrowed:     int(st.borrowed.Value()),
+			Shed:         shed,
+			Goodput:      goodput,
+			DegradeLevel: level,
+		}
+	}
+	return out
+}

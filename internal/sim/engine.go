@@ -20,10 +20,20 @@ import (
 type Query struct {
 	ID      int
 	Arrival float64 // seconds from trace start
+	// Tenant labels the query's owner in multi-tenant runs; empty in
+	// single-tenant workloads (the N=1 special case).
+	Tenant string
 }
 
 // Deadline returns the query's latency deadline given the SLO.
 func (q Query) Deadline(slo float64) float64 { return q.Arrival + slo }
+
+// TenantAdmitter screens arrivals per tenant — the weighted-fair layer in
+// internal/tenant implements it. Defined here (not imported) so the
+// simulator stays independent of the tenant control plane.
+type TenantAdmitter interface {
+	AdmitTenant(tenant string, r admit.Request) admit.Verdict
+}
 
 // Decision is one MS&S decision: run the batch on the model (an index into
 // the engine's profile set).
@@ -119,6 +129,35 @@ type Metrics struct {
 	Latencies   []float64 // response latencies, if collection was enabled
 	ModelCounts map[string]int
 	DecisionLog []DecisionRecord
+	// Tenants breaks the run down per tenant. Populated only when the
+	// engine tracks tenants (TenantSLOs or FairAdmit set); nil otherwise.
+	Tenants map[string]*TenantMetrics
+}
+
+// TenantMetrics is one tenant's slice of a multi-tenant run. Violations
+// are judged against the tenant's own SLO, not the engine-wide one.
+type TenantMetrics struct {
+	Served     int
+	Violations int
+	Shed       int
+	Dropped    int
+	Unserved   int
+	SatAccSum  float64
+}
+
+// Offered counts every query the tenant presented.
+func (t *TenantMetrics) Offered() int {
+	return t.Served + t.Shed + t.Dropped + t.Unserved
+}
+
+// GoodputRate is the fraction of the tenant's offered queries answered
+// within its SLO.
+func (t *TenantMetrics) GoodputRate() float64 {
+	off := t.Offered()
+	if off == 0 {
+		return 0
+	}
+	return float64(t.Served-t.Violations) / float64(off)
 }
 
 // DecisionRecord is one logged MS&S decision.
@@ -224,17 +263,51 @@ type Engine struct {
 	// decision's model to progressively faster ones while overload is
 	// confirmed (admit.ClampModel over Profiles.SpeedOrder()).
 	Degrade *admit.Degrader
+	// TenantSLOs, when set, judges each query's SLO violation (and
+	// DropExpired purging) against its tenant's own SLO instead of the
+	// engine-wide one, and enables per-tenant metrics. Queries whose
+	// tenant is absent fall back to the engine SLO. Scheduling (slack,
+	// policy) stays engine-wide: per-tenant policy selection is the serve
+	// plane's job (and internal/multislo's, per class).
+	TenantSLOs map[string]float64
+	// FairAdmit, when set, replaces Admit with per-tenant weighted-fair
+	// admission (internal/tenant's FairAdmitter) and enables per-tenant
+	// metrics.
+	FairAdmit TenantAdmitter
 
-	rng        *rand.Rand
-	central    []Query
-	wq         [][]Query
-	busy       []bool
-	inflight   []int // queries in the batch worker w is currently serving
-	events     eventQueue
-	metrics    Metrics
-	speedOrder []int                // model indices fastest-first, for the degrade clamp
-	latHist    *telemetry.Histogram // always on; backs the Metrics percentiles
-	tel        *engineSeries        // cached registry series; nil without Telemetry
+	rng          *rand.Rand
+	central      []Query
+	wq           [][]Query
+	busy         []bool
+	inflight     []int // queries in the batch worker w is currently serving
+	events       eventQueue
+	metrics      Metrics
+	speedOrder   []int                // model indices fastest-first, for the degrade clamp
+	latHist      *telemetry.Histogram // always on; backs the Metrics percentiles
+	tel          *engineSeries        // cached registry series; nil without Telemetry
+	trackTenants bool                 // per-tenant accounting enabled for this run
+}
+
+// sloFor returns the SLO the query is judged against: its tenant's, when
+// registered, else the engine-wide one.
+func (e *Engine) sloFor(q Query) float64 {
+	if e.TenantSLOs != nil {
+		if s, ok := e.TenantSLOs[q.Tenant]; ok {
+			return s
+		}
+	}
+	return e.SLO
+}
+
+// tm returns the query's tenant metrics bucket, creating it on first use.
+// Only called when trackTenants is set.
+func (e *Engine) tm(tenant string) *TenantMetrics {
+	t := e.metrics.Tenants[tenant]
+	if t == nil {
+		t = &TenantMetrics{}
+		e.metrics.Tenants[tenant] = t
+	}
+	return t
 }
 
 // engineSeries caches the registry series the engine updates per query, so
@@ -245,23 +318,29 @@ type engineSeries struct {
 	batchSize                              *telemetry.Histogram
 	admitted, degraded                     *telemetry.Counter
 	estWait                                *telemetry.Histogram
+	tenantQueries, tenantViolations        *telemetry.CounterVec
+	tenantAdmitted, tenantShed             *telemetry.CounterVec
 	reg                                    *telemetry.Registry
 }
 
 func newEngineSeries(reg *telemetry.Registry) *engineSeries {
 	return &engineSeries{
-		queries:    reg.Counter(telemetry.MetricQueries),
-		violations: reg.Counter(telemetry.MetricViolations),
-		decisions:  reg.Counter(telemetry.MetricDecisions),
-		satAcc:     reg.Counter(telemetry.MetricSatAccuracySum),
-		latency:    reg.Histogram(telemetry.MetricLatencySeconds),
-		batchWait:  reg.Histogram(telemetry.MetricStageSeconds, "stage", telemetry.StageBatchWait),
-		inference:  reg.Histogram(telemetry.MetricStageSeconds, "stage", telemetry.StageInference),
-		batchSize:  reg.HistogramBuckets(telemetry.MetricBatchSize, telemetry.LinearBuckets(1, 1, 32)),
-		admitted:   reg.Counter(telemetry.MetricAdmitAdmitted),
-		degraded:   reg.Counter(telemetry.MetricAdmitDegradedDecisions),
-		estWait:    reg.Histogram(telemetry.MetricAdmitWaitSeconds),
-		reg:        reg,
+		queries:          reg.Counter(telemetry.MetricQueries),
+		violations:       reg.Counter(telemetry.MetricViolations),
+		decisions:        reg.Counter(telemetry.MetricDecisions),
+		satAcc:           reg.Counter(telemetry.MetricSatAccuracySum),
+		latency:          reg.Histogram(telemetry.MetricLatencySeconds),
+		batchWait:        reg.Histogram(telemetry.MetricStageSeconds, "stage", telemetry.StageBatchWait),
+		inference:        reg.Histogram(telemetry.MetricStageSeconds, "stage", telemetry.StageInference),
+		batchSize:        reg.HistogramBuckets(telemetry.MetricBatchSize, telemetry.LinearBuckets(1, 1, 32)),
+		admitted:         reg.Counter(telemetry.MetricAdmitAdmitted),
+		degraded:         reg.Counter(telemetry.MetricAdmitDegradedDecisions),
+		estWait:          reg.Histogram(telemetry.MetricAdmitWaitSeconds),
+		tenantQueries:    reg.CounterVec(telemetry.MetricTenantQueries, "tenant"),
+		tenantViolations: reg.CounterVec(telemetry.MetricTenantViolations, "tenant"),
+		tenantAdmitted:   reg.CounterVec(telemetry.MetricTenantAdmitted, "tenant"),
+		tenantShed:       reg.CounterVec(telemetry.MetricTenantShed, "tenant"),
+		reg:              reg,
 	}
 }
 
@@ -434,7 +513,22 @@ func (q *eventQueue) pop() event {
 // aggregated metrics. The trace is drained fully: after the last arrival the
 // engine keeps dispatching until every queue is empty.
 func (e *Engine) Run(arrivals []float64) Metrics {
+	qs := make([]Query, len(arrivals))
+	for i, t := range arrivals {
+		qs[i] = Query{ID: i, Arrival: t}
+	}
+	return e.RunQueries(qs)
+}
+
+// RunQueries simulates a prepared query stream (ascending arrival times,
+// optionally tenant-labeled — tenant.Arrivals produces one) and returns
+// the aggregated metrics. Run is the unlabeled convenience wrapper.
+func (e *Engine) RunQueries(queries []Query) Metrics {
+	e.trackTenants = e.TenantSLOs != nil || e.FairAdmit != nil
 	e.metrics = Metrics{ModelCounts: map[string]int{}}
+	if e.trackTenants {
+		e.metrics.Tenants = map[string]*TenantMetrics{}
+	}
 	e.latHist = telemetry.NewHistogram(telemetry.DefaultLatencyBuckets())
 	if e.Telemetry != nil {
 		e.tel = newEngineSeries(e.Telemetry)
@@ -457,16 +551,16 @@ func (e *Engine) Run(arrivals []float64) Metrics {
 	ai := 0
 	for {
 		var nextArrival float64
-		haveArrival := ai < len(arrivals)
+		haveArrival := ai < len(queries)
 		if haveArrival {
-			nextArrival = arrivals[ai]
+			nextArrival = queries[ai].Arrival
 		}
 		haveEvent := e.events.len() > 0
 		switch {
 		case haveArrival && (!haveEvent || nextArrival <= e.events.nextTime()):
-			q := Query{ID: ai, Arrival: nextArrival}
+			q := queries[ai]
 			ai++
-			if e.admitQuery(nextArrival) {
+			if e.admitQuery(q) {
 				e.Sched.Route(e, nextArrival, q)
 			}
 			e.dispatchIdle(nextArrival)
@@ -479,10 +573,18 @@ func (e *Engine) Run(arrivals []float64) Metrics {
 		default:
 			// No arrivals or events left; any queued queries are unserved
 			// (schedulers normally never leave work behind).
-			for _, wq := range e.wq {
-				e.metrics.Unserved += len(wq)
+			markUnserved := func(qs []Query) {
+				e.metrics.Unserved += len(qs)
+				if e.trackTenants {
+					for _, q := range qs {
+						e.tm(q.Tenant).Unserved++
+					}
+				}
 			}
-			e.metrics.Unserved += len(e.central)
+			for _, wq := range e.wq {
+				markUnserved(wq)
+			}
+			markUnserved(e.central)
 			e.finishMetrics()
 			return e.metrics
 		}
@@ -500,14 +602,25 @@ func (e *Engine) totalOutstanding() int {
 	return n
 }
 
-// admitQuery screens one arrival through the admission controller. It
-// returns true when the query may be routed. With no admitter configured
-// every arrival is admitted and nothing is recorded.
-func (e *Engine) admitQuery(now float64) bool {
-	if e.Admit == nil {
+// admitQuery screens one arrival through the admission controller —
+// FairAdmit (per-tenant weighted fair) when configured, else the
+// single-tenant Admit. It returns true when the query may be routed. With
+// neither configured every arrival is admitted and nothing is recorded.
+func (e *Engine) admitQuery(q Query) bool {
+	if e.FairAdmit == nil && e.Admit == nil {
 		return true
 	}
-	v := e.Admit.Admit(admit.Request{Now: now, Outstanding: e.totalOutstanding()})
+	now := q.Arrival
+	req := admit.Request{Now: now, Outstanding: e.totalOutstanding()}
+	var v admit.Verdict
+	var policy string
+	if e.FairAdmit != nil {
+		v = e.FairAdmit.AdmitTenant(q.Tenant, req)
+		policy = "fair"
+	} else {
+		v = e.Admit.Admit(req)
+		policy = e.Admit.Name()
+	}
 	if e.Degrade != nil {
 		e.Degrade.Observe(now, !v.Admit, v.EstWait)
 	}
@@ -516,20 +629,34 @@ func (e *Engine) admitQuery(now float64) bool {
 		if v.Admit {
 			e.tel.admitted.Inc()
 		} else {
-			e.tel.reg.Counter(telemetry.MetricAdmitShed, "policy", e.Admit.Name()).Inc()
+			e.tel.reg.Counter(telemetry.MetricAdmitShed, "policy", policy).Inc()
+		}
+		if e.trackTenants {
+			if v.Admit {
+				e.tel.tenantAdmitted.With(q.Tenant).Inc()
+			} else {
+				e.tel.tenantShed.With(q.Tenant).Inc()
+			}
 		}
 	}
 	if !v.Admit {
 		e.metrics.Shed++
+		if e.trackTenants {
+			e.tm(q.Tenant).Shed++
+		}
 	}
 	return v.Admit
 }
 
 // purgeExpired drops already-late queries from every queue head (FIFO
-// order puts the oldest deadlines in front).
+// order puts the oldest deadlines in front; with per-tenant SLOs the heads
+// are checked against their own deadlines).
 func (e *Engine) purgeExpired(now float64) {
 	drop := func(q []Query) []Query {
-		for len(q) > 0 && q[0].Deadline(e.SLO) < now {
+		for len(q) > 0 && q[0].Deadline(e.sloFor(q[0])) < now {
+			if e.trackTenants {
+				e.tm(q[0].Tenant).Dropped++
+			}
 			q = q[1:]
 			e.metrics.Dropped++
 		}
@@ -610,11 +737,20 @@ func (e *Engine) complete(ev event) {
 		if e.CollectLatencies {
 			e.metrics.Latencies = append(e.metrics.Latencies, lat)
 		}
-		violated := lat > e.SLO+1e-12
+		violated := lat > e.sloFor(q)+1e-12
 		if violated {
 			e.metrics.Violations++
 		} else {
 			e.metrics.SatAccSum += p.Accuracy
+		}
+		if e.trackTenants {
+			t := e.tm(q.Tenant)
+			t.Served++
+			if violated {
+				t.Violations++
+			} else {
+				t.SatAccSum += p.Accuracy
+			}
 		}
 		if e.tel != nil {
 			e.tel.queries.Inc()
@@ -622,6 +758,12 @@ func (e *Engine) complete(ev event) {
 				e.tel.violations.Inc()
 			} else {
 				e.tel.satAcc.Add(p.Accuracy)
+			}
+			if e.trackTenants {
+				e.tel.tenantQueries.With(q.Tenant).Inc()
+				if violated {
+					e.tel.tenantViolations.With(q.Tenant).Inc()
+				}
 			}
 			e.tel.latency.Observe(lat)
 			e.tel.batchWait.Observe(ev.start - q.Arrival)

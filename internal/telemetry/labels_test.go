@@ -1,0 +1,119 @@
+package telemetry
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestEscapeLabelValue(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"plain", "plain"},
+		{`back\slash`, `back\\slash`},
+		{`"quoted"`, `\"quoted\"`},
+		{"line\nfeed", `line\nfeed`},
+		{"café-中文", "café-中文"}, // UTF-8 passes through verbatim, never \u-escaped
+		{`mix"\` + "\n", `mix\"\\\n`},
+	}
+	for _, c := range cases {
+		if got := EscapeLabelValue(c.in); got != c.want {
+			t.Errorf("EscapeLabelValue(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCounterVecSharesRegistrySeries(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec(MetricTenantQueries, "tenant")
+	v.With("acme").Add(2)
+	v.With("acme").Inc()
+	if got := r.Counter(MetricTenantQueries, "tenant", "acme").Value(); got != 3 {
+		t.Errorf("vec and direct lookup disagree: %v, want 3", got)
+	}
+	// A second vec over the same family sees the same series.
+	if got := r.CounterVec(MetricTenantQueries, "tenant").With("acme").Value(); got != 3 {
+		t.Errorf("second vec = %v, want 3", got)
+	}
+}
+
+func TestGaugeVecFixedPairs(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec(MetricTenantRate, "tenant", "shard", "2")
+	v.With("acme").Set(42)
+	if got := r.Gauge(MetricTenantRate, "shard", "2", "tenant", "acme").Value(); got != 42 {
+		t.Errorf("fixed-pair series = %v, want 42", got)
+	}
+}
+
+func TestVecConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec(MetricTenantShed, "tenant")
+	tenants := []string{"a", "b", "c", "d"}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				v.With(tenants[(g+i)%len(tenants)]).Inc()
+				if i%500 == 0 {
+					var b bytes.Buffer
+					r.WritePrometheus(&b)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0.0
+	for _, tn := range tenants {
+		total += v.With(tn).Value()
+	}
+	if total != 8*2000 {
+		t.Errorf("total = %v, want %d", total, 8*2000)
+	}
+}
+
+// TestLabelExpositionGolden locks label escaping and output ordering against
+// a golden file: series within a family are sorted by rendered label set,
+// label pairs within a series by label name, and escape sequences follow the
+// Prometheus text format (\\, \", \n only — UTF-8 stays verbatim).
+// Regenerate with UPDATE_GOLDEN=1 go test ./internal/telemetry.
+func TestLabelExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec(MetricTenantQueries, "tenant")
+	v.With("zeta").Add(1)
+	v.With("acme").Add(2)
+	v.With(`quo"te`).Add(3)
+	v.With(`back\slash`).Add(4)
+	v.With("line\nfeed").Add(5)
+	v.With("café-中文").Add(6)
+	r.Help(MetricTenantQueries, "Served queries by tenant.")
+	g := r.GaugeVec(MetricTenantDegradeLevel, "tenant", "shard", "0")
+	g.With("acme").Set(1)
+	g.With("zeta").Set(2)
+
+	var b bytes.Buffer
+	r.WritePrometheus(&b)
+	golden := filepath.Join("testdata", "labels.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, b.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b.Bytes(), want) {
+		t.Errorf("exposition mismatch\n--- got ---\n%s--- want ---\n%s", b.Bytes(), want)
+	}
+	// Exposition must be byte-stable across writes (map iteration must not
+	// leak into the output order).
+	var again bytes.Buffer
+	r.WritePrometheus(&again)
+	if !bytes.Equal(b.Bytes(), again.Bytes()) {
+		t.Error("exposition not stable across consecutive writes")
+	}
+}

@@ -104,6 +104,41 @@ const (
 	// MetricAdmitRetriesDenied counts failover retries the budget refused
 	// (the batch fails fast instead of amplifying an overload).
 	MetricAdmitRetriesDenied = "ramsis_admit_failover_denied_total"
+
+	// MetricTenantQueries counts queries whose batch completed, labeled
+	// tenant=. Sim and serve record the same series, mirroring
+	// MetricQueries.
+	MetricTenantQueries = "ramsis_tenant_queries_total"
+	// MetricTenantViolations counts served queries that missed the
+	// tenant's own SLO, labeled tenant=.
+	MetricTenantViolations = "ramsis_tenant_violations_total"
+	// MetricTenantAdmitted counts queries weighted-fair admission let
+	// through, labeled tenant=.
+	MetricTenantAdmitted = "ramsis_tenant_admitted_total"
+	// MetricTenantShed counts queries weighted-fair admission rejected,
+	// labeled tenant=. An over-share tenant's excess lands here before any
+	// compliant tenant is touched.
+	MetricTenantShed = "ramsis_tenant_shed_total"
+	// MetricTenantBorrowed counts admitted queries that exceeded their
+	// tenant's fair-share bucket but were let in because the plane had
+	// headroom (work-conserving borrowing), labeled tenant=.
+	MetricTenantBorrowed = "ramsis_tenant_borrowed_total"
+	// MetricTenantGoodput is the live per-tenant goodput fraction —
+	// in-SLO responses over offered (admitted + shed) — labeled tenant=.
+	MetricTenantGoodput = "ramsis_tenant_goodput"
+	// MetricTenantRate is the tenant's monitored arrival rate in QPS,
+	// labeled tenant=.
+	MetricTenantRate = "ramsis_tenant_rate_qps"
+	// MetricTenantDegradeLevel is the tenant's own degraded-mode level
+	// (replacing the single global clamp), labeled tenant=.
+	MetricTenantDegradeLevel = "ramsis_tenant_degrade_level"
+	// MetricShardQueries counts queries routed to each frontend shard by
+	// the sharding tier, labeled shard=.
+	MetricShardQueries = "ramsis_shard_queries_total"
+	// MetricShardDepth is each shard's outstanding work (queued plus
+	// in-flight, summed over its workers), labeled shard= — the P2C
+	// sharder's routing signal.
+	MetricShardDepth = "ramsis_shard_depth"
 )
 
 // Span stage names, in the order a query traverses them: queued by the

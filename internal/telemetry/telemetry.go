@@ -74,7 +74,36 @@ func labelKey(pairs []string) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", p.k, p.v)
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(EscapeLabelValue(p.v))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// EscapeLabelValue escapes a label value per the Prometheus text exposition
+// format: backslash, double-quote, and line feed become \\, \", and \n.
+// Everything else — including UTF-8 beyond ASCII — passes through verbatim
+// (the format is UTF-8; Go's %q would \u-escape it into something a
+// Prometheus parser reads back as a literal backslash sequence).
+func EscapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 2)
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
 	}
 	return b.String()
 }
@@ -273,4 +302,62 @@ func (g *Gauge) Value() float64 {
 
 func (g *Gauge) write(w io.Writer, name, labels string) {
 	fmt.Fprintf(w, "%s %s\n", seriesName(name, labels), formatFloat(g.Value()))
+}
+
+// CounterVec is a family of counters fanned out over the values of one
+// label (plus optional fixed label pairs), with a lock-free fast path for
+// label values already seen: per-tenant and per-shard hot paths hit a
+// sync.Map load instead of the registry's mutex-guarded lookup.
+type CounterVec struct {
+	reg    *Registry
+	name   string
+	label  string
+	fixed  []string
+	series sync.Map // label value -> *Counter
+}
+
+// CounterVec returns a counter family for name keyed by label; fixedPairs
+// are additional constant label pairs stamped on every series (e.g. the
+// shard index). Two CounterVecs for the same name share the underlying
+// registry series.
+func (r *Registry) CounterVec(name, label string, fixedPairs ...string) *CounterVec {
+	return &CounterVec{reg: r, name: name, label: label, fixed: fixedPairs}
+}
+
+// With returns the counter for one label value, registering it on first use.
+func (v *CounterVec) With(value string) *Counter {
+	if c, ok := v.series.Load(value); ok {
+		return c.(*Counter)
+	}
+	pairs := append(append([]string{}, v.fixed...), v.label, value)
+	c := v.reg.Counter(v.name, pairs...)
+	actual, _ := v.series.LoadOrStore(value, c)
+	return actual.(*Counter)
+}
+
+// GaugeVec is a family of gauges fanned out over the values of one label,
+// mirroring CounterVec.
+type GaugeVec struct {
+	reg    *Registry
+	name   string
+	label  string
+	fixed  []string
+	series sync.Map // label value -> *Gauge
+}
+
+// GaugeVec returns a gauge family for name keyed by label with optional
+// constant label pairs.
+func (r *Registry) GaugeVec(name, label string, fixedPairs ...string) *GaugeVec {
+	return &GaugeVec{reg: r, name: name, label: label, fixed: fixedPairs}
+}
+
+// With returns the gauge for one label value, registering it on first use.
+func (v *GaugeVec) With(value string) *Gauge {
+	if g, ok := v.series.Load(value); ok {
+		return g.(*Gauge)
+	}
+	pairs := append(append([]string{}, v.fixed...), v.label, value)
+	g := v.reg.Gauge(v.name, pairs...)
+	actual, _ := v.series.LoadOrStore(value, g)
+	return actual.(*Gauge)
 }

@@ -1,0 +1,113 @@
+package tenant
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"sync"
+)
+
+// Sharder routes one tenant's query to a frontend shard. depths carries
+// each shard's outstanding work (queued + in-flight) for load-aware
+// strategies; affinity strategies may ignore it.
+type Sharder interface {
+	// Pick returns a shard index in [0, len(depths)).
+	Pick(tenant string, depths []int) int
+	// Name identifies the strategy for flags and metric labels.
+	Name() string
+}
+
+// Rendezvous is highest-random-weight (HRW) consistent hashing: a tenant
+// maps to the shard maximizing hash(tenant, shard), so all of a tenant's
+// traffic lands on one shard (cache/monitor affinity) and adding or
+// removing a shard remaps only 1/N of tenants — no ring, no virtual
+// nodes, stdlib only.
+type Rendezvous struct{}
+
+// Pick returns the HRW winner for the tenant.
+func (Rendezvous) Pick(tenant string, depths []int) int {
+	best, bestH := 0, uint64(0)
+	for i := range depths {
+		h := hrwHash(tenant, i)
+		if h > bestH {
+			best, bestH = i, h
+		}
+	}
+	return best
+}
+
+// Name identifies the strategy.
+func (Rendezvous) Name() string { return "hash" }
+
+// hrwHash is FNV-1a over tenant + "/" + shard index, finished with a
+// splitmix64-style avalanche. The finalizer matters: raw FNV-1a's last
+// step is one multiply, which nearly preserves ordering across inputs
+// differing only in the final byte — without it the highest shard digit
+// wins HRW for half of all tenants.
+func hrwHash(tenant string, shard int) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(tenant); i++ {
+		h ^= uint64(tenant[i])
+		h *= prime64
+	}
+	h ^= '/'
+	h *= prime64
+	for _, c := range strconv.Itoa(shard) {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// P2C picks two random shards and routes to the less loaded — the
+// power-of-two-choices bound on max queue depth, trading tenant affinity
+// for load balance (a hot tenant spreads across shards instead of
+// saturating its hash home).
+type P2C struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewP2C returns a seeded two-choice sharder.
+func NewP2C(seed int64) *P2C { return &P2C{rng: rand.New(rand.NewSource(seed))} }
+
+// Pick samples two shards and returns the shallower.
+func (p *P2C) Pick(_ string, depths []int) int {
+	n := len(depths)
+	if n <= 1 {
+		return 0
+	}
+	p.mu.Lock()
+	a := p.rng.Intn(n)
+	b := p.rng.Intn(n - 1)
+	p.mu.Unlock()
+	if b >= a {
+		b++
+	}
+	if depths[b] < depths[a] {
+		return b
+	}
+	return a
+}
+
+// Name identifies the strategy.
+func (p *P2C) Name() string { return "p2c" }
+
+// NewSharder builds a sharder by strategy name: "hash" (rendezvous,
+// default) or "p2c".
+func NewSharder(name string, seed int64) (Sharder, error) {
+	switch name {
+	case "", "hash", "rendezvous":
+		return Rendezvous{}, nil
+	case "p2c":
+		return NewP2C(seed), nil
+	default:
+		return nil, fmt.Errorf("tenant: unknown shard strategy %q (want hash or p2c)", name)
+	}
+}

@@ -1,0 +1,88 @@
+package tenant
+
+import (
+	"testing"
+)
+
+func TestRendezvousConsistent(t *testing.T) {
+	s := Rendezvous{}
+	depths := make([]int, 8)
+	for _, tn := range []string{"alpha", "bravo", "charlie", ""} {
+		first := s.Pick(tn, depths)
+		for i := 0; i < 10; i++ {
+			if got := s.Pick(tn, depths); got != first {
+				t.Fatalf("Pick(%q) not stable: %d then %d", tn, first, got)
+			}
+		}
+		if first < 0 || first >= len(depths) {
+			t.Fatalf("Pick(%q) = %d out of range", tn, first)
+		}
+	}
+}
+
+func TestRendezvousSpreadsTenants(t *testing.T) {
+	s := Rendezvous{}
+	depths := make([]int, 4)
+	used := map[int]bool{}
+	for i := 0; i < 64; i++ {
+		used[s.Pick("tenant-"+string(rune('a'+i%26))+string(rune('0'+i/26)), depths)] = true
+	}
+	if len(used) < len(depths) {
+		t.Errorf("64 tenants landed on only %d/%d shards", len(used), len(depths))
+	}
+}
+
+// TestRendezvousMinimalRemap checks the HRW property: growing the shard set
+// from N to N+1 remaps roughly 1/(N+1) of tenants and never moves a tenant
+// between two surviving shards.
+func TestRendezvousMinimalRemap(t *testing.T) {
+	s := Rendezvous{}
+	before := make([]int, 8)
+	after := make([]int, 9)
+	moved := 0
+	const total = 500
+	for i := 0; i < total; i++ {
+		tn := "tenant-" + string(rune('a'+i%26)) + "-" + string(rune('a'+(i/26)%26))
+		b := s.Pick(tn, before)
+		a := s.Pick(tn, after)
+		if a != b {
+			moved++
+			if a != 8 {
+				t.Fatalf("tenant %q moved between surviving shards %d -> %d", tn, b, a)
+			}
+		}
+	}
+	// Expect ≈ total/9 ≈ 55; allow a wide band.
+	if moved == 0 || moved > total/4 {
+		t.Errorf("remapped %d/%d tenants on +1 shard, want ≈ %d", moved, total, total/9)
+	}
+}
+
+func TestP2CPrefersShallower(t *testing.T) {
+	p := NewP2C(7)
+	depths := []int{100, 100, 0, 100}
+	hits := 0
+	for i := 0; i < 1000; i++ {
+		if p.Pick("x", depths) == 2 {
+			hits++
+		}
+	}
+	// Shard 2 is picked whenever sampled (P(sampled) = 1-C(3,2)/C(4,2) = 1/2).
+	if hits < 350 {
+		t.Errorf("shallow shard picked %d/1000, want ≳ 500", hits)
+	}
+	if got := p.Pick("x", []int{5}); got != 0 {
+		t.Errorf("single-shard pick = %d", got)
+	}
+}
+
+func TestNewSharder(t *testing.T) {
+	for _, name := range []string{"", "hash", "rendezvous", "p2c"} {
+		if _, err := NewSharder(name, 1); err != nil {
+			t.Errorf("NewSharder(%q): %v", name, err)
+		}
+	}
+	if _, err := NewSharder("ring", 1); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}

@@ -1,0 +1,83 @@
+package tenant
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestArrivalsRatesAndOrder(t *testing.T) {
+	ts := threeTenants() // rates 100, 50, 50
+	dur := 50.0
+	evs := Arrivals(ts, dur, 42)
+	if !sort.SliceIsSorted(evs, func(i, j int) bool { return evs[i].T < evs[j].T }) {
+		t.Fatal("arrivals not time-ordered")
+	}
+	counts := map[string]int{}
+	for _, e := range evs {
+		if e.T < 0 || e.T >= dur+1 {
+			t.Fatalf("arrival at %v outside [0, %v)", e.T, dur)
+		}
+		counts[e.Tenant]++
+	}
+	for _, tn := range ts {
+		want := tn.RateQPS * dur
+		got := float64(counts[tn.Name])
+		if math.Abs(got-want) > 4*math.Sqrt(want) {
+			t.Errorf("%s: %v arrivals, want ≈ %v (Poisson at %v QPS)", tn.Name, got, want, tn.RateQPS)
+		}
+	}
+}
+
+func TestArrivalsDeterministicAndIndependent(t *testing.T) {
+	ts := threeTenants()
+	a := Arrivals(ts, 10, 7)
+	b := Arrivals(ts, 10, 7)
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different lengths: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverges at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// Dropping a tenant must not perturb the others' streams (per-tenant
+	// seeding), as long as config order of survivors is preserved.
+	solo := Arrivals(ts[:1], 10, 7)
+	var first []float64
+	for _, e := range a {
+		if e.Tenant == ts[0].Name {
+			first = append(first, e.T)
+		}
+	}
+	if len(solo) != len(first) {
+		t.Fatalf("tenant stream perturbed by others: %d vs %d", len(solo), len(first))
+	}
+	for i := range solo {
+		if solo[i].T != first[i] {
+			t.Fatalf("tenant stream perturbed at %d", i)
+		}
+	}
+}
+
+func TestArrivalsScaled(t *testing.T) {
+	ts := threeTenants()
+	dur := 40.0
+	evs := ArrivalsScaled(ts, map[string]float64{"standard": 4}, dur, 3)
+	counts := map[string]int{}
+	for _, e := range evs {
+		counts[e.Tenant]++
+	}
+	want := 4 * 50 * dur
+	got := float64(counts["standard"])
+	if math.Abs(got-want) > 4*math.Sqrt(want) {
+		t.Errorf("scaled tenant: %v arrivals, want ≈ %v", got, want)
+	}
+	// Zero multiplier silences a tenant entirely.
+	muted := ArrivalsScaled(ts, map[string]float64{"batch": 0}, dur, 3)
+	for _, e := range muted {
+		if e.Tenant == "batch" {
+			t.Fatal("zero-multiplier tenant still emitted arrivals")
+		}
+	}
+}
