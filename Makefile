@@ -51,8 +51,12 @@ race:
 soak:
 	$(GO) run ./cmd/soak
 
+# soak-smoke saves the final /metrics scrape and the plane's merged trace
+# JSONL so CI can upload them as build artifacts (stitch the latter with
+# `go run ./cmd/trace -stitch soak-traces.jsonl`).
 soak-smoke:
-	$(GO) run ./cmd/soak -target-qps 2000 -qps-floor 1800 -dur 2s
+	$(GO) run ./cmd/soak -target-qps 2000 -qps-floor 1800 -dur 2s \
+		-metrics-out soak-metrics.txt -trace-out soak-traces.jsonl
 
 # Tier-1 verify path (see ROADMAP.md).
 verify: build lint test race

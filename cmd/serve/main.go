@@ -38,6 +38,7 @@ type shardedOpts struct {
 	addr         string
 	degradeDepth int
 	adaptive     bool
+	traceOut     string
 }
 
 // runSharded starts the multi-tenant sharded serving plane from a tenant
@@ -51,6 +52,17 @@ func runSharded(models profile.Set, file string, shards int, shardBy string, o s
 	tenants, err := tenant.Parse(data)
 	if err != nil {
 		log.Fatal(err)
+	}
+	var tw *telemetry.TraceWriter
+	if o.traceOut != "" {
+		fh, err := os.OpenFile(o.traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer fh.Close()
+		// One writer plane-wide: gateway, shard, and worker fragments land
+		// in the same JSONL stream, so the file stitches without a merge.
+		tw = telemetry.NewTraceWriter(fh)
 	}
 	fmt.Printf("solving %d per-tenant policies (%d shards x %d workers, %s sharding)...\n",
 		len(tenants), shards, o.workers, shardBy)
@@ -70,6 +82,7 @@ func runSharded(models profile.Set, file string, shards int, shardBy string, o s
 		Addr:            o.addr,
 		DegradeDepth:    o.degradeDepth,
 		Adaptive:        o.adaptive,
+		TraceWriter:     tw,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -101,7 +114,7 @@ func main() {
 		frontend  = flag.Bool("frontend", false, "serve a live POST /query API instead of replaying a trace (Ctrl-C to stop)")
 		lbArg     = flag.String("lb", "rr", "load balancer across worker queues: rr, jsq, or p2c")
 		addr      = flag.String("addr", "127.0.0.1:8080", "frontend listen address (frontend mode)")
-		traceOut  = flag.String("trace-out", "", "append completed query traces as JSONL to this file (frontend mode)")
+		traceOut  = flag.String("trace-out", "", "append query trace fragments as JSONL to this file (frontend and multi-tenant modes; stitch with `trace -stitch`)")
 		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		logFmt    = flag.String("log-format", "text", "log format: text or json")
 
@@ -133,7 +146,7 @@ func main() {
 		runSharded(models, *tenantsFile, *shards, *shardBy, shardedOpts{
 			workers: *workers, timeScale: *timeScale, noiseMS: *noiseMS,
 			seed: *seed, d: *d, maxQueue: *maxQueue, lb: *lbArg, addr: *addr,
-			degradeDepth: *admitDegrade, adaptive: *adaptive,
+			degradeDepth: *admitDegrade, adaptive: *adaptive, traceOut: *traceOut,
 		})
 		return
 	}

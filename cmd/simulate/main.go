@@ -65,6 +65,7 @@ func main() {
 		polPath  = flag.String("policy", "", "load a saved RAMSIS policy JSON (from ramsisgen) instead of generating")
 		msTable  = flag.String("ms-table", "", "load a ModelSwitching profile JSON (from msgen) instead of profiling")
 		lbArg    = flag.String("lb", "rr", "RAMSIS per-worker load balancer: rr, jsq, or p2c (policies are generated with the matching MDP transition model)")
+		traceOut = flag.String("trace-out", "", "append per-query trace fragments (deterministic sim-<id> trace IDs, with attached select decisions) as JSONL to this file; stitch with `trace -stitch`")
 		logLevel = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		logFmt   = flag.String("log-format", "text", "log format: text or json")
 
@@ -256,6 +257,15 @@ func main() {
 		lat = sim.Stochastic{StdDev: *noise / 1000}
 	}
 	e := sim.NewEngine(models, slo, *workers, lat, sched, *seed)
+	if *traceOut != "" {
+		fh, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer fh.Close()
+		e.TraceWriter = telemetry.NewTraceWriter(fh)
+		e.Decisions = telemetry.NewDecisionBuffer(0)
+	}
 	var degrader *admit.Degrader
 	if *admitName != "none" {
 		nw := *maxQueue

@@ -8,6 +8,10 @@
 //	soak                        # full scale: ≥100k offered wall QPS, 4 shards
 //	soak -target-qps 2000 -dur 2s   # CI smoke scale
 //
+// Every assertion is logged as one structured line carrying the scraped
+// values it was judged on; -metrics-out and -trace-out save the final
+// exposition and the plane's merged trace JSONL as build artifacts.
+//
 // Exit status is 0 only if every assertion holds.
 package main
 
@@ -15,6 +19,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"strconv"
@@ -50,19 +55,28 @@ func soakTenants(sloScale float64) []tenant.Tenant {
 
 func main() {
 	var (
-		shards    = flag.Int("shards", 4, "frontend shard count")
-		workers   = flag.Int("workers", 1, "workers per shard")
-		targetQPS = flag.Float64("target-qps", 105000, "offered wall QPS across all tenants (sets the time scale)")
-		qpsFloor  = flag.Float64("qps-floor", 100000, "minimum achieved offered wall QPS for the soak to pass")
-		floor     = flag.Float64("goodput-floor", 0.9, "minimum goodput for compliant tenants")
-		overload  = flag.Float64("overload", 4, "offered-rate multiple for the overloading tenant (bronze)")
-		dur       = flag.Duration("dur", 5*time.Second, "injection duration (wall clock)")
-		d         = flag.Int("d", 40, "FLD resolution for the per-tenant policy solves")
-		seed      = flag.Int64("seed", 1, "worker and balancer seed")
-		timeScale = flag.Float64("timescale", 0, "modeled-to-wall compression (0 = derived from -target-qps)")
-		sloScale  = flag.Float64("slo-scale", 1, "scale factor on the built-in tenant SLOs")
+		shards     = flag.Int("shards", 4, "frontend shard count")
+		workers    = flag.Int("workers", 1, "workers per shard")
+		targetQPS  = flag.Float64("target-qps", 105000, "offered wall QPS across all tenants (sets the time scale)")
+		qpsFloor   = flag.Float64("qps-floor", 100000, "minimum achieved offered wall QPS for the soak to pass")
+		floor      = flag.Float64("goodput-floor", 0.9, "minimum goodput for compliant tenants")
+		overload   = flag.Float64("overload", 4, "offered-rate multiple for the overloading tenant (bronze)")
+		dur        = flag.Duration("dur", 5*time.Second, "injection duration (wall clock)")
+		d          = flag.Int("d", 40, "FLD resolution for the per-tenant policy solves")
+		seed       = flag.Int64("seed", 1, "worker and balancer seed")
+		timeScale  = flag.Float64("timescale", 0, "modeled-to-wall compression (0 = derived from -target-qps)")
+		sloScale   = flag.Float64("slo-scale", 1, "scale factor on the built-in tenant SLOs")
+		metricsOut = flag.String("metrics-out", "", "write the final /metrics scrape to this file (CI artifact)")
+		traceOut   = flag.String("trace-out", "", "stream the plane's merged trace fragments as JSONL to this file (CI artifact; stitch with `trace -stitch`)")
+		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logFmt     = flag.String("log-format", "text", "log format: text or json")
 	)
 	flag.Parse()
+	logger, err := telemetry.SetupLogging(*logLevel, *logFmt, "soak")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "soak:", err)
+		os.Exit(1)
+	}
 
 	tenants := soakTenants(*sloScale)
 	offeredModeled, totalRate := 0.0, 0.0
@@ -95,14 +109,27 @@ func main() {
 		}
 	}
 	if len(keep) == 0 {
-		fmt.Fprintln(os.Stderr, "soak: no model sustains", perWorker, "QPS per worker")
+		logger.Error("no model sustains per-worker rate", "perWorkerQps", perWorker)
 		os.Exit(1)
 	}
 	models = models.Subset(keep...)
 
-	fmt.Printf("soak: %d shards x %d workers, timescale %.0f, %.0f modeled QPS offered (%.0f wall QPS target), %s\n",
-		*shards, *workers, ts, offeredModeled, offeredModeled*ts, *dur)
-	fmt.Printf("solving %d per-tenant policies...\n", len(tenants))
+	var tw *telemetry.TraceWriter
+	if *traceOut != "" {
+		fh, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+		if err != nil {
+			logger.Error("trace-out open failed", "err", err)
+			os.Exit(1)
+		}
+		defer fh.Close()
+		tw = telemetry.NewTraceWriter(fh)
+	}
+
+	logger.Info("soak starting",
+		"shards", *shards, "workersPerShard", *workers,
+		"timescale", ts, "offeredModeledQps", offeredModeled,
+		"offeredWallQps", offeredModeled*ts, "dur", dur.String(),
+		"tenantPolicies", len(tenants))
 	c, err := serve.StartShardedCluster(serve.ShardedConfig{
 		Models:          models,
 		Tenants:         tenants,
@@ -118,12 +145,13 @@ func main() {
 		// queries) while compliant traffic has ~176 slots to ride out
 		// wall-clock stalls, which at this time scale arrive as bursts of
 		// modeled arrivals.
-		QueueSlack: 6,
-		Fair:       tenant.FairConfig{BurstSec: 1, BorrowReserve: 32**workers*6 - 16},
-		Telemetry:  telemetry.NewRegistry(),
+		QueueSlack:  6,
+		Fair:        tenant.FairConfig{BurstSec: 1, BorrowReserve: 32**workers*6 - 16},
+		Telemetry:   telemetry.NewRegistry(),
+		TraceWriter: tw,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "soak:", err)
+		logger.Error("cluster start failed", "err", err)
 		os.Exit(1)
 	}
 	defer c.Stop()
@@ -132,7 +160,7 @@ func main() {
 	// worker dispatch path, where batching amortizes it; per-query HTTP at
 	// 100k QPS would only measure the client). Batched catch-up pacing:
 	// per-query sleeps cannot reach six-figure rates.
-	fmt.Printf("injecting for %s...\n", *dur)
+	logger.Info("injecting", "dur", dur.String())
 	start := time.Now()
 	var wg sync.WaitGroup
 	for _, t := range tenants {
@@ -166,77 +194,102 @@ func main() {
 	// through the exposition — the soak verifies what an external scraper
 	// would see, not internal state.
 	if _, err := http.Get(c.URL() + "/stats"); err != nil {
-		fmt.Fprintln(os.Stderr, "soak: stats refresh:", err)
+		logger.Error("stats refresh failed", "err", err)
 		os.Exit(1)
 	}
-	series, err := scrapeMetrics(c.URL() + "/metrics")
+	series, raw, err := scrapeMetrics(c.URL() + "/metrics")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "soak:", err)
+		logger.Error("metrics scrape failed", "err", err)
 		os.Exit(1)
+	}
+	if *metricsOut != "" {
+		if err := os.WriteFile(*metricsOut, raw, 0o644); err != nil {
+			logger.Error("metrics-out write failed", "err", err)
+			os.Exit(1)
+		}
+		logger.Info("final exposition saved", "path", *metricsOut, "bytes", len(raw))
 	}
 
 	failed := false
-	fail := func(format string, args ...any) {
+	// assert logs one structured line per soak assertion with the scraped
+	// values it was judged on, and latches overall failure.
+	assert := func(name string, pass bool, kv ...any) {
+		kv = append([]any{"assertion", name, "pass", pass}, kv...)
+		if pass {
+			logger.Info("assertion", kv...)
+			return
+		}
 		failed = true
-		fmt.Printf("FAIL: "+format+"\n", args...)
+		logger.Error("assertion FAILED", kv...)
 	}
 
 	offered := 0.0
-	fmt.Println("per-tenant breakdown (scraped from /metrics):")
 	for _, t := range tenants {
 		served := series[key(telemetry.MetricTenantQueries, t.Name)]
 		violations := series[key(telemetry.MetricTenantViolations, t.Name)]
 		shed := series[key(telemetry.MetricTenantShed, t.Name)]
 		goodput := series[key(telemetry.MetricTenantGoodput, t.Name)]
+		burn := series[sloKey(telemetry.MetricSLOBurnRate, t.Name, "60")]
 		offered += served + shed
-		fmt.Printf("  %-8s offered %8.0f  served %8.0f  shed %8.0f  violations %6.0f  goodput %.3f\n",
-			t.Name, served+shed, served, shed, violations, goodput)
+		logger.Info("tenant breakdown (scraped from /metrics)",
+			"tenant", t.Name, "offered", served+shed, "served", served,
+			"shed", shed, "violations", violations, "goodput", goodput,
+			"burnRate60s", burn)
 
 		switch t.Name {
 		case "bronze":
-			if shed == 0 {
-				fail("overloading tenant %s was never shed", t.Name)
-			}
-			if served == 0 {
-				fail("overloading tenant %s starved", t.Name)
-			}
+			assert("overloader is shed", shed > 0, "tenant", t.Name, "shed", shed)
+			assert("overloader not starved", served > 0, "tenant", t.Name, "served", served)
 		default:
-			if goodput < *floor {
-				fail("compliant tenant %s goodput %.3f < %.2f", t.Name, goodput, *floor)
-			}
+			assert("compliant goodput holds floor", goodput >= *floor,
+				"tenant", t.Name, "goodput", goodput, "floor", *floor)
 		}
 	}
 	achieved := offered / wallDur
-	fmt.Printf("achieved offered rate: %.0f wall QPS over %.2fs (floor %.0f)\n", achieved, wallDur, *qpsFloor)
-	if achieved < *qpsFloor {
-		fail("achieved %.0f wall QPS < floor %.0f — injectors or plane fell behind", achieved, *qpsFloor)
-	}
+	assert("offered rate holds floor", achieved >= *qpsFloor,
+		"achievedWallQps", achieved, "wallDur", wallDur, "floor", *qpsFloor)
 
 	if failed {
-		fmt.Println("soak FAILED")
+		logger.Error("soak FAILED")
 		os.Exit(1)
 	}
-	fmt.Println("soak passed")
+	logger.Info("soak passed", "achievedWallQps", achieved)
 }
 
 func key(metric, tenantName string) string {
 	return metric + `{tenant="` + tenantName + `"}`
 }
 
+// sloKey is the exposition key of a ramsis_slo_* series: tenant plus the
+// window label, alphabetical like the registry writes them.
+func sloKey(metric, tenantName, window string) string {
+	return metric + `{tenant="` + tenantName + `",window="` + window + `"}`
+}
+
 // scrapeMetrics fetches a Prometheus text exposition and returns each
-// sample keyed by `name{labels}` exactly as exposed.
-func scrapeMetrics(url string) (map[string]float64, error) {
+// sample keyed by `name{labels}` exactly as exposed, plus the raw body for
+// artifact upload. Histogram bucket lines may carry OpenMetrics-style
+// exemplars (` # {trace_id="..."} v`); the suffix is stripped before the
+// value parse.
+func scrapeMetrics(url string) (map[string]float64, []byte, error) {
 	resp, err := http.Get(url)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, err
+	}
 	out := map[string]float64{}
-	sc := bufio.NewScanner(resp.Body)
+	sc := bufio.NewScanner(strings.NewReader(string(raw)))
 	for sc.Scan() {
 		line := sc.Text()
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
+		}
+		if i := strings.Index(line, " # "); i >= 0 {
+			line = line[:i]
 		}
 		name, val, ok := strings.Cut(line, " ")
 		if !ok {
@@ -248,5 +301,5 @@ func scrapeMetrics(url string) (map[string]float64, error) {
 		}
 		out[name] = f
 	}
-	return out, sc.Err()
+	return out, raw, sc.Err()
 }

@@ -1,10 +1,12 @@
 // Command trace inspects, generates, and converts query-load traces in the
-// artifact's one-QPS-per-line format:
+// artifact's one-QPS-per-line format, and stitches distributed query-trace
+// JSONL files into per-query critical paths:
 //
 //	trace --stats                      # stats of the built-in Twitter trace
 //	trace --export twitter.txt        # write it in the artifact format
 //	trace --stats --in mytrace.txt    # stats of an external trace
 //	trace --arrivals out.txt --seed 3 # sample Poisson arrival times
+//	trace --stitch a.jsonl,b.jsonl    # merge -trace-out files, print span trees
 package main
 
 import (
@@ -13,6 +15,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"ramsis/internal/stats"
 	"ramsis/internal/telemetry"
@@ -29,12 +32,21 @@ func main() {
 		truncate = flag.Float64("truncate", 0, "keep only the first N seconds (0 = all)")
 		seed     = flag.Int64("seed", 1, "arrival sampling seed")
 		gamma    = flag.Int("gamma", 0, "sample Erlang-<shape> arrivals instead of Poisson (0 = Poisson)")
+		stitch   = flag.String("stitch", "", "comma-separated -trace-out JSONL files: merge fragments, print per-query critical paths")
+		top      = flag.Int("top", 10, "with -stitch, print only the N slowest queries (0 = all)")
 		logLevel = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		logFmt   = flag.String("log-format", "text", "log format: text or json")
 	)
 	flag.Parse()
 	if _, err := telemetry.SetupLogging(*logLevel, *logFmt, "trace"); err != nil {
 		log.Fatal(err)
+	}
+
+	if *stitch != "" {
+		if err := stitchFiles(os.Stdout, strings.Split(*stitch, ","), *top); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	tr := trace.Twitter()
@@ -87,4 +99,79 @@ func main() {
 		}
 		fmt.Printf("sampled %d arrival times to %s\n", len(arr), *arrivals)
 	}
+}
+
+// stitchFiles merges multi-process -trace-out JSONL files, groups fragments
+// by trace ID, and prints each query's span tree plus the critical-path
+// stage breakdown — where the latency went: queueing, batch wait, dispatch,
+// or inference.
+func stitchFiles(w *os.File, paths []string, top int) error {
+	var all []telemetry.QueryTrace
+	for _, path := range paths {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		traces, err := telemetry.ReadTraces(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		all = append(all, traces...)
+	}
+	stitched := telemetry.Stitch(all)
+	if len(stitched) == 0 {
+		fmt.Fprintln(w, "no traceable fragments (files predate trace IDs?)")
+		return nil
+	}
+	// Slowest end-to-end first: the queries worth explaining.
+	for i := 1; i < len(stitched); i++ {
+		for j := i; j > 0 && stitched[j].Final().LatencyMS > stitched[j-1].Final().LatencyMS; j-- {
+			stitched[j], stitched[j-1] = stitched[j-1], stitched[j]
+		}
+	}
+	n := len(stitched)
+	if top > 0 && top < n {
+		n = top
+	}
+	fmt.Fprintf(w, "%d fragments, %d stitched traces (showing %d slowest)\n\n", len(all), len(stitched), n)
+	for _, s := range stitched[:n] {
+		printStitched(w, s)
+	}
+	return nil
+}
+
+func printStitched(w *os.File, s telemetry.StitchedTrace) {
+	final := s.Final()
+	head := fmt.Sprintf("trace %s", s.TraceID)
+	if t := s.Tenant(); t != "" {
+		head += " tenant=" + t
+	}
+	fmt.Fprintf(w, "%s latency=%.1fms model=%s batch=%d\n", head, final.LatencyMS, final.Model, final.Batch)
+	for i, f := range s.Path() {
+		indent := strings.Repeat("  ", i)
+		loc := f.Process
+		if f.Worker >= 0 {
+			loc += fmt.Sprintf(" (worker %d)", f.Worker)
+		}
+		fmt.Fprintf(w, "%s└─ %s", indent, loc)
+		if f.Error != "" {
+			fmt.Fprintf(w, " error=%q", f.Error)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "  critical path:")
+	for _, sp := range s.CriticalPath() {
+		fmt.Fprintf(w, " %s=%.1fms", sp.Stage, sp.Seconds*1000)
+	}
+	fmt.Fprintln(w)
+	if d := s.Decision(); d != nil {
+		fmt.Fprintf(w, "  decision: kind=%s model=%s batch=%d queue=%d predicted=%.1fms realized=%.1fms outcome=%q\n",
+			d.Kind, d.Model, d.Batch, d.QueueLen, d.PredictedSec*1000, d.RealizedSec*1000, d.Outcome)
+	}
+	fmt.Fprintln(w)
 }

@@ -15,6 +15,7 @@
 package adapt
 
 import (
+	"fmt"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -54,6 +55,12 @@ type Config struct {
 	// Telemetry optionally mirrors the adapter's counters into a metrics
 	// registry under the ramsis_adapt_* names.
 	Telemetry *telemetry.Registry
+	// Decisions, when set, records every policy hot-swap as an adapt_swap
+	// decision: the drifted rate bucket it re-solved for and the wall-clock
+	// drift-to-swap latency dispatch spent on the stale policy.
+	Decisions *telemetry.DecisionBuffer
+	// Tenant labels the adapter's decision records in multi-tenant planes.
+	Tenant string
 }
 
 // Stats is a consistent snapshot of the adapter's counters.
@@ -95,6 +102,8 @@ type Adapter struct {
 	cur    atomic.Pointer[core.PolicySet]
 	bucket atomic.Uint64 // Float64bits of the active rate bucket
 	cache  *Cache
+
+	lastNow atomic.Uint64 // Float64bits of the last Observe's modeled time
 
 	resolves, resolveErrors   atomic.Uint64
 	cacheHits, cacheMisses    atomic.Uint64
@@ -225,6 +234,7 @@ func (a *Adapter) Stats() Stats {
 // A failed re-solve leaves the previous policy active; it is retried on the
 // next confirmed drift event.
 func (a *Adapter) Observe(now, rate float64) {
+	a.lastNow.Store(math.Float64bits(now))
 	a.mu.Lock()
 	if a.resolving || !a.det.Observe(now, rate) {
 		a.mu.Unlock()
@@ -315,6 +325,19 @@ func (a *Adapter) install(bucket float64, pol *core.Policy, start time.Time) {
 	}
 	if a.mBucket != nil {
 		a.mBucket.Set(bucket)
+	}
+	if a.cfg.Decisions != nil {
+		a.cfg.Decisions.Add(telemetry.Decision{
+			Kind:    telemetry.DecisionAdaptSwap,
+			Time:    math.Float64frombits(a.lastNow.Load()),
+			Tenant:  a.cfg.Tenant,
+			Worker:  -1,
+			RateQPS: bucket,
+			// RealizedSec is the wall-clock drift-to-swap window: how long
+			// dispatch ran on the stale policy after drift was confirmed.
+			RealizedSec: time.Since(start).Seconds(),
+			Outcome:     fmt.Sprintf("hot-swap to %g qps bucket", bucket),
+		})
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -104,6 +105,19 @@ type Frontend struct {
 	// TraceWriter, when set, additionally exports every completed trace
 	// as one JSONL line (the -trace-out flow).
 	TraceWriter *telemetry.TraceWriter
+	// Decisions is the policy-decision ring behind /debug/decisions; Start
+	// builds one (DefaultDecisionCapacity) when nil. A sharded cluster
+	// passes one shared ring so the gateway serves the merged view.
+	Decisions *telemetry.DecisionBuffer
+	// TraceParent names the upstream process in this frontend's trace
+	// fragments ("gateway" in a sharded cluster; empty when the frontend
+	// is the root).
+	TraceParent string
+	// SLO accounting: per-tenant windowed attainment and burn-rate gauges
+	// (ramsis_slo_*{tenant,window}). SLOWindows overrides the tracker
+	// config; zero values take the telemetry defaults. In plane mode the
+	// trackers live on the shared TenantPlane instead.
+	SLOWindows telemetry.SLOConfig
 	// Admit, when set, screens every arriving query before it is routed:
 	// shed queries are answered 429 with a Retry-After hint instead of
 	// being enqueued. The simulator engine runs the same admitters.
@@ -138,6 +152,12 @@ type Frontend struct {
 	ownHealth bool
 	clamp     *modelClamp
 	tel       *serveSeries
+	// process names this frontend in trace fragments: "shard-<i>" in a
+	// sharded plane, "frontend" standalone.
+	process string
+	// sloTrack is the single-tenant attainment tracker (tenant label
+	// "default"); plane mode tracks per tenant on the shared plane.
+	sloTrack *telemetry.SLOTracker
 	// maxBatch caps how far workerLoop scans the queue prefix for the
 	// tightest deadline in the batch window.
 	maxBatch int
@@ -174,6 +194,9 @@ type pendingQuery struct {
 	slo float64
 	// st is the query's tenant state (nil in single-tenant mode).
 	st *tenantState
+	// traceID joins this query's fragments across gateway, shard, and
+	// worker; propagated to the worker in the X-Trace-Id header.
+	traceID string
 	// pickSec and enqueuedAt stamp the query's first two span stages
 	// (modeled seconds); the dispatch path fills in the rest.
 	pickSec    float64
@@ -194,9 +217,19 @@ func (f *Frontend) Start() error {
 	if f.Traces == nil {
 		f.Traces = telemetry.NewTraceBuffer(0)
 	}
+	if f.Decisions == nil {
+		f.Decisions = telemetry.NewDecisionBuffer(0)
+	}
 	f.tel = newServeSeries(f.Telemetry, len(f.Workers), f.WorkerOffset)
-	if f.Plane != nil && f.Select == nil {
-		f.Select = f.Plane.fallback
+	if f.Plane != nil {
+		f.process = fmt.Sprintf("shard-%d", f.Shard)
+		if f.Select == nil {
+			f.Select = f.Plane.fallback
+		}
+	} else {
+		f.process = "frontend"
+		f.sloTrack = telemetry.NewSLOTracker(f.SLOWindows)
+		telemetry.RegisterSLOGauges(f.Telemetry, f.sloTrack, "default", f.now)
 	}
 	if f.Balancer == nil {
 		f.Balancer = lb.NewRoundRobin()
@@ -251,6 +284,7 @@ func (f *Frontend) Start() error {
 	mux.HandleFunc("/stats", f.handleStats)
 	mux.Handle("/metrics", f.Telemetry.Handler())
 	mux.Handle("/debug/traces", f.Traces.Handler())
+	mux.Handle("/debug/decisions", f.Decisions.Handler())
 	telemetry.RegisterPprof(mux)
 	f.srv = &http.Server{Handler: mux}
 	go func() { _ = f.srv.Serve(ln) }()
@@ -367,10 +401,22 @@ func (e *EnqueueError) Error() string { return e.Msg }
 // reader, so fire-and-forget injectors may drop the channel). tenantName
 // selects the tenant in multi-tenant mode ("" resolves to the default
 // tenant); it is ignored when no Plane is configured. The HTTP handler,
-// the sharded gateway, and load injectors all route through here.
+// the sharded gateway, and load injectors all route through here. A fresh
+// trace ID is generated; upstreams carrying their own call EnqueueTraced.
 func (f *Frontend) Enqueue(tenantName string) (<-chan QueryResponse, *EnqueueError) {
+	return f.EnqueueTraced(tenantName, "")
+}
+
+// EnqueueTraced is Enqueue with the caller's trace context: the gateway
+// (or an HTTP client via X-Trace-Id) passes the trace ID its own fragment
+// carries, so this frontend's fragment joins the same tree. An empty
+// traceID generates a fresh one.
+func (f *Frontend) EnqueueTraced(tenantName, traceID string) (<-chan QueryResponse, *EnqueueError) {
 	if f.closed.Load() {
 		return nil, &EnqueueError{Status: http.StatusServiceUnavailable, Msg: "shutting down"}
+	}
+	if traceID == "" {
+		traceID = telemetry.NewTraceID()
 	}
 	id := int(f.nextID.Add(1) - 1)
 	arrival := f.now()
@@ -386,17 +432,19 @@ func (f *Frontend) Enqueue(tenantName string) (<-chan QueryResponse, *EnqueueErr
 		}
 		slo = st.slo
 		st.observe(arrival)
-		if err := f.admitTenant(st, id, arrival); err != nil {
+		if err := f.admitTenant(st, id, arrival, traceID); err != nil {
 			return nil, err
 		}
 	} else {
+		rate := 0.0
 		if f.Monitor != nil {
 			f.monitorMu.Lock()
 			f.Monitor.Observe(arrival)
+			rate = f.Monitor.Load(arrival)
 			f.monitorMu.Unlock()
 		}
 		if f.Admit != nil {
-			if err := f.admitSingle(id, arrival); err != nil {
+			if err := f.admitSingle(id, arrival, traceID, rate); err != nil {
 				return nil, err
 			}
 		}
@@ -415,7 +463,7 @@ func (f *Frontend) Enqueue(tenantName string) (<-chan QueryResponse, *EnqueueErr
 	}
 	pq := pendingQuery{
 		q: sim.Query{ID: id, Arrival: arrival, Tenant: tenantName}, done: done,
-		slo: slo, st: st,
+		slo: slo, st: st, traceID: traceID,
 		pickSec: pickSec, enqueuedAt: f.now(),
 	}
 	ws.queue = append(ws.queue, pq)
@@ -433,7 +481,7 @@ func (f *Frontend) handleQuery(rw http.ResponseWriter, req *http.Request) {
 		http.Error(rw, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
-	done, eerr := f.Enqueue(tenantFromRequest(req))
+	done, eerr := f.EnqueueTraced(tenantFromRequest(req), req.Header.Get("X-Trace-Id"))
 	if eerr != nil {
 		writeEnqueueError(rw, eerr)
 		return
@@ -478,33 +526,42 @@ func (f *Frontend) Outstanding() int {
 
 // admitSingle screens one arrival through the frontend-wide admission
 // controller. It returns nil when the query may proceed to routing; a shed
-// query has been recorded (shed counter, degrader pressure, and a
-// single-span shed trace so rejected queries stay visible in
+// query has been recorded (shed counter, degrader pressure, a decision
+// record, and a single-span shed trace so rejected queries stay visible in
 // /debug/traces).
-func (f *Frontend) admitSingle(id int, arrival float64) *EnqueueError {
-	v := f.Admit.Admit(admit.Request{Now: arrival, Outstanding: f.Outstanding()})
+func (f *Frontend) admitSingle(id int, arrival float64, traceID string, rate float64) *EnqueueError {
+	outstanding := f.Outstanding()
+	v := f.Admit.Admit(admit.Request{Now: arrival, Outstanding: outstanding})
+	level := 0
 	if f.Degrade != nil {
+		level = f.Degrade.Level()
 		f.Degrade.Observe(arrival, !v.Admit, v.EstWait)
 	}
 	f.tel.estWait.Observe(v.EstWait)
+	f.recordAdmitDecision(v.Admit, false, arrival, traceID, "", outstanding, rate, level, v.EstWait)
 	if v.Admit {
 		f.tel.admitted.Inc()
 		return nil
 	}
 	f.tel.shed(f.Admit.Name()).Inc()
 	msg := fmt.Sprintf("shed by %s admission control (est wait %.3fs)", f.Admit.Name(), v.EstWait)
-	f.recordShedTrace(id, arrival, msg)
+	f.recordShedTrace(id, arrival, traceID, "", msg)
 	return f.shedError(msg, v.RetryAfter)
 }
 
 // admitTenant screens one arrival through the shared weighted-fair
 // admitter, charging the decision to the query's tenant.
-func (f *Frontend) admitTenant(st *tenantState, id int, arrival float64) *EnqueueError {
-	v := f.Plane.fair.Admit(st.name, admit.Request{Now: arrival, Outstanding: f.Outstanding()})
+func (f *Frontend) admitTenant(st *tenantState, id int, arrival float64, traceID string) *EnqueueError {
+	outstanding := f.Outstanding()
+	v := f.Plane.fair.Admit(st.name, admit.Request{Now: arrival, Outstanding: outstanding})
+	level := 0
 	if st.degrade != nil {
+		level = st.degrade.Level()
 		st.degrade.Observe(arrival, !v.Admit, v.EstWait)
 	}
 	f.tel.estWait.Observe(v.EstWait)
+	f.recordAdmitDecision(v.Admit, v.Reason == tenant.ReasonBorrowed,
+		arrival, traceID, st.name, outstanding, st.load(arrival), level, v.EstWait)
 	if v.Admit {
 		f.tel.admitted.Inc()
 		st.admitted.Inc()
@@ -516,16 +573,38 @@ func (f *Frontend) admitTenant(st *tenantState, id int, arrival float64) *Enqueu
 	f.tel.shed(f.Plane.fair.Name()).Inc()
 	st.shed.Inc()
 	msg := fmt.Sprintf("tenant %s shed by weighted-fair admission (%s)", st.name, v.Reason)
-	f.recordShedTrace(id, arrival, msg)
+	f.recordShedTrace(id, arrival, traceID, st.name, msg)
 	return f.shedError(msg, v.RetryAfter)
+}
+
+// recordAdmitDecision appends one admission verdict — admit, borrow, or
+// shed — to the decision ring with the inputs the admitter saw. The wait
+// estimate the verdict was premised on lands in PredictedSec; admission
+// makes no realized-latency claim, so RealizedSec stays 0.
+func (f *Frontend) recordAdmitDecision(admitted, borrowed bool, arrival float64, traceID, tenantName string, outstanding int, rate float64, level int, estWait float64) {
+	kind, outcome := telemetry.DecisionShed, "shed"
+	switch {
+	case admitted && borrowed:
+		kind, outcome = telemetry.DecisionBorrow, "admitted"
+	case admitted:
+		kind, outcome = telemetry.DecisionAdmit, "admitted"
+	}
+	f.Decisions.Add(telemetry.Decision{
+		Kind: kind, Time: arrival, TraceID: traceID,
+		Tenant: tenantName, Shard: f.Shard, Worker: -1,
+		QueueLen: outstanding, RateQPS: rate, DegradeLevel: level,
+		PredictedSec: estWait, Outcome: outcome,
+	})
 }
 
 // recordShedTrace keeps a rejected query visible in /debug/traces and the
 // JSONL export via a single zero-length shed span.
-func (f *Frontend) recordShedTrace(id int, arrival float64, msg string) {
+func (f *Frontend) recordShedTrace(id int, arrival float64, traceID, tenantName, msg string) {
 	qt := telemetry.QueryTrace{
 		ID: id, Arrival: arrival, Worker: -1,
-		Error: msg,
+		Error:   msg,
+		TraceID: traceID, Process: f.process, Parent: f.TraceParent,
+		Tenant: tenantName, Shard: f.Shard,
 		Spans: []telemetry.Span{{Stage: telemetry.StageShed}},
 	}
 	f.Traces.Add(qt)
@@ -608,11 +687,21 @@ func (f *Frontend) workerLoop(w int) {
 			p = f.Profiles.Profiles[0]
 			batch = 1
 		}
+		level := 0
 		if degrade != nil {
-			if lvl := degrade.Level(); lvl > 0 {
-				if name, changed := clamp.apply(lvl, p.Name); changed {
+			level = degrade.Level()
+			if level > 0 {
+				if name, changed := clamp.apply(level, p.Name); changed {
+					prev := p.Name
 					p, _ = f.Profiles.ByName(name)
 					f.tel.degraded.Inc()
+					f.Decisions.Add(telemetry.Decision{
+						Kind: telemetry.DecisionDegrade, Time: now, TraceID: head.traceID,
+						Tenant: head.q.Tenant, Shard: f.Shard, Worker: f.WorkerOffset + w,
+						QueueLen: n, RateQPS: load, DegradeLevel: level, SlackSec: slack,
+						Model: p.Name, Batch: batch,
+						Outcome: "clamped from " + prev,
+					})
 				}
 			}
 		}
@@ -622,12 +711,23 @@ func (f *Frontend) workerLoop(w int) {
 		if batch > n {
 			batch = n
 		}
+		// The select decision is recorded against what actually dispatches
+		// (post-clamp model, final batch): PredictedSec is the profiled
+		// batch latency the policy committed to, and dispatch fills in
+		// RealizedSec so predicted-vs-realized error is measurable per
+		// decision.
+		dec := &telemetry.Decision{
+			Kind: telemetry.DecisionSelect, Time: now, TraceID: head.traceID,
+			Tenant: head.q.Tenant, Shard: f.Shard, Worker: f.WorkerOffset + w,
+			QueueLen: n, RateQPS: load, DegradeLevel: level, SlackSec: slack,
+			Model: p.Name, Batch: batch, PredictedSec: p.BatchLatency(batch),
+		}
 		ws.mu.Lock()
 		queries := ws.queue[:batch]
 		ws.queue = append([]pendingQuery(nil), ws.queue[batch:]...)
 		ws.mu.Unlock()
 
-		f.dispatch(w, p.Name, queries)
+		f.dispatch(w, p.Name, queries, dec)
 		ws.outstanding.Add(-int32(len(queries)))
 	}
 }
@@ -638,11 +738,23 @@ func (f *Frontend) workerLoop(w int) {
 // worker's health (they indicate a bad request, not a bad worker). On
 // success it returns the worker-reported inference latency in modeled
 // seconds, so the dispatch overhead and the inference time can be
-// attributed to separate span stages.
-func (f *Frontend) post(w int, model string, batch int) (float64, bool) {
+// attributed to separate span stages. traceIDs carries the batch's trace
+// context (comma-joined X-Trace-Id) so the worker records its own
+// fragment of each query's trace.
+func (f *Frontend) post(w int, model string, batch int, traceIDs string) (float64, bool) {
 	body, _ := json.Marshal(InferRequest{Model: model, Batch: batch})
 	f.tel.workerDispatch[w].Inc()
-	resp, err := f.client.Post(f.Workers[w]+"/infer", "application/json", bytes.NewReader(body))
+	req, err := http.NewRequest(http.MethodPost, f.Workers[w]+"/infer", bytes.NewReader(body))
+	if err != nil {
+		f.Health.ReportFailure(w)
+		return 0, false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if traceIDs != "" {
+		req.Header.Set("X-Trace-Id", traceIDs)
+		req.Header.Set("X-Trace-Parent", f.process)
+	}
+	resp, err := f.client.Do(req)
 	if err != nil {
 		f.Health.ReportFailure(w)
 		return 0, false
@@ -709,14 +821,20 @@ func anyHealthy(healthy []bool) bool {
 // healthy worker; queries whose batch reached no worker are recorded as
 // violations (and FailedDispatches) rather than silently marked served.
 // Every query's telemetry — counters, per-stage histograms, and its trace
-// — is recorded here.
-func (f *Frontend) dispatch(w int, model string, queries []pendingQuery) {
+// — is recorded here, and the batch's select decision is completed with
+// the realized inference latency before it lands in the decision ring.
+func (f *Frontend) dispatch(w int, model string, queries []pendingQuery, dec *telemetry.Decision) {
+	ids := make([]string, len(queries))
+	for i, pq := range queries {
+		ids[i] = pq.traceID
+	}
+	traceIDs := strings.Join(ids, ",")
 	dispStart := f.now()
 	target := w
-	infSec, ok := f.post(w, model, len(queries))
+	infSec, ok := f.post(w, model, len(queries), traceIDs)
 	if !ok {
 		if alt := f.failoverTarget(w); alt >= 0 && f.allowFailover() {
-			infSec, ok = f.post(alt, model, len(queries))
+			infSec, ok = f.post(alt, model, len(queries), traceIDs)
 			if ok {
 				target = alt
 			}
@@ -728,6 +846,22 @@ func (f *Frontend) dispatch(w int, model string, queries []pendingQuery) {
 		dispSec = 0
 	}
 	p, _ := f.Profiles.ByName(model)
+
+	if dec != nil {
+		dec.Worker = f.WorkerOffset + target
+		dec.RealizedSec = infSec
+		dec.Outcome = "served"
+		if !ok {
+			dec.Outcome = "failed"
+		} else {
+			err := dec.PredictedSec - infSec
+			if err < 0 {
+				err = -err
+			}
+			f.tel.decisionErr.Observe(err)
+		}
+		f.Decisions.Add(*dec)
+	}
 
 	f.tel.decisions.Inc()
 	f.tel.model(model).Add(float64(len(queries)))
@@ -743,6 +877,9 @@ func (f *Frontend) dispatch(w int, model string, queries []pendingQuery) {
 		f.tel.queries.Inc()
 		if pq.st != nil {
 			pq.st.queries.Inc()
+			pq.st.sloTrack.Observe(done, met)
+		} else if f.sloTrack != nil {
+			f.sloTrack.Observe(done, met)
 		}
 		if met {
 			f.tel.satAcc.Add(p.Accuracy)
@@ -778,12 +915,15 @@ func (f *Frontend) dispatch(w int, model string, queries []pendingQuery) {
 		for _, s := range spans {
 			f.tel.stages[s.Stage].Observe(s.Seconds)
 		}
-		f.tel.latency.Observe(lat)
+		f.tel.latency.ObserveExemplar(lat, pq.traceID)
 		qt := telemetry.QueryTrace{
 			ID: pq.q.ID, Arrival: pq.q.Arrival, Worker: target,
 			Model: model, Batch: len(queries),
 			LatencyMS: lat * 1000, DeadlineMet: met, Error: resp.Error,
-			Spans: spans,
+			TraceID: pq.traceID, Process: f.process, Parent: f.TraceParent,
+			Tenant: pq.q.Tenant, Shard: f.Shard,
+			Decision: dec,
+			Spans:    spans,
 		}
 		f.Traces.Add(qt)
 		if f.TraceWriter != nil {

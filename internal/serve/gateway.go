@@ -32,6 +32,20 @@ type Gateway struct {
 	// Telemetry is the shared registry (required: the same one the shards
 	// and the plane write into).
 	Telemetry *telemetry.Registry
+	// Traces rings the gateway-side fragments (tenant resolution + shard
+	// routing); Start builds one when nil.
+	Traces *telemetry.TraceBuffer
+	// TraceWriter, when set, streams gateway fragments as JSONL. A sharded
+	// cluster shares one writer plane-wide so a single file stitches.
+	TraceWriter *telemetry.TraceWriter
+	// Decisions is the plane-wide policy-decision ring served at
+	// /debug/decisions (the sharded cluster passes the same ring every
+	// shard writes into).
+	Decisions *telemetry.DecisionBuffer
+	// TraceSources are the rings merged into the gateway's /debug/traces:
+	// its own plus every shard's and worker's, so one endpoint yields a
+	// stitchable view of the whole plane.
+	TraceSources []*telemetry.TraceBuffer
 
 	shardQueries []*telemetry.Counter
 	goodputVec   *telemetry.GaugeVec
@@ -71,6 +85,20 @@ func (g *Gateway) Start() error {
 	if g.start.IsZero() {
 		g.start = time.Now()
 	}
+	if g.Traces == nil {
+		g.Traces = telemetry.NewTraceBuffer(0)
+	}
+	if g.Decisions == nil {
+		g.Decisions = telemetry.NewDecisionBuffer(0)
+	}
+	if g.TraceSources == nil {
+		g.TraceSources = []*telemetry.TraceBuffer{g.Traces}
+		for _, fe := range g.Shards {
+			if fe.Traces != nil {
+				g.TraceSources = append(g.TraceSources, fe.Traces)
+			}
+		}
+	}
 	for i, fe := range g.Shards {
 		fe := fe
 		shard := fmt.Sprintf("%d", i)
@@ -98,6 +126,8 @@ func (g *Gateway) Start() error {
 	mux.HandleFunc("/stats", g.handleStats)
 	mux.HandleFunc("/reload", g.handleReload)
 	mux.Handle("/metrics", g.Telemetry.Handler())
+	mux.HandleFunc("/debug/traces", g.handleTraces)
+	mux.Handle("/debug/decisions", g.Decisions.Handler())
 	telemetry.RegisterPprof(mux)
 	g.srv = &http.Server{Handler: mux}
 	go func() { _ = g.srv.Serve(ln) }()
@@ -116,15 +146,33 @@ func (g *Gateway) Stop() error {
 	return g.srv.Close()
 }
 
+// now returns modeled seconds since the plane's shared epoch.
+func (g *Gateway) now() float64 {
+	return time.Since(g.start).Seconds() * g.Shards[0].TimeScale
+}
+
 // Route admits and enqueues one query on the shard the sharding policy
 // picks for its tenant, returning the response channel. Load injectors
-// call this directly; handleQuery wraps it for HTTP clients.
+// call this directly; handleQuery wraps it for HTTP clients. The trace
+// context is born here: Route generates the trace ID, records the
+// gateway-side fragment, and hands the ID down so the shard's and worker's
+// fragments stitch under it.
 func (g *Gateway) Route(tenantName string) (<-chan QueryResponse, *EnqueueError) {
+	return g.RouteTraced(tenantName, "")
+}
+
+// RouteTraced is Route with a caller-supplied trace ID (an HTTP client's
+// X-Trace-Id); empty generates a fresh one.
+func (g *Gateway) RouteTraced(tenantName, traceID string) (<-chan QueryResponse, *EnqueueError) {
 	t, ok := g.Plane.Registry().Resolve(tenantName)
 	if !ok {
 		return nil, &EnqueueError{Status: http.StatusBadRequest,
 			Msg: fmt.Sprintf("unknown tenant %q", tenantName)}
 	}
+	if traceID == "" {
+		traceID = telemetry.NewTraceID()
+	}
+	routeStart := g.now()
 	depths := make([]int, len(g.Shards))
 	for i, fe := range g.Shards {
 		depths[i] = fe.Outstanding()
@@ -134,9 +182,22 @@ func (g *Gateway) Route(tenantName string) (<-chan QueryResponse, *EnqueueError)
 	if s < 0 || s >= len(g.Shards) {
 		s = 0
 	}
-	done, eerr := g.Shards[s].Enqueue(t.Name)
+	done, eerr := g.Shards[s].EnqueueTraced(t.Name, traceID)
 	if eerr == nil {
 		g.shardQueries[s].Inc()
+	}
+	qt := telemetry.QueryTrace{
+		ID: -1, Arrival: routeStart, Worker: -1,
+		TraceID: traceID, Process: "gateway",
+		Tenant: t.Name, Shard: s,
+		Spans: []telemetry.Span{{Stage: telemetry.StageRoute, Seconds: g.now() - routeStart}},
+	}
+	if eerr != nil {
+		qt.Error = eerr.Msg
+	}
+	g.Traces.Add(qt)
+	if g.TraceWriter != nil {
+		_ = g.TraceWriter.Write(qt)
 	}
 	return done, eerr
 }
@@ -148,7 +209,7 @@ func (g *Gateway) handleQuery(rw http.ResponseWriter, req *http.Request) {
 		http.Error(rw, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
-	done, eerr := g.Route(tenantFromRequest(req))
+	done, eerr := g.RouteTraced(tenantFromRequest(req), req.Header.Get("X-Trace-Id"))
 	if eerr != nil {
 		writeEnqueueError(rw, eerr)
 		return
@@ -192,6 +253,21 @@ func (g *Gateway) Stats() GatewayStats {
 		TenantVersion:    g.Plane.Registry().Version(),
 		Tenants:          tenants,
 	}
+}
+
+// handleTraces merges every component ring — the gateway's own fragments,
+// each shard's, each worker's — into one JSON array. Feeding the merged
+// array to telemetry.Stitch (or `ramsis-trace -stitch`) reassembles each
+// query's cross-process span tree.
+func (g *Gateway) handleTraces(rw http.ResponseWriter, _ *http.Request) {
+	merged := []telemetry.QueryTrace{}
+	for _, src := range g.TraceSources {
+		if src != nil {
+			merged = append(merged, src.Snapshot()...)
+		}
+	}
+	rw.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(rw).Encode(merged)
 }
 
 func (g *Gateway) handleStats(rw http.ResponseWriter, _ *http.Request) {

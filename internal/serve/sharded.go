@@ -61,6 +61,13 @@ type ShardedConfig struct {
 	// Telemetry is the registry shared by every shard, the plane, and the
 	// gateway (default: a fresh one).
 	Telemetry *telemetry.Registry
+	// TraceWriter, when set, streams every component's trace fragments —
+	// gateway routes, shard dispatches, worker inferences — into one JSONL
+	// stream, so a single file stitches end to end.
+	TraceWriter *telemetry.TraceWriter
+	// SLO configures the per-tenant attainment/burn-rate windows (zero
+	// values take the telemetry defaults: 0.99 over 60/300/3600 s).
+	SLO telemetry.SLOConfig
 }
 
 // ShardedCluster is a running sharded multi-tenant deployment.
@@ -114,6 +121,10 @@ func StartShardedCluster(cfg ShardedConfig) (*ShardedCluster, error) {
 	// per-tenant is the SLO, so latency-tolerant tenants still resolve to
 	// more accurate models than interactive ones.
 	shardRate := reg.TotalRate() * loadScale
+	// One decision ring plane-wide: every shard's admit/shed/select records
+	// and every adapter's hot-swaps land in the same buffer the gateway
+	// serves at /debug/decisions.
+	decisions := telemetry.NewDecisionBuffer(0)
 	selectors := make(map[string]SelectFunc, len(cfg.Tenants))
 	var fallback SelectFunc
 	for _, t := range cfg.Tenants {
@@ -136,6 +147,8 @@ func StartShardedCluster(cfg ShardedConfig) (*ShardedCluster, error) {
 				Base:       base,
 				Background: true, // never stall dispatch behind a re-solve
 				Telemetry:  cfg.Telemetry,
+				Decisions:  decisions,
+				Tenant:     t.Name,
 			}, set.Policies()[0])
 			if err != nil {
 				return nil, fmt.Errorf("serve: adapting tenant %s: %w", t.Name, err)
@@ -171,6 +184,7 @@ func StartShardedCluster(cfg ShardedConfig) (*ShardedCluster, error) {
 		fairCfg.BorrowReserve = inner.Limit / 2
 	}
 	fair := tenant.NewFairAdmitter(reg, inner, fairCfg)
+	epoch := time.Now()
 	plane := NewTenantPlane(TenantPlaneConfig{
 		Registry:     reg,
 		Fair:         fair,
@@ -178,7 +192,11 @@ func StartShardedCluster(cfg ShardedConfig) (*ShardedCluster, error) {
 		Selectors:    selectors,
 		Fallback:     fallback,
 		DegradeDepth: cfg.DegradeDepth,
-		Telemetry:    cfg.Telemetry,
+		SLO:          cfg.SLO,
+		Now: func() float64 {
+			return time.Since(epoch).Seconds() * cfg.TimeScale
+		},
+		Telemetry: cfg.Telemetry,
 	})
 
 	var latModel sim.LatencyModel = sim.Deterministic{}
@@ -193,17 +211,24 @@ func StartShardedCluster(cfg ShardedConfig) (*ShardedCluster, error) {
 	}
 
 	c := &ShardedCluster{Plane: plane}
-	epoch := time.Now()
+	// Worker rings feed the gateway's merged /debug/traces alongside its own
+	// and the shards'.
+	var traceSources []*telemetry.TraceBuffer
 	for s := 0; s < cfg.Shards; s++ {
 		urls := make([]string, cfg.WorkersPerShard)
 		for i := 0; i < cfg.WorkersPerShard; i++ {
-			w := NewWorker(cfg.Models, latModel, cfg.TimeScale, cfg.Seed+int64(s*cfg.WorkersPerShard+i))
+			global := s*cfg.WorkersPerShard + i
+			w := NewWorker(cfg.Models, latModel, cfg.TimeScale, cfg.Seed+int64(global))
+			w.Name = fmt.Sprintf("worker-%d", global)
+			w.Index = global
+			w.TraceWriter = cfg.TraceWriter
 			if err := w.Start(); err != nil {
 				c.Stop()
 				return nil, err
 			}
 			c.workers = append(c.workers, w)
 			urls[i] = w.URL()
+			traceSources = append(traceSources, w.Traces)
 		}
 		balancer, err := lb.New(cfg.LB, cfg.Seed+int64(s))
 		if err != nil {
@@ -220,6 +245,9 @@ func StartShardedCluster(cfg ShardedConfig) (*ShardedCluster, error) {
 			WorkerOffset: s * cfg.WorkersPerShard,
 			Balancer:     balancer,
 			Telemetry:    cfg.Telemetry,
+			TraceWriter:  cfg.TraceWriter,
+			TraceParent:  "gateway",
+			Decisions:    decisions,
 		}
 		fe.start = epoch // shared modeled-time epoch across shards
 		if err := fe.Start(); err != nil {
@@ -229,13 +257,23 @@ func StartShardedCluster(cfg ShardedConfig) (*ShardedCluster, error) {
 		c.shards = append(c.shards, fe)
 	}
 
+	gwTraces := telemetry.NewTraceBuffer(0)
+	sources := []*telemetry.TraceBuffer{gwTraces}
+	for _, fe := range c.shards {
+		sources = append(sources, fe.Traces)
+	}
+	sources = append(sources, traceSources...)
 	c.Gateway = &Gateway{
-		Shards:     c.shards,
-		Sharder:    sharder,
-		Plane:      plane,
-		Addr:       cfg.Addr,
-		TenantFile: cfg.TenantFile,
-		Telemetry:  cfg.Telemetry,
+		Shards:       c.shards,
+		Sharder:      sharder,
+		Plane:        plane,
+		Addr:         cfg.Addr,
+		TenantFile:   cfg.TenantFile,
+		Telemetry:    cfg.Telemetry,
+		Traces:       gwTraces,
+		TraceWriter:  cfg.TraceWriter,
+		Decisions:    decisions,
+		TraceSources: sources,
 	}
 	c.Gateway.start = epoch
 	if err := c.Gateway.Start(); err != nil {

@@ -28,6 +28,10 @@ type serveSeries struct {
 	retries       *telemetry.Counter
 	retriesDenied *telemetry.Counter
 	estWait       *telemetry.Histogram
+	// decisionErr is |predicted - realized| inference latency per select
+	// decision — how honest the profiled latency the policy committed to
+	// turned out to be.
+	decisionErr *telemetry.Histogram
 	// workerDispatch counts /infer POSTs per worker; it backs both the
 	// exposition and StatsResponse.WorkerDispatches so they cannot drift.
 	workerDispatch []*telemetry.Counter
@@ -54,9 +58,11 @@ func newServeSeries(reg *telemetry.Registry, workers, offset int) *serveSeries {
 		retries:       reg.Counter(telemetry.MetricAdmitRetries),
 		retriesDenied: reg.Counter(telemetry.MetricAdmitRetriesDenied),
 		estWait:       reg.Histogram(telemetry.MetricAdmitWaitSeconds),
+		decisionErr:   reg.Histogram(telemetry.MetricDecisionError),
 
 		reg: reg,
 	}
+	reg.Help(telemetry.MetricDecisionError, "Absolute predicted-vs-realized dispatch latency error per select decision, modeled seconds.")
 	for _, st := range telemetry.Stages() {
 		s.stages[st] = reg.Histogram(telemetry.MetricStageSeconds, "stage", st)
 	}

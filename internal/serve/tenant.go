@@ -28,6 +28,9 @@ type TenantPlane struct {
 	// degradeDepth > 0 arms a per-tenant degrader with that max level.
 	degradeDepth  int
 	monitorWindow float64
+	sloCfg        telemetry.SLOConfig
+	nowFn         func() float64
+	telemetry     *telemetry.Registry
 
 	mu     sync.RWMutex
 	states map[string]*tenantState
@@ -52,6 +55,10 @@ type tenantState struct {
 	degrade *admit.Degrader
 	clamp   *modelClamp
 
+	// sloTrack is the tenant's windowed attainment/burn-rate tracker,
+	// shared across shards (a tenant's traffic may land on any of them).
+	sloTrack *telemetry.SLOTracker
+
 	queries, violations  *telemetry.Counter
 	admitted, shed       *telemetry.Counter
 	borrowed             *telemetry.Counter
@@ -75,7 +82,14 @@ type TenantPlaneConfig struct {
 	// MonitorWindow is the per-tenant rate monitor window in modeled
 	// seconds (default 0.5, matching the single-tenant frontends).
 	MonitorWindow float64
-	Telemetry     *telemetry.Registry
+	// SLO configures the per-tenant attainment/burn-rate windows (zero
+	// values take the telemetry defaults: 0.99 over 60/300/3600 s).
+	SLO telemetry.SLOConfig
+	// Now supplies the plane's modeled clock for scrape-time SLO gauges
+	// (the sharded cluster passes its shared epoch); nil falls back to
+	// each tracker's last observation time.
+	Now       func() float64
+	Telemetry *telemetry.Registry
 }
 
 // NewTenantPlane builds the shared per-tenant state for a sharded
@@ -95,6 +109,9 @@ func NewTenantPlane(cfg TenantPlaneConfig) *TenantPlane {
 		fallback:      cfg.Fallback,
 		degradeDepth:  cfg.DegradeDepth,
 		monitorWindow: cfg.MonitorWindow,
+		sloCfg:        cfg.SLO,
+		nowFn:         cfg.Now,
+		telemetry:     reg,
 		states:        map[string]*tenantState{},
 
 		queriesVec:    reg.CounterVec(telemetry.MetricTenantQueries, "tenant"),
@@ -123,6 +140,7 @@ func (p *TenantPlane) newState(t tenant.Tenant, sel SelectFunc) *tenantState {
 		slo:          t.SLO(),
 		sel:          sel,
 		mon:          monitor.NewMovingAverage(p.monitorWindow),
+		sloTrack:     telemetry.NewSLOTracker(p.sloCfg),
 		queries:      p.queriesVec.With(t.Name),
 		violations:   p.violationsVec.With(t.Name),
 		admitted:     p.admittedVec.With(t.Name),
@@ -131,6 +149,7 @@ func (p *TenantPlane) newState(t tenant.Tenant, sel SelectFunc) *tenantState {
 		degradeLevel: p.degradeVec.With(t.Name),
 		rateGa:       p.rateVec.With(t.Name),
 	}
+	telemetry.RegisterSLOGauges(p.telemetry, st.sloTrack, t.Name, p.nowFn)
 	if p.degradeDepth > 0 {
 		st.degrade = admit.NewDegrader(admit.DegradeConfig{MaxLevel: p.degradeDepth, EnterWait: st.slo})
 		st.clamp = newModelClamp(p.profiles)
@@ -138,6 +157,17 @@ func (p *TenantPlane) newState(t tenant.Tenant, sel SelectFunc) *tenantState {
 		st.degrade.OnChange = func(level int, _ bool) { gauge.Set(float64(level)) }
 	}
 	return st
+}
+
+// SLOTracker returns the named tenant's attainment tracker (nil for
+// unknown tenants) — tests and the soak harness cross-check burn rates
+// against it.
+func (p *TenantPlane) SLOTracker(name string) *telemetry.SLOTracker {
+	st, ok := p.state(name)
+	if !ok {
+		return nil
+	}
+	return st.sloTrack
 }
 
 // Fair returns the shared weighted-fair admitter.

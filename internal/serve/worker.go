@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
@@ -49,6 +50,21 @@ type Worker struct {
 	// counts, realized inference latency, batch sizes); Start builds a
 	// registry when nil. /debug/pprof is wired on the same mux.
 	Telemetry *telemetry.Registry
+	// Name is this worker's process name in trace fragments ("worker-3");
+	// default "worker". The sharded cluster names workers by their global
+	// index.
+	Name string
+	// Index is the worker's global index, stamped on its trace fragments
+	// (-1 when unset).
+	Index int
+	// Traces rings the worker-side fragments of batches whose dispatch
+	// carried X-Trace-Id; Start builds one when nil. Served at
+	// /debug/traces on the worker's own mux, like the frontends'.
+	Traces *telemetry.TraceBuffer
+	// TraceWriter, when set, additionally streams worker fragments as
+	// JSONL (a sharded cluster shares one writer across processes, so one
+	// file holds every fragment of every trace).
+	TraceWriter *telemetry.TraceWriter
 
 	mu      sync.Mutex
 	rng     *rand.Rand
@@ -67,6 +83,7 @@ func NewWorker(profiles profile.Set, lat sim.LatencyModel, timeScale float64, se
 		Profiles:  profiles,
 		Latency:   lat,
 		TimeScale: timeScale,
+		Index:     -1,
 		rng:       rand.New(rand.NewSource(seed)),
 	}
 }
@@ -81,6 +98,12 @@ func (w *Worker) Start() error {
 	if w.Telemetry == nil {
 		w.Telemetry = telemetry.NewRegistry()
 	}
+	if w.Name == "" {
+		w.Name = "worker"
+	}
+	if w.Traces == nil {
+		w.Traces = telemetry.NewTraceBuffer(0)
+	}
 	w.infHist = w.Telemetry.Histogram(telemetry.MetricInferenceSeconds)
 	w.bsHist = w.Telemetry.HistogramBuckets(telemetry.MetricBatchSize, telemetry.LinearBuckets(1, 1, 32))
 	w.Telemetry.Help(telemetry.MetricInferenceSeconds, "Realized inference latency per batch in modeled seconds.")
@@ -91,6 +114,7 @@ func (w *Worker) Start() error {
 		rw.WriteHeader(http.StatusOK)
 	})
 	mux.Handle("/metrics", w.Telemetry.Handler())
+	mux.Handle("/debug/traces", w.Traces.Handler())
 	telemetry.RegisterPprof(mux)
 	w.srv = &http.Server{Handler: mux}
 	go func() { _ = w.srv.Serve(ln) }()
@@ -131,9 +155,42 @@ func (w *Worker) handleInfer(rw http.ResponseWriter, req *http.Request) {
 	lat := w.Latency.Latency(p, ir.Batch, w.rng)
 	w.mu.Unlock()
 	w.Telemetry.Counter(telemetry.MetricInferences, "model", ir.Model).Inc()
-	w.infHist.Observe(lat)
 	w.bsHist.Observe(float64(ir.Batch))
 	time.Sleep(time.Duration(lat / w.TimeScale * float64(time.Second)))
+	w.recordTraces(req, ir, lat)
 	rw.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(rw).Encode(InferResponse{Model: ir.Model, Batch: ir.Batch, Latency: lat})
+}
+
+// recordTraces emits the worker-side fragment of every trace the dispatch
+// carried: X-Trace-Id holds the batch's comma-joined trace IDs and
+// X-Trace-Parent the dispatching shard's process name, so Stitch hangs
+// each fragment under the right frontend. The realized inference latency
+// lands both in the worker's histogram (with the first trace as its
+// exemplar) and as each fragment's single inference span.
+func (w *Worker) recordTraces(req *http.Request, ir InferRequest, lat float64) {
+	header := req.Header.Get("X-Trace-Id")
+	if header == "" {
+		w.infHist.Observe(lat)
+		return
+	}
+	ids := strings.Split(header, ",")
+	parent := req.Header.Get("X-Trace-Parent")
+	w.infHist.ObserveExemplar(lat, ids[0])
+	for _, id := range ids {
+		if id == "" {
+			continue
+		}
+		qt := telemetry.QueryTrace{
+			ID: -1, Worker: w.Index,
+			Model: ir.Model, Batch: ir.Batch,
+			LatencyMS: lat * 1000,
+			TraceID:   id, Process: w.Name, Parent: parent,
+			Spans: []telemetry.Span{{Stage: telemetry.StageInference, Seconds: lat}},
+		}
+		w.Traces.Add(qt)
+		if w.TraceWriter != nil {
+			_ = w.TraceWriter.Write(qt)
+		}
+	}
 }

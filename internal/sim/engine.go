@@ -8,6 +8,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"ramsis/internal/admit"
@@ -274,6 +275,23 @@ type Engine struct {
 	// admission (internal/tenant's FairAdmitter) and enables per-tenant
 	// metrics.
 	FairAdmit TenantAdmitter
+	// Traces, when set, rings one trace fragment per completed (or shed)
+	// query, process "sim", with the same span stages the serve plane
+	// records. Trace IDs are derived from query IDs ("sim-<id>"), never from
+	// the engine rng, so tracing cannot perturb the latency noise stream.
+	Traces *telemetry.TraceBuffer
+	// TraceWriter, when set, additionally streams the fragments as JSONL —
+	// the same format `ramsis-trace -stitch` merges.
+	TraceWriter *telemetry.TraceWriter
+	// Decisions, when set, records every policy decision — admit/shed,
+	// degrade clamp, model select — with the inputs it saw and the realized
+	// latency, mirroring the serve plane's /debug/decisions ring.
+	Decisions *telemetry.DecisionBuffer
+	// SLOCfg configures the per-tenant attainment and burn-rate windows
+	// (zero values take the telemetry defaults). Trackers activate when
+	// Telemetry is set and register ramsis_slo_* gauges on it, computed by
+	// the same code the serve plane scrapes.
+	SLOCfg telemetry.SLOConfig
 
 	rng          *rand.Rand
 	central      []Query
@@ -286,6 +304,50 @@ type Engine struct {
 	latHist      *telemetry.Histogram // always on; backs the Metrics percentiles
 	tel          *engineSeries        // cached registry series; nil without Telemetry
 	trackTenants bool                 // per-tenant accounting enabled for this run
+	sloTracks    map[string]*telemetry.SLOTracker
+}
+
+// simTraceID derives the deterministic trace ID for a simulated query.
+func simTraceID(id int) string { return fmt.Sprintf("sim-%d", id) }
+
+// tracing reports whether trace fragments should be recorded this run.
+func (e *Engine) tracing() bool { return e.Traces != nil || e.TraceWriter != nil }
+
+// recordTrace lands one fragment in the ring and/or the JSONL stream.
+func (e *Engine) recordTrace(qt telemetry.QueryTrace) {
+	if e.Traces != nil {
+		e.Traces.Add(qt)
+	}
+	if e.TraceWriter != nil {
+		_ = e.TraceWriter.Write(qt)
+	}
+}
+
+// SLOTracker returns the tenant's attainment tracker ("" maps to
+// "default"), or nil when Telemetry is unset or the tenant never completed
+// a query. Tests cross-check the exposed burn rates against it.
+func (e *Engine) SLOTracker(tenant string) *telemetry.SLOTracker {
+	if tenant == "" {
+		tenant = "default"
+	}
+	return e.sloTracks[tenant]
+}
+
+// sloTrack lazily builds and registers the tenant's tracker; only called
+// when Telemetry is set.
+func (e *Engine) sloTrack(tenant string) *telemetry.SLOTracker {
+	if tenant == "" {
+		tenant = "default"
+	}
+	t := e.sloTracks[tenant]
+	if t == nil {
+		t = telemetry.NewSLOTracker(e.SLOCfg)
+		e.sloTracks[tenant] = t
+		// nil now: gauges read each tracker's last observed modeled time,
+		// the sim's only clock.
+		telemetry.RegisterSLOGauges(e.Telemetry, t, tenant, nil)
+	}
+	return t
 }
 
 // sloFor returns the SLO the query is judged against: its tenant's, when
@@ -318,6 +380,7 @@ type engineSeries struct {
 	batchSize                              *telemetry.Histogram
 	admitted, degraded                     *telemetry.Counter
 	estWait                                *telemetry.Histogram
+	decisionErr                            *telemetry.Histogram
 	tenantQueries, tenantViolations        *telemetry.CounterVec
 	tenantAdmitted, tenantShed             *telemetry.CounterVec
 	reg                                    *telemetry.Registry
@@ -336,6 +399,7 @@ func newEngineSeries(reg *telemetry.Registry) *engineSeries {
 		admitted:         reg.Counter(telemetry.MetricAdmitAdmitted),
 		degraded:         reg.Counter(telemetry.MetricAdmitDegradedDecisions),
 		estWait:          reg.Histogram(telemetry.MetricAdmitWaitSeconds),
+		decisionErr:      reg.Histogram(telemetry.MetricDecisionError),
 		tenantQueries:    reg.CounterVec(telemetry.MetricTenantQueries, "tenant"),
 		tenantViolations: reg.CounterVec(telemetry.MetricTenantViolations, "tenant"),
 		tenantAdmitted:   reg.CounterVec(telemetry.MetricTenantAdmitted, "tenant"),
@@ -444,6 +508,9 @@ type event struct {
 	worker  int
 	queries []Query
 	model   int
+	// dec is the select decision that produced this batch, attached to each
+	// query's trace fragment on completion; nil when attribution is off.
+	dec *telemetry.Decision
 }
 
 // eventQueue is a typed binary min-heap of batch completions ordered by
@@ -532,6 +599,9 @@ func (e *Engine) RunQueries(queries []Query) Metrics {
 	e.latHist = telemetry.NewHistogram(telemetry.DefaultLatencyBuckets())
 	if e.Telemetry != nil {
 		e.tel = newEngineSeries(e.Telemetry)
+		if e.sloTracks == nil {
+			e.sloTracks = map[string]*telemetry.SLOTracker{}
+		}
 	}
 	if e.Degrade != nil {
 		e.speedOrder = e.Profiles.SpeedOrder()
@@ -639,10 +709,35 @@ func (e *Engine) admitQuery(q Query) bool {
 			}
 		}
 	}
+	if e.Decisions != nil {
+		kind, outcome := telemetry.DecisionAdmit, "admitted"
+		if !v.Admit {
+			kind, outcome = telemetry.DecisionShed, "shed"
+		}
+		level := 0
+		if e.Degrade != nil {
+			level = e.Degrade.Level()
+		}
+		e.Decisions.Add(telemetry.Decision{
+			Kind: kind, Time: now, TraceID: simTraceID(q.ID),
+			Tenant: q.Tenant, Worker: -1,
+			QueueLen: req.Outstanding, DegradeLevel: level,
+			PredictedSec: v.EstWait, Outcome: outcome,
+		})
+	}
 	if !v.Admit {
 		e.metrics.Shed++
 		if e.trackTenants {
 			e.tm(q.Tenant).Shed++
+		}
+		if e.tracing() {
+			e.recordTrace(telemetry.QueryTrace{
+				ID: q.ID, Arrival: q.Arrival, Worker: -1,
+				Error:   "shed",
+				TraceID: simTraceID(q.ID), Process: "sim",
+				Tenant: q.Tenant,
+				Spans:  []telemetry.Span{{Stage: telemetry.StageShed}},
+			})
 		}
 	}
 	return v.Admit
@@ -691,6 +786,17 @@ func (e *Engine) dispatchIdle(now float64) {
 					// The batch was sized for the policy's choice; only
 					// substitute when the faster model can still run it.
 					if m != d.Model && e.ProfilesFor(w).Profiles[m].MaxBatch() >= len(d.Queries) {
+						if e.Decisions != nil {
+							prev := e.ProfilesFor(w).Profiles[d.Model]
+							e.Decisions.Add(telemetry.Decision{
+								Kind: telemetry.DecisionDegrade, Time: now,
+								TraceID: simTraceID(d.Queries[0].ID),
+								Tenant:  d.Queries[0].Tenant, Worker: w,
+								QueueLen: queueBefore, DegradeLevel: lvl,
+								Model: e.ProfilesFor(w).Profiles[m].Name, Batch: len(d.Queries),
+								Outcome: "clamped from " + prev.Name,
+							})
+						}
 						d.Model = m
 						e.metrics.DegradedDecisions++
 						if e.tel != nil {
@@ -703,7 +809,30 @@ func (e *Engine) dispatchIdle(now float64) {
 			lat := e.Latency.Latency(p, len(d.Queries), e.rng)
 			e.busy[w] = true
 			e.inflight[w] = len(d.Queries)
-			e.events.push(event{time: now + lat, start: now, worker: w, queries: d.Queries, model: d.Model})
+			var dec *telemetry.Decision
+			if e.Decisions != nil || e.tracing() {
+				level := 0
+				if e.Degrade != nil {
+					level = e.Degrade.Level()
+				}
+				q0 := d.Queries[0]
+				dec = &telemetry.Decision{
+					Kind: telemetry.DecisionSelect, Time: now,
+					TraceID: simTraceID(q0.ID), Tenant: q0.Tenant, Worker: w,
+					QueueLen: queueBefore, DegradeLevel: level,
+					SlackSec: q0.Deadline(e.sloFor(q0)) - now,
+					Model:    p.Name, Batch: len(d.Queries),
+					PredictedSec: p.BatchLatency(len(d.Queries)),
+					RealizedSec:  lat, Outcome: "served",
+				}
+				if e.Decisions != nil {
+					e.Decisions.Add(*dec)
+				}
+			}
+			if e.tel != nil {
+				e.tel.decisionErr.Observe(math.Abs(p.BatchLatency(len(d.Queries)) - lat))
+			}
+			e.events.push(event{time: now + lat, start: now, worker: w, queries: d.Queries, model: d.Model, dec: dec})
 			if e.RecordDecisions {
 				e.metrics.DecisionLog = append(e.metrics.DecisionLog, DecisionRecord{
 					Time:     now,
@@ -765,8 +894,29 @@ func (e *Engine) complete(ev event) {
 					e.tel.tenantViolations.With(q.Tenant).Inc()
 				}
 			}
-			e.tel.latency.Observe(lat)
+			if e.tracing() {
+				e.tel.latency.ObserveExemplar(lat, simTraceID(q.ID))
+			} else {
+				e.tel.latency.Observe(lat)
+			}
 			e.tel.batchWait.Observe(ev.start - q.Arrival)
+		}
+		if e.Telemetry != nil {
+			e.sloTrack(q.Tenant).Observe(ev.time, !violated)
+		}
+		if e.tracing() {
+			e.recordTrace(telemetry.QueryTrace{
+				ID: q.ID, Arrival: q.Arrival, Worker: ev.worker,
+				Model: p.Name, Batch: len(ev.queries),
+				LatencyMS: lat * 1000,
+				TraceID:   simTraceID(q.ID), Process: "sim",
+				Tenant:   q.Tenant,
+				Decision: ev.dec,
+				Spans: []telemetry.Span{
+					{Stage: telemetry.StageBatchWait, Seconds: ev.start - q.Arrival},
+					{Stage: telemetry.StageInference, Seconds: ev.time - ev.start},
+				},
+			})
 		}
 	}
 }

@@ -1,0 +1,129 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+)
+
+// Decision kinds: every point where a policy chose something on behalf of
+// a query (or the plane) records one of these.
+const (
+	// DecisionSelect is an MS&S selector pick: which model and batch size
+	// to dispatch. Its PredictedSec is the profiled batch latency the
+	// policy committed to; RealizedSec is filled on completion, making
+	// predicted-vs-realized error a first-class measurable.
+	DecisionSelect = "select"
+	// DecisionAdmit / DecisionShed are admission verdicts at arrival.
+	DecisionAdmit = "admit"
+	DecisionShed  = "shed"
+	// DecisionBorrow is an admit that exceeded the tenant's fair share but
+	// was let in against the plane's headroom (work-conserving borrowing).
+	DecisionBorrow = "borrow"
+	// DecisionDegrade is a dispatch whose model was clamped to a faster
+	// one by degraded-mode serving.
+	DecisionDegrade = "degrade"
+	// DecisionAdaptSwap is a policy-set hot-swap published by the online
+	// adaptation loop after confirmed rate drift.
+	DecisionAdaptSwap = "adapt_swap"
+)
+
+// Decision is one attributed policy decision: the inputs the policy saw
+// when it chose, what it chose, and (for dispatch decisions) how the choice
+// played out. Decisions land in a bounded ring (/debug/decisions) and are
+// attached to the query's trace fragment, so "why did the plane pick the
+// fast model for tenant X at t=14.05" is answerable from either surface.
+type Decision struct {
+	Kind string  `json:"kind"`
+	Time float64 `json:"time"` // modeled seconds from start
+	// TraceID links the decision to the query's trace (empty for decisions
+	// not tied to one query, e.g. adapt_swap).
+	TraceID string `json:"traceId,omitempty"`
+	Tenant  string `json:"tenant,omitempty"`
+	Shard   int    `json:"shard"`
+	Worker  int    `json:"worker"` // -1 when no worker was involved
+	// Inputs the decision saw.
+	QueueLen     int     `json:"queueLen"`
+	RateQPS      float64 `json:"rateQps"`      // monitored arrival rate
+	DegradeLevel int     `json:"degradeLevel"` // level in force at decision time
+	SlackSec     float64 `json:"slackSec"`     // deadline headroom (select only)
+	// What was chosen.
+	Model string `json:"model,omitempty"`
+	Batch int    `json:"batch,omitempty"`
+	// PredictedSec is the latency the decision was premised on: the
+	// profiled batch latency for select/degrade, the queue-wait estimate
+	// for admit/shed. RealizedSec is the measured counterpart, filled on
+	// completion (0 until then, and forever for shed queries).
+	PredictedSec float64 `json:"predictedSec"`
+	RealizedSec  float64 `json:"realizedSec"`
+	// Outcome summarizes how it ended: "served", "violated", "shed",
+	// "admitted", "swapped", ...
+	Outcome string `json:"outcome,omitempty"`
+}
+
+// DefaultDecisionCapacity is the ring size serving layers use when the
+// caller does not choose one.
+const DefaultDecisionCapacity = 512
+
+// DecisionBuffer is a bounded ring of the most recent policy decisions,
+// dumpable via its /debug/decisions handler. Memory is fixed at capacity; a
+// new decision overwrites the oldest once full.
+type DecisionBuffer struct {
+	mu   sync.Mutex
+	buf  []Decision
+	next int
+	full bool
+}
+
+// NewDecisionBuffer returns a ring holding the last n decisions (n <= 0
+// takes DefaultDecisionCapacity).
+func NewDecisionBuffer(n int) *DecisionBuffer {
+	if n <= 0 {
+		n = DefaultDecisionCapacity
+	}
+	return &DecisionBuffer{buf: make([]Decision, n)}
+}
+
+// Add records one decision, evicting the oldest when full.
+func (b *DecisionBuffer) Add(d Decision) {
+	b.mu.Lock()
+	b.buf[b.next] = d
+	b.next++
+	if b.next == len(b.buf) {
+		b.next = 0
+		b.full = true
+	}
+	b.mu.Unlock()
+}
+
+// Len returns the number of buffered decisions.
+func (b *DecisionBuffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.full {
+		return len(b.buf)
+	}
+	return b.next
+}
+
+// Snapshot returns the buffered decisions oldest-first.
+func (b *DecisionBuffer) Snapshot() []Decision {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.full {
+		return append([]Decision(nil), b.buf[:b.next]...)
+	}
+	out := make([]Decision, 0, len(b.buf))
+	out = append(out, b.buf[b.next:]...)
+	out = append(out, b.buf[:b.next]...)
+	return out
+}
+
+// Handler serves the buffered decisions as a JSON array (the
+// /debug/decisions endpoint).
+func (b *DecisionBuffer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(b.Snapshot())
+	})
+}

@@ -45,6 +45,17 @@ type Histogram struct {
 	sum    atomicFloat
 	min    atomicFloat
 	max    atomicFloat
+	// exemplars holds the latest exemplar per bucket (nil slots until
+	// ObserveExemplar hits the bucket); exposition appends them to the
+	// _bucket lines in the OpenMetrics style.
+	exemplars []atomic.Pointer[exemplar]
+}
+
+// exemplar links one observed value to the trace that produced it, so a
+// latency bucket on a dashboard can jump straight to a stitched trace.
+type exemplar struct {
+	traceID string
+	value   float64
 }
 
 // NewHistogram builds a histogram over the given ascending upper bounds
@@ -56,8 +67,9 @@ func NewHistogram(upper []float64) *Histogram {
 		}
 	}
 	h := &Histogram{
-		upper:  append([]float64(nil), upper...),
-		counts: make([]atomic.Uint64, len(upper)+1),
+		upper:     append([]float64(nil), upper...),
+		counts:    make([]atomic.Uint64, len(upper)+1),
+		exemplars: make([]atomic.Pointer[exemplar], len(upper)+1),
 	}
 	h.min.store(math.Inf(1))
 	h.max.store(math.Inf(-1))
@@ -83,6 +95,31 @@ func (h *Histogram) Observe(v float64) {
 			break
 		}
 	}
+}
+
+// ObserveExemplar records one sample and, when traceID is non-empty, tags
+// the sample's bucket with it as its latest exemplar. The exposition then
+// links the bucket to the trace (`... # {trace_id="..."} value`, the
+// OpenMetrics exemplar syntax), so an anomalous latency bucket resolves to
+// a concrete stitched trace instead of a statistics-only series.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	i := sort.SearchFloat64s(h.upper, v)
+	h.exemplars[i].Store(&exemplar{traceID: traceID, value: v})
+}
+
+// Exemplar returns the latest exemplar recorded in the bucket holding v,
+// or ok == false when that bucket has none.
+func (h *Histogram) Exemplar(v float64) (traceID string, value float64, ok bool) {
+	i := sort.SearchFloat64s(h.upper, v)
+	ex := h.exemplars[i].Load()
+	if ex == nil {
+		return "", 0, false
+	}
+	return ex.traceID, ex.value, true
 }
 
 // Count returns the number of observed samples.
@@ -162,8 +199,9 @@ func (h *Histogram) Quantile(p float64) float64 {
 	return max
 }
 
-// write emits the Prometheus histogram series: cumulative _bucket lines,
-// then _sum and _count.
+// write emits the Prometheus histogram series: cumulative _bucket lines
+// (with OpenMetrics-style exemplar suffixes where ObserveExemplar tagged
+// the bucket), then _sum and _count.
 func (h *Histogram) write(w io.Writer, name, labels string) {
 	var cum uint64
 	for i := range h.counts {
@@ -176,7 +214,11 @@ func (h *Histogram) write(w io.Writer, name, labels string) {
 		if labels != "" {
 			bl = labels + "," + bl
 		}
-		fmt.Fprintf(w, "%s %d\n", seriesName(name+"_bucket", bl), cum)
+		suffix := ""
+		if ex := h.exemplars[i].Load(); ex != nil {
+			suffix = fmt.Sprintf(" # {trace_id=%q} %s", ex.traceID, formatFloat(ex.value))
+		}
+		fmt.Fprintf(w, "%s %d%s\n", seriesName(name+"_bucket", bl), cum, suffix)
 	}
 	fmt.Fprintf(w, "%s %s\n", seriesName(name+"_sum", labels), formatFloat(h.Sum()))
 	fmt.Fprintf(w, "%s %d\n", seriesName(name+"_count", labels), cum)

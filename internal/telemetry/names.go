@@ -139,6 +139,21 @@ const (
 	// in-flight, summed over its workers), labeled shard= — the P2C
 	// sharder's routing signal.
 	MetricShardDepth = "ramsis_shard_depth"
+
+	// MetricSLOAttainment is the windowed fraction of served queries that
+	// met their SLO, labeled tenant= and window= (horizon in modeled
+	// seconds). Sim and serve compute it from the same SLOTracker.
+	MetricSLOAttainment = "ramsis_slo_attainment"
+	// MetricSLOBurnRate is the windowed error-budget burn rate — the
+	// violation fraction over the window divided by (1 - objective) — with
+	// the same tenant= and window= labels. 1.0 consumes the budget exactly
+	// as contracted.
+	MetricSLOBurnRate = "ramsis_slo_burn_rate"
+	// MetricDecisionError is the histogram of |predicted - realized|
+	// dispatch latency per select decision in modeled seconds: how far the
+	// profiled batch latency the policy committed to was from what the
+	// worker measured.
+	MetricDecisionError = "ramsis_decision_latency_error_seconds"
 )
 
 // Span stage names, in the order a query traverses them: queued by the
@@ -148,6 +163,10 @@ const (
 // rejected: its trace carries that single zero-length stage instead of the
 // traversal, so shed queries stay visible in /debug/traces and trace
 // exports without polluting the stage latency histograms.
+// StageRoute is the gateway-side stage of a sharded deployment: tenant
+// resolution, shard pick, and the in-process enqueue on the chosen shard.
+// It appears only in gateway trace fragments, not in the frontend's
+// six-stage traversal.
 const (
 	StageEnqueue   = "enqueue"
 	StagePick      = "pick"
@@ -156,6 +175,7 @@ const (
 	StageInference = "inference"
 	StageRespond   = "respond"
 	StageShed      = "shed"
+	StageRoute     = "route"
 )
 
 // Stages returns every span stage in traversal order.

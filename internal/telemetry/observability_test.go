@@ -1,0 +1,333 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNewTraceIDShapeAndUniqueness(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := NewTraceID()
+		if len(id) != 16 {
+			t.Fatalf("trace ID %q has length %d, want 16", id, len(id))
+		}
+		if seen[id] {
+			t.Fatalf("trace ID %q repeated", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestReadTracesRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewTraceWriter(&buf)
+	for i := 0; i < 3; i++ {
+		qt := mkTrace(i)
+		qt.TraceID = NewTraceID()
+		qt.Process = "shard-0"
+		qt.Parent = "gateway"
+		qt.Tenant = "gold"
+		qt.Shard = 1
+		if err := w.Write(qt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := ReadTraces(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("read %d traces, want 3", len(got))
+	}
+	if got[1].Tenant != "gold" || got[1].Shard != 1 || got[1].Process != "shard-0" || got[1].Parent != "gateway" {
+		t.Fatalf("propagation fields lost: %+v", got[1])
+	}
+}
+
+func TestReadTracesRejectsMalformed(t *testing.T) {
+	if _, err := ReadTraces(strings.NewReader("{\"id\":1}\nnot json\n")); err == nil {
+		t.Fatal("malformed line accepted")
+	}
+}
+
+func TestDecisionBufferWrapsOldestFirst(t *testing.T) {
+	b := NewDecisionBuffer(3)
+	for i := 0; i < 5; i++ {
+		b.Add(Decision{Kind: DecisionSelect, Batch: i})
+	}
+	if b.Len() != 3 {
+		t.Fatalf("len %d, want 3", b.Len())
+	}
+	snap := b.Snapshot()
+	for i, want := range []int{2, 3, 4} {
+		if snap[i].Batch != want {
+			t.Errorf("snapshot[%d].Batch = %d, want %d", i, snap[i].Batch, want)
+		}
+	}
+}
+
+func TestDecisionBufferHandler(t *testing.T) {
+	b := NewDecisionBuffer(8)
+	b.Add(Decision{
+		Kind: DecisionSelect, TraceID: "abc", Tenant: "gold", Shard: 1,
+		Worker: 3, QueueLen: 7, Model: "resnet50", Batch: 4,
+		PredictedSec: 0.080, RealizedSec: 0.083, Outcome: "served",
+	})
+	rr := httptest.NewRecorder()
+	b.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/decisions", nil))
+	var got []Decision
+	if err := json.Unmarshal(rr.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Model != "resnet50" || got[0].PredictedSec != 0.080 || got[0].RealizedSec != 0.083 {
+		t.Fatalf("handler returned %+v", got)
+	}
+}
+
+// TestDecisionBufferConcurrent hammers the ring from concurrent writers
+// while snapshotting — the shape the sharded plane produces, where every
+// shard's dispatch loop writes into one ring the gateway serves. Run under
+// -race (make verify includes this package).
+func TestDecisionBufferConcurrent(t *testing.T) {
+	b := NewDecisionBuffer(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				b.Add(Decision{Kind: DecisionAdmit, Shard: g, Batch: i})
+				if i%50 == 0 {
+					for _, d := range b.Snapshot() {
+						_ = d.Batch
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if b.Len() != 64 {
+		t.Fatalf("len %d, want full ring 64", b.Len())
+	}
+}
+
+func stitchFixture() []QueryTrace {
+	return []QueryTrace{
+		{ID: -1, TraceID: "t1", Process: "gateway", Tenant: "gold", Shard: 1,
+			Spans: []Span{{Stage: StageRoute, Seconds: 0.001}}},
+		{ID: 4, TraceID: "t1", Process: "shard-1", Parent: "gateway", Tenant: "gold", Shard: 1,
+			LatencyMS: 120, Model: "resnet50", Batch: 2,
+			Decision: &Decision{Kind: DecisionSelect, Model: "resnet50", PredictedSec: 0.08, RealizedSec: 0.081},
+			Spans: []Span{
+				{Stage: StageEnqueue, Seconds: 0.0005},
+				{Stage: StageBatchWait, Seconds: 0.030},
+				{Stage: StageDispatch, Seconds: 0.085},
+				{Stage: StageInference, Seconds: 0.082},
+			}},
+		{ID: -1, TraceID: "t1", Process: "worker-3", Parent: "shard-1", Worker: 3,
+			LatencyMS: 81, Spans: []Span{{Stage: StageInference, Seconds: 0.081}}},
+		{ID: 9, TraceID: "t2", Process: "shard-0", Tenant: "silver",
+			LatencyMS: 40, Spans: []Span{{Stage: StageInference, Seconds: 0.040}}},
+		{ID: 3, Process: "frontend"}, // no trace ID: unstitchable, skipped
+	}
+}
+
+func TestStitchGroupsAndRoots(t *testing.T) {
+	stitched := Stitch(stitchFixture())
+	if len(stitched) != 2 {
+		t.Fatalf("stitched %d traces, want 2", len(stitched))
+	}
+	s := stitched[0]
+	if s.TraceID != "t1" || len(s.Fragments) != 3 {
+		t.Fatalf("first stitched trace %q with %d fragments", s.TraceID, len(s.Fragments))
+	}
+	if root := s.Root(); root.Process != "gateway" {
+		t.Errorf("root process %q, want gateway", root.Process)
+	}
+	path := s.Path()
+	want := []string{"gateway", "shard-1", "worker-3"}
+	if len(path) != len(want) {
+		t.Fatalf("path length %d, want %d", len(path), len(want))
+	}
+	for i, p := range want {
+		if path[i].Process != p {
+			t.Errorf("path[%d] = %q, want %q", i, path[i].Process, p)
+		}
+	}
+	if s.Tenant() != "gold" {
+		t.Errorf("tenant %q, want gold", s.Tenant())
+	}
+	if f := s.Final(); f.ID != 4 {
+		t.Errorf("final fragment ID %d, want 4 (the shard's end-to-end record)", f.ID)
+	}
+	if d := s.Decision(); d == nil || d.Model != "resnet50" {
+		t.Errorf("decision = %+v", d)
+	}
+}
+
+// The worker times inference closer to the execution than the dispatching
+// shard does; the critical path must keep the worker's measurement, not
+// list the stage twice.
+func TestCriticalPathKeepsDeepestMeasurement(t *testing.T) {
+	s := Stitch(stitchFixture())[0]
+	cp := s.CriticalPath()
+	counts := map[string]int{}
+	for _, sp := range cp {
+		counts[sp.Stage]++
+	}
+	if counts[StageInference] != 1 {
+		t.Fatalf("inference appears %d times on the critical path", counts[StageInference])
+	}
+	for _, sp := range cp {
+		if sp.Stage == StageInference && sp.Seconds != 0.081 {
+			t.Errorf("inference = %v, want the worker's 0.081", sp.Seconds)
+		}
+	}
+	if cp[0].Stage != StageRoute {
+		t.Errorf("critical path starts with %q, want route", cp[0].Stage)
+	}
+}
+
+// RootFallsBackWhenParentEvicted: a shard fragment whose gateway half was
+// evicted from the ring must still root its own subtree.
+func TestStitchRootWithEvictedParent(t *testing.T) {
+	s := Stitch([]QueryTrace{
+		{TraceID: "t", Process: "shard-0", Parent: "gateway"},
+		{TraceID: "t", Process: "worker-1", Parent: "shard-0"},
+	})[0]
+	if root := s.Root(); root.Process != "shard-0" {
+		t.Errorf("root %q, want shard-0", root.Process)
+	}
+}
+
+func TestSLOTrackerWindows(t *testing.T) {
+	tr := NewSLOTracker(SLOConfig{Objective: 0.9, Windows: []float64{10, 100}})
+	if tr.Attainment(0, 10) != 1 || tr.BurnRate(0, 10) != 0 {
+		t.Fatal("idle tracker must attain 1.0 and burn 0")
+	}
+	// 8 met + 2 missed inside the last 10 s; an old violation outside it.
+	tr.Observe(1, false)
+	for i := 0; i < 8; i++ {
+		tr.Observe(95+float64(i)/10, true)
+	}
+	tr.Observe(96, false)
+	tr.Observe(97, false)
+	now := 100.0
+	if got := tr.Attainment(now, 10); got != 0.8 {
+		t.Errorf("10s attainment = %v, want 0.8", got)
+	}
+	// burn = violationFrac / (1-objective) = 0.2 / 0.1 = 2.
+	if got := tr.BurnRate(now, 10); got < 1.999 || got > 2.001 {
+		t.Errorf("10s burn rate = %v, want 2", got)
+	}
+	// The long window also sees the early miss: 3 bad of 11.
+	if got := tr.BurnRate(now, 100); got < 2.7 || got > 2.8 {
+		t.Errorf("100s burn rate = %v, want ~2.727", got)
+	}
+	if tr.LastNow() != 97 {
+		t.Errorf("LastNow = %v, want 97", tr.LastNow())
+	}
+}
+
+// A lapped ring slot must forget the observations from a previous epoch
+// instead of double counting them.
+func TestSLOTrackerRingLaps(t *testing.T) {
+	tr := NewSLOTracker(SLOConfig{Windows: []float64{60}})
+	tr.Observe(1, false)
+	// 60/512 s buckets: time 1+60*k laps the slot after k rings.
+	tr.Observe(1+120, true)
+	total, bad := tr.window(121, 60)
+	if total != 1 || bad != 0 {
+		t.Errorf("window after lap = total %d bad %d, want 1/0", total, bad)
+	}
+}
+
+func TestSLOTrackerConcurrent(t *testing.T) {
+	tr := NewSLOTracker(SLOConfig{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.Observe(float64(g*500+i)/100, i%7 != 0)
+				if i%100 == 0 {
+					tr.Attainment(float64(i), 60)
+					tr.BurnRate(float64(i), 60)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestSLOGaugesGolden pins the ramsis_slo_* exposition: label shape, window
+// values, and the burn-rate arithmetic, as an external scraper sees them.
+func TestSLOGaugesGolden(t *testing.T) {
+	reg := NewRegistry()
+	gold := NewSLOTracker(SLOConfig{Windows: []float64{60, 300}})
+	bronze := NewSLOTracker(SLOConfig{Windows: []float64{60, 300}})
+	// gold: 100 served, all met. bronze: 100 served, 5 missed inside the
+	// short window — burn 5 at the default 0.99 objective.
+	for i := 0; i < 100; i++ {
+		gold.Observe(float64(i)/10, true)
+		bronze.Observe(float64(i)/10, i%20 != 0)
+	}
+	now := func() float64 { return 10 }
+	RegisterSLOGauges(reg, gold, "gold", now)
+	RegisterSLOGauges(reg, bronze, "bronze", now)
+
+	var b bytes.Buffer
+	reg.WritePrometheus(&b)
+	golden := filepath.Join("testdata", "slo.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, b.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b.Bytes(), want) {
+		t.Errorf("exposition mismatch\n--- got ---\n%s--- want ---\n%s", b.Bytes(), want)
+	}
+}
+
+func TestHistogramExemplar(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 1})
+	h.ObserveExemplar(0.05, "trace-a")
+	h.ObserveExemplar(0.5, "trace-b")
+	h.Observe(0.06) // plain observe must not disturb the stored exemplar
+	if id, v, ok := h.Exemplar(0.05); !ok || id != "trace-a" || v != 0.05 {
+		t.Errorf("bucket 0 exemplar = %q %v %v", id, v, ok)
+	}
+	if id, _, ok := h.Exemplar(0.5); !ok || id != "trace-b" {
+		t.Errorf("bucket 1 exemplar = %q %v", id, ok)
+	}
+	var b bytes.Buffer
+	h.write(&b, "m", "")
+	out := b.String()
+	if !strings.Contains(out, `# {trace_id="trace-a"} 0.05`) {
+		t.Errorf("exposition lacks exemplar suffix:\n%s", out)
+	}
+}
+
+// Exemplar-free histograms must write the exact legacy format — no
+// trailing suffix — so existing goldens and scrapers are unaffected.
+func TestHistogramWithoutExemplarsUnchanged(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 1})
+	h.Observe(0.05)
+	var b bytes.Buffer
+	h.write(&b, "m", "")
+	if strings.Contains(b.String(), "#") {
+		t.Errorf("plain histogram emitted an exemplar:\n%s", b.String())
+	}
+}

@@ -1,0 +1,186 @@
+package telemetry
+
+import (
+	"math"
+	"strconv"
+	"sync"
+)
+
+// DefaultSLOObjective is the attainment target burn rates are normalized
+// against when the caller does not choose one: burn rate 1.0 means the
+// tenant misses exactly its 1% error budget, >1 means the budget is being
+// consumed faster than contracted.
+const DefaultSLOObjective = 0.99
+
+// DefaultSLOWindows returns the multi-window burn-rate horizons in modeled
+// seconds (fresh per call so callers may modify): a fast window that reacts
+// within a minute and slower ones that smooth transients, the standard
+// multi-window alerting shape.
+func DefaultSLOWindows() []float64 {
+	return []float64{60, 300, 3600}
+}
+
+// SLOConfig parameterizes per-tenant SLO accounting. Zero values take the
+// defaults above.
+type SLOConfig struct {
+	// Objective is the target attainment fraction in (0, 1).
+	Objective float64
+	// Windows are the sliding-window horizons in modeled seconds.
+	Windows []float64
+}
+
+func (c SLOConfig) withDefaults() SLOConfig {
+	if c.Objective <= 0 || c.Objective >= 1 {
+		c.Objective = DefaultSLOObjective
+	}
+	if len(c.Windows) == 0 {
+		c.Windows = DefaultSLOWindows()
+	}
+	return c
+}
+
+// sloBucketCount is the ring resolution: the largest window is divided into
+// this many time buckets, so a 3600 s horizon resolves to ~7 s buckets.
+const sloBucketCount = 512
+
+// sloBucket is one time slice of outcomes. epoch is the absolute bucket
+// index the slot currently holds; a slot is lazily reset when the ring laps.
+type sloBucket struct {
+	epoch      int64
+	total, bad uint64
+}
+
+// SLOTracker keeps per-tenant windowed SLO attainment over modeled time. It
+// is a fixed-memory ring of time buckets, so sim (which replays hours of
+// modeled time in milliseconds) and serve (where modeled time tracks scaled
+// wall time) compute identical figures from identical observations — the
+// same fidelity contract the shared metric names carry.
+type SLOTracker struct {
+	mu        sync.Mutex
+	objective float64
+	windows   []float64
+	bucketDur float64
+	buckets   []sloBucket
+	lastNow   float64
+}
+
+// NewSLOTracker builds a tracker; cfg zero values take the defaults.
+func NewSLOTracker(cfg SLOConfig) *SLOTracker {
+	cfg = cfg.withDefaults()
+	maxW := cfg.Windows[0]
+	for _, w := range cfg.Windows[1:] {
+		if w > maxW {
+			maxW = w
+		}
+	}
+	return &SLOTracker{
+		objective: cfg.Objective,
+		windows:   cfg.Windows,
+		bucketDur: maxW / sloBucketCount,
+		buckets:   make([]sloBucket, sloBucketCount),
+	}
+}
+
+// Objective returns the attainment target.
+func (t *SLOTracker) Objective() float64 { return t.objective }
+
+// Windows returns the configured horizons in modeled seconds.
+func (t *SLOTracker) Windows() []float64 { return t.windows }
+
+// Observe records one served query's outcome at modeled time now.
+func (t *SLOTracker) Observe(now float64, met bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if now > t.lastNow {
+		t.lastNow = now
+	}
+	idx := int64(math.Floor(now / t.bucketDur))
+	if idx < 0 {
+		idx = 0
+	}
+	b := &t.buckets[idx%sloBucketCount]
+	if b.epoch != idx {
+		b.epoch, b.total, b.bad = idx, 0, 0
+	}
+	b.total++
+	if !met {
+		b.bad++
+	}
+}
+
+// LastNow returns the largest observation time seen — the simulator's
+// scrape clock (its registry is read after the run, when wall time says
+// nothing about modeled time).
+func (t *SLOTracker) LastNow() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lastNow
+}
+
+// window sums outcomes over [now-window, now]. Callers hold no lock.
+func (t *SLOTracker) window(now, window float64) (total, bad uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	lo := int64(math.Floor((now - window) / t.bucketDur))
+	hi := int64(math.Floor(now / t.bucketDur))
+	for i := range t.buckets {
+		b := &t.buckets[i]
+		if b.total == 0 || b.epoch < lo || b.epoch > hi {
+			continue
+		}
+		total += b.total
+		bad += b.bad
+	}
+	return total, bad
+}
+
+// Attainment returns the fraction of queries inside [now-window, now] that
+// met their SLO. An idle window attains 1.0: no traffic burns no budget.
+func (t *SLOTracker) Attainment(now, window float64) float64 {
+	total, bad := t.window(now, window)
+	if total == 0 {
+		return 1
+	}
+	return float64(total-bad) / float64(total)
+}
+
+// BurnRate returns the windowed error-budget burn rate: the violation
+// fraction over the window divided by the budget (1 - objective). 1.0
+// consumes the budget exactly as contracted; an idle window burns 0.
+func (t *SLOTracker) BurnRate(now, window float64) float64 {
+	total, bad := t.window(now, window)
+	if total == 0 {
+		return 0
+	}
+	return float64(bad) / float64(total) / (1 - t.objective)
+}
+
+// FormatWindow renders a window horizon as its metric label value ("60",
+// "300", "3600").
+func FormatWindow(w float64) string {
+	return strconv.FormatFloat(w, 'g', -1, 64)
+}
+
+// RegisterSLOGauges exposes a tracker's windowed attainment and burn rate
+// as ramsis_slo_attainment{tenant,window} and
+// ramsis_slo_burn_rate{tenant,window} GaugeFuncs, evaluated at scrape time.
+// now supplies the scrape clock in modeled seconds; nil reads the tracker's
+// last observation time, which is how the simulator (whose modeled clock
+// stops with the run) exposes the same series as the live plane.
+func RegisterSLOGauges(reg *Registry, t *SLOTracker, tenantName string, now func() float64) {
+	if now == nil {
+		now = t.LastNow
+	}
+	for _, w := range t.Windows() {
+		w := w
+		wl := FormatWindow(w)
+		reg.GaugeFunc(MetricSLOAttainment, func() float64 {
+			return t.Attainment(now(), w)
+		}, "tenant", tenantName, "window", wl)
+		reg.GaugeFunc(MetricSLOBurnRate, func() float64 {
+			return t.BurnRate(now(), w)
+		}, "tenant", tenantName, "window", wl)
+	}
+	reg.Help(MetricSLOAttainment, "Windowed fraction of served queries inside their SLO, by tenant and window (modeled seconds).")
+	reg.Help(MetricSLOBurnRate, "Windowed SLO error-budget burn rate (violation fraction / (1 - objective)), by tenant and window.")
+}

@@ -1,0 +1,145 @@
+package telemetry
+
+// StitchedTrace is one query's cross-process trace: every fragment sharing
+// a TraceID, reassembled into a tree by each fragment's Parent pointer.
+// A sharded deployment yields gateway -> shard-N -> worker-M; a
+// single-process run yields a one-fragment tree.
+type StitchedTrace struct {
+	TraceID   string
+	Fragments []QueryTrace // in first-seen order
+}
+
+// Stitch groups fragments by TraceID, preserving the order trace IDs first
+// appear. Fragments without a TraceID (legacy single-process traces) are
+// skipped — they cannot be joined to anything.
+func Stitch(traces []QueryTrace) []StitchedTrace {
+	idx := map[string]int{}
+	var out []StitchedTrace
+	for _, t := range traces {
+		if t.TraceID == "" {
+			continue
+		}
+		i, ok := idx[t.TraceID]
+		if !ok {
+			i = len(out)
+			idx[t.TraceID] = i
+			out = append(out, StitchedTrace{TraceID: t.TraceID})
+		}
+		out[i].Fragments = append(out[i].Fragments, t)
+	}
+	return out
+}
+
+// Root returns the tree's root fragment: the first whose Parent is empty or
+// names no recorded fragment (a shard fragment is the root when the gateway
+// ring has already evicted its half).
+func (s StitchedTrace) Root() QueryTrace {
+	present := map[string]bool{}
+	for _, f := range s.Fragments {
+		present[f.Process] = true
+	}
+	for _, f := range s.Fragments {
+		if f.Parent == "" || !present[f.Parent] {
+			return f
+		}
+	}
+	return s.Fragments[0]
+}
+
+// Children returns the fragments recorded downstream of process.
+func (s StitchedTrace) Children(process string) []QueryTrace {
+	var out []QueryTrace
+	for _, f := range s.Fragments {
+		if f.Parent == process && f.Process != process {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Path returns the root-to-leaf fragment chain, descending into the child
+// with the most recorded span time at each level (the branch that carried
+// the latency).
+func (s StitchedTrace) Path() []QueryTrace {
+	if len(s.Fragments) == 0 {
+		return nil
+	}
+	cur := s.Root()
+	path := []QueryTrace{cur}
+	for len(path) <= len(s.Fragments) {
+		kids := s.Children(cur.Process)
+		if len(kids) == 0 {
+			break
+		}
+		best := kids[0]
+		for _, k := range kids[1:] {
+			if spanTotal(k) > spanTotal(best) {
+				best = k
+			}
+		}
+		cur = best
+		path = append(path, cur)
+	}
+	return path
+}
+
+func spanTotal(t QueryTrace) float64 {
+	sum := 0.0
+	for _, sp := range t.Spans {
+		sum += sp.Seconds
+	}
+	return sum
+}
+
+// CriticalPath returns the query's stage breakdown along the Path, one span
+// per stage in traversal order. A stage measured in more than one process
+// (inference is timed by both the shard's dispatch and the worker itself)
+// keeps the deepest measurement — the one closest to the execution.
+func (s StitchedTrace) CriticalPath() []Span {
+	var out []Span
+	pos := map[string]int{}
+	for _, f := range s.Path() {
+		for _, sp := range f.Spans {
+			if i, ok := pos[sp.Stage]; ok {
+				out[i] = sp
+			} else {
+				pos[sp.Stage] = len(out)
+				out = append(out, sp)
+			}
+		}
+	}
+	return out
+}
+
+// Tenant returns the first tenant label recorded on any fragment.
+func (s StitchedTrace) Tenant() string {
+	for _, f := range s.Fragments {
+		if f.Tenant != "" {
+			return f.Tenant
+		}
+	}
+	return ""
+}
+
+// Final returns the fragment holding the query's end-to-end outcome: the
+// one with the largest recorded latency (the serving frontend's; gateway
+// and worker fragments only cover their own slice).
+func (s StitchedTrace) Final() QueryTrace {
+	best := s.Fragments[0]
+	for _, f := range s.Fragments[1:] {
+		if f.LatencyMS > best.LatencyMS {
+			best = f
+		}
+	}
+	return best
+}
+
+// Decision returns the dispatch decision attached to any fragment, or nil.
+func (s StitchedTrace) Decision() *Decision {
+	for _, f := range s.Fragments {
+		if f.Decision != nil {
+			return f.Decision
+		}
+	}
+	return nil
+}

@@ -1,6 +1,9 @@
 package telemetry
 
 import (
+	"bufio"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -17,6 +20,12 @@ type Span struct {
 // QueryTrace is the completed per-query trace: where the latency budget of
 // one query went, stage by stage. Every response — and in particular every
 // SLO violation — can be attributed to the stage that consumed the budget.
+//
+// In a sharded deployment one query leaves one fragment per process it
+// crossed (gateway, shard frontend, worker), all carrying the same TraceID;
+// Process names the recording process and Parent its upstream, so Stitch
+// can reassemble the fragments into one tree offline or from the merged
+// /debug/traces dump.
 type QueryTrace struct {
 	ID          int     `json:"id"`
 	Arrival     float64 `json:"arrival"` // modeled seconds from start
@@ -27,6 +36,32 @@ type QueryTrace struct {
 	DeadlineMet bool    `json:"deadlineMet"`
 	Error       string  `json:"error,omitempty"`
 	Spans       []Span  `json:"spans"`
+	// TraceID joins this fragment to the query's fragments from other
+	// processes; empty on legacy single-process traces.
+	TraceID string `json:"traceId,omitempty"`
+	// Process names the process that recorded the fragment ("gateway",
+	// "shard-1", "worker-3", "frontend", "sim").
+	Process string `json:"process,omitempty"`
+	// Parent is the upstream Process that handed the query over ("" for
+	// the root fragment).
+	Parent string `json:"parent,omitempty"`
+	// Tenant and Shard attribute the fragment before any stitching.
+	Tenant string `json:"tenant,omitempty"`
+	Shard  int    `json:"shard,omitempty"`
+	// Decision is the policy decision that dispatched this query, with the
+	// inputs it saw and its predicted-vs-realized latency (nil for shed
+	// queries and legacy traces).
+	Decision *Decision `json:"decision,omitempty"`
+}
+
+// NewTraceID returns a 16-hex-digit random trace ID (crypto/rand; the
+// simulator derives deterministic IDs from query IDs instead).
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
 }
 
 // Span returns the duration of the named stage and whether it is present.
@@ -123,4 +158,25 @@ func (t *TraceWriter) Write(qt QueryTrace) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.enc.Encode(qt)
+}
+
+// ReadTraces parses a JSONL trace stream (the -trace-out format) back into
+// traces, in file order. Blank lines are skipped; a malformed line aborts
+// with its error so silently truncated exports are caught.
+func ReadTraces(r io.Reader) ([]QueryTrace, error) {
+	var out []QueryTrace
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var qt QueryTrace
+		if err := json.Unmarshal(line, &qt); err != nil {
+			return nil, err
+		}
+		out = append(out, qt)
+	}
+	return out, sc.Err()
 }
