@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint staticcheck race verify bench bench-smoke profile soak soak-smoke
+.PHONY: build test vet lint staticcheck race verify bench bench-smoke bench-compare profile soak soak-smoke
 
 build:
 	$(GO) build ./...
@@ -62,15 +62,29 @@ soak-smoke:
 verify: build lint test race
 
 # Perf measurement over the hot paths: the MDP solve (slice vs compiled
-# CSR kernels), MDP compilation, per-decision policy lookup, balancer pick,
-# and raw simulator throughput. -count=3 repetitions with allocation stats;
-# raw output lands in bench.out and tools/benchjson distills it into
-# BENCH_4.json, the committed baseline (quote best_ns_per_op when comparing).
-BENCH_KEY := 'BenchmarkValueIteration|BenchmarkCompile$$|BenchmarkPolicySelect|BenchmarkBalancerPick|BenchmarkSimulatorThroughput'
+# CSR kernels), the adaptation re-solve matrix (Jacobi vs prioritized x
+# cold/warm x 1x/10x state space), MDP compilation, per-decision policy
+# lookup, balancer pick, and raw simulator throughput. -count=3 repetitions
+# with allocation stats; raw output lands in bench.out and tools/benchjson
+# distills it into $(BENCH_OUT), the committed baseline (quote
+# best_ns_per_op when comparing).
+BENCH_KEY := 'BenchmarkValueIteration|BenchmarkResolve|BenchmarkCompile$$|BenchmarkPolicySelect|BenchmarkBalancerPick|BenchmarkSimulatorThroughput'
+BENCH_OUT ?= BENCH_8.json
+BENCH_BASE ?= BENCH_8.json
 
 bench:
 	$(GO) test -run '^$$' -bench $(BENCH_KEY) -benchmem -count=3 . | tee bench.out
-	$(GO) run ./tools/benchjson -o BENCH_4.json bench.out
+	$(GO) run ./tools/benchjson -o $(BENCH_OUT) bench.out
+
+# Regression gate: re-run the key benches and diff against the committed
+# baseline. Drift past 1.25x warns (GitHub annotation, soft); past 2x fails.
+# CI runners are slower and noisier than the baseline machine, so only a
+# real blowup is a hard failure.
+bench-compare:
+	$(GO) test -run '^$$' -bench $(BENCH_KEY) -benchmem -count=3 . | tee bench-new.out
+	$(GO) run ./tools/benchjson -o bench-new.json bench-new.out
+	$(GO) run ./tools/benchjson -compare -threshold 1.25 -warn $(BENCH_BASE) bench-new.json
+	$(GO) run ./tools/benchjson -compare -threshold 2 $(BENCH_BASE) bench-new.json
 
 # Every benchmark (figure regenerations included) runs exactly once: not a
 # perf measurement, just proof the bench harness cannot silently rot.

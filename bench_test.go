@@ -7,7 +7,9 @@ package ramsis
 // design choices DESIGN.md calls out.
 
 import (
+	"fmt"
 	"io"
+	"sync"
 	"testing"
 
 	"ramsis/internal/core"
@@ -182,6 +184,115 @@ func BenchmarkValueIteration(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// resolveFixture holds the pre-built worker MDPs for BenchmarkResolve: the
+// solved-for rate (the warm-start donor) and a drifted rate one adaptation
+// step away (2400 -> 2880 QPS, a +20% drift — exactly the hysteresis band
+// edge). Built once per process: the 10x space costs seconds to build, and
+// the benchmark measures the re-solve, not the build.
+type resolveFixture struct {
+	once  sync.Once
+	donor []float64     // converged values at the solved-for rate
+	cm    *mdp.Compiled // drifted-rate MDP, the re-solve target
+	err   error
+}
+
+var resolveFixtures = map[string]*resolveFixture{"1x": {}, "10x": {}}
+
+func resolveSetup(b *testing.B, scale string) *resolveFixture {
+	b.Helper()
+	fx := resolveFixtures[scale]
+	fx.once.Do(func() {
+		cfg := genCfg()
+		if scale == "10x" {
+			cfg.MaxQueue = 320
+		}
+		m, err := core.BuildWorkerMDP(cfg)
+		if err != nil {
+			fx.err = err
+			return
+		}
+		drift := cfg
+		drift.Arrival = dist.NewPoisson(2880)
+		m2, err := core.BuildWorkerMDP(drift)
+		if err != nil {
+			fx.err = err
+			return
+		}
+		fx.cm = mdp.Compile(m2)
+		res, err := mdp.Compile(m).Solve(mdp.SolveOptions{Method: mdp.MethodPrioritized})
+		if err != nil {
+			fx.err = err
+			return
+		}
+		fx.donor = res.Values
+
+		// The prioritized solver must land on the pinned Jacobi policy
+		// before its timings mean anything.
+		ref, err := fx.cm.ValueIteration(mdp.SolveOptions{Parallel: 1})
+		if err != nil {
+			fx.err = err
+			return
+		}
+		prio, err := fx.cm.Solve(mdp.SolveOptions{Method: mdp.MethodPrioritized})
+		if err != nil {
+			fx.err = err
+			return
+		}
+		for s := range ref.Policy {
+			if prio.Policy[s] != ref.Policy[s] {
+				fx.err = fmt.Errorf("state %d: prioritized action %d, Jacobi %d", s, prio.Policy[s], ref.Policy[s])
+				return
+			}
+		}
+	})
+	if fx.err != nil {
+		b.Fatal(fx.err)
+	}
+	return fx
+}
+
+// BenchmarkResolve measures the adaptation-path re-solve: the drift detector
+// confirmed a rate change and a policy for the new rate must be solved while
+// dispatch runs on the stale one. Crosses solver (pinned Jacobi vs
+// prioritized Gauss-Seidel) x start (cold zeros vs warm from the neighboring
+// bucket's values) x state-space scale (the default 32-deep queue axis vs
+// 10x). The warm prioritized rows are the drift-dwell budget: <10ms at 1x,
+// and at 10x no worse than the 1x Jacobi baseline (~209ms in BENCH_4.json).
+func BenchmarkResolve(b *testing.B) {
+	for _, scale := range []string{"1x", "10x"} {
+		for _, bc := range []struct {
+			name string
+			opts mdp.SolveOptions
+			warm bool
+		}{
+			{"jacobi/cold", mdp.SolveOptions{Parallel: 1}, false},
+			{"jacobi/warm", mdp.SolveOptions{Parallel: 1}, true},
+			{"prioritized/cold", mdp.SolveOptions{Method: mdp.MethodPrioritized}, false},
+			{"prioritized/warm", mdp.SolveOptions{Method: mdp.MethodPrioritized}, true},
+			{"prioritized-f32/warm", mdp.SolveOptions{Method: mdp.MethodPrioritized, Float32: true}, true},
+		} {
+			b.Run(scale+"/"+bc.name, func(b *testing.B) {
+				fx := resolveSetup(b, scale)
+				opts := bc.opts
+				if bc.warm {
+					opts.InitialValues = fx.donor
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				var iters int
+				for i := 0; i < b.N; i++ {
+					res, err := fx.cm.Solve(opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					iters = res.Iterations
+				}
+				b.ReportMetric(float64(iters), "iterations")
+			})
+		}
 	}
 }
 

@@ -128,6 +128,9 @@ func main() {
 		shardBy     = flag.String("shard-by", "hash", "shard routing policy: hash/rendezvous (pin tenant to shard) or p2c (spread by queue depth)")
 
 		maxQueue     = flag.Int("maxqueue", 0, "queue-length bound N_w (0 = default 32): caps the RAMSIS MDP state space, and with -admit cap also sets the online admission bound (workers x N_w outstanding) — one knob for both, since policy guarantees lapse past N_w anyway")
+		solverArg    = flag.String("solver", "vi", "RAMSIS MDP solver: vi (value iteration, the paper's default), pi (policy iteration), or prioritized (fast-resolve: residual-ordered Gauss-Seidel sweeps; same policy, far fewer sweeps — adaptive background re-solves use it regardless)")
+		solveF32     = flag.Bool("solve-f32", false, "run the RAMSIS solve kernels in float32 (faster; the policy matches float64 wherever actions are separated by more than a few ULPs of the value scale)")
+		aggQueue     = flag.Int("agg-queue", 0, "queue-axis aggregation factor (>1): warm-start each solve from a queue-coarsened aggregate of the MDP; the policy is unchanged, only the solve converges faster — pair with a large -maxqueue")
 		admitName    = flag.String("admit", "none", "admission control: none, deadline (429 queries whose deadline is unmeetable), or cap (bound outstanding work; unifies the -maxqueue N_w bound online)")
 		admitMargin  = flag.Float64("admit-margin", 1, "deadline admission: shed when estimated wait exceeds SLO*margin minus best-case service time")
 		admitDegrade = flag.Int("admit-degrade", 0, "degraded-mode depth: maximum number of slowest models to forbid under confirmed overload (0 = off; requires -admit)")
@@ -159,12 +162,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	solver, err := core.ParseSolver(*solverArg)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("generating RAMSIS policy (%s, SLO %.0f ms, %d workers, %.0f QPS, %s balancing)...\n",
 		*task, *sloMS, *workers, *load, balancing)
 	base := core.Config{
 		Models: models, SLO: slo, Workers: *workers, Arrival: dist.NewPoisson(1), D: *d,
 		MaxQueue: *maxQueue, Balancing: balancing,
+		Solver: solver, Float32: *solveF32, AggQueue: *aggQueue,
 	}
 	set := core.NewPolicySet(base, nil)
 	if err := set.GenerateLoads([]float64{*load}); err != nil {

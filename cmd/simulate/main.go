@@ -51,23 +51,26 @@ func parseMultipliers(s string) (map[string]float64, error) {
 
 func main() {
 	var (
-		method   = flag.String("m", "RAMSIS", "MS&S method: RAMSIS, JF, MS, Greedy")
-		traceArg = flag.String("trace", "constant", "query trace: real (Twitter) or constant")
-		task     = flag.String("task", "image", "inference task: image or text")
-		sloMS    = flag.Float64("slo", 150, "latency SLO in milliseconds")
-		workers  = flag.Int("workers", 60, "number of workers")
-		load     = flag.Float64("load", 2000, "query load in QPS (constant trace)")
-		dur      = flag.Float64("dur", 30, "constant-trace duration in seconds")
-		seed     = flag.Int64("seed", 1, "workload seed")
-		d        = flag.Int("d", 100, "FLD resolution for RAMSIS policies")
-		maxQueue = flag.Int("maxqueue", 0, "queue-length bound N_w (0 = default 32): caps the RAMSIS MDP state space, and with -admit cap also sets the online admission bound (workers x N_w outstanding) — one knob for both, since policy guarantees lapse past N_w anyway")
-		noise    = flag.Float64("noise", 0, "inference latency stddev in ms (0 = deterministic p95)")
-		polPath  = flag.String("policy", "", "load a saved RAMSIS policy JSON (from ramsisgen) instead of generating")
-		msTable  = flag.String("ms-table", "", "load a ModelSwitching profile JSON (from msgen) instead of profiling")
-		lbArg    = flag.String("lb", "rr", "RAMSIS per-worker load balancer: rr, jsq, or p2c (policies are generated with the matching MDP transition model)")
-		traceOut = flag.String("trace-out", "", "append per-query trace fragments (deterministic sim-<id> trace IDs, with attached select decisions) as JSONL to this file; stitch with `trace -stitch`")
-		logLevel = flag.String("log-level", "info", "log level: debug, info, warn, error")
-		logFmt   = flag.String("log-format", "text", "log format: text or json")
+		method    = flag.String("m", "RAMSIS", "MS&S method: RAMSIS, JF, MS, Greedy")
+		traceArg  = flag.String("trace", "constant", "query trace: real (Twitter) or constant")
+		task      = flag.String("task", "image", "inference task: image or text")
+		sloMS     = flag.Float64("slo", 150, "latency SLO in milliseconds")
+		workers   = flag.Int("workers", 60, "number of workers")
+		load      = flag.Float64("load", 2000, "query load in QPS (constant trace)")
+		dur       = flag.Float64("dur", 30, "constant-trace duration in seconds")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		d         = flag.Int("d", 100, "FLD resolution for RAMSIS policies")
+		maxQueue  = flag.Int("maxqueue", 0, "queue-length bound N_w (0 = default 32): caps the RAMSIS MDP state space, and with -admit cap also sets the online admission bound (workers x N_w outstanding) — one knob for both, since policy guarantees lapse past N_w anyway")
+		solverArg = flag.String("solver", "vi", "RAMSIS MDP solver: vi (value iteration, the paper's default), pi (policy iteration), or prioritized (fast-resolve: residual-ordered Gauss-Seidel sweeps; same policy, far fewer sweeps)")
+		solveF32  = flag.Bool("solve-f32", false, "run the RAMSIS solve kernels in float32 (faster; the policy matches float64 wherever actions are separated by more than a few ULPs of the value scale)")
+		aggQueue  = flag.Int("agg-queue", 0, "queue-axis aggregation factor (>1): warm-start each solve from a queue-coarsened aggregate of the MDP; the policy is unchanged, only the solve converges faster — pair with a large -maxqueue")
+		noise     = flag.Float64("noise", 0, "inference latency stddev in ms (0 = deterministic p95)")
+		polPath   = flag.String("policy", "", "load a saved RAMSIS policy JSON (from ramsisgen) instead of generating")
+		msTable   = flag.String("ms-table", "", "load a ModelSwitching profile JSON (from msgen) instead of profiling")
+		lbArg     = flag.String("lb", "rr", "RAMSIS per-worker load balancer: rr, jsq, or p2c (policies are generated with the matching MDP transition model)")
+		traceOut  = flag.String("trace-out", "", "append per-query trace fragments (deterministic sim-<id> trace IDs, with attached select decisions) as JSONL to this file; stitch with `trace -stitch`")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logFmt    = flag.String("log-format", "text", "log format: text or json")
 
 		adaptive    = flag.Bool("adapt", false, "RAMSIS only: close the adaptation loop (drift-detect the monitored rate, re-solve and hot-swap policies mid-run)")
 		adaptBand   = flag.Float64("adapt-band", 0.2, "adaptation hysteresis half-width as a fraction of the solved-for rate")
@@ -123,6 +126,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	solver, err := core.ParseSolver(*solverArg)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	var tr trace.Trace
 	var mon monitor.Monitor
@@ -151,7 +158,8 @@ func main() {
 	var adapter *adapt.Adapter
 	switch *method {
 	case "RAMSIS":
-		base := core.Config{Models: models, SLO: slo, Workers: *workers, Arrival: dist.NewPoisson(1), D: *d, MaxQueue: *maxQueue, Balancing: balancing}
+		base := core.Config{Models: models, SLO: slo, Workers: *workers, Arrival: dist.NewPoisson(1), D: *d, MaxQueue: *maxQueue, Balancing: balancing,
+			Solver: solver, Float32: *solveF32, AggQueue: *aggQueue}
 		if *adaptive {
 			// Adaptive mode: one policy solved for the starting rate; every
 			// later rate is the drift detector's job.

@@ -320,6 +320,71 @@ func TestAdapterConcurrentLookupAndSwap(t *testing.T) {
 	}
 }
 
+// TestAdapterConcurrentPrioritizedResolve hammers the fast-resolve route
+// under -race: background drift re-solves on the prioritized float32 solver
+// with aggregation warm starts, racing against lock-free dispatch lookups.
+// Every lookup must see a complete policy and every re-solved policy must
+// decide like its float64 Jacobi reference.
+func TestAdapterConcurrentPrioritizedResolve(t *testing.T) {
+	base := adaptBase()
+	base.Float32 = true
+	base.AggQueue = 4
+	a := newAdapter(t, Config{
+		Base: base, Band: 0.2, Dwell: -1, BucketSize: 20, Background: true,
+	})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if pol := a.PolicyFor(float64(20 + (i+g)%200)); pol == nil {
+					t.Error("lookup observed an empty policy set mid-swap")
+					return
+				}
+			}
+		}(g)
+	}
+	rates := []float64{120, 20, 220, 120, 20}
+	for i, r := range rates {
+		a.Observe(float64(i), r)
+		deadline := time.Now().Add(30 * time.Second)
+		for a.Stats().Swaps < uint64(i+1) {
+			if time.Now().After(deadline) {
+				t.Fatalf("swap %d never happened: %+v", i+1, a.Stats())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// The prioritized float32 re-solve reached the same argmaxes as the
+	// pinned float64 Jacobi solve of the same bucket.
+	ref := adaptBase()
+	ref.Arrival = dist.NewPoisson(220)
+	cold, err := core.Generate(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := a.PolicyFor(220)
+	if warm.Load != 220 {
+		t.Fatalf("PolicyFor(220).Load = %v", warm.Load)
+	}
+	for s := range cold.Choices {
+		if warm.Choices[s] != cold.Choices[s] {
+			t.Fatalf("state %d: prioritized f32 choice %+v != Jacobi f64 %+v",
+				s, warm.Choices[s], cold.Choices[s])
+		}
+	}
+}
+
 // mustGet is a test helper: fetch a policy known to be cached.
 func (c *Cache) mustGet(t *testing.T, k Key) *core.Policy {
 	t.Helper()

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"sort"
+
+	"ramsis/internal/mdp"
+)
+
+// This file implements queue-dimension state aggregation: a worker MDP whose
+// queue axis is coarsened by a factor k solves on ~1/k of the states, and its
+// values — linearly disaggregated back onto the fine queue axis — seed the
+// exact fine solve as a warm start. The aggregate solve is pure acceleration:
+// the fine solver still converges to its own fixed point, so the generated
+// policy is unchanged; only the iteration count to reach it drops. This is
+// what lets a 10× -maxqueue space re-solve inside the drift-dwell window.
+
+// coarseQueues returns the coarse queue-axis length for a fine bound q
+// grouped by factor k: ceil(q/k), floored at 1 (a queue axis smaller than
+// the coarsening factor collapses to a single group).
+func coarseQueues(q, k int) int {
+	qc := (q + k - 1) / k
+	if qc < 1 {
+		qc = 1
+	}
+	return qc
+}
+
+// aggregateWarmStart builds the queue-coarsened aggregate of the fine worker
+// MDP by representative-state (hard) aggregation, solves it with the same
+// options, and disaggregates its values onto the fine space by linear
+// interpolation along the queue axis. Group g of the coarse queue axis
+// stands for fine queues ((g−1)k, gk]; its representative is the fine state
+// at the group's right edge (clamped to the queue bound), whose actions and
+// transition rows are reused with successors remapped to their groups. The
+// empty and overflow states stay singletons.
+//
+// Returns nil — no warm start — when the coarse solve fails (e.g. the
+// generation deadline expired) or aggregation cannot shrink the axis.
+func aggregateWarmStart(m *mdp.MDP, sp *space, k int, opts mdp.SolveOptions) []float64 {
+	q := sp.cfg.MaxQueue
+	g := len(sp.grid)
+	qc := coarseQueues(q, k)
+	if qc >= q {
+		return nil // nothing to coarsen
+	}
+	cEmpty := 0
+	cIndex := func(qg, j int) int { return 1 + (qg-1)*g + j }
+	cOver := 1 + qc*g
+	nc := 2 + qc*g
+
+	mapState := func(s int32) int32 {
+		switch int(s) {
+		case sp.emptyState():
+			return int32(cEmpty)
+		case sp.overflowState():
+			return int32(cOver)
+		}
+		n, j := sp.decompose(int(s))
+		return int32(cIndex((n+k-1)/k, j))
+	}
+	repFine := func(cs int) int {
+		switch cs {
+		case cEmpty:
+			return sp.emptyState()
+		case cOver:
+			return sp.overflowState()
+		}
+		cs--
+		qg, j := cs/g+1, cs%g
+		return sp.index(min(qg*k, q), j)
+	}
+
+	cm := &mdp.MDP{Actions: make([][]mdp.Action, nc)}
+	for cs := 0; cs < nc; cs++ {
+		acts := m.Actions[repFine(cs)]
+		cacts := make([]mdp.Action, len(acts))
+		for ai, a := range acts {
+			merged := map[int32]float64{}
+			for _, tr := range a.Transitions {
+				merged[mapState(tr.Next)] += tr.P
+			}
+			trs := make([]mdp.Transition, 0, len(merged))
+			for nx, p := range merged {
+				trs = append(trs, mdp.Transition{Next: nx, P: p})
+			}
+			// Deterministic row order: map iteration order is random.
+			sort.Slice(trs, func(i, j int) bool { return trs[i].Next < trs[j].Next })
+			cacts[ai] = mdp.Action{Label: a.Label, Reward: a.Reward, Transitions: trs}
+		}
+		cm.Actions[cs] = cacts
+	}
+
+	opts.InitialValues = nil
+	res, err := mdp.Compile(cm).Solve(opts)
+	if err != nil {
+		return nil
+	}
+
+	// Disaggregate: the coarse values sample the queue axis at positions
+	// {0 (empty), k, 2k, ..., qc·k}; a fine state (n, j) interpolates
+	// linearly between the two samples bracketing n in the same slack
+	// bucket. The overflow singleton maps through directly.
+	out := make([]float64, sp.numStates())
+	out[sp.emptyState()] = res.Values[cEmpty]
+	out[sp.overflowState()] = res.Values[cOver]
+	for n := 1; n <= q; n++ {
+		g0 := n / k
+		frac := float64(n-g0*k) / float64(k)
+		g1 := g0 + 1
+		if g1 > qc {
+			g1 = qc
+		}
+		for j := 0; j < g; j++ {
+			var v0 float64
+			if g0 == 0 {
+				v0 = res.Values[cEmpty]
+			} else {
+				v0 = res.Values[cIndex(min(g0, qc), j)]
+			}
+			v1 := res.Values[cIndex(g1, j)]
+			out[sp.index(n, j)] = v0 + frac*(v1-v0)
+		}
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+
+	"ramsis/internal/dist"
+	"ramsis/internal/profile"
+)
+
+func TestCoarseQueues(t *testing.T) {
+	cases := []struct{ q, k, want int }{
+		{32, 4, 8},
+		{33, 4, 9},
+		{320, 10, 32},
+		{4, 10, 1}, // axis smaller than the factor collapses to one group
+		{1, 2, 1},
+	}
+	for _, c := range cases {
+		if got := coarseQueues(c.q, c.k); got != c.want {
+			t.Errorf("coarseQueues(%d,%d) = %d, want %d", c.q, c.k, got, c.want)
+		}
+	}
+}
+
+// The aggregation warm start is a pure accelerator: the fine solver still
+// converges to its own fixed point, so the generated policy must be identical
+// to a cold solve's, and it should get there in fewer iterations.
+func TestAggregateWarmStartPolicyUnchanged(t *testing.T) {
+	base := genConfig(300)
+	base.MaxQueue = 64
+
+	cold, err := Generate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := base
+	agg.AggQueue = 8
+	warm, err := Generate(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warm.Choices) != len(cold.Choices) {
+		t.Fatalf("state counts differ: %d vs %d", len(warm.Choices), len(cold.Choices))
+	}
+	for s := range cold.Choices {
+		if warm.Choices[s] != cold.Choices[s] {
+			t.Fatalf("state %d: aggregated choice %+v != cold choice %+v",
+				s, warm.Choices[s], cold.Choices[s])
+		}
+	}
+	if warm.Iterations >= cold.Iterations {
+		t.Errorf("aggregation warm start did not reduce iterations: %d >= %d",
+			warm.Iterations, cold.Iterations)
+	}
+}
+
+// A coarsening factor larger than the queue axis must degrade gracefully: the
+// coarse axis collapses toward a single group (or aggregation bails when it
+// cannot shrink the axis), and generation still succeeds with a valid policy.
+func TestAggregateQueueAxisSmallerThanFactor(t *testing.T) {
+	cfg := Config{
+		Models:   profile.ImageSet(),
+		SLO:      0.150,
+		Workers:  8,
+		Arrival:  dist.NewPoisson(300),
+		D:        50,
+		MaxQueue: 4,
+		AggQueue: 10,
+	}
+	pol, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := cfg
+	ref.AggQueue = 0
+	cold, err := Generate(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range cold.Choices {
+		if pol.Choices[s] != cold.Choices[s] {
+			t.Fatalf("state %d: choice %+v != cold %+v", s, pol.Choices[s], cold.Choices[s])
+		}
+	}
+}
+
+// Prioritized + aggregation is the fast-resolve configuration; it must agree
+// with the pinned Jacobi policy on a 10x queue space.
+func TestAggregatePrioritizedMatchesJacobi(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10x queue space generation is slow")
+	}
+	base := genConfig(300)
+	base.MaxQueue = 96
+
+	cold, err := Generate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := base
+	fast.Solver = SolvePrioritized
+	fast.AggQueue = 8
+	pol, err := Generate(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range cold.Choices {
+		if pol.Choices[s] != cold.Choices[s] {
+			t.Fatalf("state %d: prioritized+agg choice %+v != Jacobi %+v",
+				s, pol.Choices[s], cold.Choices[s])
+		}
+	}
+}

@@ -109,6 +109,12 @@ const (
 	SolveValueIteration Solver = iota
 	// SolvePolicyIteration is the alternative exact method §4.1 notes.
 	SolvePolicyIteration
+	// SolvePrioritized is the fast-resolve method: asynchronous prioritized
+	// value iteration (Gauss-Seidel backups in Bellman-residual order with
+	// adaptive-aggregation acceleration) on the compiled form. It reaches
+	// the same fixed point as value iteration within tolerance in far fewer
+	// sweeps but is not byte-pinned against the slice solver.
+	SolvePrioritized
 )
 
 func (s Solver) String() string {
@@ -117,8 +123,24 @@ func (s Solver) String() string {
 		return "value-iteration"
 	case SolvePolicyIteration:
 		return "policy-iteration"
+	case SolvePrioritized:
+		return "prioritized"
 	}
 	return fmt.Sprintf("Solver(%d)", int(s))
+}
+
+// ParseSolver maps a CLI solver name to the Solver method, accepting the
+// common abbreviations; "" means value iteration (the paper's default).
+func ParseSolver(s string) (Solver, error) {
+	switch s {
+	case "", "vi", "value-iteration":
+		return SolveValueIteration, nil
+	case "pi", "policy-iteration":
+		return SolvePolicyIteration, nil
+	case "prioritized", "pvi":
+		return SolvePrioritized, nil
+	}
+	return SolveValueIteration, fmt.Errorf("core: unknown solver %q (want vi, pi, or prioritized)", s)
 }
 
 // Config describes one worker-level policy-generation problem: the offline
@@ -140,8 +162,9 @@ type Config struct {
 	Disc Discretization
 	// D is the FLD resolution (grid {0, SLO/D, ..., SLO}); default 100.
 	D int
-	// MaxQueue is N_w, the worker queue bound; default 32. It must not
-	// exceed the profiled batch range.
+	// MaxQueue is N_w, the worker queue bound; default 32. It may exceed
+	// the profiled batch range: batches clamp to each model's profiled
+	// maximum, so over-long queues drain in partial batches.
 	MaxQueue int
 	// NoParetoPruning disables the §4.3.3 action-space pruning.
 	NoParetoPruning bool
@@ -149,8 +172,22 @@ type Config struct {
 	// Gamma is the value-iteration discount factor; default 0.99.
 	Gamma float64
 	// Solver selects the exact solution method (§4.1: value iteration by
-	// default; policy iteration as the noted alternative).
+	// default; policy iteration as the noted alternative; prioritized as
+	// the fast-resolve path for online re-solves).
 	Solver Solver
+	// Float32 runs the value-iteration-family solve kernels in float32.
+	// The stopping tolerance is floored at a few float32 ULPs of the value
+	// scale, so the policy matches the float64 argmaxes wherever actions
+	// are separated by more than that band. Ignored by policy iteration.
+	Float32 bool
+	// AggQueue, when > 1, warm-starts the solve from a queue-coarsened
+	// aggregate problem: the queue axis is grouped by this factor, the
+	// small aggregate MDP is solved first, and its values are linearly
+	// disaggregated onto the full space as the solver's initial vector.
+	// The fixed point — and therefore the generated policy — is unchanged;
+	// only the iteration count to reach it drops. Ignored when
+	// Config.InitialValues already supplies a donor vector.
+	AggQueue int
 	// ProbFloor prunes transition entries below it (their mass folds into
 	// the overflow complement, which is conservative); default 1e-10.
 	ProbFloor float64
@@ -215,13 +252,11 @@ func (c Config) Validate() error {
 	if c.MaxQueue < 1 {
 		return fmt.Errorf("core: invalid max queue %d", c.MaxQueue)
 	}
-	for _, p := range c.Models.Profiles {
-		if p.MaxBatch() < c.MaxQueue {
-			return fmt.Errorf("core: model %s profiled to batch %d < MaxQueue %d", p.Name, p.MaxBatch(), c.MaxQueue)
-		}
-	}
 	if c.Gamma < 0 || c.Gamma >= 1 {
 		return fmt.Errorf("core: discount %v outside [0,1)", c.Gamma)
+	}
+	if c.AggQueue < 0 {
+		return fmt.Errorf("core: invalid queue aggregation factor %d", c.AggQueue)
 	}
 	return nil
 }

@@ -127,16 +127,24 @@ func Generate(cfg Config) (*Policy, error) {
 	// on the contiguous form.
 	start = time.Now()
 	cm := mdp.Compile(m)
-	opts := mdp.SolveOptions{Gamma: cfg.Gamma, Deadline: b.deadline}
+	opts := mdp.SolveOptions{Gamma: cfg.Gamma, Deadline: b.deadline, Float32: cfg.Float32}
+	if cfg.Solver == SolvePrioritized {
+		opts.Method = mdp.MethodPrioritized
+	}
 	if len(cfg.InitialValues) == cm.NumStates() {
 		opts.InitialValues = cfg.InitialValues
+	} else if cfg.AggQueue > 1 {
+		// No donor vector: warm-start from the queue-coarsened aggregate
+		// solve. The warm start cannot change the fixed point, so the
+		// generated policy is identical to a cold solve's.
+		opts.InitialValues = aggregateWarmStart(m, sp, cfg.AggQueue, opts)
 	}
 	var res mdp.Result
 	var err error
 	if cfg.Solver == SolvePolicyIteration {
 		res, err = cm.PolicyIteration(opts)
 	} else {
-		res, err = cm.ValueIteration(opts)
+		res, err = cm.Solve(opts)
 	}
 	if errors.Is(err, mdp.ErrDeadline) {
 		return nil, ErrTimeout

@@ -157,13 +157,16 @@ func (sp *space) actionsFor(n int, slack float64) []actionSpec {
 	}
 	var acts []actionSpec
 	for mi, p := range sp.models.Profiles {
+		// Queues beyond the profiled batch range drain in partial batches:
+		// b = all queued queries clamped to the model's profiled maximum.
+		maxB := min(n, p.MaxBatch())
 		switch sp.cfg.Batching {
 		case MaximalBatching:
-			if l := p.BatchLatency(n); l <= slack {
-				acts = append(acts, actionSpec{Model: mi, Batch: n, Latency: l, Satisfies: true})
+			if l := p.BatchLatency(maxB); l <= slack {
+				acts = append(acts, actionSpec{Model: mi, Batch: maxB, Latency: l, Satisfies: true})
 			}
 		case VariableBatching:
-			for b := 1; b <= n; b++ {
+			for b := 1; b <= maxB; b++ {
 				if l := p.BatchLatency(b); l <= slack {
 					acts = append(acts, actionSpec{Model: mi, Batch: b, Latency: l, Satisfies: true})
 				}
@@ -172,10 +175,11 @@ func (sp *space) actionsFor(n int, slack float64) []actionSpec {
 	}
 	if len(acts) == 0 {
 		mi := sp.fastestModel()
+		b := min(n, sp.models.Profiles[mi].MaxBatch())
 		acts = append(acts, actionSpec{
 			Model:   mi,
-			Batch:   n,
-			Latency: sp.models.Profiles[mi].BatchLatency(n),
+			Batch:   b,
+			Latency: sp.models.Profiles[mi].BatchLatency(b),
 		})
 	}
 	return acts

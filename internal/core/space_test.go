@@ -258,7 +258,7 @@ func TestConfigValidate(t *testing.T) {
 		func(c *Config) { c.Arrival = nil },
 		func(c *Config) { c.D = -1 },
 		func(c *Config) { c.MaxQueue = -2 },
-		func(c *Config) { c.MaxQueue = profile.MaxSupportedBatch + 1 },
+		func(c *Config) { c.AggQueue = -1 },
 		func(c *Config) { c.Gamma = 1.5 },
 	}
 	for i, mutate := range cases {
@@ -267,5 +267,12 @@ func TestConfigValidate(t *testing.T) {
 		if err := c.Validate(); err == nil {
 			t.Errorf("case %d: invalid config accepted", i)
 		}
+	}
+	// Queue bounds beyond the profiled batch range are valid: batches clamp
+	// to each model's profiled maximum and over-long queues drain partially.
+	big := testConfig()
+	big.MaxQueue = profile.MaxSupportedBatch * 10
+	if err := big.Validate(); err != nil {
+		t.Errorf("10x max-queue config rejected: %v", err)
 	}
 }

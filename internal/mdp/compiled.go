@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sync"
 	"time"
 )
 
@@ -29,6 +30,11 @@ type Compiled struct {
 	trOff  []int32   // len numActions+1: transition index range per action
 	next   []int32   // per transition: successor state
 	prob   []float64 // per transition: probability
+
+	// Reverse adjacency for the prioritized solver, built lazily by
+	// predecessors() and shared across solves on this Compiled.
+	predOnce sync.Once
+	pred     *predCSR
 }
 
 // Compile flattens an MDP into its compiled form. The MDP must be valid

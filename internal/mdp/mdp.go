@@ -116,6 +116,17 @@ type SolveOptions struct {
 	// reach it — so a re-solve seeded from a neighboring problem's values
 	// (e.g. an adjacent rate bucket) converges in fewer sweeps.
 	InitialValues []float64
+	// Method selects the sweep strategy for Compiled.Solve: the default
+	// synchronous Jacobi sweep (byte-pinned in float64) or asynchronous
+	// prioritized value iteration (Gauss-Seidel in Bellman-residual order,
+	// the fast-resolve path). The slice-form solvers ignore it.
+	Method Method
+	// Float32 runs Compiled.Solve's kernels in float32: roughly half the
+	// memory traffic of the float64 sweep on the online/adaptive route.
+	// The stopping tolerance is floored at a few float32 ULPs of the value
+	// scale, and the resulting policy matches the float64 argmaxes
+	// wherever actions are separated by more than that tolerance.
+	Float32 bool
 }
 
 func (o SolveOptions) withDefaults() SolveOptions {

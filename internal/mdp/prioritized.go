@@ -1,0 +1,591 @@
+package mdp
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"time"
+)
+
+// This file implements the fast-resolve kernels layered on the compiled CSR
+// form: asynchronous prioritized value iteration (Gauss-Seidel in-place
+// updates swept in Bellman-residual order) and optional float32 arithmetic
+// for the online/adaptive route. Neither is byte-pinned against the slice
+// solvers — the pinned equivalence contract covers the float64 Jacobi
+// kernels only — but both converge to the same fixed point within Tol and
+// extract the policy from a final full greedy sweep, so the argmaxes agree
+// wherever the optimal action is separated by more than the tolerance.
+
+// Method selects the Bellman sweep strategy for ValueIteration-family
+// solves.
+type Method int
+
+const (
+	// MethodJacobi is the synchronous double-buffered sweep (the default):
+	// every state backs up from the previous iterate. The float64 Jacobi
+	// path is byte-identical between the slice and compiled forms and
+	// across Parallel settings — the pinned equivalence contract.
+	MethodJacobi Method = iota
+	// MethodPrioritized is asynchronous prioritized value iteration:
+	// Gauss-Seidel in-place updates, swept in Bellman-residual order via a
+	// bucketed priority queue over the CSR arrays. Warm-started re-solves
+	// converge in far fewer backups than full Jacobi sweeps because only
+	// the states whose residuals still exceed Tol are touched. The solve
+	// is single-threaded and deterministic (Parallel is ignored); the
+	// result matches the Jacobi fixed point within Tol but is not
+	// byte-identical to it.
+	MethodPrioritized
+)
+
+func (m Method) String() string {
+	switch m {
+	case MethodJacobi:
+		return "jacobi"
+	case MethodPrioritized:
+		return "prioritized"
+	}
+	return fmt.Sprintf("Method(%d)", int(m))
+}
+
+// Solve runs value iteration with the configured Method and precision. It
+// is the single entry point the fast-resolve path uses: MethodJacobi in
+// float64 dispatches to the byte-pinned ValueIteration kernel; every other
+// combination runs the generic kernels in this file.
+func (c *Compiled) Solve(opts SolveOptions) (Result, error) {
+	o := opts.withDefaults()
+	if o.Gamma <= 0 || o.Gamma >= 1 {
+		return Result{}, fmt.Errorf("mdp: gamma %v outside (0,1)", o.Gamma)
+	}
+	switch {
+	case o.Float32:
+		return solveGeneric[float32](c, o)
+	case o.Method == MethodPrioritized:
+		return solveGeneric[float64](c, o)
+	default:
+		return c.ValueIteration(opts)
+	}
+}
+
+// float32Tol floors the stopping tolerance for float32 solves: the value
+// scale is bounded by max|reward|/(1−γ), and residuals below a few ULPs of
+// that scale are rounding noise that would stall convergence forever under
+// the float64 default of 1e-9.
+func (c *Compiled) float32Tol(tol, gamma float64) float64 {
+	rmax := 0.0
+	for _, r := range c.reward {
+		if a := math.Abs(r); a > rmax {
+			rmax = a
+		}
+	}
+	// 2^-23 is the float32 epsilon; 8 ULPs of headroom absorbs the
+	// accumulated rounding of long transition sums.
+	floor := rmax / (1 - gamma) * (8.0 / (1 << 23))
+	if tol < floor {
+		tol = floor
+	}
+	return tol
+}
+
+// number is the element type of the generic solve kernels.
+type number interface {
+	~float32 | ~float64
+}
+
+// backupG is the generic Bellman backup: reward + Σ gp[k]·v[next[k]] in
+// transition order, the T-precision twin of backup (same single-accumulator
+// 4-way unroll, so the float64 instantiation rounds identically).
+func backupG[T number](q T, gps []T, nxs []int32, v []T) T {
+	nxs = nxs[:len(gps)]
+	j := 0
+	for ; j+4 <= len(gps); j += 4 {
+		q += gps[j] * v[nxs[j]]
+		q += gps[j+1] * v[nxs[j+1]]
+		q += gps[j+2] * v[nxs[j+2]]
+		q += gps[j+3] * v[nxs[j+3]]
+	}
+	for ; j < len(gps); j++ {
+		q += gps[j] * v[nxs[j]]
+	}
+	return q
+}
+
+// kernel is the per-precision view of the compiled MDP: rewards and
+// gamma-scaled probabilities converted once per solve.
+type kernel[T number] struct {
+	c      *Compiled
+	reward []T
+	gp     []T
+	v      []T
+}
+
+func newKernel[T number](c *Compiled, gamma float64, initial []float64) *kernel[T] {
+	k := &kernel[T]{
+		c:      c,
+		reward: make([]T, len(c.reward)),
+		gp:     make([]T, len(c.prob)),
+		v:      make([]T, c.n),
+	}
+	for i, r := range c.reward {
+		k.reward[i] = T(r)
+	}
+	for i, p := range c.prob {
+		k.gp[i] = T(gamma * p)
+	}
+	for i, x := range initial {
+		k.v[i] = T(x)
+	}
+	return k
+}
+
+// best returns the greedy backup value and action index for state s against
+// the current in-place value vector.
+func (k *kernel[T]) best(s int) (T, int) {
+	c := k.c
+	best := T(math.Inf(-1))
+	bestA := 0
+	a0, a1 := c.actOff[s], c.actOff[s+1]
+	for a := a0; a < a1; a++ {
+		q := backupG(k.reward[a], k.gp[c.trOff[a]:c.trOff[a+1]], c.next[c.trOff[a]:c.trOff[a+1]], k.v)
+		if q > best {
+			best = q
+			bestA = int(a - a0)
+		}
+	}
+	return best, bestA
+}
+
+// values converts the in-place vector back to float64 for Result.Values (and
+// warm-start donation to later solves).
+func (k *kernel[T]) values() []float64 {
+	out := make([]float64, len(k.v))
+	for i, x := range k.v {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// solveGeneric runs value iteration at precision T with the configured
+// Method. Jacobi runs double-buffered full sweeps; prioritized alternates
+// full Gauss-Seidel verification sweeps with residual-ordered drains of a
+// bucketed priority queue. Iterations reports sweep-equivalents: full
+// sweeps plus prioritized backups divided by the state count, so warm
+// re-solves show the backup saving directly.
+func solveGeneric[T number](c *Compiled, o SolveOptions) (Result, error) {
+	if o.Float32 {
+		o.Tol = c.float32Tol(o.Tol, o.Gamma)
+	}
+	n := c.n
+	init := make([]float64, n)
+	if err := o.initialValues(init); err != nil {
+		return Result{}, err
+	}
+	k := newKernel[T](c, o.Gamma, init)
+	pol := make(Policy, n)
+	tol := T(o.Tol)
+
+	if o.Method != MethodPrioritized {
+		return jacobiGeneric(c, k, pol, o, tol)
+	}
+
+	preds := c.predecessors()
+	pq := newBucketQueue(n, o.Tol)
+	backups := 0
+	sweeps := 0
+	d := make([]T, n) // signed value change of the last sweep, per state
+	sc := newAggScratch(n)
+
+	for {
+		if !o.Deadline.IsZero() && time.Now().After(o.Deadline) {
+			return Result{Values: k.values(), Policy: pol, Iterations: sweeps + backups/n}, ErrDeadline
+		}
+		// One full Gauss-Seidel pass: every state is backed up in place
+		// (extracting the greedy action), recording its signed change. A
+		// pass over an already-converged vector — a warm start from the
+		// exact fixed point — exits after this single sweep (the
+		// zero-residual early exit).
+		residual := T(0)
+		active := 0
+		for s := 0; s < n; s++ {
+			q, bestA := k.best(s)
+			dd := q - k.v[s]
+			d[s] = dd
+			if dd < 0 {
+				dd = -dd
+			}
+			if dd > residual {
+				residual = dd
+			}
+			if dd > tol {
+				active++
+			}
+			k.v[s] = q
+			pol[s] = bestA
+		}
+		sweeps++
+		if residual < tol {
+			break
+		}
+		if sweeps+backups/n >= o.MaxIter {
+			break
+		}
+		if active*16 >= n {
+			// Global phase: most of the space still moves each sweep, so
+			// the error lives in the chain's slow modes (near-unit
+			// eigenvectors of the policy chain), which plain sweeps damp
+			// only at rate ≈ γ per pass. An adaptive-aggregation step
+			// (Bertsekas–Castañón) cancels them wholesale: group states by
+			// residual, solve the small aggregated system exactly, and add
+			// the piecewise-constant correction — approximate policy
+			// evaluation in one shot. The correction cannot change the
+			// fixed point — convergence is still declared only by a full
+			// sweep with residual below Tol.
+			//
+			// The linear error model needs the greedy policy's Bellman
+			// residual against the *current* vector (the Gauss-Seidel pass
+			// change mixes residuals of intermediate iterates and badly
+			// overshoots), so run one cheap fixed-policy pass first.
+			for s := 0; s < n; s++ {
+				a := c.actOff[s] + int32(pol[s])
+				q := backupG(k.reward[a], k.gp[c.trOff[a]:c.trOff[a+1]], c.next[c.trOff[a]:c.trOff[a+1]], k.v)
+				d[s] = q - k.v[s]
+			}
+			aggCorrect(c, k, pol, d, o.Gamma, sc)
+			continue
+		}
+		// Endgame: the residual is confined to a small active set, so
+		// full sweeps waste n−active backups per pass. Seed the bucketed
+		// priority queue with the predecessors of every state that still
+		// moved, most-moved first.
+		for s := 0; s < n; s++ {
+			dd := d[s]
+			if dd < 0 {
+				dd = -dd
+			}
+			if dd > tol {
+				pq.pushAll(preds.at(s), float64(dd))
+			}
+		}
+		// Drain in residual order: each pop re-backs-up one state in
+		// place; a change above Tol re-prioritizes its predecessors. The
+		// round is budgeted at n backups — one sweep-equivalent — so a
+		// slow-mixing local cluster can never cost more than the full
+		// sweep it replaces; the next sweep then either confirms global
+		// convergence or re-seeds the queue with whatever was left.
+		for budget := n; budget > 0; budget-- {
+			s, ok := pq.pop()
+			if !ok {
+				break
+			}
+			q, bestA := k.best(s)
+			dd := q - k.v[s]
+			if dd < 0 {
+				dd = -dd
+			}
+			k.v[s] = q
+			pol[s] = bestA
+			backups++
+			if dd > tol {
+				pq.pushAll(preds.at(s), float64(dd))
+			}
+		}
+	}
+	return Result{Values: k.values(), Policy: pol, Iterations: sweeps + backups/n}, nil
+}
+
+// jacobiGeneric is the double-buffered synchronous sweep at precision T,
+// structurally identical to the pinned float64 kernel (which float64 Jacobi
+// solves keep using via ValueIteration).
+func jacobiGeneric[T number](c *Compiled, k *kernel[T], pol Policy, o SolveOptions, tol T) (Result, error) {
+	n := c.n
+	next := make([]T, n)
+	it := 0
+	for ; it < o.MaxIter; it++ {
+		if !o.Deadline.IsZero() && time.Now().After(o.Deadline) {
+			return Result{Values: k.values(), Policy: pol, Iterations: it}, ErrDeadline
+		}
+		residual := T(0)
+		for s := 0; s < n; s++ {
+			q, bestA := k.best(s)
+			d := q - k.v[s]
+			if d < 0 {
+				d = -d
+			}
+			if d > residual {
+				residual = d
+			}
+			next[s] = q
+			pol[s] = bestA
+		}
+		k.v, next = next, k.v
+		if residual < tol {
+			it++
+			break
+		}
+	}
+	return Result{Values: k.values(), Policy: pol, Iterations: it}, nil
+}
+
+// aggScratch holds the buffers of the adaptive-aggregation correction,
+// allocated once per solve and reused across steps.
+type aggScratch struct {
+	ord  []int32   // states ordered by last-sweep change
+	gid  []int32   // group id per state
+	phat []float64 // m×m aggregated policy-chain transition matrix
+	rhat []float64 // m: mean residual per group (becomes the correction)
+	cnt  []float64 // m: states per group
+	m    int
+}
+
+// Aggregate system size bounds. The group count scales as n/aggRatio,
+// clamped to [aggMinGroups, aggMaxGroups]: large enough that states sharing
+// a group have near-identical residuals (so the piecewise-constant error
+// model fits — too few groups over a large space leaves slow modes the
+// correction cannot represent and the solve degenerates to plain sweeps),
+// small enough that the dense m³ elimination stays far below one Bellman
+// sweep.
+const (
+	aggMinGroups = 64
+	aggMaxGroups = 512
+	aggRatio     = 64
+)
+
+func newAggScratch(n int) *aggScratch {
+	m := n / aggRatio
+	if m < aggMinGroups {
+		m = aggMinGroups
+	}
+	if m > aggMaxGroups {
+		m = aggMaxGroups
+	}
+	if m > n {
+		m = n
+	}
+	return &aggScratch{
+		ord:  make([]int32, n),
+		gid:  make([]int32, n),
+		phat: make([]float64, m*m),
+		rhat: make([]float64, m),
+		cnt:  make([]float64, m),
+		m:    m,
+	}
+}
+
+// aggCorrect applies one adaptive-aggregation step (Bertsekas–Castañón):
+// states are grouped into m quantile buckets of their last sweep's signed
+// value change, the greedy policy's chain is aggregated into an m×m matrix
+// P̂, and the exact solve of (I − γP̂)·y = r̂ yields the geometric tail of
+// the residual under a piecewise-constant error model. Adding y[group(s)]
+// to every state cancels the chain's slow error modes — the near-unit
+// eigenvectors that are nearly constant within quantile groups — which
+// plain sweeps damp only at rate γ per pass. The correction is a pure
+// accelerator: it moves the iterate, never the fixed point, and the solver
+// still terminates only on a clean full sweep.
+func aggCorrect[T number](c *Compiled, k *kernel[T], pol Policy, d []T, gamma float64, sc *aggScratch) {
+	n, m := c.n, sc.m
+	for i := range sc.ord {
+		sc.ord[i] = int32(i)
+	}
+	slices.SortFunc(sc.ord, func(a, b int32) int {
+		switch {
+		case d[a] < d[b]:
+			return -1
+		case d[a] > d[b]:
+			return 1
+		}
+		return 0
+	})
+	for i, s := range sc.ord {
+		sc.gid[s] = int32(i * m / n)
+	}
+	for i := range sc.phat {
+		sc.phat[i] = 0
+	}
+	for g := 0; g < m; g++ {
+		sc.rhat[g], sc.cnt[g] = 0, 0
+	}
+	for s := 0; s < n; s++ {
+		g := int(sc.gid[s])
+		a := c.actOff[s] + int32(pol[s])
+		row := sc.phat[g*m : g*m+m]
+		for t := c.trOff[a]; t < c.trOff[a+1]; t++ {
+			row[sc.gid[c.next[t]]] += c.prob[t]
+		}
+		sc.rhat[g] += float64(d[s])
+		sc.cnt[g]++
+	}
+	// Form A = I − γ·P̂ and b = r̂ (group means). Rows of P̂ sum to 1, so A
+	// is strictly diagonally dominant with margin 1−γ and Gaussian
+	// elimination needs no pivoting.
+	for g := 0; g < m; g++ {
+		inv := 1 / sc.cnt[g]
+		row := sc.phat[g*m : g*m+m]
+		for j := range row {
+			row[j] *= -gamma * inv
+		}
+		row[g]++
+		sc.rhat[g] *= inv
+	}
+	A, b := sc.phat, sc.rhat
+	for p := 0; p < m; p++ {
+		piv := A[p*m+p]
+		for r := p + 1; r < m; r++ {
+			f := A[r*m+p] / piv
+			if f == 0 {
+				continue
+			}
+			for j := p + 1; j < m; j++ {
+				A[r*m+j] -= f * A[p*m+j]
+			}
+			b[r] -= f * b[p]
+		}
+	}
+	for p := m - 1; p >= 0; p-- {
+		sum := b[p]
+		for j := p + 1; j < m; j++ {
+			sum -= A[p*m+j] * b[j]
+		}
+		b[p] = sum / A[p*m+p]
+	}
+	for s := 0; s < n; s++ {
+		k.v[s] += T(b[sc.gid[s]])
+	}
+}
+
+// predCSR is the reverse adjacency of the compiled MDP: predecessors of
+// state s — every state with at least one action transitioning into s —
+// occupy [off[s], off[s+1]) of list. Duplicate (pred, succ) pairs arising
+// from multiple actions or transitions are collapsed, so a residual bump
+// enqueues each predecessor once.
+type predCSR struct {
+	off  []int32
+	list []int32
+}
+
+func (p *predCSR) at(s int) []int32 { return p.list[p.off[s]:p.off[s+1]] }
+
+// predecessors builds (and memoizes) the reverse CSR. The build is
+// O(transitions), about the cost of one Bellman sweep, paid once per
+// Compiled.
+func (c *Compiled) predecessors() *predCSR {
+	c.predOnce.Do(func() {
+		n := c.n
+		counts := make([]int32, n+1)
+		// mark[succ] records the last predecessor that noted succ; states
+		// iterate in increasing order, so the check dedups (pred, succ)
+		// pairs exactly across all of a state's actions and transitions.
+		mark := make([]int32, n)
+		for i := range mark {
+			mark[i] = -1
+		}
+		countPass := func(record func(pred, succ int32)) {
+			for s := 0; s < n; s++ {
+				a0, a1 := c.actOff[s], c.actOff[s+1]
+				t0, t1 := c.trOff[a0], c.trOff[a1]
+				for t := t0; t < t1; t++ {
+					succ := c.next[t]
+					if mark[succ] == int32(s) {
+						continue
+					}
+					mark[succ] = int32(s)
+					record(int32(s), succ)
+				}
+			}
+		}
+		countPass(func(_, succ int32) { counts[succ+1]++ })
+		for i := 0; i < n; i++ {
+			counts[i+1] += counts[i]
+		}
+		list := make([]int32, counts[n])
+		fill := make([]int32, n)
+		copy(fill, counts[:n])
+		for i := range mark {
+			mark[i] = -1
+		}
+		countPass(func(pred, succ int32) {
+			list[fill[succ]] = pred
+			fill[succ]++
+		})
+		c.pred = &predCSR{off: counts, list: list}
+	})
+	return c.pred
+}
+
+// bucketQueue is an approximate max-priority queue over states keyed by
+// Bellman residual, bucketed by binary exponent of residual/tol: bucket b
+// holds residuals in [tol·2^b, tol·2^(b+1)). Push is O(1); pop scans down
+// from the highest non-empty bucket. A state is queued at most once at its
+// highest pending priority — re-pushing at a lower priority is a no-op, and
+// a stale entry left in a lower bucket after an upgrade is skipped on pop.
+type bucketQueue struct {
+	tol     float64
+	buckets [][]int32
+	at      []int16 // current bucket per state, -1 when not queued
+	top     int     // highest possibly non-empty bucket
+}
+
+const numBuckets = 64
+
+func newBucketQueue(n int, tol float64) *bucketQueue {
+	q := &bucketQueue{
+		tol:     tol,
+		buckets: make([][]int32, numBuckets),
+		at:      make([]int16, n),
+		top:     -1,
+	}
+	for i := range q.at {
+		q.at[i] = -1
+	}
+	return q
+}
+
+// bucketOf maps a residual to its bucket index, clamped to the top bucket
+// for huge residuals; residuals at or below tol do not queue.
+func (q *bucketQueue) bucketOf(pri float64) int {
+	if !(pri > q.tol) {
+		return -1
+	}
+	b := math.Ilogb(pri / q.tol)
+	if b < 0 {
+		b = 0
+	}
+	if b >= numBuckets {
+		b = numBuckets - 1
+	}
+	return b
+}
+
+func (q *bucketQueue) push(s int32, pri float64) {
+	b := q.bucketOf(pri)
+	if b < 0 || int(q.at[s]) >= b {
+		return
+	}
+	q.at[s] = int16(b)
+	q.buckets[b] = append(q.buckets[b], s)
+	if b > q.top {
+		q.top = b
+	}
+}
+
+func (q *bucketQueue) pushAll(states []int32, pri float64) {
+	for _, s := range states {
+		q.push(s, pri)
+	}
+}
+
+func (q *bucketQueue) pop() (int, bool) {
+	for q.top >= 0 {
+		b := q.buckets[q.top]
+		if len(b) == 0 {
+			q.top--
+			continue
+		}
+		s := b[len(b)-1]
+		q.buckets[q.top] = b[:len(b)-1]
+		if int(q.at[s]) != q.top {
+			continue // stale entry: the state was upgraded and popped higher
+		}
+		q.at[s] = -1
+		return int(s), true
+	}
+	return 0, false
+}

@@ -1,0 +1,251 @@
+package mdp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// solvePrioritized is the test shorthand for the fast-resolve path.
+func solvePrioritized(c *Compiled, opts SolveOptions) (Result, error) {
+	opts.Method = MethodPrioritized
+	return c.Solve(opts)
+}
+
+// TestPrioritizedMatchesJacobiFixedPoint pins the fast-resolve contract:
+// prioritized Gauss-Seidel sweeps reach the same fixed point as the pinned
+// Jacobi kernel within tolerance and extract the same greedy policy, on
+// every equivalence fixture including the single-state MDP.
+func TestPrioritizedMatchesJacobiFixedPoint(t *testing.T) {
+	for name, m := range compiledFixtures() {
+		c := Compile(m)
+		opts := SolveOptions{Gamma: 0.95, Tol: 1e-10}
+		want, err := c.ValueIteration(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := solvePrioritized(c, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := range want.Values {
+			// Both vectors are within Tol/(1-gamma) of the true fixed
+			// point; allow that bound between the two approximations.
+			if d := math.Abs(got.Values[s] - want.Values[s]); d > 1e-10/(1-0.95)*2 {
+				t.Fatalf("%s: prioritized V(%d) = %v, Jacobi %v (diff %g)", name, s, got.Values[s], want.Values[s], d)
+			}
+		}
+		samePolicy(t, name+" prioritized", got.Policy, want.Policy)
+	}
+}
+
+// TestPrioritizedSingleState covers the degenerate space: one state, two
+// actions, self-loops only — the priority queue's predecessor list is the
+// state itself and the solve must still terminate at the right value.
+func TestPrioritizedSingleState(t *testing.T) {
+	m := &MDP{Actions: [][]Action{{
+		{Label: 0, Reward: 1, Transitions: []Transition{{Next: 0, P: 1}}},
+		{Label: 1, Reward: 3, Transitions: []Transition{{Next: 0, P: 1}}},
+	}}}
+	c := Compile(m)
+	res, err := solvePrioritized(c, SolveOptions{Gamma: 0.9, Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3 / (1 - 0.9) // reward 3 forever, discounted
+	if math.Abs(res.Values[0]-want) > 1e-6 {
+		t.Errorf("V(0) = %v, want %v", res.Values[0], want)
+	}
+	if res.Policy[0] != 1 {
+		t.Errorf("policy picked action %d, want 1", res.Policy[0])
+	}
+}
+
+// TestPrioritizedZeroResidualEarlyExit pins the warm-start fast path: a
+// solve seeded with the exact fixed point finds every residual below Tol on
+// the first verification sweep, enqueues nothing, and exits after exactly
+// one sweep-equivalent.
+func TestPrioritizedZeroResidualEarlyExit(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	c := Compile(randomMDP(rng, 60, 3, 5))
+	opts := SolveOptions{Gamma: 0.95, Tol: 1e-9}
+	cold, err := solvePrioritized(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := opts
+	warm.InitialValues = cold.Values
+	res, err := solvePrioritized(c, warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 1 {
+		t.Errorf("warm re-solve from the fixed point took %d sweep-equivalents, want 1", res.Iterations)
+	}
+	samePolicy(t, "zero-residual warm start", res.Policy, cold.Policy)
+}
+
+// TestPrioritizedWarmBeatsCold asserts the reason the adaptive route uses
+// this solver: a warm start from a perturbed fixed point converges in
+// strictly fewer sweep-equivalents than the cold solve.
+func TestPrioritizedWarmBeatsCold(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	c := Compile(randomMDP(rng, 120, 4, 6))
+	opts := SolveOptions{Gamma: 0.97, Tol: 1e-10}
+	cold, err := solvePrioritized(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturbed := make([]float64, len(cold.Values))
+	for i, v := range cold.Values {
+		perturbed[i] = v * (1 + 0.03*rng.Float64())
+	}
+	warm := opts
+	warm.InitialValues = perturbed
+	res, err := solvePrioritized(c, warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations >= cold.Iterations {
+		t.Errorf("warm prioritized took %d sweep-equivalents, cold took %d — want strictly fewer", res.Iterations, cold.Iterations)
+	}
+	samePolicy(t, "perturbed warm start", res.Policy, cold.Policy)
+}
+
+// TestFloat32PolicyAgreement pins the reduced-precision contract: the
+// float32 solve's policy matches the float64 argmax in every state where
+// the float64 Q-gap between the best and second-best action exceeds the
+// agreement band; states inside the band are genuine near-ties where either
+// action is within tolerance of optimal.
+func TestFloat32PolicyAgreement(t *testing.T) {
+	const band = 1e-3
+	for name, m := range compiledFixtures() {
+		c := Compile(m)
+		opts := SolveOptions{Gamma: 0.95, Tol: 1e-10}
+		f64, err := c.ValueIteration(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, method := range []Method{MethodJacobi, MethodPrioritized} {
+			o := opts
+			o.Method = method
+			o.Float32 = true
+			f32, err := c.Solve(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for s := range f64.Policy {
+				if f32.Policy[s] == f64.Policy[s] {
+					continue
+				}
+				if gap := qGap(c, s, f64.Values, opts.Gamma); gap > band {
+					t.Errorf("%s/%s: state %d float32 picked %d, float64 %d, but Q-gap %g exceeds the %g band",
+						name, method, s, f32.Policy[s], f64.Policy[s], gap, band)
+				}
+			}
+			// Values agree to float32 precision at the value scale.
+			for s := range f64.Values {
+				scale := math.Abs(f64.Values[s]) + 1
+				if d := math.Abs(f32.Values[s] - f64.Values[s]); d > 1e-4*scale {
+					t.Errorf("%s/%s: V(%d) float32 %v vs float64 %v", name, method, s, f32.Values[s], f64.Values[s])
+				}
+			}
+		}
+	}
+}
+
+// qGap returns the float64 Q-value gap between the best and second-best
+// action of state s under values v — the margin by which the argmax is
+// separated.
+func qGap(c *Compiled, s int, v []float64, gamma float64) float64 {
+	gp := c.scaledProbs(gamma)
+	best, second := math.Inf(-1), math.Inf(-1)
+	for a := c.actOff[s]; a < c.actOff[s+1]; a++ {
+		q := backup(c.reward[a], gp[c.trOff[a]:c.trOff[a+1]], c.next[c.trOff[a]:c.trOff[a+1]], v)
+		if q > best {
+			second = best
+			best = q
+		} else if q > second {
+			second = q
+		}
+	}
+	if math.IsInf(second, -1) {
+		return math.Inf(1) // single action: no disagreement possible
+	}
+	return best - second
+}
+
+// TestFloat32ToleranceFloor: a float32 solve with the float64 default Tol
+// (1e-9, below float32 resolution at the value scale) must still terminate
+// rather than chase rounding noise forever.
+func TestFloat32ToleranceFloor(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	c := Compile(randomMDP(rng, 40, 3, 5))
+	res, err := c.Solve(SolveOptions{Gamma: 0.99, Tol: 1e-12, Float32: true, MaxIter: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations >= 5000 {
+		t.Errorf("float32 solve burned the full MaxIter budget (%d): tolerance floor not applied", res.Iterations)
+	}
+}
+
+func TestPrioritizedDeadline(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := Compile(randomMDP(rng, 200, 4, 8))
+	_, err := solvePrioritized(c, SolveOptions{
+		Gamma:    0.999999,
+		Tol:      1e-300, // unreachable: force the deadline path
+		Deadline: time.Now().Add(5 * time.Millisecond),
+	})
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+}
+
+// TestPredecessorsCSR verifies the reverse adjacency on a hand-built chain:
+// dedup across actions and transitions, and correct offsets.
+func TestPredecessorsCSR(t *testing.T) {
+	c := Compile(twoStateChain())
+	p := c.predecessors()
+	// State 0: reached only by state 0's action 0 self-loop.
+	if got := p.at(0); len(got) != 1 || got[0] != 0 {
+		t.Errorf("preds(0) = %v, want [0]", got)
+	}
+	// State 1: reached by state 0 (action 1) and state 1 (self-loop),
+	// each once despite state 1's action also looping.
+	if got := p.at(1); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("preds(1) = %v, want [0 1]", got)
+	}
+}
+
+// TestBucketQueue exercises the priority-bucket invariants: upgrades
+// supersede stale entries, downgrades are no-ops, and pops come out in
+// bucket order.
+func TestBucketQueue(t *testing.T) {
+	q := newBucketQueue(4, 1e-9)
+	q.push(0, 1e-6)
+	q.push(1, 1e-3)
+	q.push(0, 1e-8) // downgrade: ignored, state 0 stays at 1e-6
+	q.push(2, 1e-6)
+	q.push(2, 1.0) // upgrade: the 1e-6 entry goes stale
+	if s, ok := q.pop(); !ok || s != 2 {
+		t.Fatalf("pop = %d, want 2 (highest bucket)", s)
+	}
+	if s, ok := q.pop(); !ok || s != 1 {
+		t.Fatalf("pop = %d, want 1", s)
+	}
+	if s, ok := q.pop(); !ok || s != 0 {
+		t.Fatalf("pop = %d, want 0", s)
+	}
+	if _, ok := q.pop(); ok {
+		t.Fatal("queue should be empty (stale entry must not re-pop)")
+	}
+	// Residuals at or below tol never queue.
+	q.push(3, 1e-9)
+	if _, ok := q.pop(); ok {
+		t.Fatal("sub-tolerance push queued a state")
+	}
+}

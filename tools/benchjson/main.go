@@ -1,8 +1,8 @@
 // Command benchjson converts `go test -bench` text output into JSON so
 // benchmark baselines can be committed and diffed (see `make bench`, which
-// writes BENCH_4.json). Zero dependencies, stdlib only.
+// writes BENCH_8.json). Zero dependencies, stdlib only.
 //
-//	go test -bench . -benchmem -count=3 . | benchjson -o BENCH_4.json
+//	go test -bench . -benchmem -count=3 . | benchjson -o BENCH_8.json
 //	benchjson bench.out            # parse a saved file, JSON to stdout
 //
 // Each benchmark name maps to its runs (one per -count repetition); every
@@ -10,6 +10,17 @@
 // "allocs/op", custom b.ReportMetric units like "queries/op"). BestNsPerOp
 // is the minimum ns/op across runs — the conventional number to quote,
 // being the least scheduler-noise-contaminated.
+//
+// Compare mode diffs two baselines and gates on ns/op regressions:
+//
+//	benchjson -compare -threshold 1.25 old.json new.json
+//
+// exits nonzero when any benchmark present in both files regressed by more
+// than the threshold factor (best ns/op, new/old > threshold). With -warn
+// the regressions are emitted as GitHub Actions ::warning:: annotations and
+// the exit code stays zero — CI runs a soft pass at a tight threshold and a
+// hard pass at a loose one, so runner noise warns but only a real blowup
+// fails the build.
 package main
 
 import (
@@ -114,9 +125,99 @@ func parse(r io.Reader) (*report, error) {
 	return rep, nil
 }
 
+// regression is one benchmark whose best ns/op got worse between baselines
+// by more than the compare threshold.
+type regression struct {
+	Name  string
+	Old   float64 // baseline best ns/op
+	New   float64 // candidate best ns/op
+	Ratio float64 // New / Old
+}
+
+// compare returns the benchmarks present in both reports whose best ns/op
+// regressed by more than threshold (new/old > threshold), ordered as they
+// appear in the new report. Benchmarks missing from either side, or without
+// a ns/op metric, are skipped: adding or retiring a benchmark is not a
+// regression.
+func compare(old, cand *report, threshold float64) []regression {
+	base := map[string]float64{}
+	for _, b := range old.Benchmarks {
+		if b.BestNsPerOp > 0 {
+			base[b.Name] = b.BestNsPerOp
+		}
+	}
+	var regs []regression
+	for _, b := range cand.Benchmarks {
+		was, ok := base[b.Name]
+		if !ok || b.BestNsPerOp <= 0 {
+			continue
+		}
+		if ratio := b.BestNsPerOp / was; ratio > threshold {
+			regs = append(regs, regression{Name: b.Name, Old: was, New: b.BestNsPerOp, Ratio: ratio})
+		}
+	}
+	return regs
+}
+
+func loadReport(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rep := &report{}
+	if err := json.Unmarshal(data, rep); err != nil {
+		return nil, fmt.Errorf("benchjson: decode %s: %w", path, err)
+	}
+	return rep, nil
+}
+
+func runCompare(oldPath, newPath string, threshold float64, warnOnly bool) int {
+	old, err := loadReport(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	nw, err := loadReport(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	regs := compare(old, nw, threshold)
+	for _, r := range regs {
+		msg := fmt.Sprintf("%s regressed %.2fx: %.0f -> %.0f ns/op (threshold %.2fx)",
+			r.Name, r.Ratio, r.Old, r.New, threshold)
+		if warnOnly {
+			// GitHub Actions annotation: surfaces on the PR without failing.
+			fmt.Printf("::warning title=benchmark regression::%s\n", msg)
+		} else {
+			fmt.Println(msg)
+		}
+	}
+	if len(regs) == 0 {
+		fmt.Printf("benchjson: no ns/op regression beyond %.2fx (%d benchmarks compared)\n",
+			threshold, len(nw.Benchmarks))
+		return 0
+	}
+	if warnOnly {
+		return 0
+	}
+	return 1
+}
+
 func main() {
 	out := flag.String("o", "", "output path (default stdout)")
+	compareMode := flag.Bool("compare", false, "compare two baselines: benchjson -compare [-threshold F] old.json new.json")
+	threshold := flag.Float64("threshold", 1.25, "compare mode: fail when best ns/op regresses by more than this factor")
+	warn := flag.Bool("warn", false, "compare mode: emit ::warning:: annotations instead of failing")
 	flag.Parse()
+
+	if *compareMode {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two baseline files: old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *threshold, *warn))
+	}
 
 	in := io.Reader(os.Stdin)
 	if flag.NArg() > 0 {

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -46,5 +49,95 @@ ok  	ramsis	30.263s
 func TestParseRejectsGarbageValue(t *testing.T) {
 	if _, err := parse(strings.NewReader("BenchmarkX\t5\tabc ns/op\n")); err == nil {
 		t.Error("garbage value accepted")
+	}
+}
+
+func benchReport(nsPerOp map[string]float64) *report {
+	rep := &report{}
+	// Deterministic order for assertions.
+	for _, name := range []string{"BenchmarkA", "BenchmarkB", "BenchmarkC", "BenchmarkOnlyOld", "BenchmarkOnlyNew"} {
+		ns, ok := nsPerOp[name]
+		if !ok {
+			continue
+		}
+		rep.Benchmarks = append(rep.Benchmarks, &benchmark{
+			Name:        name,
+			Runs:        []run{{Iterations: 1, Metrics: map[string]float64{"ns/op": ns}}},
+			BestNsPerOp: ns,
+		})
+	}
+	return rep
+}
+
+// TestCompareFlagsRegressions pins the bench-compare CI gate: a synthetic
+// >2x ns/op regression is reported (and the tool exits nonzero on it), a
+// within-threshold drift and an improvement are not, and benchmarks present
+// on only one side never count as regressions.
+func TestCompareFlagsRegressions(t *testing.T) {
+	old := benchReport(map[string]float64{
+		"BenchmarkA":       100,
+		"BenchmarkB":       100,
+		"BenchmarkC":       100,
+		"BenchmarkOnlyOld": 100,
+	})
+	nw := benchReport(map[string]float64{
+		"BenchmarkA":       250, // 2.5x: beyond any gate threshold
+		"BenchmarkB":       110, // 1.1x: runner noise, below threshold
+		"BenchmarkC":       40,  // improvement
+		"BenchmarkOnlyNew": 100, // new benchmark: no baseline, no regression
+	})
+
+	regs := compare(old, nw, 2.0)
+	if len(regs) != 1 {
+		t.Fatalf("compare(threshold=2) = %+v, want exactly the 2.5x regression", regs)
+	}
+	if r := regs[0]; r.Name != "BenchmarkA" || r.Ratio != 2.5 || r.Old != 100 || r.New != 250 {
+		t.Errorf("regression misreported: %+v", r)
+	}
+
+	// The tighter warning threshold keeps ignoring sub-threshold drift,
+	// improvements, and unmatched benchmarks.
+	if regs := compare(old, nw, 1.25); len(regs) != 1 || regs[0].Name != "BenchmarkA" {
+		t.Errorf("compare(threshold=1.25) = %+v, want only BenchmarkA", regs)
+	}
+
+	// Identical baselines never regress.
+	if regs := compare(old, old, 1.25); len(regs) != 0 {
+		t.Errorf("self-compare found regressions: %+v", regs)
+	}
+}
+
+// TestRunCompareExitCodes pins the process contract the CI job relies on:
+// nonzero on a regression beyond threshold, zero with -warn, zero when
+// clean.
+func TestRunCompareExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, rep *report) string {
+		t.Helper()
+		data, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	oldPath := write("old.json", benchReport(map[string]float64{"BenchmarkA": 100}))
+	badPath := write("bad.json", benchReport(map[string]float64{"BenchmarkA": 300}))
+	okPath := write("ok.json", benchReport(map[string]float64{"BenchmarkA": 105}))
+
+	if code := runCompare(oldPath, badPath, 2.0, false); code == 0 {
+		t.Error("3x regression passed the hard gate")
+	}
+	if code := runCompare(oldPath, badPath, 2.0, true); code != 0 {
+		t.Error("-warn mode failed the build")
+	}
+	if code := runCompare(oldPath, okPath, 1.25, false); code != 0 {
+		t.Error("clean comparison exited nonzero")
+	}
+	if code := runCompare(oldPath, filepath.Join(dir, "missing.json"), 1.25, false); code == 0 {
+		t.Error("missing baseline file passed")
 	}
 }
