@@ -1,0 +1,125 @@
+package ramsis
+
+// Data-plane benchmarks: the end-to-end per-query cost of the serving hot
+// path, measured in-process over a loopback cluster (real worker HTTP
+// dispatch, real telemetry, real admission) with parallel client
+// goroutines. The profiled inference latencies are compressed to the
+// microsecond range by a large TimeScale so what the numbers capture is the
+// serving overhead — enqueue, routing, batching, dispatch, response — not
+// the modeled model math. allocs/op here is the steady-state per-query
+// allocation count across the whole process (client, frontend, worker),
+// the figure the zero-allocation query-path work is gated on (BENCH_9.json
+// and the bench-compare CI job).
+
+import (
+	"testing"
+
+	"ramsis/internal/profile"
+	"ramsis/internal/serve"
+	"ramsis/internal/telemetry"
+	"ramsis/internal/tenant"
+)
+
+// benchTimeScale compresses modeled time so profiled inference latencies
+// sleep for microseconds: the benchmark then measures the data plane, not
+// the model zoo.
+const benchTimeScale = 20000
+
+// benchSelector is a fixed greedy selector (fastest model, batch = queue
+// length capped at the profile's max) so the benchmark exercises the
+// serving path without coupling to MDP solve behaviour.
+func benchSelector(models profile.Set) serve.SelectFunc {
+	fastest := models.Fastest()
+	maxB := fastest.MaxBatch()
+	return func(_, _ float64, n int, _ float64) (string, int) {
+		b := n
+		if b > maxB {
+			b = maxB
+		}
+		if b < 1 {
+			b = 1
+		}
+		return fastest.Name, b
+	}
+}
+
+// BenchmarkFrontendQuery measures one client query end to end through a
+// single-tenant frontend over two loopback HTTP workers: enqueue, balancer
+// pick, batch formation, worker dispatch, telemetry, response.
+func BenchmarkFrontendQuery(b *testing.B) {
+	models := profile.ImageSet()
+	c, err := serve.StartCluster(serve.ClusterConfig{
+		Models:    models,
+		Workers:   2,
+		SLO:       60,
+		TimeScale: benchTimeScale,
+		Select:    benchSelector(models),
+		Seed:      1,
+		Telemetry: telemetry.NewRegistry(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Stop()
+
+	b.SetParallelism(8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			resp, eerr := c.Frontend.Do("")
+			if eerr != nil {
+				b.Errorf("enqueue: %v", eerr)
+				continue
+			}
+			if resp.Error != "" {
+				b.Errorf("dispatch: %s", resp.Error)
+			}
+		}
+	})
+	b.StopTimer()
+}
+
+// BenchmarkShardedGatewayQuery measures the same query through the full
+// multi-tenant plane: gateway tenant resolution, shard pick, weighted-fair
+// admission, shard frontend, worker dispatch. Two shards of one worker
+// each; the tenant's contract is deep enough that nothing sheds, so every
+// op is a served query.
+func BenchmarkShardedGatewayQuery(b *testing.B) {
+	models := profile.ImageSet()
+	c, err := serve.StartShardedCluster(serve.ShardedConfig{
+		Models: models,
+		Tenants: []tenant.Tenant{
+			{Name: "bench", Class: "interactive", SLOMS: 250, Weight: 1, RateQPS: 50, BurstSec: 10},
+		},
+		Shards:          2,
+		WorkersPerShard: 1,
+		TimeScale:       benchTimeScale,
+		Seed:            1,
+		D:               10,
+		QueueSlack:      4,
+		ShardBy:         "p2c",
+		Telemetry:       telemetry.NewRegistry(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Stop()
+
+	b.SetParallelism(8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			resp, eerr := c.Gateway.Do("bench")
+			if eerr != nil {
+				b.Errorf("route: %v", eerr)
+				continue
+			}
+			if resp.Error != "" {
+				b.Errorf("dispatch: %s", resp.Error)
+			}
+		}
+	})
+	b.StopTimer()
+}

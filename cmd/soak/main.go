@@ -7,6 +7,17 @@
 //
 //	soak                        # full scale: ≥100k offered wall QPS, 4 shards
 //	soak -target-qps 2000 -dur 2s   # CI smoke scale
+//	soak -saturate -dur 5s          # TimeScale=1 wall-clock saturation probe
+//
+// Saturation mode (-saturate) answers a different question: instead of
+// pacing a contracted mix under modeled-time compression, it offers queries
+// through the gateway's in-process injection path as fast as the host can
+// generate them at TimeScale=1 and reports the measured wall-clock QPS
+// ceiling of the data plane plus the gateway-process CPU cost per query
+// (getrusage delta / queries). Admission sheds what the workers cannot
+// drain — the ceiling is the per-query serving overhead limit, the number
+// the zero-allocation query-path work is gated on. -cpuprofile captures a
+// CPU profile of the injection window for `go tool pprof -top`.
 //
 // Every assertion is logged as one structured line carrying the scraped
 // values it was judged on; -metrics-out and -trace-out save the final
@@ -20,11 +31,16 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"ramsis/internal/profile"
@@ -70,6 +86,11 @@ func main() {
 		traceOut   = flag.String("trace-out", "", "stream the plane's merged trace fragments as JSONL to this file (CI artifact; stitch with `trace -stitch`)")
 		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		logFmt     = flag.String("log-format", "text", "log format: text or json")
+
+		saturate = flag.Bool("saturate", false, "saturation mode: offer queries as fast as possible at TimeScale=1 and report the wall-clock QPS ceiling")
+		clients  = flag.Int("clients", 0, "saturation mode: injector goroutines (default max(2, GOMAXPROCS))")
+		satFloor = flag.Float64("saturate-floor", 0, "saturation mode: fail unless the measured QPS ceiling reaches this (0 = report only)")
+		cpuProf  = flag.String("cpuprofile", "", "saturation mode: write a CPU profile of the injection window to this file")
 	)
 	flag.Parse()
 	logger, err := telemetry.SetupLogging(*logLevel, *logFmt, "soak")
@@ -91,6 +112,14 @@ func main() {
 	ts := *timeScale
 	if ts <= 0 {
 		ts = *targetQPS / offeredModeled
+	}
+	if *saturate {
+		// Saturation measures the real wall-clock data plane: no modeled-time
+		// compression unless explicitly overridden.
+		ts = 1
+		if *timeScale > 0 {
+			ts = *timeScale
+		}
 	}
 
 	// Restrict the zoo to models that can sustain the per-worker aggregate
@@ -155,6 +184,12 @@ func main() {
 		os.Exit(1)
 	}
 	defer c.Stop()
+
+	if *saturate {
+		code := runSaturate(c, tenants, logger, *dur, *clients, *satFloor, *cpuProf, *metricsOut)
+		c.Stop()
+		os.Exit(code)
+	}
 
 	// Inject in-process through Gateway.Route (the HTTP hop stays on the
 	// worker dispatch path, where batching amortizes it; per-query HTTP at
@@ -254,6 +289,97 @@ func main() {
 		os.Exit(1)
 	}
 	logger.Info("soak passed", "achievedWallQps", achieved)
+}
+
+// runSaturate is the -saturate flow: open-loop injection through the
+// gateway's fire-and-forget path from a fixed pool of client goroutines for
+// the configured duration, then one report of the measured wall-clock QPS
+// ceiling and the process CPU burned per offered query. Returns the process
+// exit code.
+func runSaturate(c *serve.ShardedCluster, tenants []tenant.Tenant, logger *slog.Logger, dur time.Duration, clients int, floor float64, cpuProfile, metricsOut string) int {
+	if clients <= 0 {
+		clients = runtime.GOMAXPROCS(0)
+		if clients < 2 {
+			clients = 2
+		}
+	}
+	names := make([]string, len(tenants))
+	for i, t := range tenants {
+		names[i] = t.Name
+	}
+
+	if cpuProfile != "" {
+		fh, err := os.Create(cpuProfile)
+		if err != nil {
+			logger.Error("cpuprofile open failed", "err", err)
+			return 1
+		}
+		defer fh.Close()
+		if err := pprof.StartCPUProfile(fh); err != nil {
+			logger.Error("cpuprofile start failed", "err", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	var before syscall.Rusage
+	_ = syscall.Getrusage(syscall.RUSAGE_SELF, &before)
+	logger.Info("saturating", "clients", clients, "dur", dur.String())
+	var total atomic.Int64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := names[g%len(names)]
+			n := int64(0)
+			for !stop.Load() {
+				c.Gateway.RouteAsync(name)
+				n++
+			}
+			total.Add(n)
+		}(g)
+	}
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+	var after syscall.Rusage
+	_ = syscall.Getrusage(syscall.RUSAGE_SELF, &after)
+
+	offered := total.Load()
+	ceiling := float64(offered) / wall
+	cpuSec := rusageSeconds(after) - rusageSeconds(before)
+	cpuPerQuery := 0.0
+	if offered > 0 {
+		cpuPerQuery = cpuSec / float64(offered)
+	}
+	logger.Info("saturation ceiling",
+		"offeredQueries", offered, "wallSec", wall,
+		"wallQpsCeiling", ceiling,
+		"cpuSec", cpuSec, "cpuMicrosPerQuery", cpuPerQuery*1e6,
+		"clients", clients, "gomaxprocs", runtime.GOMAXPROCS(0))
+
+	if metricsOut != "" {
+		if _, raw, err := scrapeMetrics(c.URL() + "/metrics"); err == nil {
+			if werr := os.WriteFile(metricsOut, raw, 0o644); werr == nil {
+				logger.Info("final exposition saved", "path", metricsOut, "bytes", len(raw))
+			}
+		}
+	}
+	if floor > 0 && ceiling < floor {
+		logger.Error("saturation FAILED", "wallQpsCeiling", ceiling, "floor", floor)
+		return 1
+	}
+	return 0
+}
+
+// rusageSeconds sums user+system CPU time of a rusage snapshot.
+func rusageSeconds(r syscall.Rusage) float64 {
+	return float64(r.Utime.Sec) + float64(r.Utime.Usec)/1e6 +
+		float64(r.Stime.Sec) + float64(r.Stime.Usec)/1e6
 }
 
 func key(metric, tenantName string) string {

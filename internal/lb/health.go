@@ -170,11 +170,16 @@ func (t *HealthTracker) ReportSuccess(w int) {
 // Healthy returns a snapshot of the per-worker health marks, sized and
 // ordered like the URL list the tracker was built with.
 func (t *HealthTracker) Healthy() []bool {
+	return t.HealthyInto(nil)
+}
+
+// HealthyInto appends the per-worker health marks to dst (typically a
+// recycled scratch slice), so hot routing paths can snapshot health
+// without allocating.
+func (t *HealthTracker) HealthyInto(dst []bool) []bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	out := make([]bool, len(t.healthy))
-	copy(out, t.healthy)
-	return out
+	return append(dst, t.healthy...)
 }
 
 // IsHealthy reports worker w's current mark.

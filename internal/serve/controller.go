@@ -1,10 +1,8 @@
 package serve
 
 import (
-	"bytes"
-	"encoding/json"
 	"fmt"
-	"net/http"
+	"net/url"
 	"sync"
 	"time"
 
@@ -107,7 +105,9 @@ type Controller struct {
 	genDone  bool
 	metrics  sim.Metrics
 	start    time.Time
-	client   *http.Client
+	// inferURLs pre-parses each worker's /infer endpoint off the dispatch
+	// path.
+	inferURLs []*url.URL
 }
 
 // now returns modeled seconds since Run started.
@@ -147,7 +147,14 @@ func (c *Controller) Run(arrivals []float64) (sim.Metrics, error) {
 	c.central = nil
 	c.genDone = false
 	c.metrics = sim.Metrics{ModelCounts: map[string]int{}}
-	c.client = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: len(c.Workers) + 4}}
+	c.inferURLs = make([]*url.URL, len(c.Workers))
+	for i, u := range c.Workers {
+		pu, err := url.Parse(u + "/infer")
+		if err != nil {
+			return sim.Metrics{}, fmt.Errorf("serve: bad worker URL %q: %v", u, err)
+		}
+		c.inferURLs[i] = pu
+	}
 	c.start = time.Now()
 
 	var wg sync.WaitGroup
@@ -238,6 +245,11 @@ func (c *Controller) finishMetrics() {
 // workerLoop is one per-worker model selector: it waits for queued queries,
 // applies the selector, and dispatches the batch to its worker over HTTP.
 func (c *Controller) workerLoop(w int) error {
+	// Per-loop scratch: the popped batch and the POST buffers. Dispatch is
+	// synchronous, so both are reused across every batch this loop runs.
+	var qbuf []sim.Query
+	scr := &postScratch{}
+	defer scr.closeConns()
 	for {
 		c.mu.Lock()
 		for c.queueLen(w) == 0 && !c.genDone {
@@ -277,15 +289,15 @@ func (c *Controller) workerLoop(w int) error {
 		if batch < 1 {
 			batch = 1
 		}
-		queries := c.pop(w, batch)
+		qbuf = c.pop(w, batch, qbuf[:0])
 		if !c.Central {
 			// Count the popped batch as in-dispatch so the balancer still
 			// sees this worker's load while its queue slice reads empty.
-			c.inflight[w] += len(queries)
+			c.inflight[w] += len(qbuf)
 		}
 		c.mu.Unlock()
 
-		c.dispatch(w, model, queries)
+		c.dispatch(w, model, qbuf, scr)
 	}
 }
 
@@ -321,21 +333,23 @@ func (c *Controller) peek(w int) sim.Query {
 	return c.wq[w][0]
 }
 
-func (c *Controller) pop(w, k int) []sim.Query {
+// pop moves the k oldest queries of worker w's queue (or the central
+// queue) into dst, the caller's reusable batch scratch.
+func (c *Controller) pop(w, k int, dst []sim.Query) []sim.Query {
 	if c.Central {
 		if k > len(c.central) {
 			k = len(c.central)
 		}
-		out := append([]sim.Query(nil), c.central[:k]...)
+		dst = append(dst, c.central[:k]...)
 		c.central = c.central[k:]
-		return out
+		return dst
 	}
 	if k > len(c.wq[w]) {
 		k = len(c.wq[w])
 	}
-	out := append([]sim.Query(nil), c.wq[w][:k]...)
+	dst = append(dst, c.wq[w][:k]...)
 	c.wq[w] = c.wq[w][k:]
-	return out
+	return dst
 }
 
 // post attempts one /infer POST against worker w, reporting the outcome to
@@ -343,35 +357,34 @@ func (c *Controller) pop(w, k int) []sim.Query {
 // responses count as health failures; other non-2xx statuses fail the
 // dispatch without marking the worker unhealthy. On success it returns
 // the worker-reported inference latency (modeled seconds) for the span
-// breakdown.
-func (c *Controller) post(w int, model string, batch int) (float64, bool) {
-	body, _ := json.Marshal(InferRequest{Model: model, Batch: batch})
+// breakdown. body is the batch's pre-encoded InferRequest, built once per
+// batch by dispatch; the response body is always drained (postInfer) so
+// error responses no longer forfeit the keep-alive connection.
+func (c *Controller) post(w int, body []byte, scr *postScratch) (float64, bool) {
 	c.tel.workerDispatch[w].Inc()
-	resp, err := c.client.Post(c.Workers[w]+"/infer", "application/json", bytes.NewReader(body))
-	if err != nil {
+	lat, status, err := scr.postInfer(w, c.inferURLs[w], body, nil)
+	if err != nil && status == 0 {
 		if c.Health != nil {
 			c.Health.ReportFailure(w)
 		}
 		return 0, false
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode >= 500 {
+	if status >= 500 {
 		if c.Health != nil {
 			c.Health.ReportFailure(w)
 		}
 		return 0, false
 	}
-	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+	if status < 200 || status >= 300 {
 		return 0, false
 	}
 	if c.Health != nil {
 		c.Health.ReportSuccess(w)
 	}
-	var ir InferResponse
-	if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
-		return 0, false
+	if err != nil {
+		return 0, false // undecodable response still fails the dispatch
 	}
-	return ir.Latency, true
+	return lat, true
 }
 
 // failoverTarget picks a healthy worker other than w, or -1 if none exists.
@@ -407,12 +420,13 @@ func (c *Controller) failoverTarget(w int) int {
 // metrics, the same outcomes land in the telemetry registry, including the
 // batch_wait / dispatch / inference / respond stage histograms (the replay
 // path has no client-side enqueue or pick stage to time).
-func (c *Controller) dispatch(w int, model string, queries []sim.Query) {
+func (c *Controller) dispatch(w int, model string, queries []sim.Query, scr *postScratch) {
+	scr.body = appendInferRequest(scr.body[:0], model, len(queries))
 	dispStart := c.now()
-	infSec, ok := c.post(w, model, len(queries))
+	infSec, ok := c.post(w, scr.body, scr)
 	if !ok {
 		if alt := c.failoverTarget(w); alt >= 0 && c.allowFailover() {
-			infSec, ok = c.post(alt, model, len(queries))
+			infSec, ok = c.post(alt, scr.body, scr)
 		}
 	}
 	postEnd := c.now()
@@ -442,10 +456,10 @@ func (c *Controller) dispatch(w int, model string, queries []sim.Query) {
 		}
 		c.tel.queries.Inc()
 		c.tel.latency.Observe(lat)
-		c.tel.stages[telemetry.StageBatchWait].Observe(dispStart - q.Arrival)
-		c.tel.stages[telemetry.StageDispatch].Observe(dispSec)
-		c.tel.stages[telemetry.StageInference].Observe(infSec)
-		c.tel.stages[telemetry.StageRespond].Observe(done - postEnd)
+		c.tel.stBatchWait.Observe(dispStart - q.Arrival)
+		c.tel.stDispatch.Observe(dispSec)
+		c.tel.stInference.Observe(infSec)
+		c.tel.stRespond.Observe(done - postEnd)
 		if ok && lat <= c.SLO {
 			c.metrics.SatAccSum += p.Accuracy
 			c.tel.satAcc.Add(p.Accuracy)

@@ -1,13 +1,12 @@
 package serve
 
 import (
-	"bytes"
 	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
+	"net/url"
 	"strconv"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -152,6 +151,17 @@ type Frontend struct {
 	ownHealth bool
 	clamp     *modelClamp
 	tel       *serveSeries
+	// picks recycles the queue-length and health snapshots the balancer
+	// reads on every enqueue, so routing a query allocates nothing.
+	picks sync.Pool
+	// shedCtr / fairShedCtr and admitName cache the shed counter (a
+	// registry lookup) and admission policy name off the shed hot path.
+	shedCtr     *telemetry.Counter
+	fairShedCtr *telemetry.Counter
+	admitName   string
+	// inferURLs pre-parses each worker's /infer endpoint so dispatch does
+	// not concatenate or parse URL strings per POST.
+	inferURLs []*url.URL
 	// process names this frontend in trace fragments: "shard-<i>" in a
 	// sharded plane, "frontend" standalone.
 	process string
@@ -166,24 +176,45 @@ type Frontend struct {
 	// non-decreasing. It is never held while a workerQueue lock is taken.
 	monitorMu sync.Mutex
 
-	srv    *http.Server
-	addr   string
-	client *http.Client
-	loops  sync.WaitGroup
+	srv   *http.Server
+	addr  string
+	loops sync.WaitGroup
 }
 
 // workerQueue is one worker's pending-query queue with its own lock and
 // condition variable, so a slow worker's selector loop never serializes
-// enqueues for the others.
+// enqueues for the others. Storage is a growable ring (pqRing): dispatch
+// pops by advancing an index instead of re-copying the queue tail, so a
+// steady-state enqueue/dispatch cycle never touches the allocator.
 type workerQueue struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	queue []pendingQuery
+	mu   sync.Mutex
+	cond *sync.Cond
+	ring pqRing
 	// outstanding = queued + in-dispatch queries, the balancer's view of
 	// the worker's load. In-dispatch queries must count: a worker that
 	// just popped its whole queue reads as empty, and a queue-aware
 	// balancer would keep stacking arrivals on it while others idle.
 	outstanding atomic.Int32
+}
+
+// pickScratch is one enqueue's balancer input snapshot, recycled through
+// Frontend.picks.
+type pickScratch struct {
+	lens    []int
+	healthy []bool
+}
+
+// dispatchScratch is the per-workerLoop scratch: the popped batch, the
+// joined trace-context header, the POST buffers, and the per-batch
+// decision and span storage (both copied by the rings they land in, so
+// reuse here never aliases recorded data). workerLoop dispatches
+// synchronously, so one instance per loop goroutine suffices.
+type dispatchScratch struct {
+	postScratch
+	batch []pendingQuery
+	ids   []byte
+	dec   telemetry.Decision
+	spans [6]telemetry.Span
 }
 
 type pendingQuery struct {
@@ -258,6 +289,27 @@ func (f *Frontend) Start() error {
 		ws.cond = sync.NewCond(&ws.mu)
 		f.wq[i] = ws
 	}
+	f.picks.New = func() any {
+		return &pickScratch{
+			lens:    make([]int, 0, len(f.Workers)),
+			healthy: make([]bool, 0, len(f.Workers)),
+		}
+	}
+	if f.Admit != nil {
+		f.admitName = f.Admit.Name()
+		f.shedCtr = f.tel.shed(f.admitName)
+	}
+	if f.Plane != nil {
+		f.fairShedCtr = f.tel.shed(f.Plane.fair.Name())
+	}
+	f.inferURLs = make([]*url.URL, len(f.Workers))
+	for i, u := range f.Workers {
+		pu, err := url.Parse(u + "/infer")
+		if err != nil {
+			return fmt.Errorf("serve: bad worker URL %q: %v", u, err)
+		}
+		f.inferURLs[i] = pu
+	}
 	for _, p := range f.Profiles.Profiles {
 		if b := p.MaxBatch(); b > f.maxBatch {
 			f.maxBatch = b
@@ -268,8 +320,6 @@ func (f *Frontend) Start() error {
 		// the shared fair admitter they feed) agrees on modeled time.
 		f.start = time.Now()
 	}
-	f.client = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: len(f.Workers) + 4}}
-
 	addr := f.Addr
 	if addr == "" {
 		addr = "127.0.0.1:0"
@@ -335,7 +385,7 @@ func (f *Frontend) snapshot() StatsResponse {
 	ds := make([]int, len(f.wq))
 	for i, ws := range f.wq {
 		ws.mu.Lock()
-		qs[i] = len(ws.queue)
+		qs[i] = ws.ring.len()
 		ws.mu.Unlock()
 		ds[i] = int(f.tel.workerDispatch[i].Value())
 	}
@@ -374,11 +424,11 @@ func (f *Frontend) now() float64 {
 	return time.Since(f.start).Seconds() * f.TimeScale
 }
 
-// queueLens snapshots every worker's outstanding load for the balancer.
-func (f *Frontend) queueLens() []int {
-	lens := make([]int, len(f.wq))
-	for i, ws := range f.wq {
-		lens[i] = int(ws.outstanding.Load())
+// queueLensInto snapshots every worker's outstanding load for the
+// balancer into the caller's scratch slice.
+func (f *Frontend) queueLensInto(lens []int) []int {
+	for _, ws := range f.wq {
+		lens = append(lens, int(ws.outstanding.Load()))
 	}
 	return lens
 }
@@ -410,10 +460,33 @@ func (f *Frontend) Enqueue(tenantName string) (<-chan QueryResponse, *EnqueueErr
 // EnqueueTraced is Enqueue with the caller's trace context: the gateway
 // (or an HTTP client via X-Trace-Id) passes the trace ID its own fragment
 // carries, so this frontend's fragment joins the same tree. An empty
-// traceID generates a fresh one.
+// traceID generates a fresh one. The returned channel is freshly
+// allocated and safe to abandon; in-process callers that always consume
+// the response should prefer Do, which recycles its channel.
 func (f *Frontend) EnqueueTraced(tenantName, traceID string) (<-chan QueryResponse, *EnqueueError) {
+	done := make(chan QueryResponse, 1)
+	if eerr := f.enqueue(tenantName, traceID, done); eerr != nil {
+		return nil, eerr
+	}
+	return done, nil
+}
+
+// EnqueueAsync enqueues one query fire-and-forget: it is admitted,
+// served, counted, and traced as usual, but no response channel is ever
+// allocated or delivered to. Saturation load injectors drive the plane
+// through here.
+func (f *Frontend) EnqueueAsync(tenantName string) *EnqueueError {
+	return f.enqueue(tenantName, "", nil)
+}
+
+// enqueue admits and routes one query onto a worker ring; done (which may
+// be nil for fire-and-forget callers) receives the response. This is the
+// whole client-visible hot path before dispatch, and it is allocation-flat
+// at steady state: the balancer inputs come from the pick pool, the ring
+// reuses its slots, and the trace ID is the only per-query allocation.
+func (f *Frontend) enqueue(tenantName, traceID string, done chan QueryResponse) *EnqueueError {
 	if f.closed.Load() {
-		return nil, &EnqueueError{Status: http.StatusServiceUnavailable, Msg: "shutting down"}
+		return &EnqueueError{Status: http.StatusServiceUnavailable, Msg: "shutting down"}
 	}
 	if traceID == "" {
 		traceID = telemetry.NewTraceID()
@@ -427,13 +500,13 @@ func (f *Frontend) EnqueueTraced(tenantName, traceID string) (<-chan QueryRespon
 		var ok bool
 		st, ok = f.Plane.state(tenantName)
 		if !ok {
-			return nil, &EnqueueError{Status: http.StatusBadRequest,
+			return &EnqueueError{Status: http.StatusBadRequest,
 				Msg: fmt.Sprintf("unknown tenant %q", tenantName)}
 		}
 		slo = st.slo
 		st.observe(arrival)
 		if err := f.admitTenant(st, id, arrival, traceID); err != nil {
-			return nil, err
+			return err
 		}
 	} else {
 		rate := 0.0
@@ -445,32 +518,49 @@ func (f *Frontend) EnqueueTraced(tenantName, traceID string) (<-chan QueryRespon
 		}
 		if f.Admit != nil {
 			if err := f.admitSingle(id, arrival, traceID, rate); err != nil {
-				return nil, err
+				return err
 			}
 		}
 	}
 
 	pickStart := f.now()
-	w := f.Balancer.Pick(f.queueLens(), f.Health.Healthy())
-	pickSec := f.now() - pickStart
+	scr := f.picks.Get().(*pickScratch)
+	scr.lens = f.queueLensInto(scr.lens[:0])
+	scr.healthy = f.Health.HealthyInto(scr.healthy[:0])
+	w := f.Balancer.Pick(scr.lens, scr.healthy)
+	f.picks.Put(scr)
+	enqueuedAt := f.now()
 
-	done := make(chan QueryResponse, 1)
 	ws := f.wq[w]
 	ws.mu.Lock()
 	if f.closed.Load() {
 		ws.mu.Unlock()
-		return nil, &EnqueueError{Status: http.StatusServiceUnavailable, Msg: "shutting down"}
+		return &EnqueueError{Status: http.StatusServiceUnavailable, Msg: "shutting down"}
 	}
-	pq := pendingQuery{
+	ws.ring.push(pendingQuery{
 		q: sim.Query{ID: id, Arrival: arrival, Tenant: tenantName}, done: done,
 		slo: slo, st: st, traceID: traceID,
-		pickSec: pickSec, enqueuedAt: f.now(),
-	}
-	ws.queue = append(ws.queue, pq)
+		pickSec: enqueuedAt - pickStart, enqueuedAt: enqueuedAt,
+	})
 	ws.outstanding.Add(1)
 	ws.cond.Signal()
 	ws.mu.Unlock()
-	return done, nil
+	return nil
+}
+
+// Do enqueues one query and blocks until its response arrives — the
+// in-process equivalent of POST /query. Benchmarks and tests use it; the
+// HTTP handler keeps its own select so client disconnects can abandon the
+// wait. Because Do always receives the response, its channel is recycled.
+func (f *Frontend) Do(tenantName string) (QueryResponse, *EnqueueError) {
+	done := donePool.Get().(chan QueryResponse)
+	if eerr := f.enqueue(tenantName, "", done); eerr != nil {
+		donePool.Put(done)
+		return QueryResponse{}, eerr
+	}
+	resp := <-done
+	donePool.Put(done)
+	return resp, nil
 }
 
 // handleQuery routes the query through the balancer and blocks until it is
@@ -481,18 +571,23 @@ func (f *Frontend) handleQuery(rw http.ResponseWriter, req *http.Request) {
 		http.Error(rw, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
-	done, eerr := f.EnqueueTraced(tenantFromRequest(req), req.Header.Get("X-Trace-Id"))
+	done := donePool.Get().(chan QueryResponse)
+	eerr := f.enqueue(tenantFromRequest(req), req.Header.Get("X-Trace-Id"), done)
 	if eerr != nil {
+		donePool.Put(done)
 		writeEnqueueError(rw, eerr)
 		return
 	}
 	select {
 	case resp := <-done:
+		donePool.Put(done)
 		rw.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(rw).Encode(resp)
 	case <-req.Context().Done():
 		// Client went away; the batch still completes and records metrics
 		// (the done channel is buffered, so dispatch never blocks on it).
+		// The abandoned channel is NOT recycled: dispatch's pending send
+		// would poison the next query that drew it from the pool.
 	}
 }
 
@@ -543,8 +638,9 @@ func (f *Frontend) admitSingle(id int, arrival float64, traceID string, rate flo
 		f.tel.admitted.Inc()
 		return nil
 	}
-	f.tel.shed(f.Admit.Name()).Inc()
-	msg := fmt.Sprintf("shed by %s admission control (est wait %.3fs)", f.Admit.Name(), v.EstWait)
+	f.shedCtr.Inc()
+	msg := "shed by " + f.admitName + " admission control (est wait " +
+		strconv.FormatFloat(v.EstWait, 'f', 3, 64) + "s)"
 	f.recordShedTrace(id, arrival, traceID, "", msg)
 	return f.shedError(msg, v.RetryAfter)
 }
@@ -570,9 +666,9 @@ func (f *Frontend) admitTenant(st *tenantState, id int, arrival float64, traceID
 		}
 		return nil
 	}
-	f.tel.shed(f.Plane.fair.Name()).Inc()
+	f.fairShedCtr.Inc()
 	st.shed.Inc()
-	msg := fmt.Sprintf("tenant %s shed by weighted-fair admission (%s)", st.name, v.Reason)
+	msg := "tenant " + st.name + " shed by weighted-fair admission (" + string(v.Reason) + ")"
 	f.recordShedTrace(id, arrival, traceID, st.name, msg)
 	return f.shedError(msg, v.RetryAfter)
 }
@@ -600,12 +696,15 @@ func (f *Frontend) recordAdmitDecision(admitted, borrowed bool, arrival float64,
 // recordShedTrace keeps a rejected query visible in /debug/traces and the
 // JSONL export via a single zero-length shed span.
 func (f *Frontend) recordShedTrace(id int, arrival float64, traceID, tenantName, msg string) {
+	// The ring copies spans on Add, so a stack span array suffices.
+	var sp [1]telemetry.Span
+	sp[0] = telemetry.Span{Stage: telemetry.StageShed}
 	qt := telemetry.QueryTrace{
 		ID: id, Arrival: arrival, Worker: -1,
 		Error:   msg,
 		TraceID: traceID, Process: f.process, Parent: f.TraceParent,
 		Tenant: tenantName, Shard: f.Shard,
-		Spans: []telemetry.Span{{Stage: telemetry.StageShed}},
+		Spans: sp[:],
 	}
 	f.Traces.Add(qt)
 	if f.TraceWriter != nil {
@@ -629,22 +728,24 @@ func (f *Frontend) handleStats(rw http.ResponseWriter, _ *http.Request) {
 }
 
 // workerLoop mirrors Controller.workerLoop for live queries. It is the
-// only consumer of its queue, so a snapshot of the head and length stays
-// valid after the lock is dropped (the queue can only grow underneath it).
+// only consumer of its ring, so a snapshot of the head and length stays
+// valid after the lock is dropped (the ring can only grow underneath it).
 func (f *Frontend) workerLoop(w int) {
 	defer f.loops.Done()
 	ws := f.wq[w]
+	scr := &dispatchScratch{}
+	defer scr.closeConns()
 	for {
 		ws.mu.Lock()
-		for len(ws.queue) == 0 && !f.closed.Load() {
+		for ws.ring.len() == 0 && !f.closed.Load() {
 			ws.cond.Wait()
 		}
-		if len(ws.queue) == 0 && f.closed.Load() {
+		if ws.ring.len() == 0 && f.closed.Load() {
 			ws.mu.Unlock()
 			return
 		}
-		n := len(ws.queue)
-		head := ws.queue[0]
+		n := ws.ring.len()
+		head := *ws.ring.at(0)
 		// The decision slack honors the tightest deadline in the batch
 		// window, not just the head's: multi-tenant FIFO queues mix SLO
 		// classes, and a short-SLO query stuck behind a lax head would
@@ -656,7 +757,8 @@ func (f *Frontend) workerLoop(w int) {
 			scan = f.maxBatch
 		}
 		for i := 1; i < scan; i++ {
-			if d := ws.queue[i].q.Arrival + ws.queue[i].slo; d < deadline {
+			pq := ws.ring.at(i)
+			if d := pq.q.Arrival + pq.slo; d < deadline {
 				deadline = d
 			}
 		}
@@ -716,19 +818,24 @@ func (f *Frontend) workerLoop(w int) {
 		// batch latency the policy committed to, and dispatch fills in
 		// RealizedSec so predicted-vs-realized error is measurable per
 		// decision.
-		dec := &telemetry.Decision{
+		scr.dec = telemetry.Decision{
 			Kind: telemetry.DecisionSelect, Time: now, TraceID: head.traceID,
 			Tenant: head.q.Tenant, Shard: f.Shard, Worker: f.WorkerOffset + w,
 			QueueLen: n, RateQPS: load, DegradeLevel: level, SlackSec: slack,
 			Model: p.Name, Batch: batch, PredictedSec: p.BatchLatency(batch),
 		}
+		dec := &scr.dec
 		ws.mu.Lock()
-		queries := ws.queue[:batch]
-		ws.queue = append([]pendingQuery(nil), ws.queue[batch:]...)
+		scr.batch = ws.ring.popInto(scr.batch[:0], batch)
 		ws.mu.Unlock()
 
-		f.dispatch(w, p.Name, queries, dec)
-		ws.outstanding.Add(-int32(len(queries)))
+		f.dispatch(w, p.Name, scr.batch, dec, scr)
+		ws.outstanding.Add(-int32(len(scr.batch)))
+		// Drop the popped queries' channel and tenant-state references so
+		// the scratch slice does not retain them until the next batch.
+		for i := range scr.batch {
+			scr.batch[i] = pendingQuery{}
+		}
 	}
 }
 
@@ -738,41 +845,29 @@ func (f *Frontend) workerLoop(w int) {
 // worker's health (they indicate a bad request, not a bad worker). On
 // success it returns the worker-reported inference latency in modeled
 // seconds, so the dispatch overhead and the inference time can be
-// attributed to separate span stages. traceIDs carries the batch's trace
-// context (comma-joined X-Trace-Id) so the worker records its own
-// fragment of each query's trace.
-func (f *Frontend) post(w int, model string, batch int, traceIDs string) (float64, bool) {
-	body, _ := json.Marshal(InferRequest{Model: model, Batch: batch})
+// attributed to separate span stages. body is the batch's pre-encoded
+// InferRequest and traceCtx its comma-joined trace context, both built
+// once per batch by dispatch (both alias the scratch, which is safe: the
+// exchange copies them into the wire buffer before writing).
+func (f *Frontend) post(w int, body []byte, traceCtx []byte, scr *dispatchScratch) (float64, bool) {
 	f.tel.workerDispatch[w].Inc()
-	req, err := http.NewRequest(http.MethodPost, f.Workers[w]+"/infer", bytes.NewReader(body))
-	if err != nil {
+	lat, status, err := scr.postInfer(w, f.inferURLs[w], body, traceCtx)
+	if err != nil && status == 0 {
 		f.Health.ReportFailure(w)
 		return 0, false
 	}
-	req.Header.Set("Content-Type", "application/json")
-	if traceIDs != "" {
-		req.Header.Set("X-Trace-Id", traceIDs)
-		req.Header.Set("X-Trace-Parent", f.process)
-	}
-	resp, err := f.client.Do(req)
-	if err != nil {
+	if status >= 500 {
 		f.Health.ReportFailure(w)
 		return 0, false
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode >= 500 {
-		f.Health.ReportFailure(w)
-		return 0, false
-	}
-	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+	if status < 200 || status >= 300 {
 		return 0, false
 	}
 	f.Health.ReportSuccess(w)
-	var ir InferResponse
-	if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+	if err != nil {
 		return 0, true // delivered; latency attribution degrades to dispatch
 	}
-	return ir.Latency, true
+	return lat, true
 }
 
 // allowFailover asks the retry budget for a failover attempt. Without a
@@ -796,12 +891,15 @@ func (f *Frontend) failoverTarget(w int) int {
 	if len(f.Workers) < 2 {
 		return -1
 	}
-	healthy := f.Health.Healthy()
-	healthy[w] = false
-	if !anyHealthy(healthy) {
+	scr := f.picks.Get().(*pickScratch)
+	defer f.picks.Put(scr)
+	scr.healthy = f.Health.HealthyInto(scr.healthy[:0])
+	scr.healthy[w] = false
+	if !anyHealthy(scr.healthy) {
 		return -1
 	}
-	alt := f.Balancer.Pick(f.queueLens(), healthy)
+	scr.lens = f.queueLensInto(scr.lens[:0])
+	alt := f.Balancer.Pick(scr.lens, scr.healthy)
 	if alt == w {
 		return -1
 	}
@@ -823,18 +921,26 @@ func anyHealthy(healthy []bool) bool {
 // Every query's telemetry — counters, per-stage histograms, and its trace
 // — is recorded here, and the batch's select decision is completed with
 // the realized inference latency before it lands in the decision ring.
-func (f *Frontend) dispatch(w int, model string, queries []pendingQuery, dec *telemetry.Decision) {
-	ids := make([]string, len(queries))
-	for i, pq := range queries {
-		ids[i] = pq.traceID
+func (f *Frontend) dispatch(w int, model string, queries []pendingQuery, dec *telemetry.Decision, scr *dispatchScratch) {
+	// One X-Trace-Id header carries the whole trace context —
+	// "id1,id2,...;process" — so the wire costs the worker's server a
+	// single non-common header parse per batch instead of two.
+	scr.ids = scr.ids[:0]
+	for i := range queries {
+		if i > 0 {
+			scr.ids = append(scr.ids, ',')
+		}
+		scr.ids = append(scr.ids, queries[i].traceID...)
 	}
-	traceIDs := strings.Join(ids, ",")
+	scr.ids = append(scr.ids, ';')
+	scr.ids = append(scr.ids, f.process...)
+	scr.body = appendInferRequest(scr.body[:0], model, len(queries))
 	dispStart := f.now()
 	target := w
-	infSec, ok := f.post(w, model, len(queries), traceIDs)
+	infSec, ok := f.post(w, scr.body, scr.ids, scr)
 	if !ok {
 		if alt := f.failoverTarget(w); alt >= 0 && f.allowFailover() {
-			infSec, ok = f.post(alt, model, len(queries), traceIDs)
+			infSec, ok = f.post(alt, scr.body, scr.ids, scr)
 			if ok {
 				target = alt
 			}
@@ -866,8 +972,15 @@ func (f *Frontend) dispatch(w int, model string, queries []pendingQuery, dec *te
 	f.tel.decisions.Inc()
 	f.tel.model(model).Add(float64(len(queries)))
 	f.tel.batchSize.Observe(float64(len(queries)))
-	for _, pq := range queries {
-		done := f.now()
+	done := f.now()
+	respSec := done - postEnd
+	// One scratch span buffer for the whole batch: the trace ring copies
+	// spans on Add, so each query's spans are written in place. (A local
+	// array would escape into the ring's Add call and heap-allocate per
+	// batch, so the buffer lives in the per-loop scratch instead.)
+	spanBuf := &scr.spans
+	for i := range queries {
+		pq := &queries[i]
 		lat := done - pq.q.Arrival
 		slo := pq.slo
 		if slo <= 0 {
@@ -903,8 +1016,7 @@ func (f *Frontend) dispatch(w int, model string, queries []pendingQuery, dec *te
 			enqSec = 0
 		}
 		waitSec := dispStart - pq.enqueuedAt
-		respSec := done - postEnd
-		spans := []telemetry.Span{
+		*spanBuf = [6]telemetry.Span{
 			{Stage: telemetry.StageEnqueue, Seconds: enqSec},
 			{Stage: telemetry.StagePick, Seconds: pq.pickSec},
 			{Stage: telemetry.StageBatchWait, Seconds: waitSec},
@@ -912,9 +1024,12 @@ func (f *Frontend) dispatch(w int, model string, queries []pendingQuery, dec *te
 			{Stage: telemetry.StageInference, Seconds: infSec},
 			{Stage: telemetry.StageRespond, Seconds: respSec},
 		}
-		for _, s := range spans {
-			f.tel.stages[s.Stage].Observe(s.Seconds)
-		}
+		f.tel.stEnqueue.Observe(enqSec)
+		f.tel.stPick.Observe(pq.pickSec)
+		f.tel.stBatchWait.Observe(waitSec)
+		f.tel.stDispatch.Observe(dispSec)
+		f.tel.stInference.Observe(infSec)
+		f.tel.stRespond.Observe(respSec)
 		f.tel.latency.ObserveExemplar(lat, pq.traceID)
 		qt := telemetry.QueryTrace{
 			ID: pq.q.ID, Arrival: pq.q.Arrival, Worker: target,
@@ -923,12 +1038,14 @@ func (f *Frontend) dispatch(w int, model string, queries []pendingQuery, dec *te
 			TraceID: pq.traceID, Process: f.process, Parent: f.TraceParent,
 			Tenant: pq.q.Tenant, Shard: f.Shard,
 			Decision: dec,
-			Spans:    spans,
+			Spans:    spanBuf[:],
 		}
 		f.Traces.Add(qt)
 		if f.TraceWriter != nil {
 			_ = f.TraceWriter.Write(qt)
 		}
-		pq.done <- resp
+		if pq.done != nil {
+			pq.done <- resp
+		}
 	}
 }

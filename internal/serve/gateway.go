@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"sync"
 	"time"
 
 	"ramsis/internal/telemetry"
@@ -52,6 +53,9 @@ type Gateway struct {
 	srv          *http.Server
 	addr         string
 	start        time.Time
+	// depthScratch recycles the per-route shard-depth snapshot the
+	// sharder reads, keeping the routing hot path allocation-free.
+	depthScratch sync.Pool
 }
 
 // GatewayStats is the gateway's /stats document.
@@ -108,6 +112,10 @@ func (g *Gateway) Start() error {
 			return float64(fe.Outstanding())
 		}, "shard", shard)
 	}
+	g.depthScratch.New = func() any {
+		s := make([]int, 0, len(g.Shards))
+		return &s
+	}
 	g.goodputVec = g.Telemetry.GaugeVec(telemetry.MetricTenantGoodput, "tenant")
 	g.Telemetry.Help(telemetry.MetricShardDepth, "Outstanding queries per frontend shard.")
 	g.Telemetry.Help(telemetry.MetricTenantGoodput, "Per-tenant goodput fraction: in-SLO served / offered.")
@@ -162,35 +170,54 @@ func (g *Gateway) Route(tenantName string) (<-chan QueryResponse, *EnqueueError)
 }
 
 // RouteTraced is Route with a caller-supplied trace ID (an HTTP client's
-// X-Trace-Id); empty generates a fresh one.
+// X-Trace-Id); empty generates a fresh one. The returned channel is
+// freshly allocated and safe to abandon; in-process callers that always
+// consume the response should prefer Do.
 func (g *Gateway) RouteTraced(tenantName, traceID string) (<-chan QueryResponse, *EnqueueError) {
+	done := make(chan QueryResponse, 1)
+	if eerr := g.route(tenantName, traceID, done); eerr != nil {
+		return nil, eerr
+	}
+	return done, nil
+}
+
+// route resolves the tenant, picks a shard, and enqueues there; done (nil
+// for fire-and-forget callers) receives the response. Like the shard-level
+// enqueue it is allocation-flat at steady state: the depth snapshot comes
+// from a pool and the gateway trace fragment's span lives on the stack.
+func (g *Gateway) route(tenantName, traceID string, done chan QueryResponse) *EnqueueError {
 	t, ok := g.Plane.Registry().Resolve(tenantName)
 	if !ok {
-		return nil, &EnqueueError{Status: http.StatusBadRequest,
+		return &EnqueueError{Status: http.StatusBadRequest,
 			Msg: fmt.Sprintf("unknown tenant %q", tenantName)}
 	}
 	if traceID == "" {
 		traceID = telemetry.NewTraceID()
 	}
 	routeStart := g.now()
-	depths := make([]int, len(g.Shards))
-	for i, fe := range g.Shards {
-		depths[i] = fe.Outstanding()
+	dp := g.depthScratch.Get().(*[]int)
+	depths := (*dp)[:0]
+	for _, fe := range g.Shards {
+		depths = append(depths, fe.Outstanding())
 	}
+	*dp = depths
 	// Pick on the canonical name so "" and the default tenant hash alike.
 	s := g.Sharder.Pick(t.Name, depths)
+	g.depthScratch.Put(dp)
 	if s < 0 || s >= len(g.Shards) {
 		s = 0
 	}
-	done, eerr := g.Shards[s].EnqueueTraced(t.Name, traceID)
+	eerr := g.Shards[s].enqueue(t.Name, traceID, done)
 	if eerr == nil {
 		g.shardQueries[s].Inc()
 	}
+	var sp [1]telemetry.Span
+	sp[0] = telemetry.Span{Stage: telemetry.StageRoute, Seconds: g.now() - routeStart}
 	qt := telemetry.QueryTrace{
 		ID: -1, Arrival: routeStart, Worker: -1,
 		TraceID: traceID, Process: "gateway",
 		Tenant: t.Name, Shard: s,
-		Spans: []telemetry.Span{{Stage: telemetry.StageRoute, Seconds: g.now() - routeStart}},
+		Spans: sp[:],
 	}
 	if eerr != nil {
 		qt.Error = eerr.Msg
@@ -199,7 +226,29 @@ func (g *Gateway) RouteTraced(tenantName, traceID string) (<-chan QueryResponse,
 	if g.TraceWriter != nil {
 		_ = g.TraceWriter.Write(qt)
 	}
-	return done, eerr
+	return eerr
+}
+
+// RouteAsync routes one query fire-and-forget: the response is counted
+// and traced as usual, but no response channel is ever allocated or
+// delivered to. Load injectors (cmd/soak -saturate) drive the plane
+// through here at saturation rates.
+func (g *Gateway) RouteAsync(tenantName string) *EnqueueError {
+	return g.route(tenantName, "", nil)
+}
+
+// Do routes one query and blocks until its response arrives — the
+// in-process equivalent of POST /query on the gateway. Because Do always
+// receives the response, its channel is recycled.
+func (g *Gateway) Do(tenantName string) (QueryResponse, *EnqueueError) {
+	done := donePool.Get().(chan QueryResponse)
+	if eerr := g.route(tenantName, "", done); eerr != nil {
+		donePool.Put(done)
+		return QueryResponse{}, eerr
+	}
+	resp := <-done
+	donePool.Put(done)
+	return resp, nil
 }
 
 // handleQuery resolves the tenant (X-Tenant header or ?tenant= parameter),
@@ -209,16 +258,21 @@ func (g *Gateway) handleQuery(rw http.ResponseWriter, req *http.Request) {
 		http.Error(rw, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
-	done, eerr := g.RouteTraced(tenantFromRequest(req), req.Header.Get("X-Trace-Id"))
+	done := donePool.Get().(chan QueryResponse)
+	eerr := g.route(tenantFromRequest(req), req.Header.Get("X-Trace-Id"), done)
 	if eerr != nil {
+		donePool.Put(done)
 		writeEnqueueError(rw, eerr)
 		return
 	}
 	select {
 	case resp := <-done:
+		donePool.Put(done)
 		rw.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(rw).Encode(resp)
 	case <-req.Context().Done():
+		// Abandoned, not recycled: dispatch's pending send would poison
+		// the next query that drew this channel from the pool.
 	}
 }
 

@@ -1,0 +1,78 @@
+package serve
+
+// pqRing is a growable FIFO ring buffer of pending queries — the worker
+// queue's storage. The slice-backed queue it replaced re-copied the entire
+// tail on every dispatch (`append([]pendingQuery(nil), queue[batch:]...)`),
+// an O(queue) cost per batch that at saturation turned the queue itself
+// into the allocator's hottest call site. The ring dispatches by advancing
+// an index: steady-state enqueue and pop are allocation-free, and capacity
+// only grows (doubling) when the backlog exceeds every previous high-water
+// mark.
+//
+// Not safe for concurrent use; the owning workerQueue's mutex guards it.
+type pqRing struct {
+	buf  []pendingQuery
+	head int // index of the oldest element
+	n    int // number of queued elements
+}
+
+// ringMinCap is the initial allocation on first use: small enough that
+// idle queues stay cheap, large enough that steady traffic never grows.
+const ringMinCap = 16
+
+// len returns the number of queued elements.
+func (r *pqRing) len() int { return r.n }
+
+// at returns a pointer to the i-th element from the head (0 = oldest).
+// The pointer is valid until the next push or pop.
+func (r *pqRing) at(i int) *pendingQuery {
+	return &r.buf[(r.head+i)%len(r.buf)]
+}
+
+// push appends one element to the tail, growing the ring if full.
+func (r *pqRing) push(pq pendingQuery) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = pq
+	r.n++
+}
+
+// grow doubles capacity, laying the elements out head-first so indices
+// stay simple.
+func (r *pqRing) grow() {
+	newCap := 2 * len(r.buf)
+	if newCap < ringMinCap {
+		newCap = ringMinCap
+	}
+	buf := make([]pendingQuery, newCap)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	r.buf = buf
+	r.head = 0
+}
+
+// popInto removes the k oldest elements in FIFO order, appending them to
+// dst (reuse a scratch slice to keep dispatch allocation-free) and zeroing
+// the vacated slots so popped queries' channels and tenant state are not
+// retained by the ring.
+func (r *pqRing) popInto(dst []pendingQuery, k int) []pendingQuery {
+	if k > r.n {
+		k = r.n
+	}
+	for i := 0; i < k; i++ {
+		slot := &r.buf[r.head]
+		dst = append(dst, *slot)
+		*slot = pendingQuery{}
+		r.head++
+		if r.head == len(r.buf) {
+			r.head = 0
+		}
+	}
+	r.n -= k
+	if r.n == 0 {
+		r.head = 0
+	}
+	return dst
+}

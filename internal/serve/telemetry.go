@@ -2,6 +2,7 @@ package serve
 
 import (
 	"strconv"
+	"sync"
 
 	"ramsis/internal/lb"
 	"ramsis/internal/telemetry"
@@ -20,6 +21,15 @@ type serveSeries struct {
 	latency    *telemetry.Histogram
 	batchSize  *telemetry.Histogram
 	stages     map[string]*telemetry.Histogram
+	// Per-stage histograms cached as direct fields: the dispatch loop
+	// observes all six stages per query, and six map lookups per query
+	// are measurable at saturation.
+	stEnqueue   *telemetry.Histogram
+	stPick      *telemetry.Histogram
+	stBatchWait *telemetry.Histogram
+	stDispatch  *telemetry.Histogram
+	stInference *telemetry.Histogram
+	stRespond   *telemetry.Histogram
 	// Admission-control series: admitted/shed decisions, the wait estimate
 	// each decision was based on, degraded-mode clamps, and the failover
 	// retry budget's grants and refusals.
@@ -36,6 +46,11 @@ type serveSeries struct {
 	// exposition and StatsResponse.WorkerDispatches so they cannot drift.
 	workerDispatch []*telemetry.Counter
 	reg            *telemetry.Registry
+	// modelCtr memoizes the per-model served-queries counters on first
+	// use: the registry lookup builds a sorted label key per call, which
+	// the per-batch model() hit made visible in the allocation profile.
+	modelMu  sync.RWMutex
+	modelCtr map[string]*telemetry.Counter
 }
 
 // newServeSeries builds the cache. offset shifts the worker label indices:
@@ -60,12 +75,19 @@ func newServeSeries(reg *telemetry.Registry, workers, offset int) *serveSeries {
 		estWait:       reg.Histogram(telemetry.MetricAdmitWaitSeconds),
 		decisionErr:   reg.Histogram(telemetry.MetricDecisionError),
 
-		reg: reg,
+		reg:      reg,
+		modelCtr: map[string]*telemetry.Counter{},
 	}
 	reg.Help(telemetry.MetricDecisionError, "Absolute predicted-vs-realized dispatch latency error per select decision, modeled seconds.")
 	for _, st := range telemetry.Stages() {
 		s.stages[st] = reg.Histogram(telemetry.MetricStageSeconds, "stage", st)
 	}
+	s.stEnqueue = s.stages[telemetry.StageEnqueue]
+	s.stPick = s.stages[telemetry.StagePick]
+	s.stBatchWait = s.stages[telemetry.StageBatchWait]
+	s.stDispatch = s.stages[telemetry.StageDispatch]
+	s.stInference = s.stages[telemetry.StageInference]
+	s.stRespond = s.stages[telemetry.StageRespond]
 	for w := 0; w < workers; w++ {
 		s.workerDispatch = append(s.workerDispatch,
 			reg.Counter(telemetry.MetricWorkerDispatches, "worker", strconv.Itoa(offset+w)))
@@ -78,9 +100,20 @@ func newServeSeries(reg *telemetry.Registry, workers, offset int) *serveSeries {
 	return s
 }
 
-// model returns the per-model served-queries counter.
+// model returns the per-model served-queries counter, registering it on
+// first use and answering from the memo after.
 func (s *serveSeries) model(name string) *telemetry.Counter {
-	return s.reg.Counter(telemetry.MetricModelQueries, "model", name)
+	s.modelMu.RLock()
+	c, ok := s.modelCtr[name]
+	s.modelMu.RUnlock()
+	if ok {
+		return c
+	}
+	c = s.reg.Counter(telemetry.MetricModelQueries, "model", name)
+	s.modelMu.Lock()
+	s.modelCtr[name] = c
+	s.modelMu.Unlock()
+	return c
 }
 
 // shed returns the shed counter for the given admission policy.

@@ -72,6 +72,13 @@ type Worker struct {
 	addr    string
 	infHist *telemetry.Histogram
 	bsHist  *telemetry.Histogram
+	// infCtr caches the per-model inference counters built at Start, so
+	// the handler never takes the registry's lookup lock per request.
+	infCtr map[string]*telemetry.Counter
+	// prof indexes the loaded profiles by name; looked up with a []byte
+	// key conversion, it resolves the fast-parsed model without copying
+	// the name out of the request buffer.
+	prof map[string]profile.Profile
 }
 
 // NewWorker builds a worker server (not yet started).
@@ -106,6 +113,12 @@ func (w *Worker) Start() error {
 	}
 	w.infHist = w.Telemetry.Histogram(telemetry.MetricInferenceSeconds)
 	w.bsHist = w.Telemetry.HistogramBuckets(telemetry.MetricBatchSize, telemetry.LinearBuckets(1, 1, 32))
+	w.infCtr = make(map[string]*telemetry.Counter, len(w.Profiles.Profiles))
+	w.prof = make(map[string]profile.Profile, len(w.Profiles.Profiles))
+	for _, p := range w.Profiles.Profiles {
+		w.infCtr[p.Name] = w.Telemetry.Counter(telemetry.MetricInferences, "model", p.Name)
+		w.prof[p.Name] = p
+	}
 	w.Telemetry.Help(telemetry.MetricInferenceSeconds, "Realized inference latency per batch in modeled seconds.")
 	w.Telemetry.Help(telemetry.MetricInferences, "Batches executed, by model.")
 	mux := http.NewServeMux()
@@ -137,56 +150,101 @@ func (w *Worker) handleInfer(rw http.ResponseWriter, req *http.Request) {
 		http.Error(rw, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
-	var ir InferRequest
-	if err := json.NewDecoder(req.Body).Decode(&ir); err != nil {
+	// Decode and encode through a pooled scratch buffer: json.NewDecoder
+	// allocated its own buffered reader per request, which dominated the
+	// worker-side allocation profile at saturation.
+	bp := bufPool.Get().(*[]byte)
+	defer bufPool.Put(bp)
+	buf, err := readAllInto((*bp)[:0], req.Body)
+	*bp = buf[:0]
+	if err != nil {
 		http.Error(rw, err.Error(), http.StatusBadRequest)
 		return
 	}
-	p, ok := w.Profiles.ByName(ir.Model)
-	if !ok {
-		http.Error(rw, fmt.Sprintf("model %q not loaded", ir.Model), http.StatusNotFound)
-		return
+	// Fast path: the exact wire shape the dispatchers emit parses without
+	// encoding/json, and the model resolves from the request buffer by
+	// byte-keyed map lookup — the canonical p.Name then stands in for the
+	// request's model string everywhere downstream. Anything else falls
+	// back to the generic decoder.
+	var p profile.Profile
+	var ok bool
+	var batch int
+	if mb, b2, fast := parseInferRequest(buf); fast {
+		p, ok = w.prof[string(mb)]
+		batch = b2
+		if !ok {
+			http.Error(rw, fmt.Sprintf("model %q not loaded", mb), http.StatusNotFound)
+			return
+		}
+	} else {
+		var ir InferRequest
+		if err := json.Unmarshal(buf, &ir); err != nil {
+			http.Error(rw, err.Error(), http.StatusBadRequest)
+			return
+		}
+		p, ok = w.Profiles.ByName(ir.Model)
+		batch = ir.Batch
+		if !ok {
+			http.Error(rw, fmt.Sprintf("model %q not loaded", ir.Model), http.StatusNotFound)
+			return
+		}
 	}
-	if ir.Batch < 1 || ir.Batch > p.MaxBatch() {
-		http.Error(rw, fmt.Sprintf("batch %d outside [1,%d]", ir.Batch, p.MaxBatch()), http.StatusBadRequest)
+	if batch < 1 || batch > p.MaxBatch() {
+		http.Error(rw, fmt.Sprintf("batch %d outside [1,%d]", batch, p.MaxBatch()), http.StatusBadRequest)
 		return
 	}
 	w.mu.Lock()
-	lat := w.Latency.Latency(p, ir.Batch, w.rng)
+	lat := w.Latency.Latency(p, batch, w.rng)
 	w.mu.Unlock()
-	w.Telemetry.Counter(telemetry.MetricInferences, "model", ir.Model).Inc()
-	w.bsHist.Observe(float64(ir.Batch))
+	w.infCtr[p.Name].Inc()
+	w.bsHist.Observe(float64(batch))
 	time.Sleep(time.Duration(lat / w.TimeScale * float64(time.Second)))
-	w.recordTraces(req, ir, lat)
-	rw.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(rw).Encode(InferResponse{Model: ir.Model, Batch: ir.Batch, Latency: lat})
+	w.recordTraces(req, p.Name, batch, lat)
+	out := appendInferResponse(buf[:0], p.Name, batch, lat)
+	*bp = out[:0]
+	// Suppress the automatic Content-Type (sniffing) and Date headers:
+	// the /infer wire is internal and header-minimal, and every response
+	// header costs the dispatching client a parse allocation per POST.
+	h := rw.Header()
+	h["Content-Type"] = nil
+	h["Date"] = nil
+	_, _ = rw.Write(out)
 }
 
 // recordTraces emits the worker-side fragment of every trace the dispatch
-// carried: X-Trace-Id holds the batch's comma-joined trace IDs and
-// X-Trace-Parent the dispatching shard's process name, so Stitch hangs
-// each fragment under the right frontend. The realized inference latency
-// lands both in the worker's histogram (with the first trace as its
-// exemplar) and as each fragment's single inference span.
-func (w *Worker) recordTraces(req *http.Request, ir InferRequest, lat float64) {
+// carried: X-Trace-Id holds the batch's whole trace context,
+// "id1,id2,...;parent" — the comma-joined trace IDs plus the dispatching
+// process's name — so Stitch hangs each fragment under the right frontend
+// from a single (non-common, hence per-request-parse-priced) header. The
+// realized inference latency lands both in the worker's histogram (with
+// the first trace as its exemplar) and as each fragment's single
+// inference span.
+func (w *Worker) recordTraces(req *http.Request, model string, batch int, lat float64) {
 	header := req.Header.Get("X-Trace-Id")
 	if header == "" {
 		w.infHist.Observe(lat)
 		return
 	}
-	ids := strings.Split(header, ",")
-	parent := req.Header.Get("X-Trace-Parent")
-	w.infHist.ObserveExemplar(lat, ids[0])
-	for _, id := range ids {
+	header, parent, _ := strings.Cut(header, ";")
+	first, _, _ := strings.Cut(header, ",")
+	w.infHist.ObserveExemplar(lat, first)
+	// Walk the comma-joined IDs with Cut instead of Split: the substrings
+	// alias the header, and the span buffer is shared across fragments
+	// because the trace ring copies spans on Add.
+	var sp [1]telemetry.Span
+	sp[0] = telemetry.Span{Stage: telemetry.StageInference, Seconds: lat}
+	for rest := header; rest != ""; {
+		var id string
+		id, rest, _ = strings.Cut(rest, ",")
 		if id == "" {
 			continue
 		}
 		qt := telemetry.QueryTrace{
 			ID: -1, Worker: w.Index,
-			Model: ir.Model, Batch: ir.Batch,
+			Model: model, Batch: batch,
 			LatencyMS: lat * 1000,
 			TraceID:   id, Process: w.Name, Parent: parent,
-			Spans: []telemetry.Span{{Stage: telemetry.StageInference, Seconds: lat}},
+			Spans: sp[:],
 		}
 		w.Traces.Add(qt)
 		if w.TraceWriter != nil {

@@ -2,10 +2,9 @@ package telemetry
 
 import (
 	"bufio"
-	"crypto/rand"
-	"encoding/hex"
 	"encoding/json"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"sync"
 )
@@ -54,14 +53,20 @@ type QueryTrace struct {
 	Decision *Decision `json:"decision,omitempty"`
 }
 
-// NewTraceID returns a 16-hex-digit random trace ID (crypto/rand; the
-// simulator derives deterministic IDs from query IDs instead).
+// NewTraceID returns a 16-hex-digit random trace ID. IDs only need to be
+// unique enough to join fragments within one plane's trace rings, so the
+// runtime-seeded math/rand/v2 generator suffices — the previous
+// crypto/rand read was a measurable per-query syscall at saturation.
+// (The simulator derives deterministic IDs from query IDs instead.)
 func NewTraceID() string {
-	var b [8]byte
-	if _, err := rand.Read(b[:]); err != nil {
-		return "0000000000000000"
+	u := rand.Uint64()
+	const digits = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = digits[u&0xf]
+		u >>= 4
 	}
-	return hex.EncodeToString(b[:])
+	return string(b[:])
 }
 
 // Span returns the duration of the named stage and whether it is present.
@@ -78,8 +83,12 @@ func (t QueryTrace) Span(stage string) (float64, bool) {
 // dumpable via its /debug/traces handler. Memory is fixed at capacity; a
 // new trace overwrites the oldest once full.
 type TraceBuffer struct {
-	mu   sync.Mutex
-	buf  []QueryTrace
+	mu  sync.Mutex
+	buf []QueryTrace
+	// decs is slot-owned Decision storage: buf[i].Decision points at
+	// decs[i] when set, so Add can copy a caller-reused decision without
+	// retaining it.
+	decs []Decision
 	next int
 	full bool
 }
@@ -94,13 +103,25 @@ func NewTraceBuffer(n int) *TraceBuffer {
 	if n <= 0 {
 		n = DefaultTraceCapacity
 	}
-	return &TraceBuffer{buf: make([]QueryTrace, n)}
+	return &TraceBuffer{buf: make([]QueryTrace, n), decs: make([]Decision, n)}
 }
 
-// Add records a completed trace, evicting the oldest when full.
+// Add records a completed trace, evicting the oldest when full. The spans
+// and the decision are copied into the evicted slot's own storage (spans
+// grown only past their high-water mark), so callers may pass
+// stack-allocated or reused buffers — the ring never retains caller
+// memory.
 func (b *TraceBuffer) Add(t QueryTrace) {
 	b.mu.Lock()
-	b.buf[b.next] = t
+	slot := &b.buf[b.next]
+	spans := slot.Spans[:0]
+	spans = append(spans, t.Spans...)
+	*slot = t
+	slot.Spans = spans
+	if t.Decision != nil {
+		b.decs[b.next] = *t.Decision
+		slot.Decision = &b.decs[b.next]
+	}
 	b.next++
 	if b.next == len(b.buf) {
 		b.next = 0
@@ -119,16 +140,27 @@ func (b *TraceBuffer) Len() int {
 	return b.next
 }
 
-// Snapshot returns the buffered traces oldest-first.
+// Snapshot returns the buffered traces oldest-first. Spans and decisions
+// are deep copies: Add reuses each slot's storage in place, so a shallow
+// snapshot would mutate under the caller as new traces arrive.
 func (b *TraceBuffer) Snapshot() []QueryTrace {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	var out []QueryTrace
 	if !b.full {
-		return append([]QueryTrace(nil), b.buf[:b.next]...)
+		out = append([]QueryTrace(nil), b.buf[:b.next]...)
+	} else {
+		out = make([]QueryTrace, 0, len(b.buf))
+		out = append(out, b.buf[b.next:]...)
+		out = append(out, b.buf[:b.next]...)
 	}
-	out := make([]QueryTrace, 0, len(b.buf))
-	out = append(out, b.buf[b.next:]...)
-	out = append(out, b.buf[:b.next]...)
+	for i := range out {
+		out[i].Spans = append([]Span(nil), out[i].Spans...)
+		if out[i].Decision != nil {
+			d := *out[i].Decision
+			out[i].Decision = &d
+		}
+	}
 	return out
 }
 

@@ -11,16 +11,20 @@
 // is the minimum ns/op across runs — the conventional number to quote,
 // being the least scheduler-noise-contaminated.
 //
-// Compare mode diffs two baselines and gates on ns/op regressions:
+// Compare mode diffs two baselines and gates on ns/op and allocs/op
+// regressions:
 //
-//	benchjson -compare -threshold 1.25 old.json new.json
+//	benchjson -compare -threshold 1.25 -alloc-threshold 1.10 old.json new.json
 //
 // exits nonzero when any benchmark present in both files regressed by more
-// than the threshold factor (best ns/op, new/old > threshold). With -warn
-// the regressions are emitted as GitHub Actions ::warning:: annotations and
-// the exit code stays zero — CI runs a soft pass at a tight threshold and a
-// hard pass at a loose one, so runner noise warns but only a real blowup
-// fails the build.
+// than the matching threshold factor (best-of-runs, new/old > threshold).
+// allocs/op gets its own, tighter default: allocation counts are
+// deterministic, so any growth is a code change, not runner noise — this
+// is what keeps the serve path's zero-allocation claims CI-enforced. With
+// -warn the regressions are emitted as GitHub Actions ::warning::
+// annotations and the exit code stays zero — CI runs a soft pass at a
+// tight threshold and a hard pass at a loose one, so noise warns but only
+// a real blowup fails the build.
 package main
 
 import (
@@ -41,9 +45,10 @@ type run struct {
 }
 
 type benchmark struct {
-	Name        string  `json:"name"`
-	Runs        []run   `json:"runs"`
-	BestNsPerOp float64 `json:"best_ns_per_op,omitempty"`
+	Name            string  `json:"name"`
+	Runs            []run   `json:"runs"`
+	BestNsPerOp     float64 `json:"best_ns_per_op,omitempty"`
+	BestAllocsPerOp float64 `json:"best_allocs_per_op,omitempty"`
 }
 
 type report struct {
@@ -111,49 +116,64 @@ func parse(r io.Reader) (*report, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	for _, b := range rep.Benchmarks {
-		for _, r := range b.Runs {
-			ns, ok := r.Metrics["ns/op"]
-			if !ok {
-				continue
-			}
-			if b.BestNsPerOp == 0 || ns < b.BestNsPerOp {
-				b.BestNsPerOp = ns
-			}
-		}
-	}
+	finalize(rep)
 	return rep, nil
 }
 
-// regression is one benchmark whose best ns/op got worse between baselines
-// by more than the compare threshold.
+// finalize computes the best-of-runs summary metrics. It also backfills
+// them when loading baselines written before a summary field existed, so
+// old committed BENCH_*.json files stay comparable.
+func finalize(rep *report) {
+	for _, b := range rep.Benchmarks {
+		for _, r := range b.Runs {
+			if ns, ok := r.Metrics["ns/op"]; ok && (b.BestNsPerOp == 0 || ns < b.BestNsPerOp) {
+				b.BestNsPerOp = ns
+			}
+			if al, ok := r.Metrics["allocs/op"]; ok && (b.BestAllocsPerOp == 0 || al < b.BestAllocsPerOp) {
+				b.BestAllocsPerOp = al
+			}
+		}
+	}
+}
+
+// regression is one benchmark metric that got worse between baselines by
+// more than its compare threshold.
 type regression struct {
-	Name  string
-	Old   float64 // baseline best ns/op
-	New   float64 // candidate best ns/op
-	Ratio float64 // New / Old
+	Name   string
+	Metric string  // "ns/op" or "allocs/op"
+	Old    float64 // baseline best of runs
+	New    float64 // candidate best of runs
+	Ratio  float64 // New / Old
 }
 
 // compare returns the benchmarks present in both reports whose best ns/op
-// regressed by more than threshold (new/old > threshold), ordered as they
-// appear in the new report. Benchmarks missing from either side, or without
-// a ns/op metric, are skipped: adding or retiring a benchmark is not a
-// regression.
-func compare(old, cand *report, threshold float64) []regression {
-	base := map[string]float64{}
+// or allocs/op regressed by more than the matching threshold (new/old >
+// threshold), ordered as they appear in the new report. Benchmarks missing
+// from either side, or without the metric, are skipped: adding or retiring
+// a benchmark is not a regression.
+func compare(old, cand *report, nsThreshold, allocThreshold float64) []regression {
+	type best struct{ ns, allocs float64 }
+	base := map[string]best{}
 	for _, b := range old.Benchmarks {
-		if b.BestNsPerOp > 0 {
-			base[b.Name] = b.BestNsPerOp
-		}
+		base[b.Name] = best{ns: b.BestNsPerOp, allocs: b.BestAllocsPerOp}
 	}
 	var regs []regression
 	for _, b := range cand.Benchmarks {
 		was, ok := base[b.Name]
-		if !ok || b.BestNsPerOp <= 0 {
+		if !ok {
 			continue
 		}
-		if ratio := b.BestNsPerOp / was; ratio > threshold {
-			regs = append(regs, regression{Name: b.Name, Old: was, New: b.BestNsPerOp, Ratio: ratio})
+		if was.ns > 0 && b.BestNsPerOp > 0 {
+			if ratio := b.BestNsPerOp / was.ns; ratio > nsThreshold {
+				regs = append(regs, regression{Name: b.Name, Metric: "ns/op",
+					Old: was.ns, New: b.BestNsPerOp, Ratio: ratio})
+			}
+		}
+		if was.allocs > 0 && b.BestAllocsPerOp > 0 {
+			if ratio := b.BestAllocsPerOp / was.allocs; ratio > allocThreshold {
+				regs = append(regs, regression{Name: b.Name, Metric: "allocs/op",
+					Old: was.allocs, New: b.BestAllocsPerOp, Ratio: ratio})
+			}
 		}
 	}
 	return regs
@@ -168,10 +188,11 @@ func loadReport(path string) (*report, error) {
 	if err := json.Unmarshal(data, rep); err != nil {
 		return nil, fmt.Errorf("benchjson: decode %s: %w", path, err)
 	}
+	finalize(rep)
 	return rep, nil
 }
 
-func runCompare(oldPath, newPath string, threshold float64, warnOnly bool) int {
+func runCompare(oldPath, newPath string, nsThreshold, allocThreshold float64, warnOnly bool) int {
 	old, err := loadReport(oldPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -182,10 +203,14 @@ func runCompare(oldPath, newPath string, threshold float64, warnOnly bool) int {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	regs := compare(old, nw, threshold)
+	regs := compare(old, nw, nsThreshold, allocThreshold)
 	for _, r := range regs {
-		msg := fmt.Sprintf("%s regressed %.2fx: %.0f -> %.0f ns/op (threshold %.2fx)",
-			r.Name, r.Ratio, r.Old, r.New, threshold)
+		threshold := nsThreshold
+		if r.Metric == "allocs/op" {
+			threshold = allocThreshold
+		}
+		msg := fmt.Sprintf("%s regressed %.2fx: %.0f -> %.0f %s (threshold %.2fx)",
+			r.Name, r.Ratio, r.Old, r.New, r.Metric, threshold)
 		if warnOnly {
 			// GitHub Actions annotation: surfaces on the PR without failing.
 			fmt.Printf("::warning title=benchmark regression::%s\n", msg)
@@ -194,8 +219,8 @@ func runCompare(oldPath, newPath string, threshold float64, warnOnly bool) int {
 		}
 	}
 	if len(regs) == 0 {
-		fmt.Printf("benchjson: no ns/op regression beyond %.2fx (%d benchmarks compared)\n",
-			threshold, len(nw.Benchmarks))
+		fmt.Printf("benchjson: no ns/op regression beyond %.2fx or allocs/op beyond %.2fx (%d benchmarks compared)\n",
+			nsThreshold, allocThreshold, len(nw.Benchmarks))
 		return 0
 	}
 	if warnOnly {
@@ -208,6 +233,7 @@ func main() {
 	out := flag.String("o", "", "output path (default stdout)")
 	compareMode := flag.Bool("compare", false, "compare two baselines: benchjson -compare [-threshold F] old.json new.json")
 	threshold := flag.Float64("threshold", 1.25, "compare mode: fail when best ns/op regresses by more than this factor")
+	allocThreshold := flag.Float64("alloc-threshold", 1.10, "compare mode: fail when best allocs/op regresses by more than this factor (tight: allocation counts are deterministic)")
 	warn := flag.Bool("warn", false, "compare mode: emit ::warning:: annotations instead of failing")
 	flag.Parse()
 
@@ -216,7 +242,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two baseline files: old.json new.json")
 			os.Exit(2)
 		}
-		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *threshold, *warn))
+		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *threshold, *allocThreshold, *warn))
 	}
 
 	in := io.Reader(os.Stdin)

@@ -69,6 +69,23 @@ func benchReport(nsPerOp map[string]float64) *report {
 	return rep
 }
 
+func allocReport(allocs map[string]float64) *report {
+	rep := &report{}
+	for _, name := range []string{"BenchmarkA", "BenchmarkB"} {
+		al, ok := allocs[name]
+		if !ok {
+			continue
+		}
+		rep.Benchmarks = append(rep.Benchmarks, &benchmark{
+			Name:            name,
+			Runs:            []run{{Iterations: 1, Metrics: map[string]float64{"ns/op": 100, "allocs/op": al}}},
+			BestNsPerOp:     100,
+			BestAllocsPerOp: al,
+		})
+	}
+	return rep
+}
+
 // TestCompareFlagsRegressions pins the bench-compare CI gate: a synthetic
 // >2x ns/op regression is reported (and the tool exits nonzero on it), a
 // within-threshold drift and an improvement are not, and benchmarks present
@@ -87,22 +104,22 @@ func TestCompareFlagsRegressions(t *testing.T) {
 		"BenchmarkOnlyNew": 100, // new benchmark: no baseline, no regression
 	})
 
-	regs := compare(old, nw, 2.0)
+	regs := compare(old, nw, 2.0, 1.10)
 	if len(regs) != 1 {
 		t.Fatalf("compare(threshold=2) = %+v, want exactly the 2.5x regression", regs)
 	}
-	if r := regs[0]; r.Name != "BenchmarkA" || r.Ratio != 2.5 || r.Old != 100 || r.New != 250 {
+	if r := regs[0]; r.Name != "BenchmarkA" || r.Metric != "ns/op" || r.Ratio != 2.5 || r.Old != 100 || r.New != 250 {
 		t.Errorf("regression misreported: %+v", r)
 	}
 
 	// The tighter warning threshold keeps ignoring sub-threshold drift,
 	// improvements, and unmatched benchmarks.
-	if regs := compare(old, nw, 1.25); len(regs) != 1 || regs[0].Name != "BenchmarkA" {
+	if regs := compare(old, nw, 1.25, 1.10); len(regs) != 1 || regs[0].Name != "BenchmarkA" {
 		t.Errorf("compare(threshold=1.25) = %+v, want only BenchmarkA", regs)
 	}
 
 	// Identical baselines never regress.
-	if regs := compare(old, old, 1.25); len(regs) != 0 {
+	if regs := compare(old, old, 1.25, 1.10); len(regs) != 0 {
 		t.Errorf("self-compare found regressions: %+v", regs)
 	}
 }
@@ -128,16 +145,92 @@ func TestRunCompareExitCodes(t *testing.T) {
 	badPath := write("bad.json", benchReport(map[string]float64{"BenchmarkA": 300}))
 	okPath := write("ok.json", benchReport(map[string]float64{"BenchmarkA": 105}))
 
-	if code := runCompare(oldPath, badPath, 2.0, false); code == 0 {
+	if code := runCompare(oldPath, badPath, 2.0, 1.10, false); code == 0 {
 		t.Error("3x regression passed the hard gate")
 	}
-	if code := runCompare(oldPath, badPath, 2.0, true); code != 0 {
+	if code := runCompare(oldPath, badPath, 2.0, 1.10, true); code != 0 {
 		t.Error("-warn mode failed the build")
 	}
-	if code := runCompare(oldPath, okPath, 1.25, false); code != 0 {
+	if code := runCompare(oldPath, okPath, 1.25, 1.10, false); code != 0 {
 		t.Error("clean comparison exited nonzero")
 	}
-	if code := runCompare(oldPath, filepath.Join(dir, "missing.json"), 1.25, false); code == 0 {
+	if code := runCompare(oldPath, filepath.Join(dir, "missing.json"), 1.25, 1.10, false); code == 0 {
 		t.Error("missing baseline file passed")
+	}
+}
+
+// TestCompareAllocsPerOp pins the allocation gate: allocs/op has its own
+// (tighter) threshold, a regression on it is reported with its metric name,
+// and a report missing allocs data never produces alloc regressions.
+func TestCompareAllocsPerOp(t *testing.T) {
+	old := allocReport(map[string]float64{"BenchmarkA": 10, "BenchmarkB": 10})
+	nw := allocReport(map[string]float64{"BenchmarkA": 15, "BenchmarkB": 10})
+
+	regs := compare(old, nw, 1.25, 1.10)
+	if len(regs) != 1 {
+		t.Fatalf("compare = %+v, want exactly the 1.5x alloc regression", regs)
+	}
+	if r := regs[0]; r.Name != "BenchmarkA" || r.Metric != "allocs/op" || r.Ratio != 1.5 {
+		t.Errorf("alloc regression misreported: %+v", r)
+	}
+
+	// ns/op within threshold but allocs beyond it must still fail; the
+	// reverse threshold order (loose alloc gate) must pass.
+	if regs := compare(old, nw, 1.25, 2.0); len(regs) != 0 {
+		t.Errorf("loose alloc gate flagged: %+v", regs)
+	}
+
+	// Baselines without allocs/op (pre-benchmem runs) are skipped, not
+	// treated as zero-alloc baselines that everything regresses from.
+	if regs := compare(benchReport(map[string]float64{"BenchmarkA": 100}), nw, 1.25, 1.10); len(regs) != 0 {
+		t.Errorf("missing alloc baseline flagged: %+v", regs)
+	}
+}
+
+// TestLoadReportBackfillsBest pins baseline compatibility: a committed
+// BENCH_*.json written before best_allocs_per_op existed still compares on
+// allocations, recomputed from its per-run metrics.
+func TestLoadReportBackfillsBest(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "old.json")
+	legacy := `{"benchmarks":[{"name":"BenchmarkA","runs":[{"iterations":1,"metrics":{"ns/op":100,"allocs/op":12}},{"iterations":1,"metrics":{"ns/op":90,"allocs/op":10}}]}]}`
+	if err := os.WriteFile(path, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := loadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := rep.Benchmarks[0]
+	if b.BestNsPerOp != 90 || b.BestAllocsPerOp != 10 {
+		t.Errorf("backfill got ns=%v allocs=%v, want 90 and 10", b.BestNsPerOp, b.BestAllocsPerOp)
+	}
+}
+
+// TestRunCompareAllocExitCode pins the process contract for the alloc gate.
+func TestRunCompareAllocExitCode(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, rep *report) string {
+		t.Helper()
+		data, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	oldPath := write("old.json", allocReport(map[string]float64{"BenchmarkA": 10}))
+	badPath := write("bad.json", allocReport(map[string]float64{"BenchmarkA": 14}))
+	if code := runCompare(oldPath, badPath, 1.25, 1.10, false); code == 0 {
+		t.Error("1.4x alloc regression passed the hard gate")
+	}
+	if code := runCompare(oldPath, badPath, 1.25, 1.10, true); code != 0 {
+		t.Error("-warn mode failed the build on an alloc regression")
+	}
+	if code := runCompare(oldPath, badPath, 1.25, 1.50, false); code != 0 {
+		t.Error("within-threshold alloc drift exited nonzero")
 	}
 }
