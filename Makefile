@@ -34,15 +34,17 @@ lint:
 staticcheck:
 	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
 
-# The admit, lb, serve, telemetry, adapt, and tenant packages are the
-# concurrency-heavy ones (the degrader's atomic level + locked windows,
+# The admit, lb, serve, telemetry, adapt, tenant, llm, and sim packages are
+# the concurrency-heavy ones (the degrader's atomic level + locked windows,
 # balancers, health tracker, per-worker queue locks, HTTP dispatch and the
 # /query shed path, the lock-free metrics registry, the background policy
-# re-solve / hot-swap path, and the fair admitter + hot-reloaded tenant
-# registry); run them under the race detector. Their tests scale sleeps by
-# TimeScale, so the race pass stays within a CI budget.
+# re-solve / hot-swap path, the fair admitter + hot-reloaded tenant
+# registry, and the continuous-batching LLM worker's step loop vs handler
+# handoff — llm and sim back that worker's model and selector types); run
+# them under the race detector. Their tests scale sleeps by TimeScale, so
+# the race pass stays within a CI budget.
 race:
-	$(GO) test -race ./internal/admit/ ./internal/adapt/ ./internal/lb/ ./internal/serve/ ./internal/telemetry/ ./internal/tenant/
+	$(GO) test -race ./internal/admit/ ./internal/adapt/ ./internal/lb/ ./internal/serve/ ./internal/telemetry/ ./internal/tenant/ ./internal/llm/ ./internal/sim/
 
 # Multi-tenant serving-plane soak: ≥100k offered wall QPS across 4 shards
 # and 3 tenants, one offering 4× its contract; asserts compliant goodput
@@ -82,9 +84,9 @@ verify: build lint test race
 # allocation stats; raw output lands in bench.out and tools/benchjson
 # distills it into $(BENCH_OUT), the committed baseline (quote
 # best_ns_per_op when comparing).
-BENCH_KEY := 'BenchmarkValueIteration|BenchmarkResolve|BenchmarkCompile$$|BenchmarkPolicySelect|BenchmarkBalancerPick|BenchmarkSimulatorThroughput|BenchmarkFrontendQuery|BenchmarkShardedGatewayQuery'
-BENCH_OUT ?= BENCH_9.json
-BENCH_BASE ?= BENCH_9.json
+BENCH_KEY := 'BenchmarkValueIteration|BenchmarkResolve|BenchmarkCompile$$|BenchmarkPolicySelect|BenchmarkBalancerPick|BenchmarkSimulatorThroughput|BenchmarkLLMStepLoop|BenchmarkFrontendQuery|BenchmarkShardedGatewayQuery'
+BENCH_OUT ?= BENCH_10.json
+BENCH_BASE ?= BENCH_10.json
 
 bench:
 	$(GO) test -run '^$$' -bench $(BENCH_KEY) -benchmem -count=3 . | tee bench.out

@@ -16,6 +16,7 @@ import (
 	"ramsis/internal/dist"
 	"ramsis/internal/experiments"
 	"ramsis/internal/lb"
+	"ramsis/internal/llm"
 	"ramsis/internal/mdp"
 	"ramsis/internal/monitor"
 	"ramsis/internal/profile"
@@ -327,6 +328,35 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(arr)), "queries/op")
+}
+
+// BenchmarkLLMStepLoop measures the token-level simulator's step loop:
+// continuous-batching admission, decode-first step composition, and KV
+// accounting over a sustained general-class token stream (fixed fastest
+// model, so the cost measured is the batching machinery, not selection).
+func BenchmarkLLMStepLoop(b *testing.B) {
+	models := llm.BuiltinSet()
+	cls, err := llm.ClassByName("general")
+	if err != nil {
+		b.Fatal(err)
+	}
+	events := trace.TokenArrivals(trace.Constant(40, 10), 1, cls.In, cls.Out)
+	queries := make([]sim.TokenQuery, len(events))
+	var tokens int64
+	for i, ev := range events {
+		queries[i] = sim.TokenQuery{ID: i, Arrival: ev.T, Prefill: ev.Prefill, Decode: ev.Decode}
+		tokens += int64(ev.Prefill + ev.Decode)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := sim.NewLLMEngine(models, 8.0, 2, sim.FixedSelector(models.Fastest()))
+		m := e.Run(queries)
+		if m.Served != len(queries) {
+			b.Fatalf("served %d of %d", m.Served, len(queries))
+		}
+	}
+	b.ReportMetric(float64(tokens), "tokens/op")
 }
 
 // BenchmarkBalancerPick compares the per-arrival routing cost of the three

@@ -20,6 +20,7 @@ import (
 func main() {
 	var (
 		task     = flag.String("task", "image", "inference task: image or text")
+		profPath = flag.String("profile", "", "scalar batch-latency profile JSON to profile instead of the builtin -task set (kinded format; an LLM step-time file is rejected with a pointer to -llm-profile)")
 		sloMS    = flag.Float64("slo", 150, "latency SLO in milliseconds")
 		workers  = flag.Int("workers", 60, "number of workers")
 		loLoad   = flag.Float64("lo", 400, "lowest profiled load (QPS)")
@@ -37,6 +38,9 @@ func main() {
 	}
 
 	models, err := profile.SetForTask(*task)
+	if *profPath != "" {
+		models, err = profile.LoadSetFile(*profPath)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -46,7 +50,7 @@ func main() {
 	}
 	table := baselines.ProfileModelSwitching(models, *sloMS/1000, *workers, loads, *dur, *seed)
 
-	path := filepath.Join(*out, fmt.Sprintf("MS_%s_%dw_%.0fms.json", *task, *workers, *sloMS))
+	path := filepath.Join(*out, fmt.Sprintf("MS_%s_%dw_%.0fms.json", models.Task, *workers, *sloMS))
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		log.Fatal(err)
 	}

@@ -10,17 +10,22 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
+	"sync"
+	"time"
 
 	"ramsis/internal/adapt"
 	"ramsis/internal/admit"
 	"ramsis/internal/core"
 	"ramsis/internal/dist"
 	"ramsis/internal/lb"
+	"ramsis/internal/llm"
 	"ramsis/internal/monitor"
 	"ramsis/internal/profile"
 	"ramsis/internal/serve"
 	"ramsis/internal/sim"
+	"ramsis/internal/stats"
 	"ramsis/internal/telemetry"
 	"ramsis/internal/tenant"
 	"ramsis/internal/trace"
@@ -100,8 +105,185 @@ func runSharded(models profile.Set, file string, shards int, shardBy string, o s
 	select {} // serve until interrupted
 }
 
+// llmOpts carries the flag subset the LLM serving path consumes.
+type llmOpts struct {
+	profilePath string
+	class       string
+	kvCap       int
+	bucket      int
+	slo         float64
+	workers     int
+	load        float64
+	dur         float64
+	timeScale   float64
+	seed        int64
+	solver      core.Solver
+	solveF32    bool
+	traceOut    string
+}
+
+// runLLMServe starts continuous-batching LLM workers, generates the
+// token-stream policy, and replays a token-annotated Poisson workload
+// through them over real HTTP. TTFT is measured twice: by the worker in
+// modeled time and by the client off the first streamed byte, so the
+// summary separates the model's prediction from the wire reality.
+func runLLMServe(o llmOpts) {
+	models := llm.BuiltinSet()
+	if o.profilePath != "" {
+		var err error
+		if models, err = llm.LoadSetFile(o.profilePath); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("loaded %d step models from %s\n", models.Len(), o.profilePath)
+	}
+	class, err := llm.ClassByName(o.class)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generating token-stream policy (%s, %s class, SLO %.0f ms, %d workers, %.0f QPS)...\n",
+		models.Task, class.Name, o.slo*1000, o.workers, o.load)
+	pol, err := core.GenerateLLM(core.LLMConfig{
+		Models: models, SLO: o.slo, Workers: o.workers, Rate: o.load,
+		In: class.In, Out: class.Out, KVCap: o.kvCap, TokenBucket: o.bucket,
+		Solver: o.solver, Float32: o.solveF32,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("policy: %d states, %d transitions, %d iterations (build %s, solve %s)\n",
+		pol.States, pol.Transitions, pol.Iterations,
+		pol.BuildTime.Round(time.Millisecond), pol.SolveTime.Round(time.Millisecond))
+	sel, err := sim.NewLLMPolicySelector(pol, models)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var tw *telemetry.TraceWriter
+	if o.traceOut != "" {
+		fh, err := os.OpenFile(o.traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer fh.Close()
+		tw = telemetry.NewTraceWriter(fh)
+	}
+
+	// One registry across workers: counters and histograms merge, the KV
+	// gauge stays per-worker via its index label.
+	registry := telemetry.NewRegistry()
+	urls := make([]string, o.workers)
+	for i := range urls {
+		w := serve.NewLLMWorker(models, o.slo, o.timeScale, sel)
+		w.KVCap = o.kvCap
+		w.Telemetry = registry
+		w.Name = fmt.Sprintf("llm-worker-%d", i)
+		w.Index = i
+		w.TraceWriter = tw
+		if err := w.Start(); err != nil {
+			log.Fatal(err)
+		}
+		defer w.Stop()
+		urls[i] = w.URL()
+		fmt.Printf("worker %d listening at %s\n", i, urls[i])
+	}
+
+	events := trace.TokenArrivals(trace.Constant(o.load, o.dur), o.seed, class.In, class.Out)
+	fmt.Printf("replaying %d token-annotated queries over %.0fs (wall %.0fs)...\n",
+		len(events), o.dur, o.dur/o.timeScale)
+
+	// Client-side join-shortest-token-queue routing: the replay tracks each
+	// worker's outstanding token load like the engine's balancer does.
+	outTok := make([]int, o.workers)
+	var mu sync.Mutex
+	type reply struct {
+		res serve.GenResult
+		err error
+	}
+	replies := make([]reply, len(events))
+	var wg sync.WaitGroup
+	client := &http.Client{}
+	start := time.Now()
+	for i, ev := range events {
+		time.Sleep(time.Until(start.Add(time.Duration(ev.T / o.timeScale * float64(time.Second)))))
+		need := ev.Prefill + ev.Decode
+		mu.Lock()
+		wi := 0
+		for j := 1; j < o.workers; j++ {
+			if outTok[j] < outTok[wi] {
+				wi = j
+			}
+		}
+		outTok[wi] += need
+		mu.Unlock()
+		wg.Add(1)
+		go func(i, wi, need int, ev trace.TokenEvent) {
+			defer wg.Done()
+			res, err := serve.PostGenerate(client, urls[wi], ev.Prefill, ev.Decode)
+			mu.Lock()
+			outTok[wi] -= need
+			mu.Unlock()
+			replies[i] = reply{res: res, err: err}
+		}(i, wi, need, ev)
+	}
+	wg.Wait()
+
+	acc := map[string]float64{}
+	for _, m := range models.Models {
+		acc[m.Name] = m.Accuracy
+	}
+	var served, failed, violations int
+	var satAcc float64
+	var lats, ttfts, wireTTFTs, tbts []float64
+	counts := map[string]int{}
+	for _, r := range replies {
+		if r.err != nil {
+			failed++
+			continue
+		}
+		served++
+		s := r.res.Summary
+		lats = append(lats, s.Latency)
+		ttfts = append(ttfts, s.TTFT)
+		wireTTFTs = append(wireTTFTs, r.res.TTFTWall*o.timeScale)
+		if s.Decode > 1 {
+			tbts = append(tbts, (s.Latency-s.TTFT)/float64(s.Decode-1))
+		}
+		counts[s.Model]++
+		if s.Latency > o.slo {
+			violations++
+		} else {
+			satAcc += acc[s.Model]
+		}
+	}
+	if served == 0 {
+		log.Fatal("no queries served")
+	}
+	pct := func(xs []float64, p float64) float64 {
+		if len(xs) == 0 {
+			return 0
+		}
+		return stats.Percentile(xs, p) * 1000
+	}
+	fmt.Printf("served / failed:             %d / %d\n", served, failed)
+	fmt.Printf("accuracy/satisfied query:    %.4f\n", satAcc/float64(max(served-violations, 1)))
+	fmt.Printf("latency SLO violation rate:  %.4f%%\n", float64(violations)/float64(served)*100)
+	fmt.Printf("latency p50/p95/p99 (ms):    %.1f / %.1f / %.1f\n", pct(lats, 50), pct(lats, 95), pct(lats, 99))
+	fmt.Printf("TTFT p50/p95/p99 (ms):       %.1f / %.1f / %.1f\n", pct(ttfts, 50), pct(ttfts, 95), pct(ttfts, 99))
+	fmt.Printf("wire TTFT p50/p95/p99 (ms):  %.1f / %.1f / %.1f (client first-byte, incl. HTTP)\n",
+		pct(wireTTFTs, 50), pct(wireTTFTs, 95), pct(wireTTFTs, 99))
+	fmt.Printf("mean TBT p50/p95/p99 (ms):   %.1f / %.1f / %.1f\n", pct(tbts, 50), pct(tbts, 95), pct(tbts, 99))
+	fmt.Println("model usage (queries):")
+	for name, c := range counts {
+		fmt.Printf("  %-22s %d\n", name, c)
+	}
+	fmt.Printf("policy expectation:          accuracy %.4f, violation %.4f%%\n",
+		pol.ExpectedAccuracy, pol.ExpectedViolation*100)
+	fmt.Println("script complete!")
+}
+
 func main() {
 	var (
+		workload  = flag.String("workload", "scalar", "workload kind: scalar (profile-table batches) or llm (token streams through continuous-batching workers)")
 		task      = flag.String("task", "image", "inference task: image or text")
 		sloMS     = flag.Float64("slo", 150, "latency SLO in milliseconds")
 		workers   = flag.Int("workers", 4, "number of worker servers")
@@ -127,10 +309,15 @@ func main() {
 		shards      = flag.Int("shards", 1, "frontend shard count (multi-tenant mode); -workers is per shard")
 		shardBy     = flag.String("shard-by", "hash", "shard routing policy: hash/rendezvous (pin tenant to shard) or p2c (spread by queue depth)")
 
-		maxQueue     = flag.Int("maxqueue", 0, "queue-length bound N_w (0 = default 32): caps the RAMSIS MDP state space, and with -admit cap also sets the online admission bound (workers x N_w outstanding) — one knob for both, since policy guarantees lapse past N_w anyway")
-		solverArg    = flag.String("solver", "vi", "RAMSIS MDP solver: vi (value iteration, the paper's default), pi (policy iteration), or prioritized (fast-resolve: residual-ordered Gauss-Seidel sweeps; same policy, far fewer sweeps — adaptive background re-solves use it regardless)")
-		solveF32     = flag.Bool("solve-f32", false, "run the RAMSIS solve kernels in float32 (faster; the policy matches float64 wherever actions are separated by more than a few ULPs of the value scale)")
-		aggQueue     = flag.Int("agg-queue", 0, "queue-axis aggregation factor (>1): warm-start each solve from a queue-coarsened aggregate of the MDP; the policy is unchanged, only the solve converges faster — pair with a large -maxqueue")
+		maxQueue   = flag.Int("maxqueue", 0, "queue-length bound N_w (0 = default 32): caps the RAMSIS MDP state space, and with -admit cap also sets the online admission bound (workers x N_w outstanding) — one knob for both, since policy guarantees lapse past N_w anyway")
+		solverArg  = flag.String("solver", "vi", "RAMSIS MDP solver: vi (value iteration, the paper's default), pi (policy iteration), or prioritized (fast-resolve: residual-ordered Gauss-Seidel sweeps; same policy, far fewer sweeps — adaptive background re-solves use it regardless)")
+		solveF32   = flag.Bool("solve-f32", false, "run the RAMSIS solve kernels in float32 (faster; the policy matches float64 wherever actions are separated by more than a few ULPs of the value scale)")
+		aggQueue   = flag.Int("agg-queue", 0, "queue-axis aggregation factor (>1): warm-start each solve from a queue-coarsened aggregate of the MDP; the policy is unchanged, only the solve converges faster — pair with a large -maxqueue")
+		llmProfile = flag.String("llm-profile", "", "LLM workload: load a kinded step-model JSON (llm.SaveFile) instead of the built-in chat corpus")
+		llmClass   = flag.String("llm-class", "general", "LLM workload class: general, codegen, or reasoning")
+		llmKVCap   = flag.Int("llm-kv-cap", 0, "override every step model's KV-cache capacity in tokens (0 = profile values)")
+		llmBucket  = flag.Int("llm-bucket", 0, "token-bucket width of the LLM policy state space (0 = default 512)")
+
 		admitName    = flag.String("admit", "none", "admission control: none, deadline (429 queries whose deadline is unmeetable), or cap (bound outstanding work; unifies the -maxqueue N_w bound online)")
 		admitMargin  = flag.Float64("admit-margin", 1, "deadline admission: shed when estimated wait exceeds SLO*margin minus best-case service time")
 		admitDegrade = flag.Int("admit-degrade", 0, "degraded-mode depth: maximum number of slowest models to forbid under confirmed overload (0 = off; requires -admit)")
@@ -141,6 +328,21 @@ func main() {
 		log.Fatal(err)
 	}
 
+	if *workload == "llm" {
+		solver, err := core.ParseSolver(*solverArg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runLLMServe(llmOpts{
+			profilePath: *llmProfile, class: *llmClass, kvCap: *llmKVCap, bucket: *llmBucket,
+			slo: *sloMS / 1000, workers: *workers, load: *load, dur: *dur,
+			timeScale: *timeScale, seed: *seed, solver: solver, solveF32: *solveF32,
+			traceOut: *traceOut,
+		})
+		return
+	} else if *workload != "scalar" {
+		log.Fatalf("unknown workload %q (want scalar or llm)", *workload)
+	}
 	models, err := profile.SetForTask(*task)
 	if err != nil {
 		log.Fatal(err)

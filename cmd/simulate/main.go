@@ -14,12 +14,14 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"ramsis/internal/adapt"
 	"ramsis/internal/admit"
 	"ramsis/internal/baselines"
 	"ramsis/internal/core"
 	"ramsis/internal/dist"
+	"ramsis/internal/llm"
 	"ramsis/internal/monitor"
 	"ramsis/internal/profile"
 	"ramsis/internal/sim"
@@ -49,8 +51,157 @@ func parseMultipliers(s string) (map[string]float64, error) {
 	return out, nil
 }
 
+// llmSimOpts carries the flag subset the token-level simulation consumes.
+type llmSimOpts struct {
+	method      string
+	profilePath string
+	class       string
+	kvCap       int
+	bucket      int
+	traceArg    string
+	load        float64
+	dur         float64
+	stepLoad    float64
+	stepAt      float64
+	stepDur     float64
+	slo         float64
+	workers     int
+	seed        int64
+	solverArg   string
+	solveF32    bool
+	traceOut    string
+}
+
+// runLLMSim runs one method through the token-level continuous-batching
+// simulator: RAMSIS selects from the token-stream policy, Scalar from a
+// queue-state policy over collapsed per-query profiles (what the scalar MDP
+// would see for this workload), and Fixed pins the most accurate model.
+func runLLMSim(o llmSimOpts) {
+	solver, err := core.ParseSolver(o.solverArg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	models := llm.BuiltinSet()
+	if o.profilePath != "" {
+		if models, err = llm.LoadSetFile(o.profilePath); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("loaded %d step models from %s\n", models.Len(), o.profilePath)
+	}
+	class, err := llm.ClassByName(o.class)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var tr trace.Trace
+	switch o.traceArg {
+	case "constant":
+		tr = trace.Constant(o.load, o.dur)
+	case "real":
+		tr = trace.Twitter()
+	case "step":
+		if o.stepLoad <= 0 {
+			log.Fatal("--trace step requires --step-load")
+		}
+		tr = trace.Step(o.load, o.stepLoad, o.stepAt, o.stepAt+o.stepDur, o.dur)
+	default:
+		log.Fatalf("unknown trace %q", o.traceArg)
+	}
+	rate := o.load
+	if o.traceArg != "constant" {
+		// One policy per run: provision non-constant traces for their peak.
+		rate = tr.MaxQPS()
+	}
+
+	var sel sim.ModelSelector
+	var tokenPol *core.LLMPolicy
+	switch o.method {
+	case "RAMSIS":
+		fmt.Printf("generating token-stream policy (%s class, SLO %.0f ms, %d workers, %.0f QPS)...\n",
+			class.Name, o.slo*1000, o.workers, rate)
+		pol, err := core.GenerateLLM(core.LLMConfig{
+			Models: models, SLO: o.slo, Workers: o.workers, Rate: rate,
+			In: class.In, Out: class.Out, KVCap: o.kvCap, TokenBucket: o.bucket,
+			Solver: solver, Float32: o.solveF32,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("policy: %d states, %d transitions, %d iterations (build %s, solve %s)\n",
+			pol.States, pol.Transitions, pol.Iterations,
+			pol.BuildTime.Round(time.Millisecond), pol.SolveTime.Round(time.Millisecond))
+		tokenPol = pol
+		if sel, err = sim.NewLLMPolicySelector(pol, models); err != nil {
+			log.Fatal(err)
+		}
+	case "Scalar":
+		fmt.Printf("generating scalar queue-state policy over collapsed profiles (%.0f QPS)...\n", rate)
+		pol, err := core.Generate(core.Config{
+			Models:  models.ScalarProfiles(class.In.MeanLen(), class.Out.MeanLen(), 0),
+			SLO:     o.slo,
+			Workers: o.workers,
+			Arrival: dist.NewPoisson(rate),
+			Solver:  solver,
+			Float32: o.solveF32,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if sel, err = sim.NewScalarPolicySelector(pol, models); err != nil {
+			log.Fatal(err)
+		}
+	case "Fixed":
+		sel = sim.FixedSelector(models.MostAccurate())
+	default:
+		log.Fatalf("unknown LLM method %q (want RAMSIS, Scalar, or Fixed)", o.method)
+	}
+
+	e := sim.NewLLMEngine(models, o.slo, o.workers, sel)
+	e.KVCap = o.kvCap
+	e.CollectLatencies = true
+	if o.traceOut != "" {
+		fh, err := os.OpenFile(o.traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer fh.Close()
+		e.TraceWriter = telemetry.NewTraceWriter(fh)
+	}
+	events := trace.TokenArrivals(tr, o.seed, class.In, class.Out)
+	queries := make([]sim.TokenQuery, len(events))
+	for i, ev := range events {
+		queries[i] = sim.TokenQuery{ID: i, Arrival: ev.T, Prefill: ev.Prefill, Decode: ev.Decode}
+	}
+	fmt.Printf("simulating %d token-annotated queries (%s trace, %s class, SLO %.0f ms, %d workers)...\n",
+		len(queries), tr.Name, class.Name, o.slo*1000, o.workers)
+	m := e.Run(queries)
+
+	fmt.Printf("method:                      %s\n", o.method)
+	fmt.Printf("served / dropped:            %d / %d\n", m.Served, m.Dropped)
+	fmt.Printf("steps / model switches:      %d / %d\n", m.Steps, m.ModelSwitches)
+	fmt.Printf("prefill / decode tokens:     %d / %d\n", m.PrefillTokens, m.DecodeTokens)
+	fmt.Printf("peak KV usage:               %.4f\n", m.PeakKVUsage)
+	fmt.Printf("accuracy/satisfied query:    %.4f\n", m.AccuracyPerSatisfiedQuery())
+	fmt.Printf("latency SLO violation rate:  %.4f%%\n", m.ViolationRate()*100)
+	fmt.Printf("latency p50/p95/p99 (ms):    %.1f / %.1f / %.1f\n",
+		m.LatencyP50*1000, m.LatencyP95*1000, m.LatencyP99*1000)
+	fmt.Printf("TTFT p50/p95/p99 (ms):       %.1f / %.1f / %.1f\n",
+		m.TTFTP50*1000, m.TTFTP95*1000, m.TTFTP99*1000)
+	fmt.Printf("TBT p50/p95/p99 (ms):        %.1f / %.1f / %.1f\n",
+		m.TBTP50*1000, m.TBTP95*1000, m.TBTP99*1000)
+	fmt.Println("model usage (queries):")
+	for name, c := range m.ModelCounts {
+		fmt.Printf("  %-22s %d\n", name, c)
+	}
+	if tokenPol != nil {
+		fmt.Printf("policy expectation:          accuracy %.4f, violation %.4f%%\n",
+			tokenPol.ExpectedAccuracy, tokenPol.ExpectedViolation*100)
+	}
+	fmt.Println("script complete!")
+}
+
 func main() {
 	var (
+		workload  = flag.String("workload", "scalar", "workload kind: scalar (one latency per query batch) or llm (token streams through continuous-batching workers; methods RAMSIS, Scalar, Fixed)")
 		method    = flag.String("m", "RAMSIS", "MS&S method: RAMSIS, JF, MS, Greedy")
 		traceArg  = flag.String("trace", "constant", "query trace: real (Twitter) or constant")
 		task      = flag.String("task", "image", "inference task: image or text")
@@ -83,6 +234,11 @@ func main() {
 		tenantsFile = flag.String("tenants", "", "multi-tenant mode: tenant contract JSON; each tenant offers its contracted rate over -dur, violations are judged per tenant SLO, and weighted-fair admission meters tenants (wraps -admit as the inner layer)")
 		tenantMult  = flag.String("tenant-mult", "", "per-tenant offered-rate multipliers, e.g. bronze=4 or bronze=4,gold=2 — the overload experiment knob (requires -tenants)")
 
+		llmProfile = flag.String("llm-profile", "", "LLM workload: step-model profile JSON (kinded format; empty = builtin chat set)")
+		llmClass   = flag.String("llm-class", "general", "LLM workload: token-length class (general, codegen, or reasoning)")
+		llmKVCap   = flag.Int("llm-kv-cap", 0, "LLM workload: override every model's KV-cache capacity in tokens (0 = per-model defaults)")
+		llmBucket  = flag.Int("llm-bucket", 0, "LLM workload: outstanding-token bucket width for the token-stream MDP (0 = default 512)")
+
 		admitName    = flag.String("admit", "none", "admission control: none, deadline (shed queries whose deadline is unmeetable), or cap (bound outstanding work; unifies the -maxqueue N_w bound online)")
 		admitMargin  = flag.Float64("admit-margin", 1, "deadline admission: shed when estimated wait exceeds SLO*margin minus best-case service time")
 		admitDegrade = flag.Int("admit-degrade", 0, "degraded-mode depth: maximum number of slowest models to forbid under confirmed overload (0 = off; requires -admit)")
@@ -90,6 +246,20 @@ func main() {
 	flag.Parse()
 	if _, err := telemetry.SetupLogging(*logLevel, *logFmt, "simulate"); err != nil {
 		log.Fatal(err)
+	}
+
+	if *workload == "llm" {
+		runLLMSim(llmSimOpts{
+			method: *method, profilePath: *llmProfile, class: *llmClass,
+			kvCap: *llmKVCap, bucket: *llmBucket,
+			traceArg: *traceArg, load: *load, dur: *dur,
+			stepLoad: *stepLoad, stepAt: *stepAt, stepDur: *stepDur,
+			slo: *sloMS / 1000, workers: *workers, seed: *seed,
+			solverArg: *solverArg, solveF32: *solveF32, traceOut: *traceOut,
+		})
+		return
+	} else if *workload != "scalar" {
+		log.Fatalf("unknown workload %q (want scalar or llm)", *workload)
 	}
 
 	models, err := profile.SetForTask(*task)

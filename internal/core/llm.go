@@ -1,0 +1,514 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"ramsis/internal/dist"
+	"ramsis/internal/llm"
+	"ramsis/internal/mdp"
+)
+
+// LLMConfig describes one worker-level token-stream policy-generation
+// problem: the token-level analog of Config. The MDP state is the worker's
+// outstanding token load (prefill still to ingest plus decode still to
+// generate, bucketed), the actions are the step models on the
+// accuracy/throughput Pareto front, and one decision epoch is one
+// continuous-batching engine step.
+type LLMConfig struct {
+	// Models are the step models pre-loaded on the worker.
+	Models llm.Set
+	// SLO is the end-to-end response latency SLO in seconds.
+	SLO float64
+	// Workers is K, the number of workers the balancer spreads arrivals over.
+	Workers int
+	// Rate is the aggregate query arrival rate in QPS (Poisson).
+	Rate float64
+	// In and Out are the prompt and output token-length distributions the
+	// transition probabilities are derived from.
+	In, Out dist.LengthSampler
+
+	// TokenBucket is the state-space bucket width in tokens; default 512.
+	TokenBucket int
+	// MaxTokens bounds the bucketed load axis; loads beyond it collapse into
+	// one overflow state. Default 32768.
+	MaxTokens int
+	// KVCap, when > 0, overrides every model's KV capacity (the -llm-kv-cap
+	// knob), so the policy is generated for the deployed cache size.
+	KVCap int
+	// NoParetoPruning disables accuracy/throughput action pruning.
+	NoParetoPruning bool
+
+	// Gamma is the discount factor; default 0.99.
+	Gamma float64
+	// Solver selects the exact solution method, as in Config.
+	Solver Solver
+	// Float32 runs the compiled solve kernels in float32.
+	Float32 bool
+	// ProbFloor prunes transition entries below it; default 1e-10.
+	ProbFloor float64
+	// Timeout aborts generation with ErrTimeout when exceeded (0 = no limit).
+	Timeout time.Duration
+}
+
+func (c LLMConfig) withDefaults() LLMConfig {
+	if c.TokenBucket == 0 {
+		c.TokenBucket = 512
+	}
+	if c.MaxTokens == 0 {
+		c.MaxTokens = 32768
+	}
+	if c.Gamma == 0 {
+		c.Gamma = 0.99
+	}
+	if c.ProbFloor == 0 {
+		c.ProbFloor = 1e-10
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c LLMConfig) Validate() error {
+	if err := c.Models.Validate(); err != nil {
+		return err
+	}
+	if !(c.SLO > 0) || math.IsInf(c.SLO, 0) {
+		return fmt.Errorf("core: invalid SLO %v", c.SLO)
+	}
+	if c.Workers < 1 {
+		return fmt.Errorf("core: invalid worker count %d", c.Workers)
+	}
+	if !(c.Rate > 0) || math.IsInf(c.Rate, 0) {
+		return fmt.Errorf("core: invalid arrival rate %v", c.Rate)
+	}
+	if c.In == nil || c.Out == nil {
+		return fmt.Errorf("core: nil token-length sampler")
+	}
+	if c.TokenBucket < 1 {
+		return fmt.Errorf("core: invalid token bucket width %d", c.TokenBucket)
+	}
+	if c.MaxTokens < c.TokenBucket {
+		return fmt.Errorf("core: max tokens %d below bucket width %d", c.MaxTokens, c.TokenBucket)
+	}
+	if c.Gamma < 0 || c.Gamma >= 1 {
+		return fmt.Errorf("core: discount %v outside [0,1)", c.Gamma)
+	}
+	return nil
+}
+
+// LLMChoice is one token-stream model-selection decision: run the next
+// engine step on Model, scheduling PrefillTokens + DecodeTokens tokens.
+// Arrival marks the empty-load wait-for-arrival action.
+type LLMChoice struct {
+	Model         string  `json:"model"`
+	ModelIdx      int     `json:"modelIdx"`
+	PrefillTokens int     `json:"prefillTokens"`
+	DecodeTokens  int     `json:"decodeTokens"`
+	StepTime      float64 `json:"stepTime"`
+	TokenRate     float64 `json:"tokenRate"`
+	Satisfies     bool    `json:"satisfies"`
+	Arrival       bool    `json:"arrival,omitempty"`
+}
+
+// LLMPolicy is an offline-generated per-worker token-stream selection
+// policy: a mapping from bucketed outstanding-token load to the step model
+// the next engine step should run, with stationary expectations over its
+// MDP. State 0 is the empty worker; state k in 1..Buckets covers loads in
+// ((k-1)·TokenBucket, k·TokenBucket]; the last state absorbs overflow.
+type LLMPolicy struct {
+	Task        string  `json:"task"`
+	SLO         float64 `json:"slo"`
+	Workers     int     `json:"workers"`
+	Load        float64 `json:"load"`
+	TokenBucket int     `json:"tokenBucket"`
+	MaxTokens   int     `json:"maxTokens"`
+	Pruned      bool    `json:"pruned"`
+
+	// Choices maps state indices (0 = empty, then load buckets) to
+	// decisions.
+	Choices []LLMChoice `json:"choices"`
+
+	// ExpectedAccuracy is the stationary token-weighted mean accuracy over
+	// satisfied decisions; ExpectedViolation the stationary token-weighted
+	// fraction of scheduled work on decisions that miss the SLO drain bound.
+	ExpectedAccuracy  float64 `json:"expectedAccuracy"`
+	ExpectedViolation float64 `json:"expectedViolation"`
+
+	States      int           `json:"states"`
+	Transitions int           `json:"transitions"`
+	Iterations  int           `json:"iterations"`
+	BuildTime   time.Duration `json:"buildTime"`
+	SolveTime   time.Duration `json:"solveTime"`
+
+	models llm.Set
+}
+
+// Models returns the (pruned) step-model set the policy selects over.
+// Choices' ModelIdx indexes into it.
+func (p *LLMPolicy) Models() llm.Set { return p.models }
+
+// Buckets returns the load-bucket count (states minus empty and overflow).
+func (p *LLMPolicy) Buckets() int { return len(p.Choices) - 2 }
+
+// Select returns the policy's decision for a worker holding
+// outstandingTokens tokens of unfinished work (prefill not yet ingested
+// plus decode not yet generated, over waiting and running queries alike).
+// Loads beyond MaxTokens use the overflow state's forced decision; a
+// non-positive load maps to the lightest-load bucket so callers always get
+// a runnable model.
+func (p *LLMPolicy) Select(outstandingTokens int) LLMChoice {
+	b := p.Buckets()
+	k := (outstandingTokens + p.TokenBucket - 1) / p.TokenBucket
+	if k < 1 {
+		k = 1
+	}
+	if k > b+1 {
+		k = b + 1
+	}
+	return p.Choices[k]
+}
+
+// llmBuilder holds the shared pieces of one GenerateLLM run.
+type llmBuilder struct {
+	cfg     LLMConfig
+	models  llm.Set // pruned, KV-cap-overridden action set
+	w       int     // bucket width in tokens
+	b       int     // load bucket count (states: 0..b+1)
+	cell    int     // fine-cell width for the one-arrival convolution
+	sumCell []float64
+	muS     float64 // mean total tokens per query
+	sigmaS  float64 // stddev of total tokens per query
+	lambdaW float64 // per-worker arrival rate
+}
+
+// cellPMF tabulates P(X ∈ ((i-1)c, ic]) for i = 1..ceil(max/c).
+func cellPMF(s dist.LengthSampler, c int) []float64 {
+	n := (s.MaxLen() + c - 1) / c
+	pmf := make([]float64, n+1)
+	prev := 0.0
+	for i := 1; i <= n; i++ {
+		cur := s.CDFLen(i * c)
+		pmf[i] = cur - prev
+		prev = cur
+	}
+	return pmf
+}
+
+func newLLMBuilder(cfg LLMConfig) *llmBuilder {
+	g := &llmBuilder{
+		cfg:     cfg,
+		models:  cfg.Models.WithKVCap(cfg.KVCap),
+		w:       cfg.TokenBucket,
+		b:       (cfg.MaxTokens + cfg.TokenBucket - 1) / cfg.TokenBucket,
+		muS:     cfg.In.MeanLen() + cfg.Out.MeanLen(),
+		sigmaS:  math.Sqrt(cfg.In.VarLen() + cfg.Out.VarLen()),
+		lambdaW: cfg.Rate / float64(cfg.Workers),
+	}
+	if !cfg.NoParetoPruning {
+		g.models = g.models.ParetoFront()
+	}
+	// Quarter-bucket cells keep the one-arrival convolution's
+	// discretization error well inside the bucket width.
+	g.cell = max(1, g.w/4)
+	in := cellPMF(cfg.In, g.cell)
+	out := cellPMF(cfg.Out, g.cell)
+	// Cell i represents (i-1/2)c, so a sum lands on ((i+j-1))c exactly.
+	g.sumCell = make([]float64, len(in)+len(out))
+	for i := 1; i < len(in); i++ {
+		if in[i] == 0 {
+			continue
+		}
+		for j := 1; j < len(out); j++ {
+			g.sumCell[i+j-1] += in[i] * out[j]
+		}
+	}
+	return g
+}
+
+// bucketOf maps a token load to its state index.
+func (g *llmBuilder) bucketOf(tokens float64) int {
+	if tokens <= 0 {
+		return 0
+	}
+	k := int(math.Ceil(tokens / float64(g.w)))
+	if k < 1 {
+		k = 1
+	}
+	if k > g.b {
+		k = g.b + 1
+	}
+	return k
+}
+
+// stdNormCDF is the standard normal CDF Φ(x).
+func stdNormCDF(x float64) float64 { return 0.5 * math.Erfc(-x/math.Sqrt2) }
+
+// transitions builds the sparse successor distribution of one step: the
+// post-step residual load base plus A ~ Poisson(λ_w·τ) arrivals, each
+// bringing In+Out tokens. A = 1 uses the exact (cell-discretized)
+// convolution of the two length pmfs; A >= 2 uses the CLT normal over
+// bucket edges, which the independent-sum variance justifies.
+func (g *llmBuilder) transitions(base, tau float64) []mdp.Transition {
+	mass := make([]float64, g.b+2)
+	mu := g.lambdaW * tau
+	cum := 0.0
+	for a := 0; ; a++ {
+		pa := dist.PoissonPMF(a, mu)
+		switch a {
+		case 0:
+			mass[g.bucketOf(base)] += pa
+		case 1:
+			for k := 1; k < len(g.sumCell); k++ {
+				if g.sumCell[k] > 0 {
+					mass[g.bucketOf(base+float64(k*g.cell))] += pa * g.sumCell[k]
+				}
+			}
+		default:
+			mean := base + float64(a)*g.muS
+			sd := math.Sqrt(float64(a)) * g.sigmaS
+			prev := stdNormCDF((0 - mean) / sd)
+			mass[0] += pa * prev
+			for k := 1; k <= g.b; k++ {
+				cur := stdNormCDF((float64(k*g.w) - mean) / sd)
+				mass[k] += pa * (cur - prev)
+				prev = cur
+			}
+			mass[g.b+1] += pa * (1 - prev)
+		}
+		cum += pa
+		if cum >= 1-g.cfg.ProbFloor || a >= 1024 {
+			break
+		}
+	}
+	var out []mdp.Transition
+	total := 0.0
+	for s, p := range mass {
+		if p >= g.cfg.ProbFloor {
+			out = append(out, mdp.Transition{Next: int32(s), P: p})
+			total += p
+		}
+	}
+	for i := range out {
+		out[i].P /= total
+	}
+	return out
+}
+
+// drainTime models the engine's time to clear a backlog of tokens with the
+// workload's mean prefill/decode mix on model m. Decode is the binding
+// resource: each sequence yields one token per step, so a backlog of
+// n ≈ tokens/μS queries needs d/min(n, MaxSeqs) decode rounds no matter how
+// large the step budget is — the serial-decode structure a blended
+// tokens-per-second rate misses entirely. Prefill rides along under the
+// budget; every step pays β₀ plus the KV penalty. Because step time is
+// linear, the total is exact given the step count.
+func (g *llmBuilder) drainTime(m llm.StepModel, tokens float64) float64 {
+	f := g.cfg.In.MeanLen() / g.muS
+	p := f * tokens
+	d := (1 - f) * tokens
+	n := math.Ceil(tokens / g.muS)
+	b := math.Min(n, float64(m.MaxSeqs))
+	steps := math.Max(d/b, (p+d)/float64(m.StepBudget()))
+	if steps < 1 {
+		steps = 1
+	}
+	kv := math.Min(1, tokens/float64(m.KVCapTokens))
+	return steps*(m.Beta0+m.BetaKV*llm.KVPenalty(kv)) + m.BetaPrefill*p + m.BetaDecode*d
+}
+
+// stepPlan composes one saturated engine step for model m against load
+// tokens: decode-first up to MaxSeqs sequences, prefill chunks filling the
+// remaining budget, composition split by the workload's mean
+// prefill/decode ratio. Mirrors the simulator's scheduler on the
+// bucket-representative load.
+func (g *llmBuilder) stepPlan(m llm.StepModel, tokens float64) (p, d int, kv float64) {
+	frac := g.cfg.In.MeanLen() / g.muS
+	budget := m.StepBudget()
+	d = int(math.Round((1 - frac) * tokens))
+	d = min(d, m.MaxSeqs, budget)
+	p = min(int(math.Round(frac*tokens)), budget-d)
+	if p+d == 0 {
+		d = 1
+	}
+	kv = min(1, tokens/float64(m.KVCapTokens))
+	return p, d, kv
+}
+
+// GenerateLLM runs the offline phase for one token-stream worker: it
+// formulates the bucketed outstanding-token MDP, solves it with the same
+// compiled solvers the scalar path uses, and computes stationary
+// expectations. The decision epoch is one engine step; a decision's reward
+// is the model's accuracy when the load (plus one typical in-flight query)
+// can drain within the SLO under the serial-decode drain model, else zero —
+// the token-level analog of the scalar Satisfies bound.
+func GenerateLLM(cfg LLMConfig) (*LLMPolicy, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := newLLMBuilder(cfg)
+	if g.models.Len() == 0 {
+		return nil, fmt.Errorf("core: no step models survive Pareto pruning")
+	}
+
+	start := time.Now()
+	nStates := g.b + 2
+	m := &mdp.MDP{Actions: make([][]mdp.Action, nStates)}
+	type plan struct {
+		p, d      int
+		tau, rate float64
+		sat       bool
+	}
+	plans := make([][]plan, nStates)
+	// Empty worker: wait for the next arrival, which brings one query's
+	// In+Out tokens (the one-arrival convolution from zero load).
+	m.Actions[0] = []mdp.Action{{
+		Label:       -1,
+		Reward:      0,
+		Transitions: g.arrivalTransitions(),
+	}}
+	for s := 1; s < nStates; s++ {
+		rep := (float64(s) - 0.5) * float64(g.w)
+		acts := make([]mdp.Action, 0, g.models.Len())
+		pls := make([]plan, 0, g.models.Len())
+		for mi, model := range g.models.Models {
+			p, d, kv := g.stepPlan(model, rep)
+			tau := model.StepTime(p, d, kv)
+			rate := float64(p+d) / tau
+			// Satisfies: the backlog plus one typical query drains within
+			// the SLO under the serial-decode drain model.
+			sat := g.drainTime(model, rep+g.muS) <= cfg.SLO
+			reward := 0.0
+			if sat {
+				reward = model.Accuracy
+			}
+			base := rep - float64(p+d)
+			acts = append(acts, mdp.Action{
+				Label:       mi,
+				Reward:      reward,
+				Transitions: g.transitions(base, tau),
+			})
+			pls = append(pls, plan{p: p, d: d, tau: tau, rate: rate, sat: sat})
+		}
+		m.Actions[s] = acts
+		plans[s] = pls
+	}
+	buildTime := time.Since(start)
+	if err := m.Validate(1e-6); err != nil {
+		return nil, fmt.Errorf("core: built LLM MDP invalid: %w", err)
+	}
+
+	start = time.Now()
+	cm := mdp.Compile(m)
+	opts := mdp.SolveOptions{Gamma: cfg.Gamma, Float32: cfg.Float32}
+	if cfg.Timeout > 0 {
+		opts.Deadline = time.Now().Add(cfg.Timeout)
+	}
+	if cfg.Solver == SolvePrioritized {
+		opts.Method = mdp.MethodPrioritized
+	}
+	var res mdp.Result
+	var err error
+	if cfg.Solver == SolvePolicyIteration {
+		res, err = cm.PolicyIteration(opts)
+	} else {
+		res, err = cm.Solve(opts)
+	}
+	if errors.Is(err, mdp.ErrDeadline) {
+		return nil, ErrTimeout
+	}
+	if err != nil {
+		return nil, err
+	}
+	solveTime := time.Since(start)
+
+	pol := &LLMPolicy{
+		Task:        g.models.Task,
+		SLO:         cfg.SLO,
+		Workers:     cfg.Workers,
+		Load:        cfg.Rate,
+		TokenBucket: g.w,
+		MaxTokens:   cfg.MaxTokens,
+		Pruned:      !cfg.NoParetoPruning,
+		States:      m.NumStates(),
+		Transitions: m.NumTransitions(),
+		Iterations:  res.Iterations,
+		BuildTime:   buildTime,
+		SolveTime:   solveTime,
+		models:      g.models,
+	}
+	pol.Choices = make([]LLMChoice, nStates)
+	pol.Choices[0] = LLMChoice{Arrival: true, Satisfies: true}
+	for s := 1; s < nStates; s++ {
+		ai := res.Policy[s]
+		mi := m.Actions[s][ai].Label
+		pl := plans[s][ai]
+		pol.Choices[s] = LLMChoice{
+			Model:         g.models.Models[mi].Name,
+			ModelIdx:      mi,
+			PrefillTokens: pl.p,
+			DecodeTokens:  pl.d,
+			StepTime:      pl.tau,
+			TokenRate:     pl.rate,
+			Satisfies:     pl.sat,
+		}
+	}
+	pol.computeExpectations(cm, res.Policy)
+	return pol, nil
+}
+
+// arrivalTransitions is the empty-state successor distribution: exactly one
+// arriving query's total-token distribution on the cell grid.
+func (g *llmBuilder) arrivalTransitions() []mdp.Transition {
+	mass := make([]float64, g.b+2)
+	for k := 1; k < len(g.sumCell); k++ {
+		if g.sumCell[k] > 0 {
+			mass[g.bucketOf(float64(k*g.cell))] += g.sumCell[k]
+		}
+	}
+	var out []mdp.Transition
+	total := 0.0
+	for s, p := range mass {
+		if p >= g.cfg.ProbFloor {
+			out = append(out, mdp.Transition{Next: int32(s), P: p})
+			total += p
+		}
+	}
+	for i := range out {
+		out[i].P /= total
+	}
+	return out
+}
+
+// computeExpectations evaluates stationary accuracy and violation
+// expectations over the policy-induced chain, weighting each state by the
+// tokens its decision schedules per step (the token-level analog of the
+// scalar batch weighting).
+func (p *LLMPolicy) computeExpectations(cm *mdp.Compiled, pol mdp.Policy) {
+	pi, err := cm.StationaryDistribution(pol, 1e-13, 0)
+	if err != nil {
+		return
+	}
+	var servedMass, violMass, satMass, accMass float64
+	for s, c := range p.Choices {
+		if c.Arrival {
+			continue
+		}
+		w := pi[s] * float64(c.PrefillTokens+c.DecodeTokens)
+		servedMass += w
+		if c.Satisfies {
+			satMass += w
+			accMass += w * p.models.Models[c.ModelIdx].Accuracy
+		} else {
+			violMass += w
+		}
+	}
+	if servedMass > 0 {
+		p.ExpectedViolation = violMass / servedMass
+	}
+	if satMass > 0 {
+		p.ExpectedAccuracy = accMass / satMass
+	}
+}

@@ -1,0 +1,242 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// LengthSampler draws per-query token lengths (prompt/prefill or
+// output/decode) for the LLM workload generator, and exposes the exact
+// moments and quantiles of the discrete distribution it samples so policy
+// generation (internal/core's token-bucket MDP) and statistical tests work
+// from analytic values rather than Monte Carlo estimates. Implementations
+// are deterministic given the seed of the supplied *rand.Rand and return
+// lengths in [1, MaxLen()].
+type LengthSampler interface {
+	// SampleLen draws one token length.
+	SampleLen(rng *rand.Rand) int
+	// MeanLen returns the exact mean of the sampled distribution.
+	MeanLen() float64
+	// VarLen returns the exact variance of the sampled distribution.
+	VarLen() float64
+	// CDFLen returns P[length <= k].
+	CDFLen(k int) float64
+	// QuantileLen returns the smallest k with CDFLen(k) >= q, for
+	// q in (0, 1].
+	QuantileLen(q float64) int
+	// MaxLen returns the largest length the sampler can produce.
+	MaxLen() int
+}
+
+// normCDF is the standard normal CDF Φ(x).
+func normCDF(x float64) float64 { return 0.5 * math.Erfc(-x/math.Sqrt2) }
+
+// LognormalLen samples integer token lengths as round(exp(μ + σZ)) clamped
+// to [Min, Max] — the discretized lognormal that production LLM traces fit
+// for both prompt and output lengths. The exact pmf of that sampling rule
+// (normal CDF differences at the half-integer rounding edges, with the tail
+// mass folded into Min and Max by the clamp) is tabulated at construction,
+// so the moment and quantile accessors are exact, not lognormal
+// approximations.
+type LognormalLen struct {
+	mu, sigma float64
+	min, max  int
+	pmf       []float64 // pmf[k-min] = P[length == k]
+	cdf       []float64 // cdf[k-min] = P[length <= k]
+	mean, vr  float64
+}
+
+// NewLognormalLen builds a discretized lognormal length sampler with the
+// given median (exp(μ)) and log-space σ, clamped to [min, max] tokens.
+func NewLognormalLen(median, sigma float64, min, max int) *LognormalLen {
+	if !(median > 0) || !(sigma > 0) || min < 1 || max < min {
+		panic(fmt.Sprintf("dist: invalid LognormalLen(%v, %v, %d, %d)", median, sigma, min, max))
+	}
+	l := &LognormalLen{mu: math.Log(median), sigma: sigma, min: min, max: max}
+	n := max - min + 1
+	l.pmf = make([]float64, n)
+	l.cdf = make([]float64, n)
+	cum := 0.0
+	for k := min; k <= max; k++ {
+		// round(v) == k ⟺ v ∈ [k-0.5, k+0.5); the clamp folds v < min-0.5
+		// into min and v >= max-0.5 into max.
+		hi := 1.0
+		if k < max {
+			hi = normCDF((math.Log(float64(k)+0.5) - l.mu) / l.sigma)
+		}
+		lo := 0.0
+		if k > min {
+			lo = normCDF((math.Log(float64(k)-0.5) - l.mu) / l.sigma)
+		}
+		p := hi - lo
+		if p < 0 {
+			p = 0
+		}
+		l.pmf[k-min] = p
+		cum += p
+		l.cdf[k-min] = cum
+		l.mean += p * float64(k)
+	}
+	for k := min; k <= max; k++ {
+		d := float64(k) - l.mean
+		l.vr += l.pmf[k-min] * d * d
+	}
+	return l
+}
+
+// SampleLen draws round(exp(μ + σZ)) clamped to [Min, Max].
+func (l *LognormalLen) SampleLen(rng *rand.Rand) int {
+	v := math.Exp(l.mu + l.sigma*rng.NormFloat64())
+	k := int(math.Round(v))
+	if k < l.min {
+		k = l.min
+	}
+	if k > l.max {
+		k = l.max
+	}
+	return k
+}
+
+// MeanLen returns the exact mean of the clamped discrete distribution.
+func (l *LognormalLen) MeanLen() float64 { return l.mean }
+
+// VarLen returns the exact variance of the clamped discrete distribution.
+func (l *LognormalLen) VarLen() float64 { return l.vr }
+
+// CDFLen returns P[length <= k].
+func (l *LognormalLen) CDFLen(k int) float64 {
+	if k < l.min {
+		return 0
+	}
+	if k >= l.max {
+		return 1
+	}
+	return l.cdf[k-l.min]
+}
+
+// QuantileLen returns the smallest k with CDFLen(k) >= q.
+func (l *LognormalLen) QuantileLen(q float64) int {
+	for k := l.min; k < l.max; k++ {
+		if l.cdf[k-l.min] >= q {
+			return k
+		}
+	}
+	return l.max
+}
+
+// MaxLen returns the clamp ceiling.
+func (l *LognormalLen) MaxLen() int { return l.max }
+
+// LenBucket is one bucket of an empirical length histogram: lengths in
+// [Lo, Hi] tokens carry Weight relative mass, spread uniformly over the
+// bucket's integers.
+type LenBucket struct {
+	Lo, Hi int
+	Weight float64
+}
+
+// EmpiricalLen samples from a bucketed empirical length histogram — the
+// form a measured production length distribution arrives in (servegen-style
+// per-class histograms). Buckets must be sorted, non-overlapping, and
+// positive-weight; weights are normalized at construction.
+type EmpiricalLen struct {
+	buckets  []LenBucket
+	cum      []float64 // cumulative normalized weight per bucket
+	mean, vr float64
+}
+
+// NewEmpiricalLen builds an empirical bucket sampler.
+func NewEmpiricalLen(buckets []LenBucket) *EmpiricalLen {
+	if len(buckets) == 0 {
+		panic("dist: NewEmpiricalLen with no buckets")
+	}
+	total := 0.0
+	for i, b := range buckets {
+		if b.Lo < 1 || b.Hi < b.Lo || !(b.Weight > 0) {
+			panic(fmt.Sprintf("dist: invalid length bucket %+v", b))
+		}
+		if i > 0 && b.Lo <= buckets[i-1].Hi {
+			panic(fmt.Sprintf("dist: length buckets overlap at %+v", b))
+		}
+		total += b.Weight
+	}
+	e := &EmpiricalLen{buckets: append([]LenBucket(nil), buckets...), cum: make([]float64, len(buckets))}
+	cum := 0.0
+	var sqMean float64
+	for i, b := range e.buckets {
+		w := b.Weight / total
+		e.buckets[i].Weight = w
+		cum += w
+		e.cum[i] = cum
+		mid := float64(b.Lo+b.Hi) / 2
+		n := float64(b.Hi - b.Lo + 1)
+		e.mean += w * mid
+		// E[X²] of a uniform integer on [Lo, Hi] is mid² + (n²-1)/12.
+		sqMean += w * (mid*mid + (n*n-1)/12)
+	}
+	e.vr = sqMean - e.mean*e.mean
+	if e.vr < 0 {
+		e.vr = 0
+	}
+	return e
+}
+
+// SampleLen picks a bucket by weight, then a uniform integer within it.
+func (e *EmpiricalLen) SampleLen(rng *rand.Rand) int {
+	u := rng.Float64()
+	for i, c := range e.cum {
+		if u <= c || i == len(e.cum)-1 {
+			b := e.buckets[i]
+			return b.Lo + rng.Intn(b.Hi-b.Lo+1)
+		}
+	}
+	return e.buckets[len(e.buckets)-1].Hi
+}
+
+// MeanLen returns the exact mean.
+func (e *EmpiricalLen) MeanLen() float64 { return e.mean }
+
+// VarLen returns the exact variance.
+func (e *EmpiricalLen) VarLen() float64 { return e.vr }
+
+// CDFLen returns P[length <= k].
+func (e *EmpiricalLen) CDFLen(k int) float64 {
+	cum := 0.0
+	for _, b := range e.buckets {
+		switch {
+		case k >= b.Hi:
+			cum += b.Weight
+		case k >= b.Lo:
+			cum += b.Weight * float64(k-b.Lo+1) / float64(b.Hi-b.Lo+1)
+			return cum
+		default:
+			return cum
+		}
+	}
+	return cum
+}
+
+// QuantileLen returns the smallest k with CDFLen(k) >= q.
+func (e *EmpiricalLen) QuantileLen(q float64) int {
+	prev := 0.0
+	for i, b := range e.buckets {
+		if q <= e.cum[i]+1e-15 {
+			n := float64(b.Hi - b.Lo + 1)
+			within := (q - prev) / b.Weight * n
+			k := b.Lo + int(math.Ceil(within)) - 1
+			if k < b.Lo {
+				k = b.Lo
+			}
+			if k > b.Hi {
+				k = b.Hi
+			}
+			return k
+		}
+		prev = e.cum[i]
+	}
+	return e.buckets[len(e.buckets)-1].Hi
+}
+
+// MaxLen returns the last bucket's upper bound.
+func (e *EmpiricalLen) MaxLen() int { return e.buckets[len(e.buckets)-1].Hi }

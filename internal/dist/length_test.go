@@ -1,0 +1,157 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// The statistical gates: 100k draws from each sampler kind must land within
+// tolerance of the analytic mean and p99 the sampler itself reports, and the
+// draw stream must be bit-deterministic for a seed. Tolerances are sized for
+// the fixed seeds below (≈5 standard errors for the mean; a few percent of
+// discreteness slack for p99), so the tests are deterministic, not flaky.
+
+const lengthDraws = 100_000
+
+func drawLengths(s LengthSampler, seed int64, n int) []int {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int, n)
+	for i := range out {
+		out[i] = s.SampleLen(rng)
+	}
+	return out
+}
+
+func sampleStats(xs []int) (mean float64, p99 int) {
+	sum := 0.0
+	for _, x := range xs {
+		sum += float64(x)
+	}
+	sorted := append([]int(nil), xs...)
+	sort.Ints(sorted)
+	idx := int(math.Ceil(0.99*float64(len(sorted)))) - 1
+	return sum / float64(len(xs)), sorted[idx]
+}
+
+func testSamplerStatistics(t *testing.T, s LengthSampler, meanTolFrac, p99TolFrac float64) {
+	t.Helper()
+	xs := drawLengths(s, 42, lengthDraws)
+	mean, p99 := sampleStats(xs)
+
+	wantMean := s.MeanLen()
+	if tol := wantMean * meanTolFrac; math.Abs(mean-wantMean) > tol {
+		t.Errorf("mean of %d draws = %.2f, want %.2f ± %.2f", lengthDraws, mean, wantMean, tol)
+	}
+	wantP99 := s.QuantileLen(0.99)
+	if tol := float64(wantP99) * p99TolFrac; math.Abs(float64(p99-wantP99)) > tol {
+		t.Errorf("p99 of %d draws = %d, want %d ± %.0f", lengthDraws, p99, wantP99, tol)
+	}
+	for _, x := range xs {
+		if x < 1 || x > s.MaxLen() {
+			t.Fatalf("draw %d outside [1, %d]", x, s.MaxLen())
+		}
+	}
+}
+
+func TestLognormalLenStatistics(t *testing.T) {
+	testSamplerStatistics(t, NewLognormalLen(200, 0.9, 8, 2048), 0.02, 0.05)
+}
+
+func TestLognormalLenClampedStatistics(t *testing.T) {
+	// Heavy clamping (long-prefill codegen class): the analytic moments
+	// must account for the mass folded into the Max edge.
+	testSamplerStatistics(t, NewLognormalLen(1400, 0.6, 64, 4096), 0.02, 0.05)
+}
+
+func TestEmpiricalLenStatistics(t *testing.T) {
+	s := NewEmpiricalLen([]LenBucket{
+		{Lo: 128, Hi: 512, Weight: 0.25},
+		{Lo: 513, Hi: 1536, Weight: 0.45},
+		{Lo: 1537, Hi: 3072, Weight: 0.30},
+	})
+	testSamplerStatistics(t, s, 0.02, 0.05)
+}
+
+func TestLengthSamplersDeterministic(t *testing.T) {
+	samplers := map[string]func() LengthSampler{
+		"lognormal": func() LengthSampler { return NewLognormalLen(200, 0.9, 8, 2048) },
+		"empirical": func() LengthSampler {
+			return NewEmpiricalLen([]LenBucket{{Lo: 1, Hi: 64, Weight: 1}, {Lo: 65, Hi: 256, Weight: 2}})
+		},
+	}
+	for name, mk := range samplers {
+		a := drawLengths(mk(), 7, 4096)
+		b := drawLengths(mk(), 7, 4096)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: draw %d differs across identically seeded runs: %d vs %d", name, i, a[i], b[i])
+			}
+		}
+		c := drawLengths(mk(), 8, 4096)
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("%s: different seeds produced identical streams", name)
+		}
+	}
+}
+
+func TestLognormalLenPMFSumsToOne(t *testing.T) {
+	l := NewLognormalLen(180, 0.7, 16, 1024)
+	if got := l.CDFLen(l.MaxLen()); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("CDF at MaxLen = %v, want 1", got)
+	}
+	if l.CDFLen(0) != 0 {
+		t.Fatalf("CDF below Min = %v, want 0", l.CDFLen(0))
+	}
+	prev := 0.0
+	for k := 1; k <= l.MaxLen(); k += 13 {
+		c := l.CDFLen(k)
+		if c < prev-1e-12 {
+			t.Fatalf("CDF not monotone at k=%d: %v < %v", k, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestQuantileConsistentWithCDF(t *testing.T) {
+	for _, s := range []LengthSampler{
+		NewLognormalLen(200, 0.9, 8, 2048),
+		NewEmpiricalLen([]LenBucket{{Lo: 10, Hi: 20, Weight: 1}, {Lo: 30, Hi: 60, Weight: 3}}),
+	} {
+		for _, q := range []float64{0.01, 0.25, 0.5, 0.9, 0.99, 1} {
+			k := s.QuantileLen(q)
+			if s.CDFLen(k) < q-1e-9 {
+				t.Errorf("%T: CDF(Quantile(%v)=%d) = %v < q", s, q, k, s.CDFLen(k))
+			}
+			if k > 1 && s.CDFLen(k-1) >= q+1e-9 {
+				t.Errorf("%T: Quantile(%v)=%d not minimal: CDF(%d)=%v", s, q, k, k-1, s.CDFLen(k-1))
+			}
+		}
+	}
+}
+
+func TestEmpiricalLenValidation(t *testing.T) {
+	for name, buckets := range map[string][]LenBucket{
+		"empty":       {},
+		"zero-weight": {{Lo: 1, Hi: 10, Weight: 0}},
+		"inverted":    {{Lo: 10, Hi: 5, Weight: 1}},
+		"overlap":     {{Lo: 1, Hi: 10, Weight: 1}, {Lo: 10, Hi: 20, Weight: 1}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			NewEmpiricalLen(buckets)
+		}()
+	}
+}

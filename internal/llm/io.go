@@ -1,0 +1,67 @@
+package llm
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"ramsis/internal/profile"
+)
+
+// setFile is the llm kind's single-file wire form, sharing the kinded
+// header with profile's scalar format so each loader can reject the other
+// kind with a pointed error instead of misparsing coefficients as latency
+// tables.
+type setFile struct {
+	Kind   string      `json:"kind"`
+	Task   string      `json:"task"`
+	Models []StepModel `json:"models"`
+}
+
+// MarshalSet encodes the set as a kinded single-file JSON document.
+func MarshalSet(s Set) ([]byte, error) {
+	return json.MarshalIndent(setFile{Kind: profile.KindLLM, Task: s.Task, Models: s.Models}, "", " ")
+}
+
+// SaveFile writes the set as a kinded single-file JSON document.
+func (s Set) SaveFile(path string) error {
+	data, err := MarshalSet(s)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadSet decodes a kinded single-file profile document into a step-model
+// Set. A scalar-kind document is rejected: batch-latency tables carry no
+// token-level coefficients, so the step-time path cannot consume them.
+func LoadSet(data []byte) (Set, error) {
+	if kind := profile.FileKind(data); kind != profile.KindLLM {
+		if kind == profile.KindScalar {
+			return Set{}, fmt.Errorf("llm: file holds a %q batch-latency profile, not token-level step-time tables; load it with profile.LoadSetFile (or drop the -llm flags)", kind)
+		}
+		return Set{}, fmt.Errorf("llm: unknown profile kind %q (want %q or %q)", kind, profile.KindLLM, profile.KindScalar)
+	}
+	var sf setFile
+	if err := json.Unmarshal(data, &sf); err != nil {
+		return Set{}, fmt.Errorf("llm: %w", err)
+	}
+	out := Set{Task: sf.Task, Models: sf.Models}
+	if err := out.Validate(); err != nil {
+		return Set{}, err
+	}
+	return out, nil
+}
+
+// LoadSetFile reads a kinded single-file step-model document from path.
+func LoadSetFile(path string) (Set, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Set{}, err
+	}
+	s, err := LoadSet(data)
+	if err != nil {
+		return Set{}, fmt.Errorf("%w (file %s)", err, path)
+	}
+	return s, nil
+}

@@ -1,0 +1,96 @@
+package llm
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ramsis/internal/profile"
+)
+
+// TestBothProfileKindsRoundTrip is the satellite round-trip test covering
+// both profile kinds in one file: a scalar set and an llm set each survive
+// Save → Load bit-exactly, each loader rejects the other kind with an error
+// that names the right loader, and the kind sniffer distinguishes all three
+// cases (scalar, llm, legacy kindless).
+func TestBothProfileKindsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+
+	llmPath := filepath.Join(dir, "chat.llm.json")
+	llmSet := BuiltinSet()
+	if err := llmSet.SaveFile(llmPath); err != nil {
+		t.Fatal(err)
+	}
+	gotLLM, err := LoadSetFile(llmPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotLLM, llmSet) {
+		t.Fatalf("llm round-trip mismatch:\n got %+v\nwant %+v", gotLLM, llmSet)
+	}
+
+	scalarPath := filepath.Join(dir, "text.scalar.json")
+	scalarSet := profile.TextSet()
+	if err := scalarSet.SaveFile(scalarPath); err != nil {
+		t.Fatal(err)
+	}
+	gotScalar, err := profile.LoadSetFile(scalarPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotScalar, scalarSet) {
+		t.Fatalf("scalar round-trip mismatch:\n got %+v\nwant %+v", gotScalar, scalarSet)
+	}
+
+	// Cross-kind loads fail loudly, pointing at the right loader.
+	if _, err := profile.LoadSetFile(llmPath); err == nil {
+		t.Fatal("scalar loader accepted an llm-kind file")
+	} else if !strings.Contains(err.Error(), "llm.LoadSetFile") && !strings.Contains(err.Error(), "-llm-profile") {
+		t.Fatalf("scalar loader's llm-kind error should point at the llm path, got: %v", err)
+	}
+	if _, err := LoadSetFile(scalarPath); err == nil {
+		t.Fatal("llm loader accepted a scalar-kind file")
+	} else if !strings.Contains(err.Error(), "profile.LoadSetFile") {
+		t.Fatalf("llm loader's scalar-kind error should point at the scalar path, got: %v", err)
+	}
+}
+
+func TestFileKindSniffing(t *testing.T) {
+	llmData, err := MarshalSet(BuiltinSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k := profile.FileKind(llmData); k != profile.KindLLM {
+		t.Fatalf("llm file sniffed as %q", k)
+	}
+	scalarData, err := profile.MarshalSet(profile.TextSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k := profile.FileKind(scalarData); k != profile.KindScalar {
+		t.Fatalf("scalar file sniffed as %q", k)
+	}
+	// Legacy kindless documents default to scalar.
+	if k := profile.FileKind([]byte(`{"task":"x","profiles":[]}`)); k != profile.KindScalar {
+		t.Fatalf("kindless file sniffed as %q, want scalar default", k)
+	}
+}
+
+func TestLoadSetRejectsInvalidModels(t *testing.T) {
+	bad := BuiltinSet()
+	bad.Models[0].KVCapTokens = 0
+	data, err := MarshalSet(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSet(data); err == nil {
+		t.Fatal("LoadSet accepted a model with zero KV capacity")
+	}
+	if _, err := LoadSet([]byte(`{"kind":"llm","task":"x","models":[]}`)); err == nil {
+		t.Fatal("LoadSet accepted an empty model set")
+	}
+	if _, err := LoadSet([]byte(`{"kind":"martian"}`)); err == nil {
+		t.Fatal("LoadSet accepted an unknown kind")
+	}
+}

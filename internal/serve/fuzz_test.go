@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"encoding/json"
+	"math"
+	"strconv"
+	"testing"
+	"unicode/utf8"
+)
+
+// The /infer wire layer hand-rolls its JSON encode/decode (infer_client.go)
+// for the hot dispatch path, with encoding/json as the fallback for
+// anything the fast parsers decline. These fuzz targets pin the contract
+// between the two: wherever both decoders accept the same bytes they must
+// agree, and everything the fast encoders emit must round-trip through
+// both. The checks are conditional by design — the fast paths accept a
+// deliberately narrow wire shape and are allowed to reject valid JSON, and
+// parseInferLatency keys off a byte sequence without validating the
+// surrounding document, so it can accept fragments encoding/json refuses.
+
+// FuzzParseInferRequest cross-checks the allocation-free request decoder
+// against encoding/json and pins re-encode self-consistency.
+func FuzzParseInferRequest(f *testing.F) {
+	f.Add([]byte(`{"model":"resnet50","batch":8}`))
+	f.Add([]byte(`{"model":"","batch":0}`))
+	f.Add([]byte(`{"model":"a\"b","batch":3}`))  // escaped quote: generic path
+	f.Add([]byte(`{"batch":8,"model":"x"}`))     // reordered: generic path
+	f.Add([]byte(`{"model":"m","batch":00042}`)) // leading zeros: fast-only shape
+	f.Add([]byte(`{"model":"m","batch":1048577}`))
+	f.Add([]byte(` {"model":"m","batch":1}`))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		model, batch, ok := parseInferRequest(b)
+		if !ok {
+			return
+		}
+		// Cross-check against encoding/json where it also accepts. Raw
+		// control bytes in the model name parse fast but fail the generic
+		// decoder, and invalid UTF-8 is replaced rather than preserved by
+		// it, so those inputs have nothing to compare.
+		var req struct {
+			Model string `json:"model"`
+			Batch int    `json:"batch"`
+		}
+		if err := json.Unmarshal(b, &req); err == nil && utf8.Valid(model) {
+			if string(model) != req.Model || batch != req.Batch {
+				t.Fatalf("parseInferRequest = (%q, %d), encoding/json = (%q, %d)",
+					model, batch, req.Model, req.Batch)
+			}
+		}
+		// Self-consistency: re-encoding what was parsed must parse back to
+		// the same values, whenever the encoder quotes the name verbatim
+		// (appendInferRequest escapes control bytes, which the fast parser
+		// then declines by design).
+		if strconv.Quote(string(model)) == `"`+string(model)+`"` {
+			re := appendInferRequest(nil, string(model), batch)
+			m2, b2, ok2 := parseInferRequest(re)
+			if !ok2 || string(m2) != string(model) || b2 != batch {
+				t.Fatalf("re-encode of (%q, %d) parsed as (%q, %d, ok=%v)",
+					model, batch, m2, b2, ok2)
+			}
+		}
+	})
+}
+
+// FuzzParseInferLatency cross-checks the latency fast path against
+// encoding/json: on bytes both accept, the fast value must sit within
+// 1e-15 relative of the correctly-rounded one (the 16-19 digit mantissa
+// path is documented as within one ulp, ~2.2e-16).
+func FuzzParseInferLatency(f *testing.F) {
+	f.Add([]byte(`{"model":"m","batch":8,"latency":0.0123}`))
+	f.Add([]byte(`{"model":"m","batch":1,"latency":1.2345678901234567e-05}`))
+	f.Add([]byte(`{"model":"m","batch":1,"latency":-3}`))
+	f.Add([]byte(`{"model":"m","batch":1,"latency":9999999999999999999}`))
+	f.Add([]byte(`{"model":"m","batch":1,"latency":1e31}`)) // exponent cap: generic path
+	f.Add([]byte(`{"a":{"x":1,"latency":5}}`))              // nested: trailing-brace check rejects
+	f.Add([]byte(`{"latency":1,"latency":2}`))              // duplicate key: both take the last
+	f.Fuzz(func(t *testing.T, b []byte) {
+		fast, ok := parseInferLatency(b)
+		if !ok {
+			return
+		}
+		var resp struct {
+			Latency float64 `json:"latency"`
+		}
+		if err := json.Unmarshal(b, &resp); err != nil {
+			// The fast path scans for the last `,"latency":` sequence and
+			// never validates the rest of the body, so it can accept
+			// fragments that are not JSON. Production bodies are whole
+			// objects from appendInferResponse; nothing to cross-check.
+			return
+		}
+		if math.Abs(fast-resp.Latency) > 1e-15*math.Abs(resp.Latency) {
+			t.Fatalf("parseInferLatency(%q) = %g, encoding/json = %g", b, fast, resp.Latency)
+		}
+	})
+}
+
+// FuzzInferWireRoundTrip drives the encoders with arbitrary field values
+// and checks both decoders recover them: the emitted request must parse
+// identically on the fast and generic paths, and the emitted response's
+// shortest-form float must round-trip exactly through encoding/json.
+func FuzzInferWireRoundTrip(f *testing.F) {
+	f.Add("resnet50", 8, 0.012345)
+	f.Add("", 0, 0.0)
+	f.Add("chat-72b", 1<<20, 1.2345678901234567e-05)
+	f.Add("mobilenet_v2", 64, math.MaxFloat64)
+	f.Add("efficientnet-b7", 3, -5e-324)
+	f.Fuzz(func(t *testing.T, model string, batch int, latency float64) {
+		if strconv.Quote(model) != `"`+model+`"` {
+			// Names needing escapes are quoted by the encoder and declined
+			// by the fast parser; the generic decoder handles them.
+			t.Skip("model name needs escaping")
+		}
+		batch &= 1<<20 - 1 // the fast parser bounds batch at 1<<20
+
+		req := appendInferRequest(nil, model, batch)
+		m, b2, ok := parseInferRequest(req)
+		if !ok || string(m) != model || b2 != batch {
+			t.Fatalf("fast parse of own encoding %q = (%q, %d, ok=%v)", req, m, b2, ok)
+		}
+		var jr struct {
+			Model string `json:"model"`
+			Batch int    `json:"batch"`
+		}
+		if err := json.Unmarshal(req, &jr); err != nil {
+			t.Fatalf("appendInferRequest emitted invalid JSON %q: %v", req, err)
+		}
+		if jr.Model != model || jr.Batch != batch {
+			t.Fatalf("encoding/json decoded %q as (%q, %d)", req, jr.Model, jr.Batch)
+		}
+
+		if math.IsNaN(latency) || math.IsInf(latency, 0) {
+			return // AppendFloat would emit non-JSON tokens; workers never report these
+		}
+		resp := appendInferResponse(nil, model, batch, latency)
+		var rr struct {
+			Latency float64 `json:"latency"`
+		}
+		if err := json.Unmarshal(resp, &rr); err != nil {
+			t.Fatalf("appendInferResponse emitted invalid JSON %q: %v", resp, err)
+		}
+		if rr.Latency != latency {
+			t.Fatalf("latency %v did not round-trip through %q (got %v)", latency, resp, rr.Latency)
+		}
+		if lat, ok := parseInferLatency(resp); ok {
+			if math.Abs(lat-latency) > 1e-15*math.Abs(latency) {
+				t.Fatalf("fast parse of own encoding %q = %g, want %g", resp, lat, latency)
+			}
+		}
+	})
+}

@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"ramsis/internal/llm"
+	"ramsis/internal/sim"
+)
+
+// TestLLMWorkerStreamsWireTTFT drives one long-prefill request through a
+// live worker and checks the stream's timing structure on the wire: the
+// first token byte arrives after the prefill step but before the decode
+// tail, so the client-measured TTFT is a real network measurement. The
+// worker starts on the most accurate model and a fixed selector pins the
+// fastest, so the first step boundary must also record a model switch.
+func TestLLMWorkerStreamsWireTTFT(t *testing.T) {
+	models := llm.BuiltinSet()
+	const timeScale = 50.0
+	w := NewLLMWorker(models, 8.0, timeScale, sim.FixedSelector(models.Fastest()))
+	if err := w.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer w.Stop()
+
+	const prefill, decode = 2000, 5
+	res, err := PostGenerate(http.DefaultClient, w.URL(), prefill, decode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tokens != decode {
+		t.Fatalf("streamed %d token bytes, want %d", res.Tokens, decode)
+	}
+	fast := models.Models[models.Fastest()]
+	if res.Summary.Model != fast.Name {
+		t.Fatalf("served by %s, selector pinned %s", res.Summary.Model, fast.Name)
+	}
+	if res.Summary.Prefill != prefill || res.Summary.Decode != decode {
+		t.Fatalf("summary echoes %d/%d, want %d/%d",
+			res.Summary.Prefill, res.Summary.Decode, prefill, decode)
+	}
+
+	// The prefill fits one step, so the first token cannot arrive before
+	// that step's modeled time has been slept through — on the wire and in
+	// the worker's own summary alike.
+	tau1 := fast.StepTime(prefill, 0, 0)
+	if wire := res.TTFTWall * timeScale; wire < tau1*0.99 {
+		t.Errorf("wire TTFT %.4fs modeled, below the prefill step time %.4fs", wire, tau1)
+	}
+	if res.Summary.TTFT < tau1*0.99 {
+		t.Errorf("summary TTFT %.4fs, below the prefill step time %.4fs", res.Summary.TTFT, tau1)
+	}
+	// The remaining decode tokens each ride a later step: the stream must
+	// stay open past the first byte for at least those steps' wall time.
+	decodeTail := 0.0
+	for i := 0; i < decode-1; i++ {
+		decodeTail += fast.Beta0
+	}
+	if gap := res.LatencyWall - res.TTFTWall; gap*timeScale < decodeTail*0.9 {
+		t.Errorf("stream closed %.4fs (modeled) after first token; decode tail needs >= %.4fs",
+			gap*timeScale, decodeTail)
+	}
+	if res.Summary.Latency <= res.Summary.TTFT {
+		t.Errorf("latency %.4f <= TTFT %.4f", res.Summary.Latency, res.Summary.TTFT)
+	}
+}
+
+// TestLLMWorkerConcurrentRequestsShareTheBatch issues parallel requests
+// and then checks the worker's /metrics exposition carries the LLM serving
+// series with the switch recorded and every query counted.
+func TestLLMWorkerConcurrentRequestsShareTheBatch(t *testing.T) {
+	models := llm.BuiltinSet()
+	w := NewLLMWorker(models, 8.0, 100, sim.FixedSelector(models.Fastest()))
+	if err := w.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer w.Stop()
+
+	const n = 4
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = PostGenerate(http.DefaultClient, w.URL(), 300+50*i, 4)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+
+	resp, err := http.Get(w.URL() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, name := range []string{
+		"ramsis_llm_ttft_seconds",
+		"ramsis_llm_tbt_seconds",
+		"ramsis_llm_step_seconds",
+		"ramsis_llm_tokens_total",
+		"ramsis_llm_kv_usage",
+		"ramsis_llm_model_switches_total",
+		"ramsis_llm_steps_total",
+		"ramsis_queries_total",
+		"ramsis_query_latency_seconds",
+	} {
+		if !strings.Contains(text, name) {
+			t.Errorf("/metrics missing %s", name)
+		}
+	}
+	if !strings.Contains(text, `ramsis_queries_total 4`) {
+		t.Errorf("expected 4 served queries in exposition")
+	}
+	if !strings.Contains(text, `ramsis_llm_model_switches_total 1`) {
+		t.Errorf("expected exactly one model switch in exposition")
+	}
+}
+
+// TestLLMWorkerRejectsOversizeFootprint pins the KV admission guard: a
+// request whose footprint can never fit the serving model's cache answers
+// 503 instead of deadlocking the queue head.
+func TestLLMWorkerRejectsOversizeFootprint(t *testing.T) {
+	models := llm.BuiltinSet()
+	w := NewLLMWorker(models, 8.0, 100, nil)
+	w.KVCap = 256
+	if err := w.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer w.Stop()
+
+	_, err := PostGenerate(http.DefaultClient, w.URL(), 500, 10)
+	if err == nil {
+		t.Fatal("oversize request served; want a KV-capacity rejection")
+	}
+	if !strings.Contains(err.Error(), "KV capacity") {
+		t.Fatalf("unexpected rejection: %v", err)
+	}
+	// The worker stays healthy for requests that do fit.
+	res, err := PostGenerate(http.DefaultClient, w.URL(), 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tokens != 3 {
+		t.Fatalf("streamed %d tokens, want 3", res.Tokens)
+	}
+}

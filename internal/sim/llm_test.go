@@ -1,0 +1,312 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ramsis/internal/core"
+	"ramsis/internal/dist"
+	"ramsis/internal/llm"
+	"ramsis/internal/telemetry"
+	"ramsis/internal/trace"
+)
+
+// TestLLMStepMathSingleQuery walks one query through the step loop by hand:
+// E2E latency must equal the sum of the steps it rides through, TTFT the
+// prefill step, and each TBT one decode step.
+func TestLLMStepMathSingleQuery(t *testing.T) {
+	models := llm.BuiltinSet()
+	m := models.Models[0] // chat-8b
+	e := NewLLMEngine(models, 6.0, 1, FixedSelector(0))
+	e.CollectLatencies = true
+	got := e.Run([]TokenQuery{{ID: 1, Arrival: 0, Prefill: 1000, Decode: 3}})
+
+	// Step 1: the whole prefill fits the 2048 budget; kv 0 at schedule time.
+	tau1 := m.StepTime(1000, 0, 0)
+	// Prefill lands 1000 tokens plus the first output token.
+	tau2 := m.StepTime(0, 1, 1001.0/float64(m.KVCapTokens))
+	tau3 := m.StepTime(0, 1, 1002.0/float64(m.KVCapTokens))
+	want := tau1 + tau2 + tau3
+
+	if got.Served != 1 || got.Violations != 0 {
+		t.Fatalf("served %d violations %d", got.Served, got.Violations)
+	}
+	if got.Steps != 3 {
+		t.Fatalf("steps = %d, want 3", got.Steps)
+	}
+	if math.Abs(got.Latencies[0]-want) > 1e-12 {
+		t.Errorf("latency %v, want %v", got.Latencies[0], want)
+	}
+	if len(got.TTFTs) != 1 || math.Abs(got.TTFTs[0]-tau1) > 1e-12 {
+		t.Errorf("TTFT %v, want %v", got.TTFTs, tau1)
+	}
+	if len(got.TBTs) != 2 || math.Abs(got.TBTs[0]-tau2) > 1e-12 || math.Abs(got.TBTs[1]-tau3) > 1e-12 {
+		t.Errorf("TBTs %v, want [%v %v]", got.TBTs, tau2, tau3)
+	}
+	if got.PrefillTokens != 1000 || got.DecodeTokens != 2 {
+		t.Errorf("scheduled %d prefill / %d decode tokens, want 1000 / 2", got.PrefillTokens, got.DecodeTokens)
+	}
+	if got.AccuracyPerSatisfiedQuery() != m.Accuracy {
+		t.Errorf("accuracy %v, want %v", got.AccuracyPerSatisfiedQuery(), m.Accuracy)
+	}
+}
+
+// TestLLMKVGatingAndOversizeDrop pins admission gating: a query that fits
+// only after the running batch releases its reservation waits; one that can
+// never fit the cache is dropped, not deadlocked on.
+func TestLLMKVGatingAndOversizeDrop(t *testing.T) {
+	models := llm.BuiltinSet()
+	traces := telemetry.NewTraceBuffer(16)
+	e := NewLLMEngine(models, 60.0, 1, FixedSelector(0))
+	e.KVCap = 2000
+	e.Traces = traces
+	got := e.Run([]TokenQuery{
+		{ID: 1, Arrival: 0, Prefill: 1400, Decode: 100}, // 1500 tokens
+		{ID: 2, Arrival: 0, Prefill: 900, Decode: 100},  // 1000: waits for q1
+		{ID: 3, Arrival: 0, Prefill: 3000, Decode: 100}, // 3100 > cap: dropped
+	})
+	if got.Served != 2 {
+		t.Fatalf("served %d, want 2", got.Served)
+	}
+	if got.Dropped != 1 {
+		t.Fatalf("dropped %d, want 1 (oversize query)", got.Dropped)
+	}
+	var q1Done, q2Admit float64
+	sawDrop := false
+	for _, qt := range traces.Snapshot() {
+		switch qt.ID {
+		case 1:
+			q1Done = qt.Arrival + qt.LatencyMS/1000
+		case 2:
+			for _, sp := range qt.Spans {
+				if sp.Stage == telemetry.StageBatchWait {
+					q2Admit = qt.Arrival + sp.Seconds
+				}
+			}
+		case 3:
+			sawDrop = qt.Error == "kv-oversize"
+		}
+	}
+	if !sawDrop {
+		t.Error("oversize query left no kv-oversize trace")
+	}
+	if !(q2Admit > 0) {
+		t.Errorf("q2 admitted at %v; the KV reservation should have gated it", q2Admit)
+	}
+	if math.Abs(q2Admit-q1Done) > 1e-9 {
+		t.Errorf("q2 admitted at %v, want at q1's completion %v", q2Admit, q1Done)
+	}
+	if !(got.PeakKVUsage > 0.7) {
+		t.Errorf("peak KV usage %v suspiciously low for a gated run", got.PeakKVUsage)
+	}
+}
+
+// TestLLMContinuousBatchingJoinsMidStream pins the defining property of
+// continuous batching: a later arrival joins the running batch while an
+// earlier query is still decoding, instead of waiting for it to finish.
+func TestLLMContinuousBatchingJoinsMidStream(t *testing.T) {
+	models := llm.BuiltinSet()
+	traces := telemetry.NewTraceBuffer(16)
+	e := NewLLMEngine(models, 60.0, 1, FixedSelector(0))
+	e.Traces = traces
+	got := e.Run([]TokenQuery{
+		{ID: 1, Arrival: 0, Prefill: 100, Decode: 50},
+		{ID: 2, Arrival: 0.05, Prefill: 100, Decode: 5},
+	})
+	if got.Served != 2 {
+		t.Fatalf("served %d, want 2", got.Served)
+	}
+	var q1Done, q2Admit float64
+	for _, qt := range traces.Snapshot() {
+		switch qt.ID {
+		case 1:
+			q1Done = qt.Arrival + qt.LatencyMS/1000
+		case 2:
+			for _, sp := range qt.Spans {
+				if sp.Stage == telemetry.StageBatchWait {
+					q2Admit = qt.Arrival + sp.Seconds
+				}
+			}
+		}
+	}
+	if !(q2Admit < q1Done) {
+		t.Errorf("q2 admitted at %v, after q1 finished at %v — batch never joined mid-stream", q2Admit, q1Done)
+	}
+}
+
+// scriptSelector asks for model 0 on its first consult and model 2 forever
+// after — forcing one immediate switch and one drain-gated switch.
+type scriptSelector struct{ calls int }
+
+func (s *scriptSelector) SelectModel(int, int, float64, float64) int {
+	s.calls++
+	if s.calls == 1 {
+		return 0
+	}
+	return 2
+}
+func (s *scriptSelector) Name() string { return "script" }
+
+// TestLLMModelSwitchDrainsRunningBatch pins switch semantics: with an empty
+// running batch the switch is immediate; with sequences in flight the worker
+// drains (admitting nothing) and switches when the batch empties.
+func TestLLMModelSwitchDrainsRunningBatch(t *testing.T) {
+	models := llm.BuiltinSet()
+	e := NewLLMEngine(models, 60.0, 1, &scriptSelector{})
+	got := e.Run([]TokenQuery{
+		{ID: 1, Arrival: 0, Prefill: 10, Decode: 30},
+		{ID: 2, Arrival: 0.001, Prefill: 10, Decode: 5},
+	})
+	if got.Served != 2 {
+		t.Fatalf("served %d, want 2", got.Served)
+	}
+	// Switch 1: most-accurate default -> model 0 before any admission.
+	// Switch 2: model 0 -> model 2 once q1's batch drained.
+	if got.ModelSwitches != 2 {
+		t.Fatalf("model switches = %d, want 2", got.ModelSwitches)
+	}
+	if got.ModelCounts["chat-8b"] != 1 || got.ModelCounts["chat-72b"] != 1 {
+		t.Fatalf("model counts %v, want one query each on chat-8b and chat-72b", got.ModelCounts)
+	}
+}
+
+// TestLLMTelemetryExposition checks the run's series land in the registry
+// under the canonical names, TTFT/TBT histograms included.
+func TestLLMTelemetryExposition(t *testing.T) {
+	models := llm.BuiltinSet()
+	reg := telemetry.NewRegistry()
+	e := NewLLMEngine(models, 6.0, 2, FixedSelector(0))
+	e.Telemetry = reg
+	got := e.Run([]TokenQuery{
+		{ID: 1, Arrival: 0, Prefill: 200, Decode: 20},
+		{ID: 2, Arrival: 0.01, Prefill: 300, Decode: 10},
+	})
+	if got.Served != 2 {
+		t.Fatalf("served %d, want 2", got.Served)
+	}
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	text := b.String()
+	for _, name := range []string{
+		telemetry.MetricLLMTTFT,
+		telemetry.MetricLLMTBT,
+		telemetry.MetricLLMStepSeconds,
+		telemetry.MetricLLMSteps,
+		telemetry.MetricLLMTokens,
+		telemetry.MetricLLMKVUsage,
+		telemetry.MetricQueries,
+		telemetry.MetricLatencySeconds,
+	} {
+		if !strings.Contains(text, name) {
+			t.Errorf("exposition missing %s", name)
+		}
+	}
+	if !(got.TTFTP50 > 0) || !(got.TBTP50 > 0) {
+		t.Errorf("TTFT p50 %v / TBT p50 %v not populated", got.TTFTP50, got.TBTP50)
+	}
+}
+
+// burstWorkload builds the acceptance scenario: a steady general-class load
+// with a long-prefill codegen burst riding on top, at identical offered
+// load for every policy under test.
+func burstWorkload() []TokenQuery {
+	cls := llm.GeneralClass()
+	rng := rand.New(rand.NewSource(7))
+	var arrivals []float64
+	for t := rng.ExpFloat64() / 4; t < 60; t += rng.ExpFloat64() / 4 {
+		arrivals = append(arrivals, t)
+	}
+	events := trace.AnnotateTokens(arrivals, 11, cls.In, cls.Out)
+	queries := make([]TokenQuery, 0, len(events)+12)
+	for i, ev := range events {
+		queries = append(queries, TokenQuery{ID: i + 1, Arrival: ev.T, Prefill: ev.Prefill, Decode: ev.Decode})
+	}
+	// The burst: a dozen codegen-style arrivals, each carrying ~4k prompt
+	// tokens. The queue grows by only 12 queries — unremarkable to a
+	// queue-length policy — while the outstanding token load jumps by ~50k.
+	for i := 0; i < 12; i++ {
+		queries = append(queries, TokenQuery{
+			ID: len(events) + i + 1, Arrival: 20 + 0.1*float64(i),
+			Prefill: 4000, Decode: 150,
+		})
+	}
+	return queries
+}
+
+// TestLLMTokenAwarePolicyBeatsScalarOnPrefillBurst is the PR's acceptance
+// scenario: at equal offered load, the token-aware policy must achieve
+// strictly higher SLO attainment than the scalar-profile policy on a
+// long-prefill burst. The burst's 40 queries carry ~3200 tokens each, so
+// the outstanding token load explodes while the queue length stays
+// unremarkable — the scalar policy keeps serving large models and drowns,
+// the token-aware policy sees the token backlog and downshifts.
+func TestLLMTokenAwarePolicyBeatsScalarOnPrefillBurst(t *testing.T) {
+	models := llm.BuiltinSet()
+	cls := llm.GeneralClass()
+	const slo, rate, workers = 8.0, 4.0, 1
+
+	tokenPol, err := core.GenerateLLM(core.LLMConfig{
+		Models: models, SLO: slo, Workers: workers, Rate: rate,
+		In: cls.In, Out: cls.Out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tokenSel, err := NewLLMPolicySelector(tokenPol, models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scalarPol, err := core.Generate(core.Config{
+		Models:  models.ScalarProfiles(cls.In.MeanLen(), cls.Out.MeanLen(), 0),
+		SLO:     slo,
+		Workers: workers,
+		Arrival: dist.NewPoisson(rate),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scalarSel, err := NewScalarPolicySelector(scalarPol, models)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	queries := burstWorkload()
+	run := func(sel ModelSelector) LLMMetrics {
+		e := NewLLMEngine(models, slo, workers, sel)
+		e.CollectLatencies = true
+		return e.Run(queries)
+	}
+	token := run(tokenSel)
+	scalar := run(scalarSel)
+
+	tokenAtt := 1 - token.ViolationRate()
+	scalarAtt := 1 - scalar.ViolationRate()
+	t.Logf("token-aware: attainment %.3f acc %.3f switches %d models %v",
+		tokenAtt, token.AccuracyPerSatisfiedQuery(), token.ModelSwitches, token.ModelCounts)
+	t.Logf("scalar:      attainment %.3f acc %.3f switches %d models %v",
+		scalarAtt, scalar.AccuracyPerSatisfiedQuery(), scalar.ModelSwitches, scalar.ModelCounts)
+	if !(tokenAtt > scalarAtt) {
+		t.Fatalf("token-aware attainment %.4f not strictly above scalar %.4f", tokenAtt, scalarAtt)
+	}
+	if token.Served+token.Dropped != len(queries) || scalar.Served+scalar.Dropped != len(queries) {
+		t.Fatalf("offered load mismatch: token %d+%d, scalar %d+%d, want %d",
+			token.Served, token.Dropped, scalar.Served, scalar.Dropped, len(queries))
+	}
+}
+
+// TestLLMEngineDeterminism pins the engine: same inputs, same metrics.
+func TestLLMEngineDeterminism(t *testing.T) {
+	queries := burstWorkload()
+	run := func() LLMMetrics {
+		e := NewLLMEngine(llm.BuiltinSet(), 6.0, 2, FixedSelector(1))
+		e.CollectLatencies = true
+		return e.Run(queries)
+	}
+	a, b := run(), run()
+	if a.Served != b.Served || a.Violations != b.Violations || a.Steps != b.Steps ||
+		a.LatencyP99 != b.LatencyP99 || a.TTFTP99 != b.TTFTP99 || a.TBTP99 != b.TBTP99 {
+		t.Fatalf("non-deterministic runs:\n%+v\n%+v", a.Metrics, b.Metrics)
+	}
+}

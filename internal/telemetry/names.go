@@ -154,6 +154,28 @@ const (
 	// profiled batch latency the policy committed to was from what the
 	// worker measured.
 	MetricDecisionError = "ramsis_decision_latency_error_seconds"
+
+	// MetricLLMTTFT is the time-to-first-token histogram of the LLM
+	// continuous-batching path in modeled seconds: arrival to the end of
+	// the step that finished the query's prefill.
+	MetricLLMTTFT = "ramsis_llm_ttft_seconds"
+	// MetricLLMTBT is the time-between-tokens histogram in modeled
+	// seconds: the gap between consecutive decode tokens of one query.
+	MetricLLMTBT = "ramsis_llm_tbt_seconds"
+	// MetricLLMStepSeconds is the engine step-latency histogram in modeled
+	// seconds (the realized step_time(prefill, decode, kv) values).
+	MetricLLMStepSeconds = "ramsis_llm_step_seconds"
+	// MetricLLMSteps counts engine steps executed, labeled model=.
+	MetricLLMSteps = "ramsis_llm_steps_total"
+	// MetricLLMTokens counts tokens processed, labeled
+	// kind=<prefill|decode>.
+	MetricLLMTokens = "ramsis_llm_tokens_total"
+	// MetricLLMKVUsage is the worker's current KV-cache usage fraction,
+	// labeled worker=<index>.
+	MetricLLMKVUsage = "ramsis_llm_kv_usage"
+	// MetricLLMModelSwitches counts serving-model switches (each waits for
+	// the running batch to drain before taking effect).
+	MetricLLMModelSwitches = "ramsis_llm_model_switches_total"
 )
 
 // Span stage names, in the order a query traverses them: queued by the
@@ -167,6 +189,10 @@ const (
 // resolution, shard pick, and the in-process enqueue on the chosen shard.
 // It appears only in gateway trace fragments, not in the frontend's
 // six-stage traversal.
+// StagePrefill and StageDecode are the LLM continuous-batching stages: a
+// token-level query's trace carries batch_wait (arrival to admission into
+// the running batch), prefill (admission to first token), and decode (first
+// token to completion) instead of the scalar inference span.
 const (
 	StageEnqueue   = "enqueue"
 	StagePick      = "pick"
@@ -176,6 +202,8 @@ const (
 	StageRespond   = "respond"
 	StageShed      = "shed"
 	StageRoute     = "route"
+	StagePrefill   = "prefill"
+	StageDecode    = "decode"
 )
 
 // Stages returns every span stage in traversal order.

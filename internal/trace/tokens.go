@@ -1,0 +1,40 @@
+package trace
+
+import (
+	"math/rand"
+
+	"ramsis/internal/dist"
+)
+
+// TokenEvent is one token-annotated query arrival for the LLM workload: a
+// query arriving at T (seconds from trace start) with Prefill prompt tokens
+// to ingest and Decode output tokens to generate.
+type TokenEvent struct {
+	T       float64
+	Prefill int
+	Decode  int
+}
+
+// AnnotateTokens attaches per-query token lengths to precomputed arrival
+// times, drawing the prefill length from in and the decode length from out,
+// deterministically for a seed. It is split from TokenArrivals so scenario
+// builders (burst tests, serve replays) can annotate hand-built arrival
+// streams.
+func AnnotateTokens(arrivals []float64, seed int64, in, out dist.LengthSampler) []TokenEvent {
+	rng := rand.New(rand.NewSource(seed))
+	events := make([]TokenEvent, len(arrivals))
+	for i, t := range arrivals {
+		events[i] = TokenEvent{T: t, Prefill: in.SampleLen(rng), Decode: out.SampleLen(rng)}
+	}
+	return events
+}
+
+// TokenArrivals samples token-annotated query arrivals from the trace under
+// Poisson inter-arrivals: arrival times come from PoissonArrivals, and each
+// query draws its prompt and output token lengths from the class samplers.
+// The length stream uses a seed derived from the arrival seed, so arrival
+// times are identical to the untokenized PoissonArrivals stream for the
+// same seed.
+func TokenArrivals(t Trace, seed int64, in, out dist.LengthSampler) []TokenEvent {
+	return AnnotateTokens(PoissonArrivals(t, seed), seed^0x746f6b656e, in, out)
+}
